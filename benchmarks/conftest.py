@@ -1,0 +1,17 @@
+"""Shared benchmark fixtures."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running `pytest benchmarks/` from the repo root without
+# installing test helpers as a package.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.experiments.common import World, build_world  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    return build_world()

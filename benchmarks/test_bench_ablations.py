@@ -1,0 +1,88 @@
+"""Ablation benchmarks over the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_capture_duration(benchmark, world):
+    rows = benchmark.pedantic(
+        ablations.sweep_capture_duration,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation: capture duration (paper uses 30 s):")
+    print(ablations.format_duration(rows))
+    messages = [r.messages for r in rows]
+    assert messages == sorted(messages)
+
+
+def test_ablation_ground_truth_latency(benchmark, world):
+    rows = benchmark.pedantic(
+        ablations.sweep_ground_truth_latency,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation: ground-truth latency (FR24 is ~10 s):")
+    print(ablations.format_latency(rows))
+    ten_s = next(r for r in rows if r.latency_s == 10.0)
+    # Paper: 10 s latency => aircraft within 2.5 km of reported spot.
+    assert ten_s.mean_position_error_km < 2.5
+
+
+def test_ablation_decode_threshold(benchmark, world):
+    rows = benchmark.pedantic(
+        ablations.sweep_decode_threshold,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation: decode SNR threshold:")
+    print(ablations.format_threshold(rows))
+    rates = [r.reception_rate for r in rows]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_ablation_ground_truth_coverage(benchmark, world):
+    rows = benchmark.pedantic(
+        ablations.sweep_ground_truth_coverage,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation: ground-truth coverage gaps vs the ghost check:")
+    print(ablations.format_coverage(rows))
+    by_rate = {r.coverage_miss_rate: r for r in rows}
+    # Realistic tracker gap rates must not false-alarm honest nodes.
+    assert by_rate[0.0].ghost_check_passed
+    assert by_rate[0.02].ghost_check_passed
+    assert by_rate[0.05].ghost_check_passed
+
+
+def test_ablation_traffic_density(benchmark, world):
+    rows = benchmark.pedantic(
+        ablations.sweep_traffic_density,
+        kwargs={"world": world, "n_trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation: traffic density (rooftop FoV accuracy):")
+    print(ablations.format_density(rows))
+    # Sparse traffic leaves the estimator near chance; dense traffic
+    # drives it above 0.9 agreement.
+    assert rows[0].fov_agreement_mean < 0.8
+    assert rows[-1].fov_agreement_mean > 0.9
+
+
+def test_ablation_multipath_leakage(benchmark, world):
+    rows = benchmark.pedantic(
+        ablations.sweep_leakage,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation: multipath leakage (indoor node):")
+    print(ablations.format_leakage(rows))
+    on = next(r for r in rows if r.leakage == "on")
+    off = next(r for r in rows if r.leakage == "off")
+    assert on.near_reception_rate >= off.near_reception_rate

@@ -1,0 +1,20 @@
+"""Absolute-power calibration benchmark (§5 final future-work item)."""
+
+from repro.experiments import abs_power_exp
+
+
+def test_absolute_power_calibration(benchmark, world):
+    rows = benchmark.pedantic(
+        abs_power_exp.run_abs_power,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAbsolute-power (dBFS -> dBm) calibration accuracy:")
+    print(abs_power_exp.format_rows(rows))
+    by_loc = {r.location: r for r in rows}
+    assert by_loc["rooftop"].reliable
+    assert abs(by_loc["rooftop"].error_db) < 1.5
+    assert by_loc["window"].reliable
+    assert abs(by_loc["window"].error_db) < 4.0
+    assert not by_loc["indoor"].reliable

@@ -1,0 +1,60 @@
+"""Microbenchmarks of the ADS-B stack (throughput of the hot paths)."""
+
+import numpy as np
+
+from repro.adsb.crc import crc24_bytes
+from repro.adsb.cpr import cpr_decode_global, cpr_encode
+from repro.adsb.decoder import Dump1090Decoder
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import build_airborne_position, parse_frame
+from repro.adsb.modem import PpmDemodulator, modulate_frame
+
+ICAO = IcaoAddress(0x40621D)
+FRAME = build_airborne_position(ICAO, 37.9, -122.1, 30_000.0, False)
+
+
+def test_bench_frame_build(benchmark):
+    frame = benchmark(
+        build_airborne_position, ICAO, 37.9, -122.1, 30_000.0, False
+    )
+    assert frame.is_valid()
+
+
+def test_bench_frame_parse(benchmark):
+    message = benchmark(parse_frame, FRAME)
+    assert message is not None
+
+
+def test_bench_crc(benchmark):
+    data = FRAME.data[:11]
+    result = benchmark(crc24_bytes, data)
+    assert 0 <= result < (1 << 24)
+
+
+def test_bench_cpr_roundtrip(benchmark):
+    def roundtrip():
+        even = cpr_encode(37.9, -122.1, False)
+        odd = cpr_encode(37.9, -122.1, True)
+        return cpr_decode_global(even, odd, True)
+
+    assert benchmark(roundtrip) is not None
+
+
+def test_bench_ppm_demodulation(benchmark, rng=np.random.default_rng(0)):
+    wave = modulate_frame(FRAME.data)
+    samples = 0.01 * (
+        rng.standard_normal(20_000) + 1j * rng.standard_normal(20_000)
+    )
+    samples[5_000 : 5_000 + len(wave)] += wave
+    demod = PpmDemodulator()
+    results = benchmark(demod.demodulate, samples)
+    assert any(frame == FRAME.data for _, frame, _ in results)
+
+
+def test_bench_decoder_frame_path(benchmark):
+    decoder = Dump1090Decoder()
+
+    def decode():
+        return decoder.decode_frame_bytes(FRAME.data, 0.0, -40.0)
+
+    assert benchmark(decode) is not None

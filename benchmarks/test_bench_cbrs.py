@@ -1,0 +1,15 @@
+"""CBRS installation-claim verification benchmark (§3.3)."""
+
+from repro.experiments import cbrs
+
+
+def test_cbrs_verification(benchmark, world):
+    rows = benchmark.pedantic(
+        cbrs.run_cbrs_verification,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nCBRS-style claim verification:")
+    print(cbrs.format_rows(rows))
+    assert cbrs.detection_accuracy(rows) == 1.0

@@ -1,0 +1,18 @@
+"""Indoor/outdoor classifier benchmark (§3.2 deductions)."""
+
+from repro.experiments import classifier
+
+
+def test_classifier_confusion(benchmark, world):
+    result = benchmark.pedantic(
+        classifier.run_classifier_experiment,
+        kwargs={"n_seeds": 5, "world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nInstallation classification (5 seeds per location):")
+    print(classifier.format_confusion(result))
+    assert result.accuracy() == 1.0
+    assert result.outdoor_probability["rooftop"] > 0.8
+    assert result.outdoor_probability["window"] < 0.5
+    assert result.outdoor_probability["indoor"] < 0.2

@@ -1,0 +1,16 @@
+"""Peer cross-validation benchmark (tracker-free fabrication detection)."""
+
+from repro.experiments import crosscheck_exp
+
+
+def test_crosscheck_detection(benchmark, world):
+    outcome = benchmark.pedantic(
+        crosscheck_exp.run_crosscheck_experiment,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nPeer cross-validation (no external ground truth):")
+    print(crosscheck_exp.format_rows(outcome))
+    assert outcome.all_cheaters_flagged()
+    assert outcome.false_alarms() == 0

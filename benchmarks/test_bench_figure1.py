@@ -1,0 +1,54 @@
+"""Figure 1 benchmark: directional reception panels (a), (b), (c).
+
+Regenerates the paper's polar-scatter series for the three locations
+and prints the summary rows. Shape assertions encode the paper's
+qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+
+
+@pytest.mark.parametrize(
+    "location,panel_name",
+    [
+        ("rooftop", "1a"),
+        ("window", "1b"),
+        ("indoor", "1c"),
+    ],
+)
+def test_figure1_panel(benchmark, world, location, panel_name):
+    panel = benchmark.pedantic(
+        figure1.run_panel,
+        args=(world, location),
+        kwargs={"seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure {panel_name} ({location}):")
+    print(figure1.render_ascii_polar(panel))
+    print(
+        f"received {panel.n_received}/{panel.n_total}, "
+        f"max open-sector range {panel.max_range_in_open_km():.0f} km, "
+        f"max blocked range {panel.max_range_blocked_km():.0f} km"
+    )
+    if location == "rooftop":
+        assert panel.max_range_in_open_km() > 80.0
+    elif location == "window":
+        assert panel.max_range_in_open_km() > 60.0
+        assert panel.n_received < panel.n_total // 2
+    else:
+        assert panel.scan.max_received_range_km() < 35.0
+
+
+def test_figure1_summary(benchmark, world):
+    panels = benchmark.pedantic(
+        figure1.run_figure1,
+        kwargs={"world": world, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + figure1.format_summary(panels))
+    rates = [p.scan.reception_rate for p in panels]
+    assert rates[0] > rates[1] > rates[2]

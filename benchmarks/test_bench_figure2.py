@@ -1,0 +1,17 @@
+"""Figure 2 benchmark: the mobile-network testbed layout table."""
+
+from repro.experiments import figure2
+
+
+def test_figure2_layout(benchmark):
+    rows = benchmark(figure2.run_figure2)
+    print("\nFigure 2 (testbed layout):")
+    print(figure2.format_layout(rows))
+    assert [round(r.downlink_mhz) for r in rows] == [
+        731,
+        1970,
+        2145,
+        2660,
+        2680,
+    ]
+    assert all(400.0 <= r.distance_m <= 1100.0 for r in rows)

@@ -1,0 +1,29 @@
+"""Figure 3 benchmark: cellular RSRP per tower per location.
+
+Shape assertions: rooftop decodes all five towers at high RSRP;
+the window keeps towers 1-3 (attenuated); indoors only the 700 MHz
+tower 1 survives.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3_rsrp(benchmark, world):
+    result = benchmark.pedantic(
+        figure3.run_figure3,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 3 (cellular RSRP):")
+    print(figure3.format_bars(result))
+    assert len(result.decoded_towers("rooftop")) == 5
+    assert result.decoded_towers("window") == [
+        "Tower 1",
+        "Tower 2",
+        "Tower 3",
+    ]
+    assert result.decoded_towers("indoor") == ["Tower 1"]
+    assert all(
+        v > -70.0 for v in result.rsrp_dbm["rooftop"].values()
+    )

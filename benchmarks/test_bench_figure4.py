@@ -1,0 +1,48 @@
+"""Figure 4 benchmark: broadcast-TV channel power per location.
+
+Runs both the fast budget path and the full GNU Radio-style IQ chain
+(the paper's actual measurement program). Shape assertions: rooftop
+strongest except at 521 MHz, where the window's in-view tower wins;
+all locations stay usable below 600 MHz.
+"""
+
+from repro.experiments import figure4
+from repro.experiments.common import LOCATIONS
+
+
+def test_figure4_budget(benchmark, world):
+    result = benchmark.pedantic(
+        figure4.run_figure4,
+        kwargs={"world": world, "iq_mode": False},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 4 (budget mode):")
+    print(figure4.format_bars(result))
+    _assert_shapes(result)
+
+
+def test_figure4_full_iq(benchmark, world):
+    result = benchmark.pedantic(
+        figure4.run_figure4,
+        kwargs={"world": world, "iq_mode": True},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 4 (full IQ DSP chain):")
+    print(figure4.format_bars(result))
+    _assert_shapes(result)
+
+
+def _assert_shapes(result):
+    for location in LOCATIONS:
+        assert result.usable_channels(location) == 6
+    for mhz in (213, 473, 545, 587, 605):
+        assert (
+            result.power_dbfs["rooftop"][mhz]
+            > result.power_dbfs["window"][mhz]
+        )
+    assert (
+        result.power_dbfs["window"][521]
+        > result.power_dbfs["rooftop"][521] + 10.0
+    )

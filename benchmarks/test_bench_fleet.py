@@ -1,0 +1,25 @@
+"""Fleet benchmark: the §2 marketplace vision end to end."""
+
+from repro.experiments import fleet
+
+
+def test_fleet_marketplace(benchmark, world):
+    result = benchmark.pedantic(
+        fleet.run_fleet,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nCalibrated fleet marketplace:")
+    print(fleet.format_marketplace(result))
+    # Both cheating operators rejected, nobody honest rejected.
+    assert result.rejected() == result.cheaters
+    market = result.marketplace()
+    # Healthy rooftops occupy the podium...
+    top3 = {a.node_id for a in market[:3]}
+    assert top3 == {"rooftop-0", "rooftop-1", "rooftop-2"}
+    # ...and the damaged rooftop ranks below every healthy rooftop.
+    ranks = {a.node_id: i for i, a in enumerate(market)}
+    assert ranks["rooftop-3"] > max(
+        ranks[f"rooftop-{i}"] for i in range(3)
+    )

@@ -1,0 +1,25 @@
+"""FM signals-of-opportunity benchmark (§5 extension)."""
+
+from repro.experiments import fm_extension
+from repro.experiments.common import LOCATIONS
+
+
+def test_fm_extension(benchmark, world):
+    result = benchmark.pedantic(
+        fm_extension.run_fm_extension,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFM broadcast extension (sub-108 MHz):")
+    print(fm_extension.format_bars(result))
+    for location in LOCATIONS:
+        # FM stays receivable everywhere — it penetrates even better
+        # than the low TV channels.
+        assert all(
+            v is not None for v in result.power_dbfs[location].values()
+        )
+    for station in result.power_dbfs["rooftop"]:
+        roof = result.excess_db["rooftop"][station]
+        indoor = result.excess_db["indoor"][station]
+        assert indoor > roof

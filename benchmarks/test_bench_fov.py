@@ -1,0 +1,23 @@
+"""Field-of-view estimator benchmark (§5 KNN/SVM direction)."""
+
+from repro.experiments import fov_estimators
+
+
+def test_fov_estimator_comparison(benchmark, world):
+    scores = benchmark.pedantic(
+        fov_estimators.run_fov_comparison,
+        kwargs={"n_seeds": 5, "world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nField-of-view estimators vs ground truth:")
+    print(fov_estimators.format_scores(scores))
+    for s in scores:
+        assert s.agreement_mean > 0.75
+    # Open-fraction ordering mirrors the physical ordering.
+    by_location = {}
+    for s in scores:
+        by_location.setdefault(s.location, []).append(
+            s.open_fraction_mean
+        )
+    assert min(by_location["rooftop"]) > max(by_location["window"])

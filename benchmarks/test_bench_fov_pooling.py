@@ -1,0 +1,22 @@
+"""FoV-pooling benchmark: accuracy vs number of measurements."""
+
+from repro.experiments import fov_pooling
+
+
+def test_fov_pooling_sweep(benchmark, world):
+    rows = benchmark.pedantic(
+        fov_pooling.run_fov_pooling,
+        kwargs={
+            "n_scans_options": [1, 2, 4, 8],
+            "n_trials": 3,
+            "world": world,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFoV agreement vs pooled scans (window site):")
+    print(fov_pooling.format_rows(rows))
+    # More measurements never hurt, and the evidence grows linearly.
+    agreements = [r.agreement_mean for r in rows]
+    assert agreements[-1] >= agreements[0]
+    assert rows[-1].informative_aircraft > 4 * rows[0].informative_aircraft

@@ -1,0 +1,25 @@
+"""Hardware-fault benchmark: §1's failure inventory, caught remotely."""
+
+from repro.experiments import hardware_faults
+
+
+def test_hardware_fault_detection(benchmark, world):
+    rows = benchmark.pedantic(
+        hardware_faults.run_hardware_faults,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nHardware faults on identical rooftop installs:")
+    print(hardware_faults.format_rows(rows))
+    by_fault = {r.fault: r for r in rows}
+    healthy = by_fault["healthy"]
+    assert healthy.dead_bands == 0
+    assert healthy.violations == []
+    for fault, row in by_fault.items():
+        if fault == "healthy":
+            continue
+        # Every fault lands strictly below the healthy node...
+        assert row.overall_score < healthy.overall_score - 0.1
+        # ...and leaves measurable evidence.
+        assert row.dead_bands > 0 or row.violations

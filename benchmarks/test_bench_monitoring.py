@@ -1,0 +1,22 @@
+"""Monitoring-utility benchmark: calibration score predicts service value."""
+
+from repro.experiments import monitoring
+
+
+def test_monitoring_utility(benchmark, world):
+    rows = benchmark.pedantic(
+        monitoring.run_monitoring_utility,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nRented-service utility vs calibration score:")
+    print(monitoring.format_rows(rows))
+    by_location = {r.location: r for r in rows}
+    assert by_location["rooftop"].detection_rate == 1.0
+    assert (
+        by_location["rooftop"].detection_rate
+        >= by_location["window"].detection_rate
+        >= by_location["indoor"].detection_rate
+    )
+    assert monitoring.rankings_agree(rows)

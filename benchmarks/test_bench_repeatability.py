@@ -1,0 +1,21 @@
+"""Repeatability benchmark: §3.1's "repeated over 10 times"."""
+
+from repro.experiments import repeatability
+
+
+def test_repeatability_ten_runs(benchmark, world):
+    rows = benchmark.pedantic(
+        repeatability.run_repeatability,
+        kwargs={"n_runs": 10, "world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nRepeatability over 10 runs:")
+    print(repeatability.format_rows(rows))
+    roof, window, indoor = rows
+    # "obtaining similar results": within-location spread small...
+    for row in rows:
+        assert row.reception_rate_std < 0.06
+    # ...and the three locations stay cleanly separated.
+    assert roof.separated_from(window)
+    assert window.separated_from(indoor)

@@ -1,0 +1,37 @@
+"""Measurement-scheduling benchmark (§5 end-to-end system)."""
+
+from repro.experiments import scheduling
+
+
+def test_scheduling_strategies(benchmark):
+    rows = benchmark.pedantic(
+        scheduling.run_scheduling, rounds=1, iterations=1
+    )
+    print("\nExpected distinct aircraft per day by strategy:")
+    print(scheduling.format_rows(rows))
+    for row in rows:
+        assert row.greedy >= row.uniform
+        assert row.greedy >= row.random_mean
+    # Density-aware scheduling wins decisively at small budgets.
+    assert rows[0].greedy_gain_over_uniform > 1.0
+
+
+def test_schedule_validation_on_simulated_days(benchmark):
+    rows = benchmark.pedantic(
+        scheduling.run_schedule_validation,
+        kwargs={"n_windows": 4, "n_days": 30},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAnalytic model vs simulated Poisson days:")
+    print(scheduling.format_validation(rows))
+    by_name = {r.strategy: r for r in rows}
+    # The greedy plan must win on actual simulated days too.
+    assert (
+        by_name["greedy"].simulated_mean
+        > by_name["uniform"].simulated_mean
+    )
+    assert (
+        by_name["greedy"].simulated_mean
+        > by_name["random"].simulated_mean
+    )

@@ -1,0 +1,19 @@
+"""Trust benchmark: fabricated-data detection (§2/§5)."""
+
+from repro.experiments import trust
+
+
+def test_trust_detection(benchmark, world):
+    rows = benchmark.pedantic(
+        trust.run_trust_experiment,
+        kwargs={"world": world},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nTrust scores per operator type:")
+    print(trust.format_rows(rows))
+    honest = next(r for r in rows if r.operator == "honest")
+    assert honest.trustworthy
+    for row in rows:
+        if row.operator != "honest":
+            assert not row.trustworthy

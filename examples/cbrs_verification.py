@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""CBRS-style installation-claim verification (§3.3).
+
+CBRS devices must self-report location, indoor/outdoor status and
+installation details, and transmit-power limits depend on them — so a
+mis-reported installation is a regulatory problem. This example runs
+the paper's automatic verification idea: nodes at each testbed
+location file either honest or inflated claims, and the calibration
+pipeline checks the claims against what the signals actually show.
+
+Run:  python examples/cbrs_verification.py
+"""
+
+from repro.experiments import cbrs
+from repro.experiments.common import build_world
+
+
+def main() -> None:
+    world = build_world()
+    rows = cbrs.run_cbrs_verification(world=world)
+
+    print("CBRS-style automatic installation verification")
+    print("=" * 60)
+    print(cbrs.format_rows(rows))
+    print()
+    accuracy = cbrs.detection_accuracy(rows)
+    print(
+        f"Verification accuracy: {accuracy:.0%} "
+        f"({sum(r.correct for r in rows)}/{len(rows)} cases)"
+    )
+    print()
+    print(
+        "Every inflated claim (outdoor / unobstructed at a window or "
+        "indoor install) is flagged from signals alone; honest "
+        "installation reports pass."
+    )
+
+
+if __name__ == "__main__":
+    main()

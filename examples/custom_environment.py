@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Tutorial: calibrate a node in a world you define yourself.
+
+The standard testbed mirrors the paper's three locations, but every
+piece is composable. This example builds a suburban scenario from
+scratch — a house with an attic install, a hill to the north, a metal
+garage to the east — plus a local tower set, and runs the calibration
+pipeline on it.
+
+Run:  python examples/custom_environment.py
+"""
+
+import numpy as np
+
+from repro.airspace import (
+    FlightRadarService,
+    TrafficConfig,
+    TrafficSimulator,
+)
+from repro.cellular import CellTower, TowerDatabase
+from repro.core import (
+    CalibrationService,
+    KnnFovEstimator,
+)
+from repro.environment import (
+    AmbientLayer,
+    Obstruction,
+    ObstructionMap,
+    SiteEnvironment,
+)
+from repro.fm import FmTower
+from repro.geo import AzimuthSector, GeoPoint, destination_point
+from repro.node import SensorNode
+from repro.tv import TvTower
+
+# A suburban site: different coordinates, different world.
+HOME = GeoPoint(38.55, -121.74, 8.0)  # attic height
+
+
+def make_attic_site() -> SiteEnvironment:
+    """An attic install: roof everywhere, a hill, a metal garage."""
+    roof = AmbientLayer(
+        min_elevation_deg=25.0,
+        max_elevation_deg=90.01,
+        materials=("wood", "drywall"),  # shingle roof: mild loss
+    )
+    hill = Obstruction(
+        sector=AzimuthSector.from_edges(330.0, 30.0),  # due north
+        clear_elevation_deg=12.0,
+        materials=("concrete", "concrete", "concrete"),  # terrain
+        edge_distance_m=800.0,
+    )
+    garage = Obstruction(
+        sector=AzimuthSector.from_edges(60.0, 120.0),
+        clear_elevation_deg=35.0,
+        materials=("metal",),
+        edge_distance_m=12.0,
+    )
+    walls = AmbientLayer(
+        min_elevation_deg=-90.0,
+        max_elevation_deg=25.0,
+        materials=("wood", "brick"),  # gable walls at low elevation
+    )
+    return SiteEnvironment(
+        name="suburban attic",
+        position=HOME,
+        obstruction_map=ObstructionMap(
+            obstructions=[hill, garage], ambient=[roof, walls]
+        ),
+        installation="indoor",  # closest ground-truth class
+        is_outdoor=False,
+    )
+
+
+def local_towers():
+    """A small-town tower set: two cellular, one TV, one FM."""
+    cells = TowerDatabase()
+    cells.extend(
+        [
+            CellTower(
+                "Rural-700", 101,
+                destination_point(HOME, 200.0, 6_000.0).with_altitude(45.0),
+                earfcn=5035,  # B12
+            ),
+            CellTower(
+                "Town-1900", 202,
+                destination_point(HOME, 150.0, 3_000.0).with_altitude(35.0),
+                earfcn=900,  # B2
+            ),
+        ]
+    )
+    tv = [
+        TvTower(
+            "KVIE", 9,
+            destination_point(HOME, 120.0, 35_000.0).with_altitude(600.0),
+            erp_dbm=77.0,
+        )
+    ]
+    fm = [
+        FmTower(
+            "KDVS", 229,
+            destination_point(HOME, 140.0, 8_000.0).with_altitude(90.0),
+        )
+    ]
+    return cells, tv, fm
+
+
+def main() -> None:
+    site = make_attic_site()
+    cells, tv, fm = local_towers()
+
+    traffic = TrafficSimulator(
+        center=HOME,
+        config=TrafficConfig(n_aircraft=40),  # quieter airspace
+        rng_seed=7,
+    )
+    service = CalibrationService(
+        traffic=traffic,
+        ground_truth=FlightRadarService(traffic=traffic),
+        cell_towers=cells,
+        tv_towers=tv,
+        fm_towers=fm,
+    )
+    node = SensorNode("attic-node", site)
+    assessment = service.evaluate_node(node, seed=7)
+
+    print(node.describe())
+    print()
+    print(assessment.report.render_text())
+    print()
+    scan = assessment.report.scan
+    fov = KnnFovEstimator().estimate(scan)
+    truth = site.obstruction_map
+    # The estimator measures *functional* openness (can aircraft be
+    # received), so score it against a reception-relevant ground-truth
+    # threshold: the mild 6-12 dB of a shingle roof does not blind a
+    # 1090 MHz link, but the hill and the metal garage do.
+    agreement = fov.agreement_with_truth(truth, threshold_db=15.0)
+    print(
+        f"FoV agreement with the ground truth we built: "
+        f"{agreement:.0%}"
+    )
+    east_blocked = not fov.is_open(90.0)
+    print(
+        "Metal garage to the east (clears only above 35 deg): "
+        + ("resolved as blocked." if east_blocked else "missed.")
+    )
+    print(
+        "Hill to the north clears at 12 deg elevation — enroute "
+        "aircraft fly above that, so the sector still *functions*: "
+        + ("estimated open, as the physics says it should be."
+           if fov.is_open(0.0)
+           else "estimated blocked (unusually low traffic this run).")
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Figures 3 & 4: frequency-response evaluation at the three sites.
+
+Scans the five cellular towers (srsUE-style RSRP with decode
+threshold) and measures the six broadcast-TV channels (GNU Radio-style
+bandpass + Parseval meter) from each location. The TV pass here runs
+in full-IQ mode — every number comes out of synthesized 8VSB waveforms
+pushed through the FIR + moving-average chain.
+
+Run:  python examples/frequency_survey.py
+"""
+
+from repro.experiments import figure2, figure3, figure4
+from repro.experiments.common import build_world
+
+
+def main() -> None:
+    world = build_world()
+
+    print("Figure 2 — testbed layout")
+    print(figure2.format_layout(figure2.run_figure2(world.testbed)))
+    print()
+
+    print("Figure 3 — cellular RSRP per tower per location")
+    print("(-- means srsUE could not decode the cell: a missing bar)")
+    print(figure3.format_bars(figure3.run_figure3(world=world)))
+    print()
+
+    print("Figure 4 — broadcast-TV power (full IQ DSP chain)")
+    result = figure4.run_figure4(world=world, iq_mode=True)
+    print(figure4.format_bars(result))
+    print()
+    print(
+        "Note the 521 MHz exception: that tower sits in the window's "
+        "field of view, so the window beats even the rooftop there — "
+        "exactly the paper's observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

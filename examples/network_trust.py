@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""A crowd-sourced network with honest and cheating operators.
+
+Builds a six-node network (two nodes per installation class), makes
+three operators misbehave — one replays old data, one scrapes the
+flight tracker and reports everything as received, one pads with
+invented aircraft — and lets the calibration service score quality and
+trust for every node.
+
+Run:  python examples/network_trust.py
+"""
+
+import numpy as np
+
+from repro.core import CalibrationService, DirectionalEvaluator
+from repro.experiments.common import build_world
+from repro.node import (
+    GhostTrafficFabricator,
+    OmniscientFabricator,
+    ReplayFabricator,
+    SensorNode,
+)
+from repro.airspace import (
+    FlightRadarService,
+    TrafficConfig,
+    TrafficSimulator,
+)
+
+
+def build_replay_donor(world):
+    """Record a scan under different traffic, for the replayer."""
+    other_traffic = TrafficSimulator(
+        center=world.testbed.center,
+        config=TrafficConfig(n_aircraft=80),
+        rng_seed=4242,
+    )
+    other_gt = FlightRadarService(traffic=other_traffic)
+    node = world.node_at("rooftop")
+    evaluator = DirectionalEvaluator(
+        node=node, traffic=other_traffic, ground_truth=other_gt
+    )
+    return evaluator.run(np.random.default_rng(4242))
+
+
+def main() -> None:
+    world = build_world()
+    nodes = [
+        SensorNode(f"node-{i}-{loc}", world.testbed.site(loc))
+        for i, loc in enumerate(
+            ["rooftop", "rooftop", "window", "window", "indoor", "indoor"]
+        )
+    ]
+    fabrications = {
+        "node-1-rooftop": OmniscientFabricator(),
+        "node-3-window": ReplayFabricator(
+            donor=build_replay_donor(world)
+        ),
+        "node-5-indoor": GhostTrafficFabricator(n_ghosts=30),
+    }
+
+    service = CalibrationService(
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+        cell_towers=world.testbed.cell_towers,
+        tv_towers=world.testbed.tv_towers,
+    )
+    assessments = service.evaluate_network(
+        nodes, seed=7, fabrications=fabrications
+    )
+
+    print(f"{'node':<16} {'class':<8} {'quality':>7} {'trust':>6}  verdict")
+    print("-" * 60)
+    for node in nodes:
+        a = assessments[node.node_id]
+        cheating = node.node_id in fabrications
+        verdict = (
+            "TRUSTED" if a.trust.is_trustworthy() else "REJECTED"
+        )
+        marker = " (actually cheating)" if cheating else ""
+        print(
+            f"{node.node_id:<16} "
+            f"{node.environment.installation:<8} "
+            f"{a.report.overall_score():>7.2f} "
+            f"{a.trust.trust_score():>6.2f}  {verdict}{marker}"
+        )
+    print()
+    caught = sum(
+        1
+        for node_id in fabrications
+        if not assessments[node_id].trust.is_trustworthy()
+    )
+    false_alarms = sum(
+        1
+        for node in nodes
+        if node.node_id not in fabrications
+        and not assessments[node.node_id].trust.is_trustworthy()
+    )
+    print(
+        f"Fabricators caught: {caught}/{len(fabrications)}; "
+        f"false alarms: {false_alarms}"
+    )
+
+
+if __name__ == "__main__":
+    main()

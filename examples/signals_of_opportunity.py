@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""A full signals-of-opportunity survey, exported as JSON.
+
+Extends the paper's three signal families with the §5 "additional RF
+sources" direction: the frequency profile below covers FM broadcast
+(88-103 MHz), broadcast TV (213-605 MHz), and 4G/5G cellular
+(731-2680 MHz) — a node characterization from 88 MHz to 2.7 GHz from
+ambient signals only. The calibration report is also exported as JSON,
+the form a marketplace backend would store.
+
+Run:  python examples/signals_of_opportunity.py
+"""
+
+import json
+
+from repro.core import (
+    CalibrationService,
+    report_to_json,
+)
+from repro.experiments.common import build_world
+from repro.node import SensorNode
+
+
+def main() -> None:
+    world = build_world()
+    service = CalibrationService(
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+        cell_towers=world.testbed.cell_towers,
+        tv_towers=world.testbed.tv_towers,
+        fm_towers=world.testbed.fm_towers,
+    )
+
+    for location in ("rooftop", "window", "indoor"):
+        node = SensorNode(
+            f"{location}-soo", world.testbed.site(location)
+        )
+        assessment = service.evaluate_node(node, seed=3)
+        profile = assessment.report.profile
+        print(f"\n{node.describe()}")
+        print(
+            f"{'source':<9} {'signal':<10} {'MHz':>7} "
+            f"{'measured':>9} {'excess dB':>9}"
+        )
+        for m in profile.measurements:
+            measured = (
+                f"{m.measured:9.1f}" if m.measured is not None else
+                "  no dec."
+            )
+            excess = (
+                f"{m.excess_attenuation_db:9.1f}"
+                if m.excess_attenuation_db is not None
+                else "        -"
+            )
+            print(
+                f"{m.source:<9} {m.label:<10} "
+                f"{m.freq_hz / 1e6:7.1f} {measured} {excess}"
+            )
+
+        if location == "window":
+            text = report_to_json(assessment.report)
+            data = json.loads(text)
+            print(
+                f"\nJSON export: {len(text)} bytes, "
+                f"{len(data['scan']['observations'])} observations, "
+                f"overall score {data['scores']['overall']:.2f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

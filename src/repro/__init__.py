@@ -1,0 +1,36 @@
+"""repro — reproduction of "Automatic Calibration in Crowd-sourced
+Network of Spectrum Sensors" (Abedi, Sanz, Sahai; HotNets '23).
+
+The package implements the paper's automatic-calibration techniques —
+ADS-B-based field-of-view evaluation and known-signal frequency-
+response evaluation — together with every substrate they depend on,
+simulated from scratch: a Mode S / ADS-B stack with a dump1090-style
+decoder, aircraft traffic with a FlightRadar24-style ground-truth
+service, LTE towers with an srsUE-style scanner, ATSC transmitters
+with a GNU Radio-style power meter, SDR/antenna front-end models, and
+a physical obstruction/propagation environment.
+
+Typical entry points:
+
+>>> from repro.environment import standard_testbed
+>>> from repro.node import SensorNode
+>>> from repro.core import CalibrationService
+
+See ``examples/quickstart.py`` for a complete walk-through.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "adsb",
+    "airspace",
+    "cellular",
+    "core",
+    "dsp",
+    "environment",
+    "geo",
+    "node",
+    "rf",
+    "sdr",
+    "tv",
+]

@@ -1,0 +1,103 @@
+"""ADS-B / Mode S substrate.
+
+A from-scratch implementation of the 1090 MHz Extended Squitter
+downlink used by the paper's directional-calibration technique:
+
+- bit-exact DF17 frame construction and parsing (airborne position
+  with CPR encoding, airborne velocity, aircraft identification),
+- the Mode S CRC-24 parity used to validate frames,
+- a pulse-position-modulation (PPM) modem at 2 Msamples/s, and
+- a dump1090-style decoder that finds preambles in IQ magnitude data,
+  slices bits, checks CRC, and reports RSSI per message.
+
+The directional evaluator consumes decoded messages; the frame path is
+exercised for every simulated squitter, and the waveform path is
+exercised by tests and the IQ demo example.
+"""
+
+from repro.adsb.icao import IcaoAddress, random_icao
+from repro.adsb.crc import crc24, crc24_bytes, frame_is_valid
+from repro.adsb.cpr import (
+    NZ,
+    cpr_nl,
+    cpr_encode,
+    cpr_decode_global,
+    cpr_decode_local,
+)
+from repro.adsb.altitude import (
+    decode_ac12,
+    encode_ac12_gillham,
+    gillham_decode,
+    gillham_encode,
+)
+from repro.adsb.messages import (
+    DF11_BITS,
+    DF11_BYTES,
+    DF17_BITS,
+    DF17_BYTES,
+    AcquisitionSquitter,
+    AdsbFrame,
+    AirbornePosition,
+    AirborneVelocity,
+    Identification,
+    build_acquisition_squitter,
+    build_airborne_position,
+    build_airborne_velocity,
+    build_identification,
+    parse_frame,
+)
+from repro.adsb.modem import (
+    SAMPLE_RATE_HZ,
+    PREAMBLE_SAMPLES,
+    modulate_frame,
+    PpmDemodulator,
+)
+from repro.adsb.decoder import DecodedMessage, Dump1090Decoder
+from repro.adsb.sbs import SbsRecord, parse_sbs, stream_to_sbs, to_sbs
+from repro.adsb.tracks import AircraftTracker, TrackedAircraft
+from repro.adsb.transponder import Transponder, SquitterEvent
+
+__all__ = [
+    "IcaoAddress",
+    "random_icao",
+    "crc24",
+    "crc24_bytes",
+    "frame_is_valid",
+    "NZ",
+    "cpr_nl",
+    "cpr_encode",
+    "cpr_decode_global",
+    "cpr_decode_local",
+    "decode_ac12",
+    "encode_ac12_gillham",
+    "gillham_decode",
+    "gillham_encode",
+    "DF11_BITS",
+    "DF11_BYTES",
+    "DF17_BITS",
+    "DF17_BYTES",
+    "AcquisitionSquitter",
+    "AdsbFrame",
+    "AirbornePosition",
+    "AirborneVelocity",
+    "Identification",
+    "build_acquisition_squitter",
+    "build_airborne_position",
+    "build_airborne_velocity",
+    "build_identification",
+    "parse_frame",
+    "SAMPLE_RATE_HZ",
+    "PREAMBLE_SAMPLES",
+    "modulate_frame",
+    "PpmDemodulator",
+    "DecodedMessage",
+    "Dump1090Decoder",
+    "SbsRecord",
+    "parse_sbs",
+    "stream_to_sbs",
+    "to_sbs",
+    "AircraftTracker",
+    "TrackedAircraft",
+    "Transponder",
+    "SquitterEvent",
+]

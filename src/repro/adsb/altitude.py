@@ -1,0 +1,130 @@
+"""Mode S altitude encodings: the 25 ft Q=1 code and Gillham code.
+
+The 12-bit AC altitude field has two regimes (DO-260B):
+
+- Q=1: 25 ft resolution, ``altitude = 25*N - 1000`` ft, valid up to
+  50175 ft — what modern transponders use and what
+  :mod:`repro.adsb.messages` emits;
+- Q=0: the legacy 100 ft Gillham (gray) code inherited from Mode C,
+  used above 50175 ft and by older equipment. dump1090 decodes both,
+  so we do too.
+
+Gillham code structure (for the 100 ft code up to 126700 ft): the
+altitude in 500 ft increments is gray-coded into bits D2 D4 A1 A2 A4
+B1 B2 B4, and the 100 ft sub-increment (1-5) into C1 C2 C4 with a
+reflected pattern on odd 500 ft steps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Valid Gillham altitude range, feet.
+GILLHAM_MIN_FT = -1000
+GILLHAM_MAX_FT = 126_700
+
+
+def _gray_encode(n: int) -> int:
+    return n ^ (n >> 1)
+
+
+def _gray_decode(g: int) -> int:
+    n = 0
+    while g:
+        n ^= g
+        g >>= 1
+    return n
+
+
+def gillham_encode(altitude_ft: int) -> int:
+    """Encode an altitude into the 11-bit Gillham code.
+
+    Returns the code as an integer holding the bits in the order
+    D2 D4 A1 A2 A4 B1 B2 B4 C1 C2 C4 (MSB first). The altitude must be
+    a multiple of 100 ft within [-1000, 126700].
+    """
+    if altitude_ft % 100 != 0:
+        raise ValueError(
+            f"Gillham altitude must be a 100 ft multiple: {altitude_ft}"
+        )
+    if not GILLHAM_MIN_FT <= altitude_ft <= GILLHAM_MAX_FT:
+        raise ValueError(
+            f"Gillham altitude out of range: {altitude_ft} ft"
+        )
+    # Work in 100 ft units offset so the scale starts at zero:
+    # -1000 ft -> 0, -900 ft -> 1, ...
+    units = (altitude_ft + 1200) // 100
+    n500, rem = divmod(units, 5)
+    # rem in 0..4 maps to the C1C2C4 pattern 1,2,3,4,5 gray-ish code.
+    c_patterns = [0b001, 0b011, 0b010, 0b110, 0b100]
+    c = c_patterns[rem]
+    if n500 % 2 == 1:
+        # Reflected on odd 500 ft steps so consecutive altitudes
+        # differ in a single bit.
+        c = c_patterns[4 - rem]
+    dab = _gray_encode(n500)
+    if dab >= (1 << 8):
+        raise ValueError(
+            f"Gillham altitude out of range: {altitude_ft} ft"
+        )
+    return (dab << 3) | c
+
+
+def gillham_decode(code: int) -> Optional[int]:
+    """Decode an 11-bit Gillham code to altitude in feet.
+
+    Returns None for invalid codes (C bits not a legal pattern).
+    """
+    if not 0 <= code < (1 << 11):
+        raise ValueError(f"Gillham code out of range: {code:#x}")
+    dab = code >> 3
+    c = code & 0b111
+    c_patterns = [0b001, 0b011, 0b010, 0b110, 0b100]
+    if c not in c_patterns:
+        return None
+    n500 = _gray_decode(dab)
+    rem = c_patterns.index(c)
+    if n500 % 2 == 1:
+        rem = 4 - rem
+    units = n500 * 5 + rem
+    return units * 100 - 1200
+
+
+def decode_ac12(field: int) -> Optional[float]:
+    """Decode the 12-bit AC altitude field from an airborne position.
+
+    Handles both the Q=1 (25 ft) and Q=0 (Gillham 100 ft) regimes,
+    like dump1090's ``decodeAC12Field``. Returns feet, or None when
+    the field is zero (no altitude information) or malformed.
+    """
+    if not 0 <= field < (1 << 12):
+        raise ValueError(f"AC12 field out of range: {field:#x}")
+    if field == 0:
+        return None
+    q = (field >> 4) & 1
+    if q:
+        n = ((field >> 5) << 4) | (field & 0x0F)
+        return n * 25.0 - 1000.0
+    # Q=0: the remaining 11 bits hold the Gillham code. In the AC12
+    # layout the bit order (MSB first) is C1 A1 C2 A2 C4 A4 B1 Q B2 D2
+    # B4 D4; with Q removed we reorder into D2 D4 A1 A2 A4 B1 B2 B4
+    # C1 C2 C4.
+    bits = [(field >> (11 - i)) & 1 for i in range(12)]
+    c1, a1, c2, a2, c4, a4, b1, _q, b2, d2, b4, d4 = bits
+    code = 0
+    for bit in (d2, d4, a1, a2, a4, b1, b2, b4, c1, c2, c4):
+        code = (code << 1) | bit
+    alt = gillham_decode(code)
+    return float(alt) if alt is not None else None
+
+
+def encode_ac12_gillham(altitude_ft: int) -> int:
+    """Encode an altitude as a Q=0 (Gillham) AC12 field."""
+    code = gillham_encode(altitude_ft)
+    bits11 = [(code >> (10 - i)) & 1 for i in range(11)]
+    d2, d4, a1, a2, a4, b1, b2, b4, c1, c2, c4 = bits11
+    ordered = (c1, a1, c2, a2, c4, a4, b1, 0, b2, d2, b4, d4)
+    field = 0
+    for bit in ordered:
+        field = (field << 1) | bit
+    return field

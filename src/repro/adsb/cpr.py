@@ -1,0 +1,143 @@
+"""Compact Position Reporting (CPR) for airborne positions.
+
+ADS-B squeezes latitude/longitude into 17 bits each by alternating
+between an "even" and an "odd" grid. A receiver combines an even/odd
+message pair for a globally unambiguous fix, or a single message plus
+a reference position (its own location) for a local fix. Both decoders
+are implemented here, following DO-260B / "The 1090 MHz Riddle".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+#: Number of latitude zones between equator and a pole.
+NZ = 15
+
+#: CPR fixed-point scale (17 bits).
+_SCALE = 1 << 17
+
+#: Even/odd latitude zone sizes in degrees.
+_DLAT_EVEN = 360.0 / (4 * NZ)
+_DLAT_ODD = 360.0 / (4 * NZ - 1)
+
+
+def cpr_nl(lat_deg: float) -> int:
+    """Number of longitude zones NL(lat) per DO-260B.
+
+    Clamped to 1 near the poles and 59 near the equator.
+    """
+    if lat_deg == 0.0:
+        return 59
+    abs_lat = abs(lat_deg)
+    if abs_lat >= 87.0:
+        return 1 if abs_lat > 87.0 else 2
+    a = 1.0 - math.cos(math.pi / (2.0 * NZ))
+    b = math.cos(math.pi / 180.0 * abs_lat) ** 2
+    nl = 2.0 * math.pi / math.acos(1.0 - a / b)
+    return int(math.floor(nl))
+
+
+def cpr_encode(lat_deg: float, lon_deg: float, odd: bool) -> Tuple[int, int]:
+    """Encode a position into 17-bit CPR (lat, lon) counts.
+
+    Returns the (YZ, XZ) integers transmitted in the airborne position
+    message.
+    """
+    if not -90.0 <= lat_deg <= 90.0:
+        raise ValueError(f"latitude out of range: {lat_deg}")
+    dlat = _DLAT_ODD if odd else _DLAT_EVEN
+    yz = math.floor(_SCALE * _mod(lat_deg, dlat) / dlat + 0.5)
+    rlat = dlat * (yz / _SCALE + math.floor(lat_deg / dlat))
+    nl = cpr_nl(rlat)
+    n_lon = max(nl - (1 if odd else 0), 1)
+    dlon = 360.0 / n_lon
+    xz = math.floor(_SCALE * _mod(lon_deg, dlon) / dlon + 0.5)
+    return int(yz) % _SCALE, int(xz) % _SCALE
+
+
+def cpr_decode_global(
+    even: Tuple[int, int],
+    odd: Tuple[int, int],
+    most_recent_odd: bool,
+) -> Optional[Tuple[float, float]]:
+    """Globally unambiguous decode from an even/odd message pair.
+
+    Args:
+        even: (YZ, XZ) from the even-format message.
+        odd: (YZ, XZ) from the odd-format message.
+        most_recent_odd: True if the odd message is the newer one; the
+            decoded position corresponds to the newer message.
+
+    Returns:
+        (lat_deg, lon_deg), or None when the pair straddles a latitude
+        zone boundary (NL mismatch) and cannot be combined.
+    """
+    lat_even = even[0] / _SCALE
+    lat_odd = odd[0] / _SCALE
+    lon_even = even[1] / _SCALE
+    lon_odd = odd[1] / _SCALE
+
+    j = math.floor(59.0 * lat_even - 60.0 * lat_odd + 0.5)
+    rlat_even = _DLAT_EVEN * (_mod(j, 60) + lat_even)
+    rlat_odd = _DLAT_ODD * (_mod(j, 59) + lat_odd)
+    if rlat_even >= 270.0:
+        rlat_even -= 360.0
+    if rlat_odd >= 270.0:
+        rlat_odd -= 360.0
+    if not -90.0 <= rlat_even <= 90.0 or not -90.0 <= rlat_odd <= 90.0:
+        return None
+    if cpr_nl(rlat_even) != cpr_nl(rlat_odd):
+        return None
+
+    if most_recent_odd:
+        lat = rlat_odd
+        nl = cpr_nl(lat)
+        ni = max(nl - 1, 1)
+        m = math.floor(lon_even * (nl - 1) - lon_odd * nl + 0.5)
+        lon = (360.0 / ni) * (_mod(m, ni) + lon_odd)
+    else:
+        lat = rlat_even
+        nl = cpr_nl(lat)
+        ni = max(nl, 1)
+        m = math.floor(lon_even * (nl - 1) - lon_odd * nl + 0.5)
+        lon = (360.0 / ni) * (_mod(m, ni) + lon_even)
+    if lon >= 180.0:
+        lon -= 360.0
+    return lat, lon
+
+
+def cpr_decode_local(
+    yz: int,
+    xz: int,
+    odd: bool,
+    ref_lat_deg: float,
+    ref_lon_deg: float,
+) -> Tuple[float, float]:
+    """Locally unambiguous decode using a reference position.
+
+    Valid when the true position is within ~180 NM of the reference —
+    always true here since the paper only considers aircraft within
+    100 km of the sensor.
+    """
+    lat_cpr = yz / _SCALE
+    lon_cpr = xz / _SCALE
+    dlat = _DLAT_ODD if odd else _DLAT_EVEN
+    j = math.floor(ref_lat_deg / dlat) + math.floor(
+        0.5 + _mod(ref_lat_deg, dlat) / dlat - lat_cpr
+    )
+    lat = dlat * (j + lat_cpr)
+    nl = cpr_nl(lat)
+    n_lon = max(nl - (1 if odd else 0), 1)
+    dlon = 360.0 / n_lon
+    m = math.floor(ref_lon_deg / dlon) + math.floor(
+        0.5 + _mod(ref_lon_deg, dlon) / dlon - lon_cpr
+    )
+    lon = dlon * (m + lon_cpr)
+    return lat, lon
+
+
+def _mod(a: float, b: float) -> float:
+    """Mathematical modulo (result has the sign of ``b``)."""
+    return a - b * math.floor(a / b)

@@ -1,0 +1,141 @@
+"""Mode S CRC-24 parity.
+
+Mode S protects every downlink frame with a 24-bit cyclic redundancy
+check using generator polynomial 0x1FFF409. For DF17 extended
+squitters the parity field is the CRC of the first 88 bits, so the
+remainder over the full 112-bit frame is zero for an intact frame —
+which is exactly how dump1090 (and our decoder) validates messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+#: Mode S generator polynomial, 25 bits (implicit leading 1 included).
+GENERATOR = 0x1FFF409
+_GENERATOR_BITS = 25
+
+# Precompute a byte-wise lookup table for speed: table[b] is the CRC
+# state update for feeding one byte into a bitwise long division.
+_TABLE: List[int] = []
+
+
+def _build_table() -> None:
+    for byte in range(256):
+        crc = byte << 16
+        for _ in range(8):
+            crc <<= 1
+            if crc & 0x1000000:
+                crc ^= GENERATOR
+        _TABLE.append(crc & 0xFFFFFF)
+
+
+_build_table()
+
+
+def crc24_bytes(data: bytes) -> int:
+    """CRC-24 remainder of a byte string (MSB-first long division)."""
+    crc = 0
+    for byte in data:
+        idx = ((crc >> 16) ^ byte) & 0xFF
+        crc = ((crc << 8) & 0xFFFFFF) ^ _TABLE[idx]
+    return crc
+
+
+def crc24(frame: bytes) -> int:
+    """CRC-24 syndrome of a full Mode S frame.
+
+    For a frame whose last 3 bytes carry the parity, the syndrome is
+    the CRC of the data bits XOR the received parity; zero means the
+    frame passed the check.
+    """
+    if len(frame) < 4:
+        raise ValueError(f"frame too short for CRC: {len(frame)} bytes")
+    data, parity = frame[:-3], frame[-3:]
+    computed = crc24_bytes(data)
+    received = int.from_bytes(parity, "big")
+    return computed ^ received
+
+
+def frame_is_valid(frame: bytes) -> bool:
+    """Whether a frame's parity checks out (syndrome is zero)."""
+    return crc24(frame) == 0
+
+
+# Syndrome tables for single-bit error correction (dump1090's --fix):
+# syndrome -> bit index, one table per frame length in bits.
+_SYNDROME_TABLES: dict = {}
+
+
+def _syndrome_table(n_bits: int) -> dict:
+    if n_bits not in _SYNDROME_TABLES:
+        table = {}
+        zero = bytes(n_bits // 8)
+        for bit in range(n_bits):
+            frame = bytearray(zero)
+            frame[bit // 8] ^= 1 << (7 - bit % 8)
+            table[crc24(bytes(frame))] = bit
+        _SYNDROME_TABLES[n_bits] = table
+    return _SYNDROME_TABLES[n_bits]
+
+
+#: Pair-syndrome tables for two-bit correction: syndrome -> (i, j).
+_PAIR_TABLES: dict = {}
+
+
+def _pair_table(n_bits: int) -> dict:
+    if n_bits not in _PAIR_TABLES:
+        single = _syndrome_table(n_bits)
+        # Syndromes are linear: syndrome(i, j) = syndrome(i) ^
+        # syndrome(j), so build pairs from the single-bit table.
+        by_bit = {bit: syn for syn, bit in single.items()}
+        table = {}
+        bits = sorted(by_bit)
+        for a_idx, i in enumerate(bits):
+            for j in bits[a_idx + 1 :]:
+                table[by_bit[i] ^ by_bit[j]] = (i, j)
+        _PAIR_TABLES[n_bits] = table
+    return _PAIR_TABLES[n_bits]
+
+
+def fix_two_bit_errors(frame: bytes) -> Optional[bytes]:
+    """Repair up to two flipped bits (dump1090's aggressive mode).
+
+    Tries the single-bit table first, then the two-bit pair table.
+    Aggressive fixing raises the risk of "repairing" noise into a
+    CRC-valid frame, which is why dump1090 gates it behind
+    ``--aggressive``; callers should apply plausibility checks to the
+    result.
+    """
+    single = fix_single_bit_error(frame)
+    if single is not None:
+        return single
+    syndrome = crc24(frame)
+    pair = _pair_table(len(frame) * 8).get(syndrome)
+    if pair is None:
+        return None
+    repaired = bytearray(frame)
+    for bit in pair:
+        repaired[bit // 8] ^= 1 << (7 - bit % 8)
+    return bytes(repaired)
+
+
+def fix_single_bit_error(frame: bytes) -> Optional[bytes]:
+    """Repair a frame with exactly one flipped bit (dump1090 --fix).
+
+    The Mode S CRC is linear, so the syndrome of a corrupted frame
+    equals the syndrome of the error pattern alone; a lookup table of
+    all single-bit syndromes identifies and flips the offending bit.
+    Returns the repaired frame, the frame itself when already valid,
+    or None when the error is not a single bit flip.
+    """
+    syndrome = crc24(frame)
+    if syndrome == 0:
+        return frame
+    table = _syndrome_table(len(frame) * 8)
+    bit = table.get(syndrome)
+    if bit is None:
+        return None
+    repaired = bytearray(frame)
+    repaired[bit // 8] ^= 1 << (7 - bit % 8)
+    return bytes(repaired)

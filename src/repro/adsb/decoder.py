@@ -1,0 +1,231 @@
+"""A dump1090-style ADS-B decoder.
+
+Consumes either raw IQ blocks (through the PPM demodulator) or frame
+bytes straight off the link simulation, validates Mode S parity,
+parses messages, and resolves CPR positions — globally from even/odd
+pairs when possible, locally against the receiver's own position
+otherwise (the sensor's location is known, as in the paper). Reports
+per-message RSSI like dump1090 does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.adsb.cpr import cpr_decode_global, cpr_decode_local
+from repro.adsb.crc import fix_single_bit_error
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import (
+    AcquisitionSquitter,
+    AdsbFrame,
+    AirbornePosition,
+    AirborneVelocity,
+    FrameError,
+    Identification,
+    parse_frame,
+)
+from repro.adsb.modem import SAMPLE_RATE_HZ, PpmDemodulator
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class DecodedMessage:
+    """One successfully decoded ADS-B message.
+
+    Attributes:
+        time_s: receive timestamp (simulation time).
+        icao: transmitting aircraft's address.
+        kind: "position", "velocity", or "identification".
+        position: resolved GeoPoint for position messages (None until
+            CPR can be resolved).
+        velocity_kt: (east, north) ground speed for velocity messages.
+        callsign: callsign for identification messages.
+        rssi_dbfs: received signal strength as dump1090 reports it.
+    """
+
+    time_s: float
+    icao: IcaoAddress
+    kind: str
+    position: Optional[GeoPoint] = None
+    velocity_kt: Optional[Tuple[float, float]] = None
+    callsign: Optional[str] = None
+    rssi_dbfs: float = -50.0
+
+
+@dataclass
+class _CprState:
+    """Most recent even/odd CPR pair for one aircraft."""
+
+    even: Optional[Tuple[int, int]] = None
+    even_time_s: float = -math.inf
+    odd: Optional[Tuple[int, int]] = None
+    odd_time_s: float = -math.inf
+
+    #: Max age difference for combining an even/odd pair (DO-260B: 10 s).
+    MAX_PAIR_AGE_S = 10.0
+
+    def update(
+        self, odd: bool, cpr: Tuple[int, int], time_s: float
+    ) -> None:
+        if odd:
+            self.odd = cpr
+            self.odd_time_s = time_s
+        else:
+            self.even = cpr
+            self.even_time_s = time_s
+
+    def try_global(self) -> Optional[Tuple[float, float]]:
+        if self.even is None or self.odd is None:
+            return None
+        if abs(self.even_time_s - self.odd_time_s) > self.MAX_PAIR_AGE_S:
+            return None
+        return cpr_decode_global(
+            self.even, self.odd, self.odd_time_s >= self.even_time_s
+        )
+
+
+@dataclass
+class Dump1090Decoder:
+    """Stateful frame decoder with CPR resolution.
+
+    Attributes:
+        receiver_position: sensor location, used for local CPR decode
+            (dump1090's ``--lat/--lon`` option) and plausibility checks.
+        max_range_km: discard positions farther than this from the
+            receiver (dump1090 does the same sanity check).
+        fix_errors: attempt single-bit error correction on frames that
+            fail the CRC (dump1090's ``--fix``).
+    """
+
+    receiver_position: Optional[GeoPoint] = None
+    max_range_km: float = 400.0
+    fix_errors: bool = False
+    _cpr: Dict[IcaoAddress, _CprState] = field(default_factory=dict)
+
+    #: Counters mirroring dump1090's statistics output.
+    frames_seen: int = 0
+    frames_bad_crc: int = 0
+    frames_fixed: int = 0
+    messages_decoded: int = 0
+
+    def decode_frame_bytes(
+        self, data: bytes, time_s: float, rssi_dbfs: float
+    ) -> Optional[DecodedMessage]:
+        """Decode one Mode S frame; None if CRC fails or type unknown."""
+        self.frames_seen += 1
+        frame = AdsbFrame(data)
+        if not frame.is_valid():
+            repaired = (
+                fix_single_bit_error(data) if self.fix_errors else None
+            )
+            if repaired is None:
+                self.frames_bad_crc += 1
+                return None
+            self.frames_fixed += 1
+            frame = AdsbFrame(repaired)
+        try:
+            message = parse_frame(frame)
+        except FrameError:
+            self.frames_bad_crc += 1
+            return None
+        if message is None:
+            return None
+        decoded = self._to_decoded(message, time_s, rssi_dbfs)
+        if decoded is not None:
+            self.messages_decoded += 1
+        return decoded
+
+    def decode_iq(
+        self, samples: np.ndarray, block_start_s: float = 0.0
+    ) -> List[DecodedMessage]:
+        """Demodulate a raw IQ block and decode every valid frame."""
+        demod = PpmDemodulator()
+        out: List[DecodedMessage] = []
+        for start, frame_bytes, rssi_power in demod.demodulate(samples):
+            time_s = block_start_s + start / SAMPLE_RATE_HZ
+            rssi_dbfs = 10.0 * math.log10(max(rssi_power, 1e-15))
+            msg = self.decode_frame_bytes(frame_bytes, time_s, rssi_dbfs)
+            if msg is not None:
+                out.append(msg)
+        return out
+
+    def _to_decoded(
+        self, message, time_s: float, rssi_dbfs: float
+    ) -> Optional[DecodedMessage]:
+        if isinstance(message, AirbornePosition):
+            position = self._resolve_position(message, time_s)
+            return DecodedMessage(
+                time_s=time_s,
+                icao=message.icao,
+                kind="position",
+                position=position,
+                rssi_dbfs=rssi_dbfs,
+            )
+        if isinstance(message, AirborneVelocity):
+            return DecodedMessage(
+                time_s=time_s,
+                icao=message.icao,
+                kind="velocity",
+                velocity_kt=(
+                    message.east_velocity_kt,
+                    message.north_velocity_kt,
+                ),
+                rssi_dbfs=rssi_dbfs,
+            )
+        if isinstance(message, Identification):
+            return DecodedMessage(
+                time_s=time_s,
+                icao=message.icao,
+                kind="identification",
+                callsign=message.callsign,
+                rssi_dbfs=rssi_dbfs,
+            )
+        if isinstance(message, AcquisitionSquitter):
+            return DecodedMessage(
+                time_s=time_s,
+                icao=message.icao,
+                kind="acquisition",
+                rssi_dbfs=rssi_dbfs,
+            )
+        return None
+
+    def _resolve_position(
+        self, message: AirbornePosition, time_s: float
+    ) -> Optional[GeoPoint]:
+        state = self._cpr.setdefault(message.icao, _CprState())
+        state.update(
+            message.odd, (message.cpr_lat, message.cpr_lon), time_s
+        )
+        latlon = state.try_global()
+        if latlon is None and self.receiver_position is not None:
+            latlon = cpr_decode_local(
+                message.cpr_lat,
+                message.cpr_lon,
+                message.odd,
+                self.receiver_position.lat_deg,
+                self.receiver_position.lon_deg,
+            )
+        if latlon is None:
+            return None
+        lat, lon = latlon
+        if not -90.0 <= lat <= 90.0:
+            return None
+        alt_m = (
+            message.altitude_ft * 0.3048
+            if message.altitude_ft is not None
+            else 0.0
+        )
+        point = GeoPoint(lat, lon, alt_m)
+        if self.receiver_position is not None:
+            from repro.geo.distance import haversine_m
+
+            if (
+                haversine_m(self.receiver_position, point)
+                > self.max_range_km * 1000.0
+            ):
+                return None
+        return point

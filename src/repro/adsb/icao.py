@@ -1,0 +1,50 @@
+"""ICAO 24-bit aircraft addresses.
+
+The paper identifies airplanes by the ICAO address carried in every
+ADS-B message and matches it against FlightRadar24's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class IcaoAddress:
+    """A 24-bit ICAO aircraft address.
+
+    Attributes:
+        value: the address as an integer in [0, 2^24).
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < (1 << 24):
+            raise ValueError(f"ICAO address out of range: {self.value:#x}")
+
+    def __str__(self) -> str:
+        return f"{self.value:06X}"
+
+    @classmethod
+    def from_hex(cls, text: str) -> "IcaoAddress":
+        """Parse a hex string like ``"A1B2C3"``."""
+        return cls(int(text, 16))
+
+    def to_bytes(self) -> bytes:
+        """Big-endian 3-byte representation (as transmitted)."""
+        return self.value.to_bytes(3, "big")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IcaoAddress":
+        """Parse the 3 transmitted bytes."""
+        if len(raw) != 3:
+            raise ValueError(f"ICAO address needs 3 bytes, got {len(raw)}")
+        return cls(int.from_bytes(raw, "big"))
+
+
+def random_icao(rng: np.random.Generator) -> IcaoAddress:
+    """Draw a random, non-zero ICAO address."""
+    return IcaoAddress(int(rng.integers(1, 1 << 24)))

@@ -1,0 +1,321 @@
+"""DF17 Extended Squitter frame construction and parsing.
+
+Implements the three message types the calibration pipeline needs —
+airborne position (with CPR and 25 ft altitude encoding), airborne
+velocity (subtype 1), and aircraft identification — as bit-exact
+112-bit frames with valid Mode S parity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.adsb.crc import crc24_bytes, frame_is_valid
+from repro.adsb.cpr import cpr_encode
+from repro.adsb.icao import IcaoAddress
+
+#: Length of a DF17 extended squitter.
+DF17_BITS = 112
+DF17_BYTES = DF17_BITS // 8
+
+#: Length of a DF11 acquisition squitter (short Mode S frame).
+DF11_BITS = 56
+DF11_BYTES = DF11_BITS // 8
+
+#: Downlink formats and capability used for the squitters we emit.
+_DF17 = 17
+_DF11 = 11
+_CA_AIRBORNE = 5
+
+#: 6-bit character set for identification messages (DO-260B table).
+_CHARSET = (
+    "#ABCDEFGHIJKLMNOPQRSTUVWXYZ#####"
+    " ###############0123456789######"
+)
+
+
+class FrameError(ValueError):
+    """Raised when a frame cannot be built or parsed."""
+
+
+@dataclass(frozen=True)
+class AirbornePosition:
+    """Decoded airborne position message (TC 9-18).
+
+    CPR fields are kept raw; position decoding needs either a matching
+    even/odd pair or a receiver reference position, which is the
+    decoder's job (see :mod:`repro.adsb.decodersim`).
+    """
+
+    icao: IcaoAddress
+    type_code: int
+    altitude_ft: Optional[float]
+    odd: bool
+    cpr_lat: int
+    cpr_lon: int
+
+
+@dataclass(frozen=True)
+class AirborneVelocity:
+    """Decoded airborne velocity message (TC 19, subtype 1)."""
+
+    icao: IcaoAddress
+    east_velocity_kt: float
+    north_velocity_kt: float
+    vertical_rate_fpm: float
+
+
+@dataclass(frozen=True)
+class Identification:
+    """Decoded aircraft identification message (TC 1-4)."""
+
+    icao: IcaoAddress
+    callsign: str
+
+
+@dataclass(frozen=True)
+class AcquisitionSquitter:
+    """Decoded DF11 all-call / acquisition squitter.
+
+    Carries only the aircraft's address — but that is enough for the
+    paper's binary received/missed directional evidence, so the
+    decoder counts these too (as dump1090 does).
+    """
+
+    icao: IcaoAddress
+
+
+AdsbMessage = Union[
+    AirbornePosition, AirborneVelocity, Identification,
+    AcquisitionSquitter,
+]
+
+
+@dataclass(frozen=True)
+class AdsbFrame:
+    """A raw Mode S downlink frame plus convenience accessors.
+
+    Either a long (14-byte DF17 extended squitter) or a short (7-byte
+    DF11 acquisition squitter) frame.
+    """
+
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.data) not in (DF11_BYTES, DF17_BYTES):
+            raise FrameError(
+                f"Mode S frame must be {DF11_BYTES} or {DF17_BYTES} "
+                f"bytes, got {len(self.data)}"
+            )
+
+    @property
+    def is_long(self) -> bool:
+        """True for 112-bit frames."""
+        return len(self.data) == DF17_BYTES
+
+    @property
+    def downlink_format(self) -> int:
+        return self.data[0] >> 3
+
+    @property
+    def icao(self) -> IcaoAddress:
+        return IcaoAddress.from_bytes(self.data[1:4])
+
+    @property
+    def me(self) -> bytes:
+        """The 56-bit message (ME) field (long frames only)."""
+        if not self.is_long:
+            raise FrameError("short frames carry no ME field")
+        return self.data[4:11]
+
+    @property
+    def type_code(self) -> int:
+        return self.me[0] >> 3
+
+    def is_valid(self) -> bool:
+        return frame_is_valid(self.data)
+
+
+def _assemble(icao: IcaoAddress, me: bytes) -> AdsbFrame:
+    """Wrap an ME field into a parity-correct DF17 frame."""
+    if len(me) != 7:
+        raise FrameError(f"ME field must be 7 bytes, got {len(me)}")
+    header = bytes([(_DF17 << 3) | _CA_AIRBORNE]) + icao.to_bytes()
+    body = header + me
+    parity = crc24_bytes(body)
+    return AdsbFrame(body + parity.to_bytes(3, "big"))
+
+
+def build_acquisition_squitter(icao: IcaoAddress) -> AdsbFrame:
+    """Build a DF11 acquisition (all-call) squitter.
+
+    56 bits: DF + CA, the ICAO address, and parity over the first 32
+    bits (interrogator identifier zero, as for spontaneous squitters).
+    """
+    body = bytes([(_DF11 << 3) | _CA_AIRBORNE]) + icao.to_bytes()
+    parity = crc24_bytes(body)
+    return AdsbFrame(body + parity.to_bytes(3, "big"))
+
+
+def _encode_altitude_ft(alt_ft: float) -> int:
+    """12-bit altitude field with Q=1 (25 ft resolution).
+
+    Valid for -1000 to 50175 ft, which covers all simulated traffic.
+    """
+    n = int(round((alt_ft + 1000.0) / 25.0))
+    if not 0 <= n < (1 << 11):
+        raise FrameError(f"altitude not encodable with Q=1: {alt_ft} ft")
+    high = (n >> 4) & 0x7F  # upper 7 bits
+    low = n & 0x0F  # lower 4 bits
+    return (high << 5) | (1 << 4) | low  # Q bit between them
+
+
+def _decode_altitude_ft(field: int) -> Optional[float]:
+    """Decode the 12-bit AC field (both Q=1 and Gillham Q=0)."""
+    from repro.adsb.altitude import decode_ac12
+
+    return decode_ac12(field)
+
+
+def build_airborne_position(
+    icao: IcaoAddress,
+    lat_deg: float,
+    lon_deg: float,
+    altitude_ft: float,
+    odd: bool,
+    type_code: int = 11,
+) -> AdsbFrame:
+    """Build an airborne position squitter (barometric altitude).
+
+    ``type_code`` must be in 9-18 (baro altitude family).
+    """
+    if not 9 <= type_code <= 18:
+        raise FrameError(f"type code must be 9-18: {type_code}")
+    yz, xz = cpr_encode(lat_deg, lon_deg, odd)
+    alt = _encode_altitude_ft(altitude_ft)
+    bits = 0
+    bits |= type_code << 51
+    bits |= 0 << 49  # surveillance status
+    bits |= 0 << 48  # single antenna flag
+    bits |= alt << 36
+    bits |= 0 << 35  # time sync
+    bits |= (1 if odd else 0) << 34
+    bits |= yz << 17
+    bits |= xz
+    return _assemble(icao, bits.to_bytes(7, "big"))
+
+
+def build_airborne_velocity(
+    icao: IcaoAddress,
+    east_velocity_kt: float,
+    north_velocity_kt: float,
+    vertical_rate_fpm: float = 0.0,
+) -> AdsbFrame:
+    """Build an airborne velocity squitter (TC 19, subtype 1).
+
+    Velocities are encoded with 1 kt resolution up to 1021 kt, and the
+    vertical rate with 64 fpm resolution.
+    """
+    s_ew = 1 if east_velocity_kt < 0 else 0
+    s_ns = 1 if north_velocity_kt < 0 else 0
+    v_ew = int(round(abs(east_velocity_kt))) + 1
+    v_ns = int(round(abs(north_velocity_kt))) + 1
+    if v_ew > 1023 or v_ns > 1023:
+        raise FrameError("velocity exceeds subtype-1 encoding range")
+    s_vr = 1 if vertical_rate_fpm < 0 else 0
+    vr = int(round(abs(vertical_rate_fpm) / 64.0)) + 1
+    if vr > 511:
+        raise FrameError("vertical rate exceeds encoding range")
+    bits = 0
+    bits |= 19 << 51  # type code
+    bits |= 1 << 48  # subtype 1 (ground speed)
+    bits |= 0 << 47  # intent change
+    bits |= 0 << 46  # IFR capability
+    bits |= 0 << 43  # NUC
+    bits |= s_ew << 42
+    bits |= v_ew << 32
+    bits |= s_ns << 31
+    bits |= v_ns << 21
+    bits |= 0 << 20  # vertical rate source (GNSS)
+    bits |= s_vr << 19
+    bits |= vr << 10
+    # remaining: 2 reserved, sign + 7-bit GNSS/baro delta = 0
+    return _assemble(icao, bits.to_bytes(7, "big"))
+
+
+def build_identification(
+    icao: IcaoAddress, callsign: str, type_code: int = 4
+) -> AdsbFrame:
+    """Build an aircraft identification squitter (TC 1-4)."""
+    if not 1 <= type_code <= 4:
+        raise FrameError(f"type code must be 1-4: {type_code}")
+    callsign = callsign.upper().ljust(8)
+    if len(callsign) > 8:
+        raise FrameError(f"callsign too long: {callsign!r}")
+    bits = 0
+    bits |= type_code << 51
+    bits |= 0 << 48  # aircraft category
+    shift = 42
+    for ch in callsign:
+        code = _CHARSET.find(ch)
+        if code < 0 or _CHARSET[code] == "#":
+            raise FrameError(f"character not encodable: {ch!r}")
+        bits |= code << shift
+        shift -= 6
+    return _assemble(icao, bits.to_bytes(7, "big"))
+
+
+def parse_frame(frame: AdsbFrame) -> Optional[AdsbMessage]:
+    """Parse a validated DF17 frame into a typed message.
+
+    Returns None for type codes we do not model. Raises FrameError for
+    frames that fail the parity check — callers should drop those
+    before parsing, like dump1090 does.
+    """
+    if not frame.is_valid():
+        raise FrameError("frame failed CRC check")
+    if frame.downlink_format == _DF11 and not frame.is_long:
+        return AcquisitionSquitter(icao=frame.icao)
+    if frame.downlink_format != _DF17 or not frame.is_long:
+        return None
+    me_bits = int.from_bytes(frame.me, "big")
+    tc = frame.type_code
+    if 9 <= tc <= 18:
+        alt_field = (me_bits >> 36) & 0xFFF
+        return AirbornePosition(
+            icao=frame.icao,
+            type_code=tc,
+            altitude_ft=_decode_altitude_ft(alt_field),
+            odd=bool((me_bits >> 34) & 1),
+            cpr_lat=(me_bits >> 17) & 0x1FFFF,
+            cpr_lon=me_bits & 0x1FFFF,
+        )
+    if tc == 19 and ((me_bits >> 48) & 0x7) == 1:
+        s_ew = (me_bits >> 42) & 1
+        v_ew = (me_bits >> 32) & 0x3FF
+        s_ns = (me_bits >> 31) & 1
+        v_ns = (me_bits >> 21) & 0x3FF
+        s_vr = (me_bits >> 19) & 1
+        vr = (me_bits >> 10) & 0x1FF
+        if v_ew == 0 or v_ns == 0:
+            return None  # "no information" encoding
+        east = (v_ew - 1) * (-1.0 if s_ew else 1.0)
+        north = (v_ns - 1) * (-1.0 if s_ns else 1.0)
+        rate = 0.0
+        if vr != 0:
+            rate = (vr - 1) * 64.0 * (-1.0 if s_vr else 1.0)
+        return AirborneVelocity(
+            icao=frame.icao,
+            east_velocity_kt=east,
+            north_velocity_kt=north,
+            vertical_rate_fpm=rate,
+        )
+    if 1 <= tc <= 4:
+        chars = []
+        for shift in range(42, -6, -6):
+            chars.append(_CHARSET[(me_bits >> shift) & 0x3F])
+        return Identification(
+            icao=frame.icao, callsign="".join(chars).rstrip()
+        )
+    return None

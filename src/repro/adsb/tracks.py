@@ -1,0 +1,177 @@
+"""Aircraft track table — dump1090's in-memory aircraft list.
+
+dump1090 maintains one entry per ICAO address seen recently, merging
+position, velocity and identification messages into a live picture.
+:class:`AircraftTracker` does the same over
+:class:`~repro.adsb.decoder.DecodedMessage` streams, and is what a
+host process would publish to the cloud (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.adsb.decoder import DecodedMessage
+from repro.adsb.icao import IcaoAddress
+from repro.geo.coords import GeoPoint
+
+#: Tracks idle longer than this are considered stale (dump1090's
+#: display TTL).
+DEFAULT_TRACK_TTL_S = 60.0
+
+
+@dataclass
+class TrackedAircraft:
+    """Live state for one aircraft.
+
+    Attributes:
+        icao: the aircraft's address.
+        callsign: latest identification, if any was received.
+        position: latest resolved position, if any.
+        velocity_kt: latest (east, north) velocity, if any.
+        first_seen_s / last_seen_s: observation window.
+        message_count: total messages merged into the track.
+        positions: resolved position history (time, point) pairs.
+    """
+
+    icao: IcaoAddress
+    callsign: Optional[str] = None
+    position: Optional[GeoPoint] = None
+    velocity_kt: Optional[Tuple[float, float]] = None
+    first_seen_s: float = 0.0
+    last_seen_s: float = 0.0
+    message_count: int = 0
+    rssi_sum_dbfs: float = 0.0
+    positions: List[Tuple[float, GeoPoint]] = field(
+        default_factory=list
+    )
+
+    def mean_rssi_dbfs(self) -> Optional[float]:
+        if self.message_count == 0:
+            return None
+        return self.rssi_sum_dbfs / self.message_count
+
+    def ground_speed_kt(self) -> Optional[float]:
+        if self.velocity_kt is None:
+            return None
+        east, north = self.velocity_kt
+        return (east**2 + north**2) ** 0.5
+
+
+@dataclass
+class AircraftTracker:
+    """Merges decoded messages into per-aircraft tracks.
+
+    Attributes:
+        track_ttl_s: idle time after which a track is dropped by
+            :meth:`prune` / excluded by :meth:`active`.
+        max_history: cap on stored position history per aircraft.
+    """
+
+    track_ttl_s: float = DEFAULT_TRACK_TTL_S
+    max_history: int = 256
+    _tracks: Dict[IcaoAddress, TrackedAircraft] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.track_ttl_s <= 0.0:
+            raise ValueError(
+                f"track TTL must be positive: {self.track_ttl_s}"
+            )
+        if self.max_history < 1:
+            raise ValueError(
+                f"max_history must be >= 1: {self.max_history}"
+            )
+
+    def update(self, message: DecodedMessage) -> TrackedAircraft:
+        """Merge one decoded message; returns the updated track."""
+        track = self._tracks.get(message.icao)
+        if track is None:
+            track = TrackedAircraft(
+                icao=message.icao,
+                first_seen_s=message.time_s,
+            )
+            self._tracks[message.icao] = track
+        track.last_seen_s = max(track.last_seen_s, message.time_s)
+        track.message_count += 1
+        track.rssi_sum_dbfs += message.rssi_dbfs
+        if message.kind == "position" and message.position is not None:
+            track.position = message.position
+            track.positions.append(
+                (message.time_s, message.position)
+            )
+            if len(track.positions) > self.max_history:
+                del track.positions[
+                    : len(track.positions) - self.max_history
+                ]
+        elif message.kind == "velocity":
+            track.velocity_kt = message.velocity_kt
+        elif message.kind == "identification":
+            track.callsign = message.callsign
+        return track
+
+    def update_all(
+        self, messages: List[DecodedMessage]
+    ) -> "AircraftTracker":
+        """Merge a batch of messages (chaining-friendly)."""
+        for message in messages:
+            self.update(message)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._tracks)
+
+    def get(self, icao: IcaoAddress) -> Optional[TrackedAircraft]:
+        """Track for one address, or None."""
+        return self._tracks.get(icao)
+
+    def all_tracks(self) -> List[TrackedAircraft]:
+        """All tracks, most recently heard first."""
+        return sorted(
+            self._tracks.values(),
+            key=lambda t: t.last_seen_s,
+            reverse=True,
+        )
+
+    def active(self, now_s: float) -> List[TrackedAircraft]:
+        """Tracks heard within the TTL window before ``now_s``."""
+        return [
+            t
+            for t in self.all_tracks()
+            if now_s - t.last_seen_s <= self.track_ttl_s
+        ]
+
+    def prune(self, now_s: float) -> int:
+        """Drop stale tracks; returns how many were removed."""
+        stale = [
+            icao
+            for icao, t in self._tracks.items()
+            if now_s - t.last_seen_s > self.track_ttl_s
+        ]
+        for icao in stale:
+            del self._tracks[icao]
+        return len(stale)
+
+    def summary_table(self) -> str:
+        """A dump1090-style terminal table of the current picture."""
+        lines = [
+            f"{'ICAO':<7} {'callsign':<9} {'lat':>9} {'lon':>10} "
+            f"{'alt m':>7} {'kt':>5} {'msgs':>5} {'rssi':>6}"
+        ]
+        for track in self.all_tracks():
+            pos = track.position
+            lat = f"{pos.lat_deg:9.4f}" if pos else "        -"
+            lon = f"{pos.lon_deg:10.4f}" if pos else "         -"
+            alt = f"{pos.alt_m:7.0f}" if pos else "      -"
+            speed = track.ground_speed_kt()
+            spd = f"{speed:5.0f}" if speed is not None else "    -"
+            rssi = track.mean_rssi_dbfs()
+            rs = f"{rssi:6.1f}" if rssi is not None else "     -"
+            lines.append(
+                f"{str(track.icao):<7} "
+                f"{(track.callsign or '-'):<9} {lat} {lon} {alt} "
+                f"{spd} {track.message_count:>5} {rs}"
+            )
+        return "\n".join(lines)

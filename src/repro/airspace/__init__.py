@@ -1,0 +1,31 @@
+"""Airspace substrate: simulated aircraft traffic and ground truth.
+
+Replaces the live airplanes and the FlightRadar24 API the paper used:
+a traffic simulator spawns aircraft on great-circle routes through a
+disk around the sensor site, each carrying a DF17 transponder, and a
+ground-truth service answers "all flights within R km" queries with
+the configurable reporting latency the paper accounts for (10 s ⇒
+aircraft within 2.5 km of the reported position).
+"""
+
+from repro.airspace.aircraft import Aircraft, AircraftState
+from repro.airspace.trajectories import (
+    GreatCircleRoute,
+    random_route_through_disk,
+)
+from repro.airspace.traffic import TrafficSimulator, TrafficConfig
+from repro.airspace.flightradar import (
+    FlightRadarService,
+    FlightReport,
+)
+
+__all__ = [
+    "Aircraft",
+    "AircraftState",
+    "GreatCircleRoute",
+    "random_route_through_disk",
+    "TrafficSimulator",
+    "TrafficConfig",
+    "FlightRadarService",
+    "FlightReport",
+]

@@ -1,0 +1,82 @@
+"""Aircraft state and kinematics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.transponder import Transponder
+from repro.airspace.trajectories import GreatCircleRoute
+from repro.geo.coords import GeoPoint
+
+#: Knots per meter-per-second.
+MS_TO_KT = 1.0 / 0.514444
+
+
+@dataclass(frozen=True)
+class AircraftState:
+    """Instantaneous aircraft state.
+
+    Attributes:
+        position: location including altitude (meters).
+        track_deg: ground track (compass bearing of motion).
+        ground_speed_ms: ground speed in m/s.
+    """
+
+    position: GeoPoint
+    track_deg: float
+    ground_speed_ms: float
+
+    @property
+    def east_velocity_kt(self) -> float:
+        return (
+            self.ground_speed_ms
+            * math.sin(math.radians(self.track_deg))
+            * MS_TO_KT
+        )
+
+    @property
+    def north_velocity_kt(self) -> float:
+        return (
+            self.ground_speed_ms
+            * math.cos(math.radians(self.track_deg))
+            * MS_TO_KT
+        )
+
+
+@dataclass
+class Aircraft:
+    """A simulated aircraft: identity, route, and transponder.
+
+    Attributes:
+        icao: 24-bit address.
+        callsign: flight identification.
+        route: great-circle route flown at constant speed/altitude.
+        transponder: the DF17 squitter source for this aircraft.
+    """
+
+    icao: IcaoAddress
+    callsign: str
+    route: GreatCircleRoute
+    transponder: Transponder
+
+    def state_at(self, time_s: float) -> AircraftState:
+        """Aircraft state at simulation time ``time_s``."""
+        position, track = self.route.position_and_track(time_s)
+        return AircraftState(
+            position=position,
+            track_deg=track,
+            ground_speed_ms=self.route.speed_ms,
+        )
+
+    def squitter_position_at(self, time_s: float):
+        """Adapter for :meth:`Transponder.squitters_between`."""
+        state = self.state_at(time_s)
+        return (
+            state.position.lat_deg,
+            state.position.lon_deg,
+            state.position.alt_m,
+            state.east_velocity_kt,
+            state.north_velocity_kt,
+        )

@@ -1,0 +1,128 @@
+"""Traffic simulation: a population of aircraft around a site."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.adsb.icao import random_icao
+from repro.adsb.transponder import SquitterEvent, Transponder
+from repro.airspace.aircraft import Aircraft
+from repro.airspace.trajectories import random_route_through_disk
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import haversine_m
+
+_AIRLINE_CODES = (
+    "UAL", "DAL", "AAL", "SWA", "ASA", "JBU", "SKW", "FDX", "UPS",
+    "QXE", "NKS", "FFT", "HAL", "ACA", "WJA",
+)
+
+
+@dataclass
+class TrafficConfig:
+    """Parameters of the simulated traffic picture.
+
+    Attributes:
+        n_aircraft: aircraft present during the observation window.
+            The paper's Bay Area experiments show on the order of
+            60-120 aircraft within 100 km.
+        radius_m: disk radius the traffic occupies.
+        density_profile: optional multiplier on aircraft count as a
+            function of time-of-day hour (0-24), used by the
+            measurement scheduler experiments.
+    """
+
+    n_aircraft: int = 80
+    radius_m: float = 100_000.0
+    density_profile: Optional[Callable[[float], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.n_aircraft < 0:
+            raise ValueError(f"n_aircraft must be >= 0: {self.n_aircraft}")
+        if self.radius_m <= 0.0:
+            raise ValueError(f"radius must be positive: {self.radius_m}")
+
+    def aircraft_count_at_hour(self, hour: float) -> int:
+        """Aircraft count scaled by the time-of-day density profile."""
+        if self.density_profile is None:
+            return self.n_aircraft
+        scale = max(0.0, self.density_profile(hour % 24.0))
+        return int(round(self.n_aircraft * scale))
+
+
+@dataclass
+class TrafficSimulator:
+    """A fixed population of aircraft flying around ``center``.
+
+    Aircraft are spawned once (at construction) with routes that pass
+    through the disk around the observation window's midpoint, so the
+    picture over a 30 s capture is realistic: most aircraft stay in
+    range, a few enter or leave.
+    """
+
+    center: GeoPoint
+    config: TrafficConfig
+    rng_seed: int = 0
+    aircraft: List[Aircraft] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.aircraft:
+            self._spawn()
+
+    def _spawn(self) -> None:
+        rng = np.random.default_rng(self.rng_seed)
+        used_icaos = set()
+        for i in range(self.config.n_aircraft):
+            icao = random_icao(rng)
+            while icao in used_icaos:
+                icao = random_icao(rng)
+            used_icaos.add(icao)
+            airline = _AIRLINE_CODES[
+                int(rng.integers(0, len(_AIRLINE_CODES)))
+            ]
+            callsign = f"{airline}{int(rng.integers(1, 9999)):04d}"
+            # Routes cross their waypoint at a random moment inside a
+            # +/-60 s window so positions at t=0..30 are well spread.
+            waypoint_time = float(rng.uniform(-60.0, 60.0))
+            route = random_route_through_disk(
+                self.center, self.config.radius_m, rng, waypoint_time
+            )
+            transponder = Transponder.with_random_power(
+                icao, callsign, rng
+            )
+            self.aircraft.append(
+                Aircraft(
+                    icao=icao,
+                    callsign=callsign,
+                    route=route,
+                    transponder=transponder,
+                )
+            )
+
+    def aircraft_within(
+        self, time_s: float, radius_m: Optional[float] = None
+    ) -> List[Aircraft]:
+        """Aircraft inside ``radius_m`` of the center at ``time_s``."""
+        limit = radius_m if radius_m is not None else self.config.radius_m
+        out = []
+        for ac in self.aircraft:
+            state = ac.state_at(time_s)
+            if haversine_m(self.center, state.position) <= limit:
+                out.append(ac)
+        return out
+
+    def squitters_between(
+        self, t0_s: float, t1_s: float, rng: np.random.Generator
+    ) -> List[SquitterEvent]:
+        """Every squitter transmitted by the population in [t0, t1)."""
+        events: List[SquitterEvent] = []
+        for ac in self.aircraft:
+            events.extend(
+                ac.transponder.squitters_between(
+                    t0_s, t1_s, ac.squitter_position_at, rng
+                )
+            )
+        events.sort(key=lambda e: e.time_s)
+        return events

@@ -1,0 +1,99 @@
+"""Flight trajectory generation.
+
+Aircraft fly great-circle chords through the disk around the sensor
+site at typical enroute speeds and altitudes. Chords are drawn so the
+population is spread uniformly over the disk (uniform random chords
+through a random interior point with a random heading), matching the
+paper's observation that "airplanes fly in all directions".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import destination_point, initial_bearing_deg
+
+#: Typical enroute ground speeds, m/s (about 180-500 kt).
+MIN_SPEED_MS = 90.0
+MAX_SPEED_MS = 260.0
+
+#: Altitude band for enroute/approach traffic, meters.
+MIN_ALTITUDE_M = 1_500.0
+MAX_ALTITUDE_M = 12_000.0
+
+
+@dataclass(frozen=True)
+class GreatCircleRoute:
+    """Constant-speed, constant-altitude great-circle leg.
+
+    Attributes:
+        start: position at time ``start_time_s``.
+        track_deg: initial great-circle bearing.
+        speed_ms: ground speed.
+        start_time_s: when the aircraft is at ``start``.
+    """
+
+    start: GeoPoint
+    track_deg: float
+    speed_ms: float
+    start_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed_ms <= 0.0:
+            raise ValueError(f"speed must be positive: {self.speed_ms}")
+
+    def position_and_track(
+        self, time_s: float
+    ) -> Tuple[GeoPoint, float]:
+        """Position and instantaneous track at ``time_s``.
+
+        Negative elapsed time back-projects along the same great
+        circle, so routes can be sampled before their nominal start.
+        """
+        elapsed = time_s - self.start_time_s
+        distance = self.speed_ms * abs(elapsed)
+        backwards = (self.track_deg + 180.0) % 360.0
+        bearing = self.track_deg if elapsed >= 0 else backwards
+        point = destination_point(self.start, bearing, distance)
+        if distance < 1.0:
+            return point, self.track_deg
+        # Instantaneous track = bearing from a point slightly behind.
+        behind = destination_point(point, backwards, 1000.0)
+        track = initial_bearing_deg(behind, point)
+        return point, track
+
+
+def random_route_through_disk(
+    center: GeoPoint,
+    radius_m: float,
+    rng: np.random.Generator,
+    start_time_s: float = 0.0,
+) -> GreatCircleRoute:
+    """Draw a route passing through the disk around ``center``.
+
+    A waypoint is drawn uniformly over the disk area, a heading
+    uniformly over [0, 360), a cruise speed and altitude uniformly over
+    the enroute bands; the aircraft crosses the waypoint at
+    ``start_time_s``.
+    """
+    if radius_m <= 0.0:
+        raise ValueError(f"radius must be positive: {radius_m}")
+    # Uniform over area: r ~ R*sqrt(u).
+    r = radius_m * math.sqrt(rng.uniform())
+    theta = rng.uniform(0.0, 360.0)
+    waypoint = destination_point(center, theta, r)
+    altitude = float(rng.uniform(MIN_ALTITUDE_M, MAX_ALTITUDE_M))
+    waypoint = waypoint.with_altitude(altitude)
+    heading = float(rng.uniform(0.0, 360.0))
+    speed = float(rng.uniform(MIN_SPEED_MS, MAX_SPEED_MS))
+    return GreatCircleRoute(
+        start=waypoint,
+        track_deg=heading,
+        speed_ms=speed,
+        start_time_s=start_time_s,
+    )

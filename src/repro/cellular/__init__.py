@@ -1,0 +1,37 @@
+"""Cellular substrate: LTE/NR bands, towers, and an srsUE-style scanner.
+
+Replaces the live 4G/5G networks the paper measured with srsUE: a band
+table with EARFCN↔frequency conversion, cell-tower models with known
+locations and channels (the role cellmapper.net plays in the paper),
+RSRP link budgets through the site's obstruction map, and a scanner
+that — like srsUE — either reports a cell's RSRP or fails to decode it
+when the signal is too weak (the paper's "missing bar").
+"""
+
+from repro.cellular.bands import Band, BANDS, band_by_name
+from repro.cellular.arfcn import (
+    earfcn_to_downlink_hz,
+    downlink_hz_to_earfcn,
+    band_for_earfcn,
+)
+from repro.cellular.tower import CellTower
+from repro.cellular.cellmapper import TowerDatabase
+from repro.cellular.scanner import (
+    CellMeasurement,
+    SrsUeScanner,
+    SRSUE_SENSITIVITY_DBM,
+)
+
+__all__ = [
+    "Band",
+    "BANDS",
+    "band_by_name",
+    "earfcn_to_downlink_hz",
+    "downlink_hz_to_earfcn",
+    "band_for_earfcn",
+    "CellTower",
+    "TowerDatabase",
+    "CellMeasurement",
+    "SrsUeScanner",
+    "SRSUE_SENSITIVITY_DBM",
+]

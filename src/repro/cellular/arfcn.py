@@ -1,0 +1,57 @@
+"""EARFCN <-> downlink frequency conversion (3GPP TS 36.101 §5.7.3).
+
+F_DL = F_DL_low + 0.1 MHz * (N_DL - N_Offs-DL)
+
+Databases like cellmapper.net publish each tower's channel as an
+ARFCN; this module is how the scanner turns those into tuning
+frequencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cellular.bands import BANDS, Band
+
+#: EARFCN channel raster.
+_RASTER_HZ = 100e3
+
+
+def band_for_earfcn(earfcn: int) -> Band:
+    """The band an EARFCN belongs to; raises ValueError if none."""
+    for band in BANDS:
+        if band.contains_earfcn(earfcn):
+            return band
+    raise ValueError(f"EARFCN {earfcn} is not in any known band")
+
+
+def earfcn_to_downlink_hz(earfcn: int) -> float:
+    """Downlink center frequency for a downlink EARFCN."""
+    band = band_for_earfcn(earfcn)
+    return band.downlink_low_hz + _RASTER_HZ * (
+        earfcn - band.earfcn_offset
+    )
+
+
+def downlink_hz_to_earfcn(
+    freq_hz: float, band_hint: Optional[Band] = None
+) -> int:
+    """EARFCN whose downlink frequency is ``freq_hz``.
+
+    Overlapping bands (e.g. B4 within B66) are disambiguated with
+    ``band_hint``; without a hint the first matching band wins.
+    Raises ValueError when the frequency is off-raster or out of band.
+    """
+    candidates = (band_hint,) if band_hint is not None else BANDS
+    for band in candidates:
+        if band is None or not band.contains_freq(freq_hz):
+            continue
+        steps = (freq_hz - band.downlink_low_hz) / _RASTER_HZ
+        earfcn = band.earfcn_offset + int(round(steps))
+        if abs(steps - round(steps)) > 1e-6:
+            raise ValueError(
+                f"{freq_hz} Hz is off the 100 kHz raster in {band.name}"
+            )
+        if band.contains_earfcn(earfcn):
+            return earfcn
+    raise ValueError(f"{freq_hz} Hz is not in any known downlink band")

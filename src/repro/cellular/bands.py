@@ -1,0 +1,64 @@
+"""LTE band definitions (3GPP TS 36.101 subset).
+
+Covers the North American bands the paper points at — "mobile networks
+in North America can operate from as low as 617 MHz all the way to
+4499 MHz" — including every band used by the testbed's five towers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Band:
+    """One LTE operating band.
+
+    Attributes:
+        name: band designator, e.g. "B12".
+        downlink_low_hz: F_DL_low, the downlink band's lower edge.
+        downlink_high_hz: downlink band's upper edge.
+        earfcn_offset: N_Offs-DL, the EARFCN at the lower edge.
+        earfcn_low / earfcn_high: valid downlink EARFCN range.
+    """
+
+    name: str
+    downlink_low_hz: float
+    downlink_high_hz: float
+    earfcn_offset: int
+    earfcn_low: int
+    earfcn_high: int
+
+    def contains_earfcn(self, earfcn: int) -> bool:
+        return self.earfcn_low <= earfcn <= self.earfcn_high
+
+    def contains_freq(self, freq_hz: float) -> bool:
+        return self.downlink_low_hz <= freq_hz <= self.downlink_high_hz
+
+
+#: 3GPP TS 36.101 table 5.7.3-1 (downlink side, NA-relevant subset).
+BANDS = (
+    Band("B2", 1930e6, 1990e6, 600, 600, 1199),
+    Band("B4", 2110e6, 2155e6, 1950, 1950, 2399),
+    Band("B5", 869e6, 894e6, 2400, 2400, 2649),
+    Band("B7", 2620e6, 2690e6, 2750, 2750, 3449),
+    Band("B12", 729e6, 746e6, 5010, 5010, 5179),
+    Band("B13", 746e6, 756e6, 5180, 5180, 5279),
+    Band("B30", 2350e6, 2360e6, 9770, 9770, 9869),
+    Band("B41", 2496e6, 2690e6, 39650, 39650, 41589),
+    Band("B48", 3550e6, 3700e6, 55240, 55240, 56739),
+    Band("B66", 2110e6, 2200e6, 66436, 66436, 67335),
+    Band("B71", 617e6, 652e6, 68586, 68586, 68935),
+)
+
+_BY_NAME: Dict[str, Band] = {b.name: b for b in BANDS}
+
+
+def band_by_name(name: str) -> Band:
+    """Look up a band by designator; raises KeyError for unknowns."""
+    if name not in _BY_NAME:
+        raise KeyError(
+            f"unknown band {name!r}; known: {sorted(_BY_NAME)}"
+        )
+    return _BY_NAME[name]

@@ -1,0 +1,61 @@
+"""A cellmapper.net-style tower database.
+
+The paper configures srsUE with channels looked up on cellmapper.net.
+This database plays that role for the simulation: it knows every
+tower's location and EARFCN and can answer regional queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.cellular.tower import CellTower
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import haversine_m
+
+
+@dataclass
+class TowerDatabase:
+    """An indexable collection of known cell towers."""
+
+    towers: List[CellTower] = field(default_factory=list)
+
+    def add(self, tower: CellTower) -> None:
+        """Register a tower; duplicate (id, earfcn) pairs are rejected."""
+        key = (tower.tower_id, tower.earfcn)
+        for existing in self.towers:
+            if (existing.tower_id, existing.earfcn) == key:
+                raise ValueError(f"duplicate tower entry: {key}")
+        self.towers.append(tower)
+
+    def extend(self, towers: Sequence[CellTower]) -> None:
+        for tower in towers:
+            self.add(tower)
+
+    def near(
+        self, center: GeoPoint, radius_m: float
+    ) -> List[CellTower]:
+        """Towers within ``radius_m`` of a point."""
+        if radius_m <= 0.0:
+            raise ValueError(f"radius must be positive: {radius_m}")
+        return [
+            t
+            for t in self.towers
+            if haversine_m(center, t.position) <= radius_m
+        ]
+
+    def earfcns(self) -> List[int]:
+        """Distinct channels present, sorted — the scanner's scan list."""
+        return sorted({t.earfcn for t in self.towers})
+
+    def by_earfcn(self, earfcn: int) -> List[CellTower]:
+        """All towers transmitting on one channel."""
+        return [t for t in self.towers if t.earfcn == earfcn]
+
+    def by_id(self, tower_id: str) -> CellTower:
+        """Look up a tower by label; raises KeyError if absent."""
+        for t in self.towers:
+            if t.tower_id == tower_id:
+                return t
+        raise KeyError(f"no tower with id {tower_id!r}")

@@ -1,0 +1,134 @@
+"""srsUE-style cell scanner.
+
+srsUE's ``cell_search`` tunes each configured channel, attempts to
+synchronize to any cell present, and reports RSRP for the cells it can
+decode. A cell whose signal is below the decode sensitivity simply
+does not appear — which is what the paper's "missing bar" in Figure 3
+means. This scanner reproduces that behaviour against simulated
+towers, propagating through the site's obstruction map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cellular.cellmapper import TowerDatabase
+from repro.cellular.tower import CellTower
+from repro.environment.links import direct_received_power_dbm
+from repro.environment.site import SiteEnvironment
+from repro.sdr.antenna import Antenna
+from repro.sdr.frontend import SdrFrontEnd
+
+#: RSRP below which srsUE cell search fails to synchronize. Real
+#: srsUE with an SDR front end loses sync well above the theoretical
+#: LTE sensitivity; -100 dBm RSRP is a realistic working threshold.
+SRSUE_SENSITIVITY_DBM = -100.0
+
+
+@dataclass(frozen=True)
+class CellMeasurement:
+    """One scanned cell.
+
+    Attributes:
+        earfcn: channel scanned.
+        freq_hz: downlink center frequency.
+        pci: physical cell identity (None when not decoded).
+        rsrp_dbm: measured RSRP (None when the cell was not decoded —
+            the paper's missing bar).
+        decoded: whether srsUE could synchronize to the cell.
+    """
+
+    earfcn: int
+    freq_hz: float
+    pci: Optional[int]
+    rsrp_dbm: Optional[float]
+    decoded: bool
+
+
+@dataclass
+class SrsUeScanner:
+    """A software UE scanning for cells from one sensor node.
+
+    Attributes:
+        env: the site the node is installed at.
+        sdr: receiver front end (tuning range gates what is scannable).
+        antenna: receive antenna.
+        sensitivity_dbm: decode threshold.
+    """
+
+    env: SiteEnvironment
+    sdr: SdrFrontEnd
+    antenna: Antenna
+    sensitivity_dbm: float = SRSUE_SENSITIVITY_DBM
+    _shadow_cache: Dict[Tuple[str, int], float] = field(
+        default_factory=dict
+    )
+
+    def rsrp_dbm(
+        self, tower: CellTower, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """True RSRP of a tower at this node (shadowed, not gated)."""
+        median = direct_received_power_dbm(
+            self.env,
+            tower.position,
+            tower.eirp_per_re_dbm(),
+            tower.downlink_freq_hz,
+            self.antenna,
+        )
+        shadow = 0.0
+        if rng is not None and self.env.shadowing_sigma_db > 0.0:
+            key = (tower.tower_id, tower.earfcn)
+            if key not in self._shadow_cache:
+                self._shadow_cache[key] = float(
+                    rng.normal(0.0, self.env.shadowing_sigma_db)
+                )
+            shadow = self._shadow_cache[key]
+        return median + shadow
+
+    def scan_earfcn(
+        self,
+        earfcn: int,
+        database: TowerDatabase,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[CellMeasurement]:
+        """Scan one channel; one measurement per tower on it.
+
+        Channels outside the SDR's tuning range yield undecoded
+        measurements (a node claiming 100 MHz-6 GHz coverage but
+        carrying a narrower SDR fails here — one of the claim checks).
+        """
+        towers = database.by_earfcn(earfcn)
+        if not towers:
+            return []
+        out: List[CellMeasurement] = []
+        for tower in towers:
+            freq = tower.downlink_freq_hz
+            if not self.sdr.can_tune(freq):
+                out.append(
+                    CellMeasurement(earfcn, freq, None, None, False)
+                )
+                continue
+            rsrp = self.rsrp_dbm(tower, rng)
+            if rsrp < self.sensitivity_dbm:
+                out.append(
+                    CellMeasurement(earfcn, freq, None, None, False)
+                )
+            else:
+                out.append(
+                    CellMeasurement(earfcn, freq, tower.pci, rsrp, True)
+                )
+        return out
+
+    def scan_all(
+        self,
+        database: TowerDatabase,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[CellMeasurement]:
+        """Scan every channel the database knows about."""
+        out: List[CellMeasurement] = []
+        for earfcn in database.earfcns():
+            out.extend(self.scan_earfcn(earfcn, database, rng))
+        return out

@@ -1,0 +1,78 @@
+"""Cell-tower model.
+
+A tower is described the way cellmapper.net describes one: location,
+band, channel (EARFCN), plus the transmit parameters needed to compute
+RSRP. Reference Signal Received Power is the per-resource-element
+power of the cell-specific reference signals, so the tower's EIRP is
+expressed per resource element.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cellular.arfcn import band_for_earfcn, earfcn_to_downlink_hz
+from repro.geo.coords import GeoPoint
+
+#: Resource elements per resource block (12 subcarriers).
+RE_PER_RB = 12
+
+
+@dataclass(frozen=True)
+class CellTower:
+    """One cellular base station sector.
+
+    Attributes:
+        tower_id: label used in reports ("Tower 1" ... in the paper).
+        pci: physical cell identity the scanner reports.
+        position: tower location (altitude = antenna height).
+        earfcn: downlink channel number.
+        bandwidth_rb: downlink bandwidth in resource blocks.
+        total_tx_power_dbm: sector transmit power across the carrier.
+        antenna_gain_dbi: sector antenna gain.
+    """
+
+    tower_id: str
+    pci: int
+    position: GeoPoint
+    earfcn: int
+    bandwidth_rb: int = 50
+    total_tx_power_dbm: float = 46.0
+    antenna_gain_dbi: float = 17.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pci < 504:
+            raise ValueError(f"PCI out of range: {self.pci}")
+        if self.bandwidth_rb <= 0:
+            raise ValueError(
+                f"bandwidth must be positive: {self.bandwidth_rb} RB"
+            )
+        band_for_earfcn(self.earfcn)  # validates the channel
+
+    @property
+    def downlink_freq_hz(self) -> float:
+        """Downlink center frequency."""
+        return earfcn_to_downlink_hz(self.earfcn)
+
+    @property
+    def band_name(self) -> str:
+        return band_for_earfcn(self.earfcn).name
+
+    def eirp_per_re_dbm(self) -> float:
+        """EIRP per resource element (what RSRP is measured against)."""
+        n_re = self.bandwidth_rb * RE_PER_RB
+        return (
+            self.total_tx_power_dbm
+            - 10.0 * math.log10(n_re)
+            + self.antenna_gain_dbi
+        )
+
+    def nominal_range_km(self) -> float:
+        """Coarse coverage range by band, as Figure 2's caption gives.
+
+        Low band (sub-1 GHz) reaches ~40 km; mid band 1.6-19 km.
+        """
+        if self.downlink_freq_hz < 1e9:
+            return 40.0
+        return 19.0

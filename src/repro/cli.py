@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``calibrate --location {rooftop,window,indoor}`` — run the full
+  automatic-calibration pipeline on a node at one of the testbed
+  locations and print the report (``--json FILE`` writes the full
+  machine-readable report).
+- ``figure {1,2,3,4,fm}`` — regenerate one of the paper's figures as
+  a terminal table.
+- ``trust`` — run the fabrication-detection experiment.
+- ``schedule --windows N`` — compare measurement-scheduling
+  strategies for a daily budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.network import CalibrationService
+from repro.core.serialize import report_to_json
+from repro.experiments import (
+    crosscheck_exp,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    fleet,
+    fm_extension,
+    scheduling,
+    trust,
+)
+from repro.experiments.common import LOCATIONS, build_world
+from repro.node.sensor import SensorNode
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Automatic calibration of crowd-sourced spectrum sensors "
+            "(HotNets '23 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="calibrate one node end to end"
+    )
+    calibrate.add_argument(
+        "--location",
+        choices=LOCATIONS,
+        default="window",
+        help="testbed installation to evaluate",
+    )
+    calibrate.add_argument(
+        "--seed", type=int, default=1, help="simulation seed"
+    )
+    calibrate.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the machine-readable report to FILE",
+    )
+
+    figure = sub.add_parser(
+        "figure", help="regenerate a paper figure"
+    )
+    figure.add_argument(
+        "which", choices=["1", "2", "3", "4", "fm"],
+        help="figure number (fm = the FM extension)",
+    )
+    figure.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("trust", help="run the fabrication-detection experiment")
+    sub.add_parser(
+        "fleet", help="calibrate a 12-node fleet and print the marketplace"
+    )
+    sub.add_parser(
+        "crosscheck",
+        help="tracker-free peer cross-validation of five nodes",
+    )
+
+    schedule = sub.add_parser(
+        "schedule", help="compare measurement schedules"
+    )
+    schedule.add_argument(
+        "--windows", type=int, default=4,
+        help="measurement windows per day",
+    )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help=(
+            "evaluate a real dump1090 SBS feed against an archived "
+            "flight-tracker report"
+        ),
+    )
+    ingest.add_argument(
+        "--sbs", required=True, metavar="FILE",
+        help="SBS-1 (BaseStation, port 30003) capture file",
+    )
+    ingest.add_argument(
+        "--tracker", required=True, metavar="FILE",
+        help="flight-tracker report JSON (see flight_reports_to_json)",
+    )
+    ingest.add_argument("--lat", type=float, required=True)
+    ingest.add_argument("--lon", type=float, required=True)
+    ingest.add_argument("--alt", type=float, default=0.0)
+    return parser
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    world = build_world()
+    service = CalibrationService(
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+        cell_towers=world.testbed.cell_towers,
+        tv_towers=world.testbed.tv_towers,
+        fm_towers=world.testbed.fm_towers,
+    )
+    node = SensorNode(
+        f"{args.location}-node", world.testbed.site(args.location)
+    )
+    assessment = service.evaluate_node(node, seed=args.seed)
+    print(assessment.report.render_text())
+    print()
+    print("Per-sector/per-band usability (renter's view):")
+    print(assessment.report.render_usability())
+    print()
+    print(f"Trust score: {assessment.trust.trust_score():.2f}")
+    for check in assessment.trust.checks:
+        status = "pass" if check.passed else "FAIL"
+        print(f"  [{status}] {check.name}: {check.detail}")
+    if assessment.claim_violations:
+        print("Claim violations:")
+        for violation in assessment.claim_violations:
+            print(f"  - {violation.claim}: {violation.evidence}")
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(report_to_json(assessment.report, indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    world = build_world()
+    if args.which == "1":
+        panels = figure1.run_figure1(world=world, seed=args.seed)
+        print(figure1.format_summary(panels))
+        for panel in panels:
+            print()
+            print(figure1.render_ascii_polar(panel))
+    elif args.which == "2":
+        print(figure2.format_layout(figure2.run_figure2(world.testbed)))
+    elif args.which == "3":
+        print(figure3.format_bars(figure3.run_figure3(world=world)))
+    elif args.which == "4":
+        print(figure4.format_bars(figure4.run_figure4(world=world)))
+    else:
+        print(
+            fm_extension.format_bars(
+                fm_extension.run_fm_extension(world=world)
+            )
+        )
+    return 0
+
+
+def _cmd_trust(_args: argparse.Namespace) -> int:
+    world = build_world()
+    print(trust.format_rows(trust.run_trust_experiment(world=world)))
+    return 0
+
+
+def _cmd_fleet(_args: argparse.Namespace) -> int:
+    world = build_world()
+    print(fleet.format_marketplace(fleet.run_fleet(world=world)))
+    return 0
+
+
+def _cmd_crosscheck(_args: argparse.Namespace) -> int:
+    world = build_world()
+    print(
+        crosscheck_exp.format_rows(
+            crosscheck_exp.run_crosscheck_experiment(world=world)
+        )
+    )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    if args.windows <= 0:
+        print("--windows must be positive", file=sys.stderr)
+        return 2
+    rows = scheduling.run_scheduling(
+        budgets=list(range(1, args.windows + 1))
+    )
+    print(scheduling.format_rows(rows))
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.core.fov import KnnFovEstimator
+    from repro.core.ingest import (
+        flight_reports_from_json,
+        scan_from_sbs,
+    )
+    from repro.core.network import TrustEvaluator
+    from repro.geo.coords import GeoPoint
+
+    with open(args.sbs) as f:
+        lines = f.readlines()
+    with open(args.tracker) as f:
+        reports = flight_reports_from_json(f.read())
+    receiver = GeoPoint(args.lat, args.lon, args.alt)
+    scan = scan_from_sbs(
+        lines, reports, node_id="ingested", receiver_position=receiver
+    )
+    print(
+        f"{len(scan.received)}/{len(scan.observations)} tracked "
+        f"aircraft received ({scan.decoded_message_count} messages, "
+        f"{len(scan.ghost_icaos)} ghosts)"
+    )
+    fov = KnnFovEstimator().estimate(scan)
+    sectors = ", ".join(
+        f"{s.start_deg:.0f}-{s.end_deg:.0f} deg"
+        for s in fov.open_sectors()
+    ) or "none"
+    print(
+        f"Estimated field of view: {fov.open_fraction():.0%} open "
+        f"[{sectors}]"
+    )
+    assessment = TrustEvaluator().assess(scan)
+    for check in assessment.checks:
+        status = "pass" if check.passed else "FAIL"
+        print(f"  [{status}] {check.name}: {check.detail}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "calibrate": _cmd_calibrate,
+        "figure": _cmd_figure,
+        "trust": _cmd_trust,
+        "fleet": _cmd_fleet,
+        "crosscheck": _cmd_crosscheck,
+        "schedule": _cmd_schedule,
+        "ingest": _cmd_ingest,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""The paper's contribution: automatic calibration of spectrum sensors.
+
+- :mod:`repro.core.directional` — §3.1: ADS-B-based directional
+  reception evaluation against flight-tracker ground truth.
+- :mod:`repro.core.fov` — field-of-view estimation (sector histogram,
+  KNN, and linear SVM — the §5 ML direction).
+- :mod:`repro.core.frequency` — §3.2: cellular + broadcast-TV
+  frequency-response evaluation.
+- :mod:`repro.core.classify` — indoor/outdoor and installation-class
+  deduction from the combined evidence.
+- :mod:`repro.core.report` — per-node calibration reports, band
+  grades, and claim verification.
+- :mod:`repro.core.network` — whole-network calibration and the trust
+  checks that catch fabricated data.
+- :mod:`repro.core.scheduler` — §5: when to measure, given diurnal
+  flight-density variation.
+"""
+
+# observations must be imported first: repro.node.fabrication (pulled
+# in transitively below) imports it from a partially-initialized
+# repro.core package.
+from repro.core.observations import AircraftObservation, DirectionalScan
+from repro.core.directional import (
+    ADSB_BANDWIDTH_HZ,
+    DECODE_SNR_DB,
+    DirectionalEvaluator,
+)
+from repro.core.fov import (
+    MULTIPATH_FLOOR_KM,
+    FieldOfViewEstimate,
+    KnnFovEstimator,
+    LinearSvmFovEstimator,
+    SectorHistogramEstimator,
+    pool_scans,
+)
+from repro.core.frequency import (
+    BandMeasurement,
+    FrequencyEvaluator,
+    FrequencyProfile,
+)
+from repro.core.classify import (
+    Classification,
+    IndoorOutdoorClassifier,
+    InstallationFeatures,
+    classify_node,
+    extract_features,
+)
+from repro.core.report import (
+    BandGrade,
+    CalibrationReport,
+    ClaimViolation,
+    grade_for_excess_db,
+)
+from repro.core.network import (
+    CalibrationService,
+    NodeAssessment,
+    TrustAssessment,
+    TrustCheck,
+    TrustEvaluator,
+)
+from repro.core.abs_power import (
+    AbsolutePowerCalibration,
+    AbsolutePowerCalibrator,
+)
+from repro.core.crosscheck import (
+    CrossChecker,
+    CrossCheckRow,
+    informative_received_set,
+    jaccard,
+)
+from repro.core.ingest import parse_sbs_stream, scan_from_sbs
+from repro.core.position_check import (
+    PositionCheckResult,
+    PositionVerifier,
+    plausible_range_check,
+)
+from repro.core.scheduler import (
+    DEFAULT_DIURNAL_PROFILE,
+    DayTrafficModel,
+    MeasurementScheduler,
+    Schedule,
+    diurnal_density,
+    expected_distinct_aircraft,
+)
+from repro.core.serialize import (
+    report_from_json,
+    report_to_json,
+    scan_from_dict,
+    scan_to_dict,
+)
+
+__all__ = [
+    "AircraftObservation",
+    "DirectionalScan",
+    "ADSB_BANDWIDTH_HZ",
+    "DECODE_SNR_DB",
+    "DirectionalEvaluator",
+    "MULTIPATH_FLOOR_KM",
+    "FieldOfViewEstimate",
+    "KnnFovEstimator",
+    "LinearSvmFovEstimator",
+    "SectorHistogramEstimator",
+    "pool_scans",
+    "BandMeasurement",
+    "FrequencyEvaluator",
+    "FrequencyProfile",
+    "Classification",
+    "IndoorOutdoorClassifier",
+    "InstallationFeatures",
+    "classify_node",
+    "extract_features",
+    "BandGrade",
+    "CalibrationReport",
+    "ClaimViolation",
+    "grade_for_excess_db",
+    "CalibrationService",
+    "NodeAssessment",
+    "TrustAssessment",
+    "TrustCheck",
+    "TrustEvaluator",
+    "AbsolutePowerCalibration",
+    "AbsolutePowerCalibrator",
+    "CrossChecker",
+    "CrossCheckRow",
+    "informative_received_set",
+    "jaccard",
+    "parse_sbs_stream",
+    "scan_from_sbs",
+    "PositionCheckResult",
+    "PositionVerifier",
+    "plausible_range_check",
+    "DEFAULT_DIURNAL_PROFILE",
+    "DayTrafficModel",
+    "MeasurementScheduler",
+    "Schedule",
+    "diurnal_density",
+    "expected_distinct_aircraft",
+    "report_from_json",
+    "report_to_json",
+    "scan_from_dict",
+    "scan_to_dict",
+]

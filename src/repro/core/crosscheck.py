@@ -1,0 +1,157 @@
+"""Cross-validation between co-located sensor nodes.
+
+The paper's techniques are deliberately "self-sufficient on a single
+node" (§4), but a dense crowd-sourced network gets an extra check for
+free: nodes in the same metro watch the *same sky*, so their sets of
+received aircraft must overlap heavily. A node whose reception set
+diverges from the local consensus is either broken or lying — without
+any reference to FlightRadar24 at all, which matters when the external
+ground truth itself is in doubt.
+
+The consensus metric is the Jaccard similarity of received-ICAO sets,
+restricted to informative (beyond-multipath-floor) aircraft.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from repro.adsb.icao import IcaoAddress
+from repro.core.observations import DirectionalScan
+
+#: Aircraft closer than this carry little cross-check information
+#: (everyone hears them via multipath).
+MIN_RANGE_KM = 20.0
+
+
+def informative_received_set(
+    scan: DirectionalScan, min_range_km: float = MIN_RANGE_KM
+) -> Set[IcaoAddress]:
+    """Received ICAOs beyond the multipath floor, plus reported ghosts.
+
+    Ghost ICAOs are included deliberately: a replaying node's invented
+    aircraft exist in nobody else's set, which is exactly the
+    disagreement this check is designed to surface.
+    """
+    received = {
+        o.icao
+        for o in scan.received
+        if o.ground_range_km >= min_range_km
+    }
+    return received | set(scan.ghost_icaos)
+
+
+def jaccard(a: Set[IcaoAddress], b: Set[IcaoAddress]) -> float:
+    """Jaccard similarity of two ICAO sets (1.0 for two empties)."""
+    if not a and not b:
+        return 1.0
+    union = a | b
+    return len(a & b) / len(union)
+
+
+@dataclass(frozen=True)
+class CrossCheckRow:
+    """One node's agreement with its peers.
+
+    Attributes:
+        node_id: the node scored.
+        mean_similarity: mean pairwise Jaccard against the peers.
+        unique_fraction: share of the node's reported aircraft that
+            *no* peer heard. Fading and field-of-view differences give
+            honest nodes a modest unique share; invented traffic is
+            unique by construction.
+        flagged: diverges from the consensus (likely broken/lying).
+        abstained: too little informative evidence to judge — a
+            heavily obstructed but honest node hears almost nothing
+            beyond the multipath floor; silence is not a lie.
+    """
+
+    node_id: str
+    mean_similarity: float
+    unique_fraction: float
+    flagged: bool
+    abstained: bool = False
+
+
+@dataclass
+class CrossChecker:
+    """Flags nodes whose reception sets diverge from the consensus.
+
+    Attributes:
+        min_similarity: a node whose mean pairwise Jaccard similarity
+            to its peers falls below this is flagged. Honest
+            co-located nodes with *different fields of view* still
+            overlap substantially (close-in traffic, shared open
+            sectors), while replayed or invented data overlaps almost
+            not at all.
+        max_unique_fraction: a node whose reported set is mostly
+            unknown to every peer is inventing traffic, even when the
+            real receptions it mixes in keep the Jaccard similarity
+            respectable (the padding attack). Assumes the peer group
+            collectively covers the sky; with few, heavily obstructed
+            peers, relax this bound.
+        min_range_km: informative-aircraft floor.
+        min_evidence: nodes reporting fewer informative aircraft than
+            this abstain rather than being judged.
+    """
+
+    min_similarity: float = 0.25
+    max_unique_fraction: float = 0.35
+    min_range_km: float = MIN_RANGE_KM
+    min_evidence: int = 3
+
+    def assess(
+        self, scans: Sequence[DirectionalScan]
+    ) -> List[CrossCheckRow]:
+        """Score every node against the others."""
+        if len(scans) < 2:
+            raise ValueError(
+                "cross-checking needs at least two nodes"
+            )
+        node_ids = [s.node_id for s in scans]
+        if len(set(node_ids)) != len(node_ids):
+            raise ValueError("duplicate node ids in cross-check")
+        sets: Dict[str, Set[IcaoAddress]] = {
+            s.node_id: informative_received_set(
+                s, self.min_range_km
+            )
+            for s in scans
+        }
+        rows: List[CrossCheckRow] = []
+        for node_id in node_ids:
+            own = sets[node_id]
+            if len(own) < self.min_evidence:
+                rows.append(
+                    CrossCheckRow(
+                        node_id=node_id,
+                        mean_similarity=0.0,
+                        unique_fraction=0.0,
+                        flagged=False,
+                        abstained=True,
+                    )
+                )
+                continue
+            similarities = [
+                jaccard(own, sets[other])
+                for other in node_ids
+                if other != node_id
+            ]
+            mean = sum(similarities) / len(similarities)
+            peers_union: Set[IcaoAddress] = set()
+            for other in node_ids:
+                if other != node_id:
+                    peers_union |= sets[other]
+            unique = len(own - peers_union) / len(own)
+            rows.append(
+                CrossCheckRow(
+                    node_id=node_id,
+                    mean_similarity=mean,
+                    unique_fraction=unique,
+                    flagged=(
+                        mean < self.min_similarity
+                        or unique > self.max_unique_fraction
+                    ),
+                )
+            )
+        return rows

@@ -1,0 +1,341 @@
+"""Frequency-response evaluation (paper §3.2).
+
+ADS-B characterizes a node at 1090 MHz only; this evaluation measures
+known signals across the rest of the spectrum — cellular RSRP via the
+srsUE-style scanner (Figure 3) and broadcast-TV channel power via the
+GNU Radio-style meter (Figure 4) — and converts each into an
+*excess attenuation* relative to what an unobstructed installation at
+the same place would measure. The verifier can compute that reference
+because transmitter locations and powers are public knowledge (tower
+databases, station databases); the per-band excess is the quantity
+that reveals how the obstructions found in §3.1 behave at other
+frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cellular.cellmapper import TowerDatabase
+from repro.cellular.scanner import SrsUeScanner
+from repro.environment.links import ray_geometry
+from repro.fm.meter import FmPowerMeter
+from repro.fm.tower import FmTower
+from repro.node.sensor import SensorNode
+from repro.rf.pathloss import free_space_path_loss_db
+from repro.sdr.antenna import WIDEBAND_700_2700, Antenna
+from repro.tv.meter import TvPowerMeter
+from repro.tv.tower import TvTower
+
+
+@dataclass(frozen=True)
+class BandMeasurement:
+    """One known-signal measurement, normalized to excess attenuation.
+
+    Attributes:
+        source: "cellular" or "tv".
+        label: transmitter label ("Tower 1", "K22CC", ...).
+        freq_hz: carrier frequency measured.
+        measured: the raw reading (RSRP dBm for cellular, dBFS for
+            TV), or None when the signal could not be decoded.
+        expected: the unobstructed-installation reference in the same
+            unit.
+        excess_attenuation_db: expected - measured; None when not
+            decodable (the attenuation exceeded the measurable range).
+        decoded: whether the signal was received at all.
+    """
+
+    source: str
+    label: str
+    freq_hz: float
+    measured: Optional[float]
+    expected: float
+    excess_attenuation_db: Optional[float]
+    decoded: bool
+
+
+@dataclass
+class FrequencyProfile:
+    """The node's reception capability across frequency bands."""
+
+    node_id: str
+    measurements: List[BandMeasurement] = field(default_factory=list)
+
+    def by_source(self, source: str) -> List[BandMeasurement]:
+        return [m for m in self.measurements if m.source == source]
+
+    def decoded(self) -> List[BandMeasurement]:
+        return [m for m in self.measurements if m.decoded]
+
+    def band(
+        self, low_hz: float, high_hz: float
+    ) -> List[BandMeasurement]:
+        """Measurements whose carrier lies in [low, high]."""
+        return [
+            m
+            for m in self.measurements
+            if low_hz <= m.freq_hz <= high_hz
+        ]
+
+    def mean_excess_attenuation_db(
+        self, low_hz: float = 0.0, high_hz: float = float("inf")
+    ) -> Optional[float]:
+        """Mean excess attenuation over decoded signals in a band.
+
+        None when no signal in the band was decoded.
+        """
+        values = [
+            m.excess_attenuation_db
+            for m in self.band(low_hz, high_hz)
+            if m.excess_attenuation_db is not None
+        ]
+        if not values:
+            return None
+        return float(np.mean(values))
+
+    def decode_fraction(
+        self, low_hz: float = 0.0, high_hz: float = float("inf")
+    ) -> float:
+        """Fraction of known signals in a band that decoded."""
+        in_band = self.band(low_hz, high_hz)
+        if not in_band:
+            return 0.0
+        return sum(1 for m in in_band if m.decoded) / len(in_band)
+
+    def usable_bands(
+        self, max_excess_db: float = 15.0
+    ) -> List[BandMeasurement]:
+        """Signals received with acceptable degradation."""
+        return [
+            m
+            for m in self.decoded()
+            if m.excess_attenuation_db is not None
+            and m.excess_attenuation_db <= max_excess_db
+        ]
+
+
+@dataclass
+class FrequencyEvaluator:
+    """Runs the §3.2 measurements against one node.
+
+    The *expected* reference for each signal is what a nominal,
+    healthy installation at the claimed position would measure —
+    computed with ``reference_antenna``, **not** the node's actual
+    hardware. Referencing the node's own antenna would let hardware
+    faults cancel out of the excess-attenuation arithmetic (a damaged
+    feedline lowers measured and expected alike); the verifier does
+    not trust the node's hardware, that is the thing being evaluated.
+
+    Attributes:
+        node: the sensor under evaluation.
+        cell_towers: known cellular towers (the cellmapper role).
+        tv_towers: known TV transmitters.
+        fm_towers: known FM stations (§5 "additional RF sources").
+        reference_antenna: the nominal healthy antenna used for the
+            expected references.
+    """
+
+    node: SensorNode
+    cell_towers: TowerDatabase
+    tv_towers: Sequence[TvTower] = ()
+    fm_towers: Sequence[FmTower] = ()
+    reference_antenna: Optional[Antenna] = None
+
+    def __post_init__(self) -> None:
+        if self.reference_antenna is None:
+            self.reference_antenna = WIDEBAND_700_2700
+
+    def _expected_cell_rsrp_dbm(self, tower) -> float:
+        """Reference RSRP for a healthy unobstructed install here."""
+        geom = ray_geometry(self.node.position, tower.position)
+        path = free_space_path_loss_db(
+            geom.slant_m, tower.downlink_freq_hz
+        )
+        gain = self.reference_antenna.gain_at(
+            tower.downlink_freq_hz, geom.azimuth_deg
+        )
+        return tower.eirp_per_re_dbm() - path + gain
+
+    def _expected_tv_dbfs(self, tower: TvTower) -> float:
+        """Reference channel power for a healthy unobstructed install."""
+        geom = ray_geometry(self.node.position, tower.position)
+        path = free_space_path_loss_db(
+            geom.slant_m, tower.center_freq_hz
+        )
+        gain = self.reference_antenna.gain_at(
+            tower.center_freq_hz, geom.azimuth_deg
+        )
+        power_dbm = tower.erp_dbm - path + gain
+        return self.node.sdr.input_dbm_to_dbfs(power_dbm)
+
+    def run(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        tv_iq_mode: bool = False,
+    ) -> FrequencyProfile:
+        """Measure every known signal and build the profile.
+
+        Args:
+            rng: randomness for shadowing and the IQ path; None runs
+                the deterministic median-budget variant.
+            tv_iq_mode: run the TV measurements through the full
+                GNU Radio-style DSP chain instead of the fast budget
+                path (requires ``rng``).
+        """
+        if tv_iq_mode and rng is None:
+            raise ValueError("tv_iq_mode requires an rng")
+        profile = FrequencyProfile(node_id=self.node.node_id)
+        profile.measurements.extend(self._run_cellular(rng))
+        profile.measurements.extend(self._run_tv(rng, tv_iq_mode))
+        profile.measurements.extend(self._run_fm())
+        profile.measurements.sort(key=lambda m: m.freq_hz)
+        return profile
+
+    def _run_cellular(
+        self, rng: Optional[np.random.Generator]
+    ) -> List[BandMeasurement]:
+        scanner = SrsUeScanner(
+            env=self.node.environment,
+            sdr=self.node.sdr,
+            antenna=self.node.antenna,
+        )
+        out: List[BandMeasurement] = []
+        for tower in self.cell_towers.towers:
+            expected = self._expected_cell_rsrp_dbm(tower)
+            results = scanner.scan_earfcn(
+                tower.earfcn, self.cell_towers, rng
+            )
+            match = next(
+                (r for r in results if r.pci == tower.pci), None
+            )
+            if match is not None and match.decoded:
+                out.append(
+                    BandMeasurement(
+                        source="cellular",
+                        label=tower.tower_id,
+                        freq_hz=tower.downlink_freq_hz,
+                        measured=match.rsrp_dbm,
+                        expected=expected,
+                        excess_attenuation_db=expected - match.rsrp_dbm,
+                        decoded=True,
+                    )
+                )
+            else:
+                out.append(
+                    BandMeasurement(
+                        source="cellular",
+                        label=tower.tower_id,
+                        freq_hz=tower.downlink_freq_hz,
+                        measured=None,
+                        expected=expected,
+                        excess_attenuation_db=None,
+                        decoded=False,
+                    )
+                )
+        return out
+
+    def _expected_fm_dbfs(self, tower: FmTower) -> float:
+        """Reference FM channel power for a healthy install."""
+        geom = ray_geometry(self.node.position, tower.position)
+        path = free_space_path_loss_db(
+            geom.slant_m, tower.center_freq_hz
+        )
+        gain = self.reference_antenna.gain_at(
+            tower.center_freq_hz, geom.azimuth_deg
+        )
+        power_dbm = tower.erp_dbm - path + gain
+        return self.node.sdr.input_dbm_to_dbfs(power_dbm)
+
+    def _run_fm(self) -> List[BandMeasurement]:
+        meter = FmPowerMeter(
+            env=self.node.environment,
+            sdr=self.node.sdr,
+            antenna=self.node.antenna,
+        )
+        out: List[BandMeasurement] = []
+        for tower in self.fm_towers:
+            expected = self._expected_fm_dbfs(tower)
+            if not self.node.sdr.can_tune(tower.center_freq_hz):
+                out.append(
+                    BandMeasurement(
+                        source="fm",
+                        label=tower.callsign,
+                        freq_hz=tower.center_freq_hz,
+                        measured=None,
+                        expected=expected,
+                        excess_attenuation_db=None,
+                        decoded=False,
+                    )
+                )
+                continue
+            measurement = meter.measure_budget(tower)
+            decoded = measurement.above_noise_db > 3.0
+            out.append(
+                BandMeasurement(
+                    source="fm",
+                    label=tower.callsign,
+                    freq_hz=tower.center_freq_hz,
+                    measured=measurement.power_dbfs if decoded else None,
+                    expected=expected,
+                    excess_attenuation_db=(
+                        expected - measurement.power_dbfs
+                        if decoded
+                        else None
+                    ),
+                    decoded=decoded,
+                )
+            )
+        return out
+
+    def _run_tv(
+        self,
+        rng: Optional[np.random.Generator],
+        iq_mode: bool,
+    ) -> List[BandMeasurement]:
+        meter = TvPowerMeter(
+            env=self.node.environment,
+            sdr=self.node.sdr,
+            antenna=self.node.antenna,
+        )
+        out: List[BandMeasurement] = []
+        for tower in self.tv_towers:
+            if not self.node.sdr.can_tune(tower.center_freq_hz):
+                out.append(
+                    BandMeasurement(
+                        source="tv",
+                        label=tower.callsign,
+                        freq_hz=tower.center_freq_hz,
+                        measured=None,
+                        expected=self._expected_tv_dbfs(tower),
+                        excess_attenuation_db=None,
+                        decoded=False,
+                    )
+                )
+                continue
+            if iq_mode:
+                measurement = meter.measure_iq(tower, rng)
+            else:
+                measurement = meter.measure_budget(tower)
+            expected = self._expected_tv_dbfs(tower)
+            # A TV channel indistinguishable from receiver noise is a
+            # failed measurement, like srsUE's failed decode.
+            decoded = measurement.above_noise_db > 3.0
+            out.append(
+                BandMeasurement(
+                    source="tv",
+                    label=tower.callsign,
+                    freq_hz=tower.center_freq_hz,
+                    measured=measurement.power_dbfs if decoded else None,
+                    expected=expected,
+                    excess_attenuation_db=(
+                        expected - measurement.power_dbfs
+                        if decoded
+                        else None
+                    ),
+                    decoded=decoded,
+                )
+            )
+        return out

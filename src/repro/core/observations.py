@@ -1,0 +1,122 @@
+"""Shared observation records produced by the directional evaluation.
+
+Kept in a leaf module so both the calibration pipeline
+(:mod:`repro.core`) and the adversary models (:mod:`repro.node.fabrication`)
+can import them without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.adsb.icao import IcaoAddress
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class AircraftObservation:
+    """One ground-truth aircraft and whether the node received it.
+
+    This is exactly the paper's Figure 1 data: every aircraft within
+    the query radius becomes a point at (bearing, range), colored by
+    whether at least one ADS-B message from it was decoded.
+
+    Attributes:
+        icao: aircraft address (the join key).
+        callsign: flight identification from ground truth.
+        bearing_deg: bearing from the sensor to the aircraft.
+        ground_range_m: ground distance from the sensor.
+        elevation_deg: elevation angle from the sensor.
+        position: ground-truth reported position.
+        received: True if ≥1 message was decoded (a blue point).
+        n_messages: number of messages decoded from this aircraft.
+        mean_rssi_dbfs: mean reported RSSI of decoded messages, or
+            None when nothing was received.
+    """
+
+    icao: IcaoAddress
+    callsign: str
+    bearing_deg: float
+    ground_range_m: float
+    elevation_deg: float
+    position: GeoPoint
+    received: bool
+    n_messages: int = 0
+    mean_rssi_dbfs: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.ground_range_m < 0.0:
+            raise ValueError(
+                f"range must be >= 0: {self.ground_range_m}"
+            )
+        if self.received and self.n_messages <= 0:
+            raise ValueError("received observations need n_messages > 0")
+
+    @property
+    def ground_range_km(self) -> float:
+        return self.ground_range_m / 1000.0
+
+
+@dataclass
+class DirectionalScan:
+    """Result of one 30-second directional evaluation run (§3.1).
+
+    Attributes:
+        node_id: which node was evaluated.
+        duration_s: capture duration.
+        radius_m: ground-truth query radius.
+        observations: one record per ground-truth aircraft.
+        decoded_message_count: total ADS-B messages decoded.
+        ghost_icaos: addresses decoded locally but absent from ground
+            truth — essentially zero for honest nodes, and the key
+            fabrication tell for the trust checks.
+    """
+
+    node_id: str
+    duration_s: float
+    radius_m: float
+    observations: List[AircraftObservation] = field(default_factory=list)
+    decoded_message_count: int = 0
+    ghost_icaos: List[IcaoAddress] = field(default_factory=list)
+
+    @property
+    def received(self) -> List[AircraftObservation]:
+        """Aircraft with at least one decoded message (blue points)."""
+        return [o for o in self.observations if o.received]
+
+    @property
+    def missed(self) -> List[AircraftObservation]:
+        """Aircraft never decoded (gray points)."""
+        return [o for o in self.observations if not o.received]
+
+    @property
+    def reception_rate(self) -> float:
+        """Fraction of ground-truth aircraft received."""
+        if not self.observations:
+            return 0.0
+        return len(self.received) / len(self.observations)
+
+    def max_received_range_km(self) -> float:
+        """Longest range an aircraft was received from."""
+        received = self.received
+        if not received:
+            return 0.0
+        return max(o.ground_range_km for o in received)
+
+    def received_range_percentile_km(self, q: float) -> float:
+        """Percentile of received-aircraft ranges (robust reach).
+
+        The maximum is sensitive to single lucky multipath receptions;
+        classifiers use e.g. the 90th percentile instead.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100]: {q}")
+        received = self.received
+        if not received:
+            return 0.0
+        ranges = sorted(o.ground_range_km for o in received)
+        idx = min(
+            int(len(ranges) * q / 100.0), len(ranges) - 1
+        )
+        return ranges[idx]

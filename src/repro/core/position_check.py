@@ -1,0 +1,128 @@
+"""Position-claim verification from ADS-B geometry.
+
+A node's claimed location feeds CBRS-style databases and determines
+which ground truth the verifier compares against, so a spoofed
+location is a serious lie. ADS-B gives a free check: decoded position
+messages carry the aircraft's *absolute* coordinates, and reception
+probability falls with distance — so the cloud of received aircraft
+physically centers on the *true* receiver location. If the reported
+reception cloud is far from the claimed position, or contains
+aircraft that would be beyond any plausible reception range from it,
+the claim is false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.observations import DirectionalScan
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import haversine_m
+
+#: Practical 1090 MHz reception limit for a ground station (radio
+#: horizon for enroute altitudes).
+MAX_PLAUSIBLE_RANGE_KM = 450.0
+
+
+@dataclass(frozen=True)
+class PositionCheckResult:
+    """Outcome of verifying a claimed position against a scan.
+
+    Attributes:
+        claimed: the operator's claimed position.
+        reception_centroid: message-weighted centroid of received
+            aircraft positions (None with no receptions).
+        centroid_offset_km: distance from claim to centroid.
+        impossible_receptions: received aircraft beyond any plausible
+            range of the claimed position.
+        consistent: the verdict.
+    """
+
+    claimed: GeoPoint
+    reception_centroid: Optional[GeoPoint]
+    centroid_offset_km: float
+    impossible_receptions: int
+    consistent: bool
+
+
+@dataclass
+class PositionVerifier:
+    """Checks a claimed position against a directional scan.
+
+    Attributes:
+        max_centroid_offset_km: allowed distance between the claimed
+            position and the reception centroid. Receptions spread
+            over a ~100 km disk centered on the receiver, so an honest
+            centroid lands within a few tens of km of it even with an
+            asymmetric field of view.
+        min_receptions: below this the check abstains (consistent).
+    """
+
+    max_centroid_offset_km: float = 60.0
+    min_receptions: int = 5
+
+    def verify(
+        self, scan: DirectionalScan, claimed: GeoPoint
+    ) -> PositionCheckResult:
+        """Run the geometric consistency check."""
+        received = scan.received
+        if len(received) < self.min_receptions:
+            return PositionCheckResult(
+                claimed=claimed,
+                reception_centroid=None,
+                centroid_offset_km=0.0,
+                impossible_receptions=0,
+                consistent=True,
+            )
+        centroid = self._weighted_centroid(received)
+        offset_km = haversine_m(claimed, centroid) / 1000.0
+        impossible = sum(
+            1
+            for o in received
+            if haversine_m(claimed, o.position) / 1000.0
+            > MAX_PLAUSIBLE_RANGE_KM
+        )
+        consistent = (
+            offset_km <= self.max_centroid_offset_km
+            and impossible == 0
+        )
+        return PositionCheckResult(
+            claimed=claimed,
+            reception_centroid=centroid,
+            centroid_offset_km=offset_km,
+            impossible_receptions=impossible,
+            consistent=consistent,
+        )
+
+    @staticmethod
+    def _weighted_centroid(observations: List) -> GeoPoint:
+        """Message-count-weighted mean of received positions.
+
+        Close aircraft produce more decoded messages, so the weighting
+        pulls the centroid toward the true receiver even when the
+        field of view is lopsided.
+        """
+        total = 0.0
+        lat = 0.0
+        lon = 0.0
+        for obs in observations:
+            weight = float(max(obs.n_messages, 1))
+            total += weight
+            lat += weight * obs.position.lat_deg
+            lon += weight * obs.position.lon_deg
+        if total <= 0.0:
+            raise ValueError("no weight in centroid")
+        return GeoPoint(lat / total, lon / total, 0.0)
+
+
+def plausible_range_check(
+    scan: DirectionalScan, claimed: GeoPoint
+) -> int:
+    """Count receptions impossible from the claimed position.
+
+    Convenience wrapper over the verifier's impossibility count, for
+    callers that only need the hard geometric contradiction.
+    """
+    result = PositionVerifier().verify(scan, claimed)
+    return result.impossible_receptions

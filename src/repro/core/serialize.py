@@ -1,0 +1,207 @@
+"""JSON-friendly serialization of calibration results.
+
+A crowd-sourced network ships scans and reports between nodes and the
+cloud; these converters produce plain dict/JSON structures (and read
+them back) so results can be stored, diffed, and audited. Round-trip
+fidelity is tested for every record type.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.adsb.icao import IcaoAddress
+from repro.core.classify import Classification, InstallationFeatures
+from repro.core.fov import FieldOfViewEstimate
+from repro.core.frequency import BandMeasurement, FrequencyProfile
+from repro.core.observations import AircraftObservation, DirectionalScan
+from repro.core.report import BandGrade, CalibrationReport
+from repro.geo.coords import GeoPoint
+
+
+def observation_to_dict(obs: AircraftObservation) -> Dict[str, Any]:
+    """Serialize one aircraft observation."""
+    return {
+        "icao": str(obs.icao),
+        "callsign": obs.callsign,
+        "bearing_deg": obs.bearing_deg,
+        "ground_range_m": obs.ground_range_m,
+        "elevation_deg": obs.elevation_deg,
+        "position": {
+            "lat_deg": obs.position.lat_deg,
+            "lon_deg": obs.position.lon_deg,
+            "alt_m": obs.position.alt_m,
+        },
+        "received": obs.received,
+        "n_messages": obs.n_messages,
+        "mean_rssi_dbfs": obs.mean_rssi_dbfs,
+    }
+
+
+def observation_from_dict(data: Dict[str, Any]) -> AircraftObservation:
+    """Inverse of :func:`observation_to_dict`."""
+    pos = data["position"]
+    return AircraftObservation(
+        icao=IcaoAddress.from_hex(data["icao"]),
+        callsign=data["callsign"],
+        bearing_deg=data["bearing_deg"],
+        ground_range_m=data["ground_range_m"],
+        elevation_deg=data["elevation_deg"],
+        position=GeoPoint(
+            pos["lat_deg"], pos["lon_deg"], pos["alt_m"]
+        ),
+        received=data["received"],
+        n_messages=data["n_messages"],
+        mean_rssi_dbfs=data["mean_rssi_dbfs"],
+    )
+
+
+def scan_to_dict(scan: DirectionalScan) -> Dict[str, Any]:
+    """Serialize a directional scan."""
+    return {
+        "node_id": scan.node_id,
+        "duration_s": scan.duration_s,
+        "radius_m": scan.radius_m,
+        "observations": [
+            observation_to_dict(o) for o in scan.observations
+        ],
+        "decoded_message_count": scan.decoded_message_count,
+        "ghost_icaos": [str(g) for g in scan.ghost_icaos],
+    }
+
+
+def scan_from_dict(data: Dict[str, Any]) -> DirectionalScan:
+    """Inverse of :func:`scan_to_dict`."""
+    return DirectionalScan(
+        node_id=data["node_id"],
+        duration_s=data["duration_s"],
+        radius_m=data["radius_m"],
+        observations=[
+            observation_from_dict(o) for o in data["observations"]
+        ],
+        decoded_message_count=data["decoded_message_count"],
+        ghost_icaos=[
+            IcaoAddress.from_hex(g) for g in data["ghost_icaos"]
+        ],
+    )
+
+
+def fov_to_dict(fov: FieldOfViewEstimate) -> Dict[str, Any]:
+    """Serialize a field-of-view estimate."""
+    return {
+        "bin_deg": fov.bin_deg,
+        "open_flags": list(fov.open_flags),
+        "max_range_km": list(fov.max_range_km),
+    }
+
+
+def fov_from_dict(data: Dict[str, Any]) -> FieldOfViewEstimate:
+    """Inverse of :func:`fov_to_dict`."""
+    return FieldOfViewEstimate(
+        bin_deg=data["bin_deg"],
+        open_flags=[bool(f) for f in data["open_flags"]],
+        max_range_km=[float(r) for r in data["max_range_km"]],
+    )
+
+
+def measurement_to_dict(m: BandMeasurement) -> Dict[str, Any]:
+    """Serialize one band measurement."""
+    return {
+        "source": m.source,
+        "label": m.label,
+        "freq_hz": m.freq_hz,
+        "measured": m.measured,
+        "expected": m.expected,
+        "excess_attenuation_db": m.excess_attenuation_db,
+        "decoded": m.decoded,
+    }
+
+
+def measurement_from_dict(data: Dict[str, Any]) -> BandMeasurement:
+    """Inverse of :func:`measurement_to_dict`."""
+    return BandMeasurement(**data)
+
+
+def profile_to_dict(profile: FrequencyProfile) -> Dict[str, Any]:
+    """Serialize a frequency profile."""
+    return {
+        "node_id": profile.node_id,
+        "measurements": [
+            measurement_to_dict(m) for m in profile.measurements
+        ],
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> FrequencyProfile:
+    """Inverse of :func:`profile_to_dict`."""
+    return FrequencyProfile(
+        node_id=data["node_id"],
+        measurements=[
+            measurement_from_dict(m) for m in data["measurements"]
+        ],
+    )
+
+
+def report_to_dict(report: CalibrationReport) -> Dict[str, Any]:
+    """Serialize a full calibration report."""
+    features = report.features
+    classification = report.classification
+    return {
+        "node_id": report.node_id,
+        "scan": scan_to_dict(report.scan),
+        "fov": fov_to_dict(report.fov),
+        "profile": profile_to_dict(report.profile),
+        "features": {
+            "fov_open_fraction": features.fov_open_fraction,
+            "max_received_range_km": features.max_received_range_km,
+            "reach_km": features.reach_km,
+            "high_band_decode_fraction": (
+                features.high_band_decode_fraction
+            ),
+            "high_band_excess_db": features.high_band_excess_db,
+            "low_band_excess_db": features.low_band_excess_db,
+        },
+        "classification": {
+            "installation": classification.installation,
+            "outdoor": classification.outdoor,
+            "outdoor_probability": classification.outdoor_probability,
+        },
+        "band_grades": [
+            {
+                "label": g.label,
+                "freq_hz": g.freq_hz,
+                "grade": g.grade,
+                "excess_attenuation_db": g.excess_attenuation_db,
+            }
+            for g in report.band_grades
+        ],
+        "scores": {
+            "directional": report.directional_score(),
+            "frequency": report.frequency_score(),
+            "overall": report.overall_score(),
+        },
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> CalibrationReport:
+    """Inverse of :func:`report_to_dict` (scores are recomputed)."""
+    return CalibrationReport(
+        node_id=data["node_id"],
+        scan=scan_from_dict(data["scan"]),
+        fov=fov_from_dict(data["fov"]),
+        profile=profile_from_dict(data["profile"]),
+        features=InstallationFeatures(**data["features"]),
+        classification=Classification(**data["classification"]),
+        band_grades=[BandGrade(**g) for g in data["band_grades"]],
+    )
+
+
+def report_to_json(report: CalibrationReport, **json_kwargs) -> str:
+    """Serialize a report straight to a JSON string."""
+    return json.dumps(report_to_dict(report), **json_kwargs)
+
+
+def report_from_json(text: str) -> CalibrationReport:
+    """Parse a report from its JSON string."""
+    return report_from_dict(json.loads(text))

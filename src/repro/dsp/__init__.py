@@ -1,0 +1,46 @@
+"""DSP substrate: IQ buffers, filtering, and power measurement.
+
+Implements the signal-processing chain the paper's broadcast-TV
+experiment built in GNU Radio — bandpass filter a desired channel,
+square the magnitude, and run a very long moving average (Parseval's
+identity) — plus the IQ plumbing the ADS-B modem needs.
+"""
+
+from repro.dsp.iq import (
+    IQBuffer,
+    complex_tone,
+    awgn,
+    frequency_shift,
+    mix_signals,
+)
+from repro.dsp.filters import (
+    design_lowpass_fir,
+    design_bandpass_fir,
+    fir_filter,
+    moving_average,
+)
+from repro.dsp.power import (
+    mean_power,
+    mean_power_dbfs,
+    parseval_band_power,
+    ParsevalPowerMeter,
+)
+from repro.dsp.agc import AGC, FixedGain
+
+__all__ = [
+    "IQBuffer",
+    "complex_tone",
+    "awgn",
+    "frequency_shift",
+    "mix_signals",
+    "design_lowpass_fir",
+    "design_bandpass_fir",
+    "fir_filter",
+    "moving_average",
+    "mean_power",
+    "mean_power_dbfs",
+    "parseval_band_power",
+    "ParsevalPowerMeter",
+    "AGC",
+    "FixedGain",
+]

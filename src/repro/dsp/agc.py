@@ -1,0 +1,68 @@
+"""Gain control models.
+
+The paper configured the SDR with *fixed* gain "to prevent measurement
+differences from automatic gain control" — so :class:`FixedGain` is
+what the calibration pipeline uses, and :class:`AGC` exists to show
+(and test) exactly the distortion the paper avoided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FixedGain:
+    """A constant linear gain stage.
+
+    Attributes:
+        gain_db: gain applied to the signal, in dB.
+    """
+
+    gain_db: float = 0.0
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Scale a block of samples by the fixed gain."""
+        scale = 10.0 ** (self.gain_db / 20.0)
+        return samples * scale
+
+
+@dataclass
+class AGC:
+    """A simple feedback AGC that normalizes average envelope power.
+
+    Attributes:
+        target_power: desired mean |x|^2 after the loop settles.
+        attack: loop gain per sample in (0, 1]; larger is faster.
+        max_gain_db: gain ceiling so silence does not blow up.
+    """
+
+    target_power: float = 1.0
+    attack: float = 1e-3
+    max_gain_db: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.target_power <= 0.0:
+            raise ValueError(
+                f"target power must be positive: {self.target_power}"
+            )
+        if not 0.0 < self.attack <= 1.0:
+            raise ValueError(f"attack must be in (0, 1]: {self.attack}")
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Run the AGC loop over a block; returns the gained samples.
+
+        Implemented sample-by-sample (vectorization would change loop
+        dynamics); fine for the test-scale blocks used here.
+        """
+        max_gain = 10.0 ** (self.max_gain_db / 20.0)
+        gain = 1.0
+        out = np.empty_like(samples, dtype=np.complex128)
+        for i, x in enumerate(samples):
+            y = x * gain
+            out[i] = y
+            err = self.target_power - abs(y) ** 2
+            gain = min(max(gain + self.attack * err, 1e-6), max_gain)
+        return out

@@ -1,0 +1,86 @@
+"""FIR filter design and application (windowed-sinc, as GNU Radio uses)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+
+def design_lowpass_fir(
+    cutoff_hz: float, sample_rate_hz: float, num_taps: int = 129
+) -> np.ndarray:
+    """Hamming-windowed low-pass FIR prototype.
+
+    ``num_taps`` must be odd so the filter has integer group delay.
+    """
+    _check_taps(num_taps)
+    nyquist = sample_rate_hz / 2.0
+    if not 0.0 < cutoff_hz < nyquist:
+        raise ValueError(
+            f"cutoff {cutoff_hz} Hz outside (0, {nyquist}) Hz"
+        )
+    return sp_signal.firwin(num_taps, cutoff_hz, fs=sample_rate_hz)
+
+
+def design_bandpass_fir(
+    low_hz: float,
+    high_hz: float,
+    sample_rate_hz: float,
+    num_taps: int = 257,
+) -> np.ndarray:
+    """Hamming-windowed band-pass FIR for a complex baseband signal.
+
+    Designed as a real band-pass over [low, high]; for baseband IQ the
+    band edges may be negative, in which case a frequency-shifted
+    low-pass is built instead.
+    """
+    _check_taps(num_taps)
+    if high_hz <= low_hz:
+        raise ValueError(f"need low < high, got [{low_hz}, {high_hz}]")
+    nyquist = sample_rate_hz / 2.0
+    if high_hz >= nyquist or low_hz <= -nyquist:
+        raise ValueError(
+            f"band [{low_hz}, {high_hz}] outside (+/-{nyquist}) Hz"
+        )
+    center = 0.5 * (low_hz + high_hz)
+    half_width = 0.5 * (high_hz - low_hz)
+    lowpass = sp_signal.firwin(num_taps, half_width, fs=sample_rate_hz)
+    if center == 0.0:
+        return lowpass
+    n = np.arange(num_taps)
+    shift = np.exp(1j * 2.0 * np.pi * center * n / sample_rate_hz)
+    return lowpass * shift
+
+
+def fir_filter(taps: np.ndarray, samples: np.ndarray) -> np.ndarray:
+    """Apply an FIR filter (same-length output, zero-padded edges)."""
+    if len(taps) == 0:
+        raise ValueError("empty tap vector")
+    return np.convolve(samples, taps, mode="same")
+
+
+def moving_average(samples: np.ndarray, window: int) -> np.ndarray:
+    """Causal moving average with a growing-edge start.
+
+    The paper's TV power meter uses "a very long moving average filter"
+    over magnitude-squared samples. Output[i] is the mean of the last
+    ``window`` inputs (fewer at the start).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive: {window}")
+    samples = np.asarray(samples, dtype=np.float64)
+    csum = np.cumsum(samples)
+    out = np.empty_like(samples)
+    if window >= len(samples):
+        denom = np.arange(1, len(samples) + 1)
+        return csum / denom
+    out[:window] = csum[:window] / np.arange(1, window + 1)
+    out[window:] = (csum[window:] - csum[:-window]) / window
+    return out
+
+
+def _check_taps(num_taps: int) -> None:
+    if num_taps < 3 or num_taps % 2 == 0:
+        raise ValueError(
+            f"num_taps must be an odd integer >= 3: {num_taps}"
+        )

@@ -1,0 +1,107 @@
+"""Complex-baseband IQ sample buffers and synthesis helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class IQBuffer:
+    """A block of complex baseband samples with its sample rate.
+
+    Attributes:
+        samples: complex64/complex128 array of IQ samples.
+        sample_rate_hz: sampling rate the block was captured at.
+        center_freq_hz: RF frequency the block is centered on.
+    """
+
+    samples: np.ndarray
+    sample_rate_hz: float
+    center_freq_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0.0:
+            raise ValueError(
+                f"sample rate must be positive: {self.sample_rate_hz}"
+            )
+        self.samples = np.asarray(self.samples, dtype=np.complex128)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the buffer in seconds."""
+        return len(self.samples) / self.sample_rate_hz
+
+    def slice_time(self, start_s: float, stop_s: float) -> "IQBuffer":
+        """Extract the samples between two timestamps (seconds)."""
+        if start_s < 0.0 or stop_s < start_s:
+            raise ValueError(f"bad time slice [{start_s}, {stop_s}]")
+        lo = int(round(start_s * self.sample_rate_hz))
+        hi = int(round(stop_s * self.sample_rate_hz))
+        return IQBuffer(
+            self.samples[lo:hi], self.sample_rate_hz, self.center_freq_hz
+        )
+
+    def magnitude(self) -> np.ndarray:
+        """|IQ| for every sample."""
+        return np.abs(self.samples)
+
+    def power(self) -> np.ndarray:
+        """Instantaneous power |IQ|^2 for every sample."""
+        return np.abs(self.samples) ** 2
+
+
+def complex_tone(
+    freq_hz: float,
+    sample_rate_hz: float,
+    n_samples: int,
+    amplitude: float = 1.0,
+    phase_rad: float = 0.0,
+) -> np.ndarray:
+    """A complex exponential at baseband offset ``freq_hz``."""
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0: {n_samples}")
+    t = np.arange(n_samples) / sample_rate_hz
+    return amplitude * np.exp(
+        1j * (2.0 * np.pi * freq_hz * t + phase_rad)
+    )
+
+
+def awgn(
+    rng: np.random.Generator, n_samples: int, noise_power: float
+) -> np.ndarray:
+    """Complex white Gaussian noise with total power ``noise_power``.
+
+    Power is split evenly between I and Q, so E[|n|^2] = noise_power.
+    """
+    if noise_power < 0.0:
+        raise ValueError(f"noise power must be >= 0: {noise_power}")
+    sigma = np.sqrt(noise_power / 2.0)
+    return sigma * (
+        rng.standard_normal(n_samples)
+        + 1j * rng.standard_normal(n_samples)
+    )
+
+
+def frequency_shift(
+    samples: np.ndarray, shift_hz: float, sample_rate_hz: float
+) -> np.ndarray:
+    """Shift a baseband signal by ``shift_hz`` (complex mixing)."""
+    n = len(samples)
+    t = np.arange(n) / sample_rate_hz
+    return samples * np.exp(1j * 2.0 * np.pi * shift_hz * t)
+
+
+def mix_signals(*signals: np.ndarray) -> np.ndarray:
+    """Sum several equal-rate baseband signals, zero-padding shorter ones."""
+    if not signals:
+        raise ValueError("need at least one signal")
+    n = max(len(s) for s in signals)
+    out = np.zeros(n, dtype=np.complex128)
+    for s in signals:
+        out[: len(s)] += s
+    return out

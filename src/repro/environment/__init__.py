@@ -1,0 +1,49 @@
+"""Environment substrate: obstructions, link physics, and scenarios.
+
+This package is the "world" the simulated sensors live in. An
+:class:`ObstructionMap` describes what blocks the sky around a sensor
+(azimuth sectors with wall-material stacks and knife edges, plus
+elevation-layered ambient losses for fully-indoor sites); link helpers
+turn transmitter/receiver geometry into received power through that
+map; and :mod:`repro.environment.scenarios` builds the paper's
+three-location testbed with its five cellular towers and six TV
+channels.
+"""
+
+from repro.environment.obstruction import (
+    AmbientLayer,
+    Obstruction,
+    ObstructionMap,
+)
+from repro.environment.links import (
+    RayGeometry,
+    ray_geometry,
+    direct_received_power_dbm,
+    AdsbLinkModel,
+)
+from repro.environment.site import SiteEnvironment
+from repro.environment.scenarios import (
+    Testbed,
+    standard_testbed,
+    make_rooftop_site,
+    make_window_site,
+    make_indoor_site,
+    DEFAULT_SITE_LATLON,
+)
+
+__all__ = [
+    "AmbientLayer",
+    "Obstruction",
+    "ObstructionMap",
+    "RayGeometry",
+    "ray_geometry",
+    "direct_received_power_dbm",
+    "AdsbLinkModel",
+    "SiteEnvironment",
+    "Testbed",
+    "standard_testbed",
+    "make_rooftop_site",
+    "make_window_site",
+    "make_indoor_site",
+    "DEFAULT_SITE_LATLON",
+]

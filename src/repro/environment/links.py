@@ -1,0 +1,186 @@
+"""Link physics: geometry + obstruction map -> received power.
+
+Two flavours:
+
+- :func:`direct_received_power_dbm` — the deterministic direct-path
+  budget used by the cellular RSRP and TV power evaluations (their
+  measurements average over seconds, so fast fading washes out; a
+  cached per-link shadowing draw is applied by the callers that want
+  one).
+- :class:`AdsbLinkModel` — the per-squitter stochastic model for
+  1090 MHz: direct path with per-aircraft shadowing, a parallel urban
+  multipath "leakage" path that occasionally carries strong nearby
+  transmissions around obstructions, and per-message Rician fading.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.adsb.icao import IcaoAddress
+from repro.environment.obstruction import combine_parallel_paths_db
+from repro.environment.site import SiteEnvironment
+from repro.geo.coords import GeoPoint, geo_to_enu
+from repro.rf.fading import rician_fading_db
+from repro.rf.pathloss import free_space_path_loss_db
+from repro.sdr.antenna import Antenna
+
+
+@dataclass(frozen=True)
+class RayGeometry:
+    """Geometry of the straight path from a site to a transmitter."""
+
+    azimuth_deg: float
+    elevation_deg: float
+    slant_m: float
+    ground_m: float
+
+
+def ray_geometry(site: GeoPoint, tx: GeoPoint) -> RayGeometry:
+    """Compute the arrival geometry of a transmitter's signal."""
+    enu = geo_to_enu(site, tx)
+    return RayGeometry(
+        azimuth_deg=enu.azimuth_deg,
+        elevation_deg=enu.elevation_deg,
+        slant_m=max(enu.slant_m, 1.0),
+        ground_m=enu.horizontal_m,
+    )
+
+
+def direct_received_power_dbm(
+    env: SiteEnvironment,
+    tx_position: GeoPoint,
+    tx_eirp_dbm: float,
+    freq_hz: float,
+    rx_antenna: Antenna,
+) -> float:
+    """Median direct-path received power at the SDR input.
+
+    EIRP - FSPL - obstruction loss + RX antenna gain toward the
+    transmitter.
+    """
+    geom = ray_geometry(env.position, tx_position)
+    path = free_space_path_loss_db(geom.slant_m, freq_hz)
+    obstruction = env.obstruction_map.loss_db(
+        geom.azimuth_deg, geom.elevation_deg, freq_hz, geom.slant_m
+    )
+    rx_gain = rx_antenna.gain_at(freq_hz, geom.azimuth_deg)
+    return tx_eirp_dbm - path - obstruction + rx_gain
+
+
+#: ADS-B downlink carrier.
+ADSB_FREQ_HZ = 1090e6
+
+
+@dataclass
+class AdsbLinkModel:
+    """Stochastic 1090 MHz link from aircraft to a sensor site.
+
+    Per aircraft, one shadowing draw and one leakage-excess draw are
+    cached for the whole capture (the geometry barely changes over
+    30 s); per message, Rician fading is drawn on top. The effective
+    path is the power-combination of the obstructed direct path and
+    the leakage path.
+
+    Attributes:
+        env: the site the sensor is installed at.
+        rx_antenna: the sensor's antenna.
+        rician_k_db: Rician K-factor for fast fading.
+        coherence_time_s: fading coherence time. Messages from the
+            same aircraft within one coherence block share a fading
+            draw — a 30 s capture sees only a handful of independent
+            fades per aircraft, not one per squitter, which bounds the
+            max-over-messages tail realistically.
+    """
+
+    env: SiteEnvironment
+    rx_antenna: Antenna
+    rician_k_db: float = 9.0
+    coherence_time_s: float = 5.0
+    _shadow_db: Dict[IcaoAddress, float] = field(default_factory=dict)
+    _leak_excess_db: Dict[IcaoAddress, float] = field(default_factory=dict)
+    _fade_db: Dict[Tuple[IcaoAddress, int], float] = field(
+        default_factory=dict
+    )
+
+    def mean_received_power_dbm(
+        self,
+        icao: IcaoAddress,
+        tx_position: GeoPoint,
+        tx_power_w: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Capture-scale mean received power for one aircraft.
+
+        Combines the obstructed direct path (with the aircraft's cached
+        shadowing draw) and the leakage path (with its cached excess).
+        """
+        geom = ray_geometry(self.env.position, tx_position)
+        tx_dbm = 10.0 * math.log10(tx_power_w * 1000.0)
+        path = free_space_path_loss_db(geom.slant_m, ADSB_FREQ_HZ)
+        rx_gain = self.rx_antenna.gain_at(ADSB_FREQ_HZ, geom.azimuth_deg)
+        unobstructed_dbm = tx_dbm - path + rx_gain
+
+        obstruction = self.env.obstruction_map.loss_db(
+            geom.azimuth_deg,
+            geom.elevation_deg,
+            ADSB_FREQ_HZ,
+            geom.slant_m,
+        )
+        shadow = self._shadow_db.setdefault(
+            icao,
+            float(rng.normal(0.0, self.env.shadowing_sigma_db)),
+        )
+        direct_extra = obstruction - shadow
+
+        leak_excess = self._leak_excess_db.setdefault(
+            icao,
+            float(rng.normal(0.0, self.env.leakage_sigma_db)),
+        )
+        leakage_extra = self.env.leakage_base_db + leak_excess
+
+        if obstruction <= 0.5:
+            # Clear path: leakage is irrelevant (it is strictly weaker).
+            effective_extra = direct_extra
+        else:
+            effective_extra = combine_parallel_paths_db(
+                [max(direct_extra, 0.0), max(leakage_extra, 0.0)]
+            )
+        return unobstructed_dbm - effective_extra
+
+    def message_received_power_dbm(
+        self,
+        icao: IcaoAddress,
+        tx_position: GeoPoint,
+        tx_power_w: float,
+        rng: np.random.Generator,
+        time_s: Optional[float] = None,
+    ) -> float:
+        """Received power for one squitter: mean + Rician fading.
+
+        With a ``time_s``, messages inside the same coherence block
+        share their fading draw; without one, every call fades
+        independently.
+        """
+        mean = self.mean_received_power_dbm(
+            icao, tx_position, tx_power_w, rng
+        )
+        if time_s is None:
+            return mean + rician_fading_db(rng, self.rician_k_db)
+        block = int(time_s // self.coherence_time_s)
+        key = (icao, block)
+        if key not in self._fade_db:
+            self._fade_db[key] = rician_fading_db(
+                rng, self.rician_k_db
+            )
+        return mean + self._fade_db[key]
+
+    def reset(self) -> None:
+        """Forget cached per-aircraft draws (start a new capture)."""
+        self._shadow_db.clear()
+        self._leak_excess_db.clear()
+        self._fade_db.clear()

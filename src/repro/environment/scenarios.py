@@ -1,0 +1,253 @@
+"""The paper's three-location testbed, as simulation ground truth.
+
+Location ① — rooftop, 6th floor: open field of view to the west
+(sector 160°-340°); rooftop structures (two concrete walls' worth,
+clearing at 60° elevation) obscure other directions.
+
+Location ② — behind a southeast-facing window, 5th floor: a narrow
+120°-160° field of view through glass; the building's own facade
+(concrete + low-emissivity glazing) to the southwest, and deep
+blockage (reinforced concrete + brick, towering overhead) elsewhere
+because of the buildings to the left and right.
+
+Location ③ — inside the building, 5th floor, ≥8 m from windows: no
+field of view; high-elevation rays cross the roof slab, low-elevation
+rays cross multiple exterior/interior walls.
+
+The five cellular towers (downlinks 731/1970/2145/2660/2680 MHz,
+500-1000 m away — Figure 2) and six TV transmitters (213-605 MHz, up
+to 50 km) are laid out so each location's link budgets land where the
+paper's Figures 3 and 4 put them: every tower decodable from the
+rooftop, towers 1-3 only behind the window, tower 1 only indoors, and
+the 521 MHz TV tower sitting in the window's field of view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cellular.cellmapper import TowerDatabase
+from repro.cellular.tower import CellTower
+from repro.environment.obstruction import (
+    AmbientLayer,
+    Obstruction,
+    ObstructionMap,
+)
+from repro.environment.site import SiteEnvironment
+from repro.fm.tower import FmTower
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import destination_point
+from repro.geo.sectors import AzimuthSector
+from repro.tv.tower import TvTower
+
+#: The experiment site (Berkeley-like coordinates).
+DEFAULT_SITE_LATLON = (37.8715, -122.2730)
+
+#: Rooftop field of view: open to the west.
+ROOFTOP_OPEN_SECTOR = AzimuthSector.from_edges(160.0, 340.0)
+
+#: Window field of view: narrow, facing southeast.
+WINDOW_OPEN_SECTOR = AzimuthSector.from_edges(120.0, 160.0)
+
+#: Window partially-obstructed facade sector (southwest side).
+WINDOW_FACADE_SECTOR = AzimuthSector.from_edges(160.0, 220.0)
+
+
+def _site_point(alt_m: float) -> GeoPoint:
+    lat, lon = DEFAULT_SITE_LATLON
+    return GeoPoint(lat, lon, alt_m)
+
+
+def make_rooftop_site() -> SiteEnvironment:
+    """Location ①: rooftop with an open western field of view."""
+    blocked = Obstruction(
+        sector=AzimuthSector.from_edges(
+            ROOFTOP_OPEN_SECTOR.end_deg, ROOFTOP_OPEN_SECTOR.start_deg
+        ),
+        clear_elevation_deg=75.0,
+        materials=("concrete", "concrete"),
+        edge_distance_m=4.0,
+    )
+    return SiteEnvironment(
+        name="Location 1 (rooftop)",
+        position=_site_point(20.0),
+        obstruction_map=ObstructionMap(obstructions=[blocked]),
+        installation="rooftop",
+        is_outdoor=True,
+    )
+
+
+def make_window_site() -> SiteEnvironment:
+    """Location ②: behind a southeast-facing window, narrow FoV."""
+    window_glass = Obstruction(
+        sector=WINDOW_OPEN_SECTOR,
+        clear_elevation_deg=90.0,
+        materials=("glass",),
+        edge_distance_m=1.0,
+    )
+    facade = Obstruction(
+        sector=WINDOW_FACADE_SECTOR,
+        clear_elevation_deg=70.0,
+        materials=("concrete", "low_e_glass"),
+        edge_distance_m=3.0,
+    )
+    deep = Obstruction(
+        sector=AzimuthSector.from_edges(
+            WINDOW_FACADE_SECTOR.end_deg, WINDOW_OPEN_SECTOR.start_deg
+        ),
+        clear_elevation_deg=80.0,
+        materials=("reinforced_concrete", "brick"),
+        edge_distance_m=3.0,
+    )
+    return SiteEnvironment(
+        name="Location 2 (behind window)",
+        position=_site_point(15.0),
+        obstruction_map=ObstructionMap(
+            obstructions=[window_glass, facade, deep]
+        ),
+        installation="window",
+        is_outdoor=False,
+        shadowing_sigma_db=1.5,
+    )
+
+
+def make_indoor_site() -> SiteEnvironment:
+    """Location ③: inside the building, ≥8 m from any window."""
+    roof_slab = AmbientLayer(
+        min_elevation_deg=30.0,
+        max_elevation_deg=90.01,
+        materials=("concrete", "brick"),
+    )
+    walls = AmbientLayer(
+        min_elevation_deg=-90.0,
+        max_elevation_deg=30.0,
+        materials=("concrete", "concrete", "brick"),
+    )
+    return SiteEnvironment(
+        name="Location 3 (indoor)",
+        position=_site_point(15.0),
+        obstruction_map=ObstructionMap(ambient=[roof_slab, walls]),
+        installation="indoor",
+        is_outdoor=False,
+        shadowing_sigma_db=1.5,
+    )
+
+
+def _tower_point(
+    bearing_deg: float, distance_m: float, alt_m: float
+) -> GeoPoint:
+    return destination_point(
+        _site_point(0.0), bearing_deg, distance_m
+    ).with_altitude(alt_m)
+
+
+def standard_cell_towers() -> TowerDatabase:
+    """The five towers of Figure 2 (bearing, range, downlink).
+
+    Downlink frequencies follow the paper exactly: 731, 1970, 2145,
+    2660 and 2680 MHz; all towers are 500-1000 m from the site.
+    """
+    db = TowerDatabase()
+    db.extend(
+        [
+            CellTower(
+                "Tower 1", 11, _tower_point(240.0, 900.0, 30.0),
+                earfcn=5030,  # B12, 731 MHz
+            ),
+            CellTower(
+                "Tower 2", 22, _tower_point(170.0, 500.0, 30.0),
+                earfcn=1000,  # B2, 1970 MHz
+            ),
+            CellTower(
+                "Tower 3", 33, _tower_point(200.0, 550.0, 30.0),
+                earfcn=2300,  # B4, 2145 MHz
+            ),
+            CellTower(
+                "Tower 4", 44, _tower_point(280.0, 550.0, 30.0),
+                earfcn=3150,  # B7, 2660 MHz
+            ),
+            CellTower(
+                "Tower 5", 55, _tower_point(300.0, 1000.0, 30.0),
+                earfcn=3350,  # B7, 2680 MHz
+            ),
+        ]
+    )
+    return db
+
+
+def standard_tv_towers() -> List[TvTower]:
+    """Six ATSC transmitters matching Figure 4's channel centers.
+
+    The 521 MHz (channel 22) tower sits at bearing 140° — inside the
+    window's field of view — producing the paper's "very strong at the
+    window" exception; the rest lie to the west in the rooftop's open
+    sector.
+    """
+    return [
+        TvTower("K13AA", 13, _tower_point(255.0, 40_000.0, 500.0)),
+        TvTower("K14BB", 14, _tower_point(250.0, 30_000.0, 450.0)),
+        TvTower("K22CC", 22, _tower_point(140.0, 25_000.0, 300.0)),
+        TvTower("K26DD", 26, _tower_point(270.0, 35_000.0, 400.0)),
+        TvTower("K33EE", 33, _tower_point(260.0, 45_000.0, 550.0)),
+        TvTower("K36FF", 36, _tower_point(245.0, 50_000.0, 500.0)),
+    ]
+
+
+def standard_fm_towers() -> List[FmTower]:
+    """Three FM stations extending coverage below 108 MHz (§5).
+
+    Not part of the paper's measured figures — they exercise the
+    "additional RF sources" future-work direction.
+    """
+    return [
+        FmTower("KAAA", 205, _tower_point(265.0, 25_000.0, 450.0)),
+        FmTower("KBBB", 234, _tower_point(250.0, 35_000.0, 500.0)),
+        FmTower("KCCC", 271, _tower_point(150.0, 20_000.0, 350.0)),
+    ]
+
+
+@dataclass
+class Testbed:
+    """The full experiment world: sites, towers, and traffic center.
+
+    (``__test__ = False`` stops pytest from mistaking the class for a
+    test case because of its name.)
+
+    Attributes:
+        sites: the three installation environments by class name.
+        cell_towers: the Figure 2 tower database.
+        tv_towers: the Figure 4 transmitter list.
+        center: the site position traffic is generated around.
+    """
+
+    __test__ = False
+
+    sites: Dict[str, SiteEnvironment] = field(default_factory=dict)
+    cell_towers: TowerDatabase = field(default_factory=TowerDatabase)
+    tv_towers: List[TvTower] = field(default_factory=list)
+    fm_towers: List[FmTower] = field(default_factory=list)
+    center: GeoPoint = field(default_factory=lambda: _site_point(0.0))
+
+    def site(self, installation: str) -> SiteEnvironment:
+        """Site by installation class; raises KeyError for unknowns."""
+        if installation not in self.sites:
+            raise KeyError(
+                f"no site {installation!r}; have {sorted(self.sites)}"
+            )
+        return self.sites[installation]
+
+
+def standard_testbed() -> Testbed:
+    """Build the complete three-location testbed of the paper."""
+    return Testbed(
+        sites={
+            "rooftop": make_rooftop_site(),
+            "window": make_window_site(),
+            "indoor": make_indoor_site(),
+        },
+        cell_towers=standard_cell_towers(),
+        tv_towers=standard_tv_towers(),
+        fm_towers=standard_fm_towers(),
+        center=_site_point(0.0),
+    )

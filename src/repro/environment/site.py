@@ -1,0 +1,51 @@
+"""A sensor installation site: position, obstructions, channel traits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.environment.obstruction import ObstructionMap
+from repro.geo.coords import GeoPoint
+
+
+@dataclass
+class SiteEnvironment:
+    """Everything about where a sensor is installed.
+
+    This is simulation ground truth; the calibration pipeline never
+    reads it directly — it only sees signals propagated through it.
+    The ``installation``/``is_outdoor`` labels exist so experiments can
+    score classifier output.
+
+    Attributes:
+        name: human-readable site label.
+        position: sensor location, altitude included.
+        obstruction_map: what blocks the sky here.
+        installation: ground-truth class ("rooftop", "window", "indoor").
+        is_outdoor: ground-truth outdoor flag.
+        leakage_base_db: median extra loss of the urban multipath path
+            that lets blocked directions still receive strong, nearby
+            1090 MHz transmissions (the paper observes this within
+            ~20 km at every location).
+        leakage_sigma_db: log-normal spread of the leakage path.
+        shadowing_sigma_db: per-link shadowing spread on direct paths.
+    """
+
+    name: str
+    position: GeoPoint
+    obstruction_map: ObstructionMap
+    installation: str
+    is_outdoor: bool
+    leakage_base_db: float = 39.0
+    leakage_sigma_db: float = 2.0
+    shadowing_sigma_db: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.installation not in ("rooftop", "window", "indoor"):
+            raise ValueError(
+                f"unknown installation class: {self.installation!r}"
+            )
+        if self.leakage_base_db < 0.0 or self.leakage_sigma_db < 0.0:
+            raise ValueError("leakage parameters must be >= 0")
+        if self.shadowing_sigma_db < 0.0:
+            raise ValueError("shadowing sigma must be >= 0")

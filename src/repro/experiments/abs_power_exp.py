@@ -1,0 +1,111 @@
+"""Absolute-power calibration experiment (§5 "other calibration").
+
+Estimates each location's dBFS→dBm offset from known broadcasters and
+compares against the true SDR full-scale — the accuracy table the
+paper's final future-work bullet asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.abs_power import AbsolutePowerCalibrator
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import KnnFovEstimator
+from repro.core.frequency import FrequencyEvaluator
+from repro.experiments.common import (
+    LOCATIONS,
+    World,
+    build_world,
+    format_table,
+)
+from repro.node.sensor import SensorNode
+
+
+@dataclass
+class AbsPowerRow:
+    """One location's calibration accuracy."""
+
+    location: str
+    estimate_dbm: Optional[float]
+    true_dbm: float
+    error_db: Optional[float]
+    anchor: Optional[str]
+    reliable: bool
+
+
+def run_abs_power(
+    world: Optional[World] = None, seed: int = 97
+) -> List[AbsPowerRow]:
+    """Calibrate absolute power at each location."""
+    world = world or build_world()
+    calibrator = AbsolutePowerCalibrator()
+    rows: List[AbsPowerRow] = []
+    for i, location in enumerate(LOCATIONS):
+        node = SensorNode(location, world.testbed.site(location))
+        scan = DirectionalEvaluator(
+            node=node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        ).run(np.random.default_rng(seed + i))
+        fov = KnnFovEstimator().estimate(scan)
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+            fm_towers=world.testbed.fm_towers,
+        ).run()
+        result = calibrator.calibrate(
+            node,
+            profile,
+            world.testbed.tv_towers,
+            world.testbed.fm_towers,
+            fov=fov,
+        )
+        error = (
+            result.full_scale_dbm_estimate - node.sdr.full_scale_dbm
+            if result.full_scale_dbm_estimate is not None
+            else None
+        )
+        rows.append(
+            AbsPowerRow(
+                location=location,
+                estimate_dbm=result.full_scale_dbm_estimate,
+                true_dbm=node.sdr.full_scale_dbm,
+                error_db=error,
+                anchor=result.anchor_label,
+                reliable=result.reliable,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: List[AbsPowerRow]) -> str:
+    return format_table(
+        [
+            "location",
+            "estimated 0 dBFS (dBm)",
+            "true (dBm)",
+            "error (dB)",
+            "anchor",
+            "verdict",
+        ],
+        [
+            [
+                r.location,
+                (
+                    f"{r.estimate_dbm:.1f}"
+                    if r.estimate_dbm is not None
+                    else "-"
+                ),
+                f"{r.true_dbm:.1f}",
+                f"{r.error_db:+.1f}" if r.error_db is not None else "-",
+                r.anchor or "-",
+                "calibrated" if r.reliable else "UNRELIABLE",
+            ]
+            for r in rows
+        ],
+    )

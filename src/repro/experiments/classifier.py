@@ -1,0 +1,95 @@
+"""Indoor/outdoor deduction from combined experiments (§3.2).
+
+Runs the full pipeline (directional + frequency + classifier) at each
+location over several independent seeds and reports the confusion
+matrix and outdoor probabilities — the paper's "deductions [that] can
+be used to independently verify claims about a node installation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.classify import classify_node
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import KnnFovEstimator
+from repro.core.frequency import FrequencyEvaluator
+from repro.experiments.common import (
+    LOCATIONS,
+    World,
+    build_world,
+    format_table,
+)
+
+
+@dataclass
+class ClassifierResult:
+    """Confusion matrix + mean probabilities over seeds."""
+
+    n_seeds: int
+    confusion: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    outdoor_probability: Dict[str, float] = field(default_factory=dict)
+
+    def accuracy(self) -> float:
+        correct = sum(
+            self.confusion[loc].get(loc, 0) for loc in self.confusion
+        )
+        total = sum(
+            sum(row.values()) for row in self.confusion.values()
+        )
+        return correct / total if total else 0.0
+
+
+def run_classifier_experiment(
+    n_seeds: int = 5, world: Optional[World] = None, seed: int = 20
+) -> ClassifierResult:
+    """Classify each location ``n_seeds`` times."""
+    if n_seeds <= 0:
+        raise ValueError(f"n_seeds must be positive: {n_seeds}")
+    world = world or build_world()
+    result = ClassifierResult(n_seeds=n_seeds)
+    for location in LOCATIONS:
+        node = world.node_at(location)
+        evaluator = DirectionalEvaluator(
+            node=node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        )
+        freq_eval = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        )
+        row: Dict[str, int] = {}
+        probs: List[float] = []
+        for i in range(n_seeds):
+            rng = np.random.default_rng(seed + i)
+            scan = evaluator.run(rng)
+            fov = KnnFovEstimator().estimate(scan)
+            profile = freq_eval.run(rng)
+            verdict = classify_node(scan, fov, profile)
+            row[verdict.installation] = (
+                row.get(verdict.installation, 0) + 1
+            )
+            probs.append(verdict.outdoor_probability)
+        result.confusion[location] = row
+        result.outdoor_probability[location] = float(np.mean(probs))
+    return result
+
+
+def format_confusion(result: ClassifierResult) -> str:
+    classes = list(LOCATIONS)
+    rows = []
+    for truth in classes:
+        row = [truth]
+        for predicted in classes:
+            row.append(result.confusion[truth].get(predicted, 0))
+        row.append(f"{result.outdoor_probability[truth]:.2f}")
+        rows.append(row)
+    return format_table(
+        ["truth \\ predicted"] + classes + ["P[outdoor]"],
+        rows,
+    )

@@ -1,0 +1,73 @@
+"""Shared experiment plumbing: the standard world and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.airspace.flightradar import FlightRadarService
+from repro.airspace.traffic import TrafficConfig, TrafficSimulator
+from repro.environment.scenarios import Testbed, standard_testbed
+from repro.node.sensor import SensorNode
+
+#: The three locations in paper order.
+LOCATIONS = ("rooftop", "window", "indoor")
+
+#: Aircraft population used by the headline experiments.
+DEFAULT_N_AIRCRAFT = 80
+
+
+@dataclass
+class World:
+    """Testbed + traffic + ground truth, built from one seed."""
+
+    testbed: Testbed
+    traffic: TrafficSimulator
+    ground_truth: FlightRadarService
+
+    def node_at(self, location: str) -> SensorNode:
+        """A standard node (BladeRF + wideband antenna) at a site."""
+        return SensorNode(
+            node_id=location, environment=self.testbed.site(location)
+        )
+
+
+def build_world(
+    traffic_seed: int = 42,
+    n_aircraft: int = DEFAULT_N_AIRCRAFT,
+    fr24_latency_s: float = 10.0,
+) -> World:
+    """The standard experiment world."""
+    testbed = standard_testbed()
+    traffic = TrafficSimulator(
+        center=testbed.center,
+        config=TrafficConfig(n_aircraft=n_aircraft),
+        rng_seed=traffic_seed,
+    )
+    ground_truth = FlightRadarService(
+        traffic=traffic, latency_s=fr24_latency_s
+    )
+    return World(
+        testbed=testbed, traffic=traffic, ground_truth=ground_truth
+    )
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Monospace table with per-column widths."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[i]) for row in cells)
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    for r, row in enumerate(cells):
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

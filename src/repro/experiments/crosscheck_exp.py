@@ -1,0 +1,115 @@
+"""Peer cross-validation experiment (tracker-free trust).
+
+Five nodes watch the same metro sky: three honest rooftop nodes, one
+replaying old data, one padding with invented aircraft. The
+cross-checker must flag both cheats using only the nodes' own
+reception sets — no FlightRadar24 reference at all. (The abstention
+path for nearly-deaf honest nodes is exercised too.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.airspace.flightradar import FlightRadarService
+from repro.airspace.traffic import TrafficConfig, TrafficSimulator
+from repro.core.crosscheck import CrossChecker, CrossCheckRow
+from repro.core.directional import DirectionalEvaluator
+from repro.experiments.common import World, build_world, format_table
+from repro.node.fabrication import (
+    GhostTrafficFabricator,
+    ReplayFabricator,
+)
+from repro.node.sensor import SensorNode
+
+
+@dataclass
+class CrossCheckOutcome:
+    """Experiment result: per-node verdicts plus correctness."""
+
+    rows: List[CrossCheckRow]
+    cheaters: List[str]
+
+    def all_cheaters_flagged(self) -> bool:
+        flagged = {r.node_id for r in self.rows if r.flagged}
+        return set(self.cheaters) <= flagged
+
+    def false_alarms(self) -> int:
+        return sum(
+            1
+            for r in self.rows
+            if r.flagged and r.node_id not in self.cheaters
+        )
+
+
+def _honest_scan(world: World, node_id: str, seed: int):
+    node = SensorNode(node_id, world.testbed.site("rooftop"))
+    return DirectionalEvaluator(
+        node=node,
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+    ).run(np.random.default_rng(seed))
+
+
+def run_crosscheck_experiment(
+    world: Optional[World] = None, seed: int = 90
+) -> CrossCheckOutcome:
+    """Three honest nodes, one replayer, one ghost padder."""
+    world = world or build_world()
+    rng = np.random.default_rng(seed)
+    scans = [
+        _honest_scan(world, f"honest-{i}", seed + i) for i in range(3)
+    ]
+
+    # Replayer: uploads a recording taken under different traffic.
+    other = TrafficSimulator(
+        center=world.testbed.center,
+        config=TrafficConfig(n_aircraft=80),
+        rng_seed=seed + 500,
+    )
+    donor_node = SensorNode("replayer", world.testbed.site("rooftop"))
+    donor = DirectionalEvaluator(
+        node=donor_node,
+        traffic=other,
+        ground_truth=FlightRadarService(traffic=other),
+    ).run(np.random.default_rng(seed + 500))
+    replayer_now = _honest_scan(world, "replayer", seed + 3)
+    scans.append(ReplayFabricator(donor=donor).fabricate(replayer_now, rng))
+
+    # Ghost padder: real decodes plus 40 invented aircraft.
+    padder_scan = _honest_scan(world, "padder", seed + 4)
+    scans.append(
+        GhostTrafficFabricator(n_ghosts=40).fabricate(padder_scan, rng)
+    )
+
+    rows = CrossChecker().assess(scans)
+    return CrossCheckOutcome(
+        rows=rows, cheaters=["replayer", "padder"]
+    )
+
+
+def format_rows(outcome: CrossCheckOutcome) -> str:
+    return format_table(
+        ["node", "peer similarity", "unique fraction", "verdict"],
+        [
+            [
+                r.node_id,
+                f"{r.mean_similarity:.2f}",
+                f"{r.unique_fraction:.2f}",
+                (
+                    "abstain"
+                    if r.abstained
+                    else ("FLAGGED" if r.flagged else "ok")
+                )
+                + (
+                    " (cheating)"
+                    if r.node_id in outcome.cheaters
+                    else ""
+                ),
+            ]
+            for r in outcome.rows
+        ],
+    )

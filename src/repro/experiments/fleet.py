@@ -1,0 +1,120 @@
+"""A full crowd-sourced fleet: the paper's §2 vision, end to end.
+
+Twelve nodes across the metro — rooftops, windows, indoor installs,
+one with damaged hardware, two with cheating operators — are all
+calibrated automatically. The output is the marketplace view a renter
+would see: nodes ranked by measured quality, with untrustworthy
+uploads rejected outright. No human visited any site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.network import CalibrationService, NodeAssessment
+from repro.experiments.common import World, build_world, format_table
+from repro.experiments.hardware_faults import DAMAGED_CABLE_ANTENNA
+from repro.node.fabrication import (
+    GhostTrafficFabricator,
+    OmniscientFabricator,
+)
+from repro.node.sensor import SensorNode
+
+
+@dataclass
+class FleetResult:
+    """The calibrated fleet."""
+
+    assessments: Dict[str, NodeAssessment]
+    cheaters: List[str]
+    degraded: List[str]
+
+    def marketplace(self) -> List[NodeAssessment]:
+        """Trustworthy nodes, best quality first."""
+        listed = [
+            a
+            for a in self.assessments.values()
+            if a.trust.is_trustworthy()
+        ]
+        return sorted(
+            listed,
+            key=lambda a: a.report.overall_score(),
+            reverse=True,
+        )
+
+    def rejected(self) -> List[str]:
+        return sorted(
+            node_id
+            for node_id, a in self.assessments.items()
+            if not a.trust.is_trustworthy()
+        )
+
+
+def build_fleet(world: World) -> List[SensorNode]:
+    """Twelve nodes: 4 rooftop, 4 window, 4 indoor; one damaged."""
+    nodes: List[SensorNode] = []
+    for cls in ("rooftop", "window", "indoor"):
+        for i in range(4):
+            node_id = f"{cls}-{i}"
+            if cls == "rooftop" and i == 3:
+                nodes.append(
+                    SensorNode(
+                        node_id,
+                        world.testbed.site(cls),
+                        antenna=DAMAGED_CABLE_ANTENNA,
+                    )
+                )
+            else:
+                nodes.append(
+                    SensorNode(node_id, world.testbed.site(cls))
+                )
+    return nodes
+
+
+def run_fleet(world: Optional[World] = None, seed: int = 95) -> FleetResult:
+    """Calibrate the whole fleet, adversaries included."""
+    world = world or build_world()
+    service = CalibrationService(
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+        cell_towers=world.testbed.cell_towers,
+        tv_towers=world.testbed.tv_towers,
+        fm_towers=world.testbed.fm_towers,
+    )
+    nodes = build_fleet(world)
+    fabrications = {
+        "window-3": OmniscientFabricator(),
+        "indoor-3": GhostTrafficFabricator(n_ghosts=30),
+    }
+    assessments = service.evaluate_network(
+        nodes, seed=seed, fabrications=fabrications
+    )
+    return FleetResult(
+        assessments=assessments,
+        cheaters=sorted(fabrications),
+        degraded=["rooftop-3"],
+    )
+
+
+def format_marketplace(result: FleetResult) -> str:
+    rows = []
+    for rank, assessment in enumerate(result.marketplace(), start=1):
+        note = ""
+        if assessment.node_id in result.degraded:
+            note = "degraded hardware"
+        rows.append(
+            [
+                rank,
+                assessment.node_id,
+                f"{assessment.report.overall_score():.2f}",
+                assessment.report.classification.installation,
+                f"{assessment.trust.trust_score():.2f}",
+                note or "-",
+            ]
+        )
+    table = format_table(
+        ["rank", "node", "quality", "class", "trust", "notes"], rows
+    )
+    rejected = ", ".join(result.rejected()) or "none"
+    return f"{table}\n\nRejected (untrusted uploads): {rejected}"

@@ -1,0 +1,65 @@
+"""FM broadcast as an additional signal of opportunity (§5).
+
+Extends the Figure 4-style frequency survey below 108 MHz with three
+FM stations, at each of the three locations. The expected shape: FM
+penetrates buildings even better than the low TV channels, so every
+location keeps usable FM reception, with the indoor/window excess
+attenuation ordering preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.frequency import FrequencyEvaluator
+from repro.experiments.common import (
+    LOCATIONS,
+    World,
+    build_world,
+    format_table,
+)
+
+
+@dataclass
+class FmExtensionResult:
+    """dBFS per (location, station); None = buried in noise."""
+
+    power_dbfs: Dict[str, Dict[str, Optional[float]]]
+    excess_db: Dict[str, Dict[str, Optional[float]]]
+
+
+def run_fm_extension(world: Optional[World] = None) -> FmExtensionResult:
+    """Measure the three FM stations from each location."""
+    world = world or build_world()
+    power: Dict[str, Dict[str, Optional[float]]] = {}
+    excess: Dict[str, Dict[str, Optional[float]]] = {}
+    for location in LOCATIONS:
+        node = world.node_at(location)
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            fm_towers=world.testbed.fm_towers,
+        ).run()
+        power[location] = {
+            m.label: m.measured for m in profile.by_source("fm")
+        }
+        excess[location] = {
+            m.label: m.excess_attenuation_db
+            for m in profile.by_source("fm")
+        }
+    return FmExtensionResult(power_dbfs=power, excess_db=excess)
+
+
+def format_bars(result: FmExtensionResult) -> str:
+    stations = sorted(next(iter(result.power_dbfs.values())))
+    rows = []
+    for station in stations:
+        row = [station]
+        for location in LOCATIONS:
+            value = result.power_dbfs[location][station]
+            row.append("--" if value is None else f"{value:.1f}")
+        rows.append(row)
+    return format_table(
+        ["station"] + [f"{loc} (dBFS)" for loc in LOCATIONS], rows
+    )

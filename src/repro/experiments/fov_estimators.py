@@ -1,0 +1,105 @@
+"""Field-of-view estimator comparison (§5 future work).
+
+Scores the sector-histogram baseline against the KNN and linear-SVM
+estimators the paper proposes, measured as per-bearing agreement with
+the ground-truth obstruction map, across locations and traffic seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import (
+    KnnFovEstimator,
+    LinearSvmFovEstimator,
+    SectorHistogramEstimator,
+)
+from repro.experiments.common import (
+    LOCATIONS,
+    World,
+    build_world,
+    format_table,
+)
+
+ESTIMATORS = ("histogram", "knn", "svm")
+
+
+def _make_estimator(name: str):
+    if name == "histogram":
+        return SectorHistogramEstimator()
+    if name == "knn":
+        return KnnFovEstimator()
+    if name == "svm":
+        return LinearSvmFovEstimator()
+    raise ValueError(f"unknown estimator: {name}")
+
+
+@dataclass
+class FovScore:
+    """Mean agreement of one estimator at one location."""
+
+    estimator: str
+    location: str
+    agreement_mean: float
+    agreement_std: float
+    open_fraction_mean: float
+
+
+def run_fov_comparison(
+    n_seeds: int = 5, world: Optional[World] = None, seed: int = 10
+) -> List[FovScore]:
+    """Estimator x location agreement grid."""
+    if n_seeds <= 0:
+        raise ValueError(f"n_seeds must be positive: {n_seeds}")
+    world = world or build_world()
+    scores: List[FovScore] = []
+    for location in LOCATIONS:
+        node = world.node_at(location)
+        evaluator = DirectionalEvaluator(
+            node=node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        )
+        scans = [
+            evaluator.run(np.random.default_rng(seed + i))
+            for i in range(n_seeds)
+        ]
+        truth = node.environment.obstruction_map
+        for name in ESTIMATORS:
+            agreements = []
+            fractions = []
+            for scan in scans:
+                estimate = _make_estimator(name).estimate(scan)
+                agreements.append(
+                    estimate.agreement_with_truth(truth)
+                )
+                fractions.append(estimate.open_fraction())
+            scores.append(
+                FovScore(
+                    estimator=name,
+                    location=location,
+                    agreement_mean=float(np.mean(agreements)),
+                    agreement_std=float(np.std(agreements)),
+                    open_fraction_mean=float(np.mean(fractions)),
+                )
+            )
+    return scores
+
+
+def format_scores(scores: List[FovScore]) -> str:
+    return format_table(
+        ["location", "estimator", "agreement", "open fraction"],
+        [
+            [
+                s.location,
+                s.estimator,
+                f"{s.agreement_mean:.2f} +/- {s.agreement_std:.2f}",
+                f"{s.open_fraction_mean:.2f}",
+            ]
+            for s in scores
+        ],
+    )

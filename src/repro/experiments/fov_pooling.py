@@ -1,0 +1,108 @@
+"""Field-of-view accuracy vs number of pooled measurements.
+
+One 30 s scan sees the aircraft that happen to be overhead; repeating
+the measurement later (new flights) fills in bearing coverage. This
+sweep quantifies the §5 "when to measure" payoff: estimator agreement
+with ground truth as a function of how many independent scans are
+pooled, at the hardest location (the narrow-sector window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.airspace.flightradar import FlightRadarService
+from repro.airspace.traffic import TrafficConfig, TrafficSimulator
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import KnnFovEstimator, pool_scans
+from repro.experiments.common import World, build_world, format_table
+from repro.node.sensor import SensorNode
+
+
+@dataclass
+class PoolingRow:
+    """Estimation accuracy with ``n_scans`` pooled measurements."""
+
+    n_scans: int
+    agreement_mean: float
+    agreement_std: float
+    informative_aircraft: float
+
+
+def run_fov_pooling(
+    n_scans_options: Optional[List[int]] = None,
+    n_trials: int = 3,
+    location: str = "window",
+    world: Optional[World] = None,
+    seed: int = 70,
+) -> List[PoolingRow]:
+    """Sweep the number of pooled scans.
+
+    Each scan uses an independent traffic picture (a different moment
+    of the day), so pooling adds genuinely new aircraft.
+    """
+    n_scans_options = n_scans_options or [1, 2, 4, 8]
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive: {n_trials}")
+    world = world or build_world()
+    site = world.testbed.site(location)
+    truth = site.obstruction_map
+    rows: List[PoolingRow] = []
+    for n_scans in n_scans_options:
+        agreements = []
+        counts = []
+        for trial in range(n_trials):
+            scans = []
+            for k in range(n_scans):
+                traffic = TrafficSimulator(
+                    center=world.testbed.center,
+                    config=TrafficConfig(n_aircraft=80),
+                    rng_seed=seed + 100 * trial + k,
+                )
+                node = SensorNode(location, site)
+                evaluator = DirectionalEvaluator(
+                    node=node,
+                    traffic=traffic,
+                    ground_truth=FlightRadarService(traffic=traffic),
+                )
+                scans.append(
+                    evaluator.run(
+                        np.random.default_rng(seed + 100 * trial + k)
+                    )
+                )
+            pooled = pool_scans(scans)
+            estimate = KnnFovEstimator().estimate(pooled)
+            agreements.append(estimate.agreement_with_truth(truth))
+            counts.append(
+                sum(
+                    1
+                    for o in pooled.observations
+                    if o.ground_range_km >= 20.0
+                )
+            )
+        rows.append(
+            PoolingRow(
+                n_scans=n_scans,
+                agreement_mean=float(np.mean(agreements)),
+                agreement_std=float(np.std(agreements)),
+                informative_aircraft=float(np.mean(counts)),
+            )
+        )
+    return rows
+
+
+def format_rows(rows: List[PoolingRow]) -> str:
+    return format_table(
+        ["pooled scans", "FoV agreement", "informative aircraft"],
+        [
+            [
+                r.n_scans,
+                f"{r.agreement_mean:.3f} +/- {r.agreement_std:.3f}",
+                f"{r.informative_aircraft:.0f}",
+            ]
+            for r in rows
+        ],
+    )

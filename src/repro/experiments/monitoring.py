@@ -1,0 +1,118 @@
+"""Monitoring utility: does the calibration score predict service value?
+
+The whole point of automatic calibration (§2) is letting renters pick
+nodes whose data is good. This experiment closes that loop: each
+location runs the actual rented service — PSD-based occupancy
+detection over the TV and FM bands — and its detection rate is
+compared with the calibration pipeline's quality score. A useful
+calibration system makes the two rank identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.network import CalibrationService
+from repro.experiments.common import (
+    LOCATIONS,
+    World,
+    build_world,
+    format_table,
+)
+from repro.node.monitoring import SpectrumMonitor
+from repro.node.sensor import SensorNode
+
+#: Broadcast survey centers: the six TV channels and three FM stations.
+BROADCAST_CENTERS_HZ = (
+    88.9e6, 94.7e6, 102.1e6,
+    213e6, 473e6, 521e6, 545e6, 587e6, 605e6,
+)
+
+#: Cellular survey centers: the five downlink carriers (wider capture).
+CELLULAR_CENTERS_HZ = (731e6, 1970e6, 2145e6, 2660e6, 2680e6)
+
+
+@dataclass
+class MonitoringRow:
+    """One location's service utility vs calibration score."""
+
+    location: str
+    detection_rate: float
+    detected: int
+    total: int
+    quality_score: float
+
+
+def run_monitoring_utility(
+    world: Optional[World] = None, seed: int = 60
+) -> List[MonitoringRow]:
+    """Survey every location and score against calibration."""
+    world = world or build_world()
+    service = CalibrationService(
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+        cell_towers=world.testbed.cell_towers,
+        tv_towers=world.testbed.tv_towers,
+        fm_towers=world.testbed.fm_towers,
+    )
+    rows: List[MonitoringRow] = []
+    for i, location in enumerate(LOCATIONS):
+        node = SensorNode(location, world.testbed.site(location))
+        monitor = SpectrumMonitor(
+            node=node,
+            tv_towers=world.testbed.tv_towers,
+            fm_towers=world.testbed.fm_towers,
+            cell_towers=world.testbed.cell_towers.towers,
+        )
+        rng = np.random.default_rng(seed + i)
+        reports = monitor.survey(BROADCAST_CENTERS_HZ, 8e6, rng)
+        reports += monitor.survey(CELLULAR_CENTERS_HZ, 12e6, rng)
+        detected = sum(len(r.detected_labels()) for r in reports)
+        total = sum(len(r.truth) for r in reports)
+        assessment = service.evaluate_node(node, seed=seed + i)
+        rows.append(
+            MonitoringRow(
+                location=location,
+                detection_rate=detected / total if total else 0.0,
+                detected=detected,
+                total=total,
+                quality_score=assessment.report.overall_score(),
+            )
+        )
+    return rows
+
+
+def format_rows(rows: List[MonitoringRow]) -> str:
+    return format_table(
+        [
+            "location",
+            "emitters detected",
+            "detection rate",
+            "calibration score",
+        ],
+        [
+            [
+                r.location,
+                f"{r.detected}/{r.total}",
+                f"{r.detection_rate:.0%}",
+                f"{r.quality_score:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+
+
+def rankings_agree(rows: List[MonitoringRow]) -> bool:
+    """No inversions: a higher calibration score never pairs with a
+    strictly lower service utility."""
+    for a in rows:
+        for b in rows:
+            if (
+                a.quality_score > b.quality_score
+                and a.detection_rate < b.detection_rate
+            ):
+                return False
+    return True

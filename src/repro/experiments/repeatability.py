@@ -1,0 +1,102 @@
+"""Repeatability: §3.1's "repeated over 10 times, similar results".
+
+Runs the directional evaluation ten times per location with
+independent randomness (fading, shadowing, squitter jitter) and
+reports the spread of the headline statistics. The claim holds when
+the per-location spread is small relative to the separation *between*
+locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.directional import DirectionalEvaluator
+from repro.experiments.common import (
+    LOCATIONS,
+    World,
+    build_world,
+    format_table,
+)
+
+
+@dataclass
+class RepeatabilityRow:
+    """Spread of one location's statistics over repeated runs."""
+
+    location: str
+    n_runs: int
+    reception_rate_mean: float
+    reception_rate_std: float
+    max_range_mean_km: float
+    max_range_std_km: float
+
+    def separated_from(self, other: "RepeatabilityRow") -> bool:
+        """Whether the two locations' reception rates are disjoint
+        at +/-2 standard deviations (the 'similar results' criterion)."""
+        lo_self = self.reception_rate_mean - 2 * self.reception_rate_std
+        hi_self = self.reception_rate_mean + 2 * self.reception_rate_std
+        lo_other = (
+            other.reception_rate_mean - 2 * other.reception_rate_std
+        )
+        hi_other = (
+            other.reception_rate_mean + 2 * other.reception_rate_std
+        )
+        return hi_self < lo_other or hi_other < lo_self
+
+
+def run_repeatability(
+    n_runs: int = 10, world: Optional[World] = None, seed: int = 100
+) -> List[RepeatabilityRow]:
+    """Ten independent runs per location."""
+    if n_runs <= 1:
+        raise ValueError(f"need at least 2 runs: {n_runs}")
+    world = world or build_world()
+    rows: List[RepeatabilityRow] = []
+    for location in LOCATIONS:
+        node = world.node_at(location)
+        evaluator = DirectionalEvaluator(
+            node=node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        )
+        rates: List[float] = []
+        ranges: List[float] = []
+        for i in range(n_runs):
+            scan = evaluator.run(np.random.default_rng(seed + i))
+            rates.append(scan.reception_rate)
+            ranges.append(scan.max_received_range_km())
+        rows.append(
+            RepeatabilityRow(
+                location=location,
+                n_runs=n_runs,
+                reception_rate_mean=float(np.mean(rates)),
+                reception_rate_std=float(np.std(rates)),
+                max_range_mean_km=float(np.mean(ranges)),
+                max_range_std_km=float(np.std(ranges)),
+            )
+        )
+    return rows
+
+
+def format_rows(rows: List[RepeatabilityRow]) -> str:
+    return format_table(
+        [
+            "location",
+            "runs",
+            "reception rate",
+            "max range (km)",
+        ],
+        [
+            [
+                r.location,
+                r.n_runs,
+                f"{r.reception_rate_mean:.2f} +/- {r.reception_rate_std:.2f}",
+                f"{r.max_range_mean_km:.0f} +/- {r.max_range_std_km:.0f}",
+            ]
+            for r in rows
+        ],
+    )

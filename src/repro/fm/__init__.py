@@ -1,0 +1,31 @@
+"""FM broadcast substrate — an additional signal of opportunity.
+
+The paper's §5 ("RF sources") calls for "identifying and incorporating
+additional RF sources to enhance the comprehensiveness ... of the
+calibration techniques". FM broadcast (87.9-107.9 MHz) extends the
+frequency-response evaluation below the TV band: transmitters are
+ubiquitous, high-power, and their locations/frequencies are public.
+
+The measurement reuses the same GNU Radio-style chain as the TV meter,
+over a 200 kHz FM channel; the synthetic waveform is true wideband FM
+(constant envelope, 75 kHz deviation) of noise-like audio.
+"""
+
+from repro.fm.channels import (
+    FM_CHANNEL_SPACING_HZ,
+    fm_channel_center_hz,
+    fm_channel_for_freq,
+)
+from repro.fm.tower import FmTower
+from repro.fm.waveform import fm_waveform
+from repro.fm.meter import FmMeasurement, FmPowerMeter
+
+__all__ = [
+    "FM_CHANNEL_SPACING_HZ",
+    "fm_channel_center_hz",
+    "fm_channel_for_freq",
+    "FmTower",
+    "fm_waveform",
+    "FmMeasurement",
+    "FmPowerMeter",
+]

@@ -1,0 +1,41 @@
+"""The North American FM channel plan (FCC §73.201).
+
+Channels 200-300 at 200 kHz spacing: channel 200 is 87.9 MHz, channel
+300 is 107.9 MHz. Stations are conventionally named by frequency
+("94.7"), but the channel number is the canonical key.
+"""
+
+from __future__ import annotations
+
+#: FM channel spacing in North America.
+FM_CHANNEL_SPACING_HZ = 200e3
+
+#: FCC channel number range.
+FM_CHANNEL_MIN = 200
+FM_CHANNEL_MAX = 300
+
+#: Channel 200 center frequency.
+_CHANNEL_200_HZ = 87.9e6
+
+
+def fm_channel_center_hz(channel: int) -> float:
+    """Center frequency of an FCC FM channel number."""
+    if not FM_CHANNEL_MIN <= channel <= FM_CHANNEL_MAX:
+        raise ValueError(f"unknown FM channel: {channel}")
+    return _CHANNEL_200_HZ + (channel - FM_CHANNEL_MIN) * (
+        FM_CHANNEL_SPACING_HZ
+    )
+
+
+def fm_channel_for_freq(freq_hz: float) -> int:
+    """FCC channel number whose center is ``freq_hz``.
+
+    Raises ValueError for off-raster or out-of-band frequencies.
+    """
+    steps = (freq_hz - _CHANNEL_200_HZ) / FM_CHANNEL_SPACING_HZ
+    channel = FM_CHANNEL_MIN + int(round(steps))
+    if abs(steps - round(steps)) > 1e-6:
+        raise ValueError(f"{freq_hz} Hz is off the FM raster")
+    if not FM_CHANNEL_MIN <= channel <= FM_CHANNEL_MAX:
+        raise ValueError(f"{freq_hz} Hz is outside the FM band")
+    return channel

@@ -1,0 +1,108 @@
+"""FM channel-power measurement.
+
+Identical measurement philosophy to the paper's TV program: bandpass
+the 200 kHz channel, magnitude-square, long moving average, fixed SDR
+gain, dBFS output. Budget and full-IQ paths provided, like
+:class:`repro.tv.meter.TvPowerMeter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.power import ParsevalPowerMeter
+from repro.environment.links import direct_received_power_dbm
+from repro.environment.site import SiteEnvironment
+from repro.fm.tower import FmTower
+from repro.fm.waveform import FM_OCCUPIED_HZ, fm_waveform
+from repro.sdr.antenna import Antenna
+from repro.sdr.capture import CaptureSession
+from repro.sdr.frontend import SdrFrontEnd
+
+#: Capture sample rate for FM measurements.
+FM_SAMPLE_RATE_HZ = 1e6
+
+
+@dataclass(frozen=True)
+class FmMeasurement:
+    """One FM channel-power measurement."""
+
+    callsign: str
+    channel: int
+    freq_hz: float
+    power_dbfs: float
+    above_noise_db: float
+
+
+@dataclass
+class FmPowerMeter:
+    """Measures FM station power from one sensor node."""
+
+    env: SiteEnvironment
+    sdr: SdrFrontEnd
+    antenna: Antenna
+
+    def received_power_dbm(self, tower: FmTower) -> float:
+        """Median received channel power at the SDR input."""
+        return direct_received_power_dbm(
+            self.env,
+            tower.position,
+            tower.erp_dbm,
+            tower.center_freq_hz,
+            self.antenna,
+        )
+
+    def noise_dbfs(self) -> float:
+        """Receiver noise within the occupied bandwidth, in dBFS."""
+        noise_dbm = self.sdr.noise_floor_dbm(FM_OCCUPIED_HZ)
+        return self.sdr.input_dbm_to_dbfs(noise_dbm)
+
+    def measure_budget(self, tower: FmTower) -> FmMeasurement:
+        """Fast link-budget measurement."""
+        power_dbm = self.received_power_dbm(tower)
+        power_dbfs = self.sdr.input_dbm_to_dbfs(power_dbm)
+        return FmMeasurement(
+            callsign=tower.callsign,
+            channel=tower.channel,
+            freq_hz=tower.center_freq_hz,
+            power_dbfs=power_dbfs,
+            above_noise_db=power_dbfs - self.noise_dbfs(),
+        )
+
+    def measure_iq(
+        self,
+        tower: FmTower,
+        rng: np.random.Generator,
+        n_samples: int = 1 << 16,
+        sample_rate_hz: float = FM_SAMPLE_RATE_HZ,
+    ) -> FmMeasurement:
+        """Full-DSP measurement through the filter/averager chain."""
+        self.sdr.check_tune(tower.center_freq_hz)
+        session = CaptureSession(
+            sdr=self.sdr,
+            antenna=self.antenna,
+            center_freq_hz=tower.center_freq_hz,
+            sample_rate_hz=sample_rate_hz,
+        )
+        waveform = fm_waveform(rng, n_samples, sample_rate_hz)
+        power_dbm = self.received_power_dbm(tower)
+        capture = session.capture(
+            [(waveform, power_dbm)], rng, n_samples
+        )
+        half = FM_OCCUPIED_HZ / 2.0
+        meter = ParsevalPowerMeter(
+            sample_rate_hz=sample_rate_hz,
+            band_low_hz=-half,
+            band_high_hz=half,
+            average_window=max(n_samples // 2, 1024),
+        )
+        power_dbfs = meter.read_dbfs(capture.samples)
+        return FmMeasurement(
+            callsign=tower.callsign,
+            channel=tower.channel,
+            freq_hz=tower.center_freq_hz,
+            power_dbfs=power_dbfs,
+            above_noise_db=power_dbfs - self.noise_dbfs(),
+        )

@@ -1,0 +1,33 @@
+"""FM broadcast transmitter model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fm.channels import fm_channel_center_hz
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class FmTower:
+    """One FM broadcast station.
+
+    Attributes:
+        callsign: station callsign, for reports.
+        channel: FCC channel number (200-300).
+        position: transmitter site (altitude = radiation center).
+        erp_dbm: effective radiated power toward the horizon. Full
+            class B/C stations run 50-100 kW (77-80 dBm).
+    """
+
+    callsign: str
+    channel: int
+    position: GeoPoint
+    erp_dbm: float = 77.0
+
+    def __post_init__(self) -> None:
+        fm_channel_center_hz(self.channel)  # validates the channel
+
+    @property
+    def center_freq_hz(self) -> float:
+        return fm_channel_center_hz(self.channel)

@@ -1,0 +1,69 @@
+"""Synthetic wideband-FM baseband waveform.
+
+Real FM: constant-envelope, phase = integral of the audio, peak
+deviation 75 kHz, audio band-limited to 15 kHz (plus pilot/SCA
+subcarriers we fold into the noise-like program). By Carson's rule the
+occupied bandwidth is ~2*(75+15) = 180 kHz, inside the 200 kHz channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import design_lowpass_fir, fir_filter
+from repro.dsp.iq import frequency_shift
+
+#: Peak frequency deviation.
+FM_DEVIATION_HZ = 75e3
+
+#: Audio (modulating) bandwidth.
+FM_AUDIO_BW_HZ = 15e3
+
+#: Carson-rule occupied bandwidth.
+FM_OCCUPIED_HZ = 2.0 * (FM_DEVIATION_HZ + FM_AUDIO_BW_HZ)
+
+
+def fm_waveform(
+    rng: np.random.Generator,
+    n_samples: int,
+    sample_rate_hz: float,
+    channel_offset_hz: float = 0.0,
+) -> np.ndarray:
+    """Unit-power FM waveform at a baseband offset.
+
+    The program material is band-limited Gaussian noise, scaled so the
+    RMS deviation is ~FM_DEVIATION_HZ/3 (typical program loudness).
+    Constant envelope by construction: |x| = 1 everywhere.
+    """
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive: {n_samples}")
+    nyquist = sample_rate_hz / 2.0
+    if abs(channel_offset_hz) + FM_OCCUPIED_HZ / 2.0 >= nyquist:
+        raise ValueError(
+            f"FM channel at offset {channel_offset_hz} Hz does not "
+            f"fit in a {sample_rate_hz} Hz capture"
+        )
+    audio = rng.standard_normal(n_samples)
+    taps = design_lowpass_fir(
+        FM_AUDIO_BW_HZ, sample_rate_hz, 101
+    )
+    audio = fir_filter(taps, audio)
+    rms = float(np.sqrt(np.mean(audio**2)))
+    if rms <= 0.0:
+        raise RuntimeError("degenerate audio power")
+    audio = audio / rms  # unit RMS
+
+    deviation = FM_DEVIATION_HZ / 3.0  # RMS deviation
+    phase = (
+        2.0
+        * np.pi
+        * deviation
+        * np.cumsum(audio)
+        / sample_rate_hz
+    )
+    signal = np.exp(1j * phase)
+    if channel_offset_hz != 0.0:
+        signal = frequency_shift(
+            signal, channel_offset_hz, sample_rate_hz
+        )
+    return signal

@@ -1,0 +1,48 @@
+"""Geodesy substrate: coordinates, distances, bearings, and sector math.
+
+Everything the calibration pipeline needs to reason about where
+transmitters are relative to a sensor node: great-circle distance and
+bearing on a spherical Earth, local East-North-Up frames for slant
+geometry, and azimuth-sector arithmetic used by obstruction maps and
+field-of-view estimators.
+"""
+
+from repro.geo.coords import (
+    EARTH_RADIUS_M,
+    ENU,
+    GeoPoint,
+    geo_to_enu,
+    enu_to_geo,
+)
+from repro.geo.distance import (
+    haversine_m,
+    initial_bearing_deg,
+    destination_point,
+    slant_range_m,
+    elevation_angle_deg,
+    radio_horizon_m,
+)
+from repro.geo.sectors import (
+    AzimuthSector,
+    normalize_bearing,
+    bearing_difference,
+    sector_union_width,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "ENU",
+    "GeoPoint",
+    "geo_to_enu",
+    "enu_to_geo",
+    "haversine_m",
+    "initial_bearing_deg",
+    "destination_point",
+    "slant_range_m",
+    "elevation_angle_deg",
+    "radio_horizon_m",
+    "AzimuthSector",
+    "normalize_bearing",
+    "bearing_difference",
+    "sector_union_width",
+]

@@ -1,0 +1,106 @@
+"""Great-circle distance, bearing, and line-of-sight geometry."""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.coords import EARTH_RADIUS_M, GeoPoint
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle ground distance between two points, in meters.
+
+    Altitude is ignored; use :func:`slant_range_m` for the 3-D range.
+    """
+    dlat = b.lat_rad - a.lat_rad
+    dlon = b.lon_rad - a.lon_rad
+    sin_dlat = math.sin(dlat / 2.0)
+    sin_dlon = math.sin(dlon / 2.0)
+    h = (
+        sin_dlat * sin_dlat
+        + math.cos(a.lat_rad) * math.cos(b.lat_rad) * sin_dlon * sin_dlon
+    )
+    h = min(1.0, h)
+    return 2.0 * EARTH_RADIUS_M * math.asin(math.sqrt(h))
+
+
+def initial_bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial great-circle bearing from ``a`` to ``b`` in degrees.
+
+    0 = north, 90 = east, normalized to [0, 360).
+    """
+    dlon = b.lon_rad - a.lon_rad
+    x = math.sin(dlon) * math.cos(b.lat_rad)
+    y = math.cos(a.lat_rad) * math.sin(b.lat_rad) - math.sin(
+        a.lat_rad
+    ) * math.cos(b.lat_rad) * math.cos(dlon)
+    bearing = math.degrees(math.atan2(x, y))
+    return bearing % 360.0
+
+
+def destination_point(
+    start: GeoPoint, bearing_deg: float, distance_m: float
+) -> GeoPoint:
+    """Point reached by travelling ``distance_m`` along ``bearing_deg``.
+
+    Follows the great circle; altitude is carried over unchanged.
+    """
+    if distance_m < 0.0:
+        raise ValueError(f"distance must be non-negative: {distance_m}")
+    ang = distance_m / EARTH_RADIUS_M
+    brg = math.radians(bearing_deg)
+    sin_lat = math.sin(start.lat_rad) * math.cos(ang) + math.cos(
+        start.lat_rad
+    ) * math.sin(ang) * math.cos(brg)
+    sin_lat = max(-1.0, min(1.0, sin_lat))
+    lat2 = math.asin(sin_lat)
+    y = math.sin(brg) * math.sin(ang) * math.cos(start.lat_rad)
+    x = math.cos(ang) - math.sin(start.lat_rad) * sin_lat
+    lon2 = start.lon_rad + math.atan2(y, x)
+    return GeoPoint(math.degrees(lat2), math.degrees(lon2), start.alt_m)
+
+
+def slant_range_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Straight-line (3-D) distance between two points in meters."""
+    ground = haversine_m(a, b)
+    dalt = b.alt_m - a.alt_m
+    return math.hypot(ground, dalt)
+
+
+def radio_horizon_m(
+    antenna_height_m: float,
+    target_height_m: float = 0.0,
+    k_factor: float = 4.0 / 3.0,
+) -> float:
+    """Maximum line-of-sight range over a smooth Earth, in meters.
+
+    Uses the standard-atmosphere effective Earth radius (k = 4/3,
+    which bends VHF+ rays slightly around the curvature):
+    ``d = sqrt(2*k*R*h1) + sqrt(2*k*R*h2)``. For a ground station and
+    an aircraft at 12 km this is ~450 km — the physical ceiling on
+    ADS-B reception range used by the position-claim checks.
+    """
+    if antenna_height_m < 0.0 or target_height_m < 0.0:
+        raise ValueError("heights must be non-negative")
+    if k_factor <= 0.0:
+        raise ValueError(f"k factor must be positive: {k_factor}")
+    effective_radius = k_factor * EARTH_RADIUS_M
+    return math.sqrt(
+        2.0 * effective_radius * antenna_height_m
+    ) + math.sqrt(2.0 * effective_radius * target_height_m)
+
+
+def elevation_angle_deg(observer: GeoPoint, target: GeoPoint) -> float:
+    """Elevation angle of ``target`` above ``observer``'s horizontal.
+
+    Positive when the target is above the observer's local horizon
+    plane. Ignores Earth curvature drop, which is ≤0.8° at 100 km —
+    small relative to the sector resolution used by obstruction maps.
+    """
+    ground = haversine_m(observer, target)
+    dalt = target.alt_m - observer.alt_m
+    if ground == 0.0:
+        if dalt == 0.0:
+            return 0.0
+        return 90.0 if dalt > 0 else -90.0
+    return math.degrees(math.atan2(dalt, ground))

@@ -1,0 +1,31 @@
+"""Sensor-node substrate: the thing being calibrated.
+
+A :class:`SensorNode` is one crowd-sourced station — SDR + antenna +
+host at an installation site — together with the *claims* its operator
+makes about it (location, coverage, indoor/outdoor). Since operators
+are paid, some lie: :mod:`repro.node.fabrication` provides adversary
+models that fabricate observations, which the network-level trust
+checks in :mod:`repro.core.network` must catch.
+"""
+
+from repro.node.sensor import SensorNode
+from repro.node.claims import NodeClaims
+from repro.node.fabrication import (
+    FabricationStrategy,
+    HonestReporter,
+    OmniscientFabricator,
+    ReplayFabricator,
+    GhostTrafficFabricator,
+    apply_fabrication,
+)
+
+__all__ = [
+    "SensorNode",
+    "NodeClaims",
+    "FabricationStrategy",
+    "HonestReporter",
+    "OmniscientFabricator",
+    "ReplayFabricator",
+    "GhostTrafficFabricator",
+    "apply_fabrication",
+]

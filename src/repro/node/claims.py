@@ -1,0 +1,77 @@
+"""Operator claims about a node.
+
+In the rentable-sensor model (and in CBRS self-reporting, §3.3) the
+operator declares the node's location, frequency coverage, and
+installation situation. The calibration pipeline's job is to verify
+these claims from signals alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.geo.coords import GeoPoint
+
+if TYPE_CHECKING:
+    from repro.node.sensor import SensorNode
+
+
+@dataclass(frozen=True)
+class NodeClaims:
+    """What an operator declares about a node.
+
+    Attributes:
+        position: claimed installation location.
+        min_freq_hz / max_freq_hz: claimed usable frequency range.
+        outdoor: claimed outdoor installation.
+        unobstructed: claimed full-sky field of view.
+    """
+
+    position: GeoPoint
+    min_freq_hz: float
+    max_freq_hz: float
+    outdoor: bool
+    unobstructed: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_freq_hz < self.max_freq_hz:
+            raise ValueError(
+                f"bad claimed range [{self.min_freq_hz}, {self.max_freq_hz}]"
+            )
+
+    @classmethod
+    def honest(cls, node: "SensorNode") -> "NodeClaims":
+        """Claims that match the node's ground truth."""
+        env = node.environment
+        open_width = sum(
+            s.width_deg
+            for s in env.obstruction_map.clear_sectors(elevation_deg=5.0)
+        )
+        min_freq = max(node.sdr.min_freq_hz, node.antenna.low_hz)
+        max_freq = min(node.sdr.max_freq_hz, node.antenna.high_hz)
+        if min_freq >= max_freq:
+            # Mismatched hardware (antenna band disjoint from the SDR's
+            # tuning range): the operator can only state the SDR range;
+            # claim verification will then flag the dead bands.
+            min_freq = node.sdr.min_freq_hz
+            max_freq = node.sdr.max_freq_hz
+        return cls(
+            position=env.position,
+            min_freq_hz=min_freq,
+            max_freq_hz=max_freq,
+            outdoor=env.is_outdoor,
+            unobstructed=open_width >= 355.0,
+        )
+
+    @classmethod
+    def inflated(cls, node: "SensorNode") -> "NodeClaims":
+        """The claims a profit-motivated operator might make: a
+        perfect outdoor, unobstructed, full-SDR-range installation."""
+        return cls(
+            position=node.environment.position,
+            min_freq_hz=node.sdr.min_freq_hz,
+            max_freq_hz=node.sdr.max_freq_hz,
+            outdoor=True,
+            unobstructed=True,
+        )

@@ -1,0 +1,162 @@
+"""Adversary models: operators who fabricate sensor data.
+
+Node operators are paid for sensing services, so there is "a potential
+incentive to provide fabricated or incorrect data in order to receive
+reimbursement" (§1). These strategies transform an honest node's
+directional scan into what a cheating operator would upload; the trust
+checks in :mod:`repro.core.network` are scored against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Protocol
+
+import numpy as np
+
+from repro.adsb.icao import random_icao
+from repro.core.observations import DirectionalScan
+
+
+class FabricationStrategy(Protocol):
+    """Transforms an honest scan into the reported (possibly fake) one."""
+
+    def fabricate(
+        self, honest: DirectionalScan, rng: np.random.Generator
+    ) -> DirectionalScan:
+        """Return the scan as the operator would report it."""
+        ...
+
+
+@dataclass
+class HonestReporter:
+    """Reports the scan unchanged."""
+
+    def fabricate(
+        self, honest: DirectionalScan, rng: np.random.Generator
+    ) -> DirectionalScan:
+        return honest
+
+
+@dataclass
+class OmniscientFabricator:
+    """Claims every ground-truth aircraft was received.
+
+    Models an operator who scrapes the same public flight tracker the
+    verifier uses and replays it as "decoded" data. They cannot know
+    true per-message RSSI, so they report a constant plausible value —
+    which is what the RSSI-vs-distance plausibility check catches.
+
+    Attributes:
+        fake_rssi_dbfs: the constant RSSI reported for every aircraft.
+    """
+
+    fake_rssi_dbfs: float = -32.0
+
+    def fabricate(
+        self, honest: DirectionalScan, rng: np.random.Generator
+    ) -> DirectionalScan:
+        faked = [
+            replace(
+                obs,
+                received=True,
+                n_messages=max(obs.n_messages, 40),
+                mean_rssi_dbfs=self.fake_rssi_dbfs
+                + float(rng.normal(0.0, 0.5)),
+            )
+            for obs in honest.observations
+        ]
+        return DirectionalScan(
+            node_id=honest.node_id,
+            duration_s=honest.duration_s,
+            radius_m=honest.radius_m,
+            observations=faked,
+            decoded_message_count=sum(o.n_messages for o in faked),
+            ghost_icaos=[],
+        )
+
+
+@dataclass
+class ReplayFabricator:
+    """Replays a scan recorded elsewhere (or at another time).
+
+    The replayed aircraft do not match the current ground truth, so
+    they surface as ghosts; the current traffic goes unreported.
+
+    Attributes:
+        donor: the previously recorded scan being replayed.
+    """
+
+    donor: DirectionalScan
+
+    def fabricate(
+        self, honest: DirectionalScan, rng: np.random.Generator
+    ) -> DirectionalScan:
+        current_icaos = {o.icao for o in honest.observations}
+        ghosts = [
+            o.icao
+            for o in self.donor.observations
+            if o.received and o.icao not in current_icaos
+        ]
+        # Aircraft that appear in both pictures (rare) stay received.
+        donor_received = {
+            o.icao for o in self.donor.observations if o.received
+        }
+        observations = [
+            replace(
+                obs,
+                received=obs.icao in donor_received,
+                n_messages=40 if obs.icao in donor_received else 0,
+                mean_rssi_dbfs=(
+                    -35.0 if obs.icao in donor_received else None
+                ),
+            )
+            for obs in honest.observations
+        ]
+        return DirectionalScan(
+            node_id=honest.node_id,
+            duration_s=honest.duration_s,
+            radius_m=honest.radius_m,
+            observations=observations,
+            decoded_message_count=40 * len(donor_received),
+            ghost_icaos=ghosts,
+        )
+
+
+@dataclass
+class GhostTrafficFabricator:
+    """Pads the honest scan with invented aircraft.
+
+    A lazier adversary who reports real decodes plus made-up traffic
+    to look more sensitive than they are.
+
+    Attributes:
+        n_ghosts: how many fake aircraft to invent.
+    """
+
+    n_ghosts: int = 20
+
+    def fabricate(
+        self, honest: DirectionalScan, rng: np.random.Generator
+    ) -> DirectionalScan:
+        if self.n_ghosts < 0:
+            raise ValueError(f"n_ghosts must be >= 0: {self.n_ghosts}")
+        ghosts = [random_icao(rng) for _ in range(self.n_ghosts)]
+        return DirectionalScan(
+            node_id=honest.node_id,
+            duration_s=honest.duration_s,
+            radius_m=honest.radius_m,
+            observations=list(honest.observations),
+            decoded_message_count=honest.decoded_message_count
+            + 40 * self.n_ghosts,
+            ghost_icaos=list(honest.ghost_icaos) + ghosts,
+        )
+
+
+def apply_fabrication(
+    strategy: FabricationStrategy,
+    honest: DirectionalScan,
+    rng: np.random.Generator,
+) -> DirectionalScan:
+    """Run a strategy; exists so call sites read uniformly."""
+    return strategy.fabricate(honest, rng)

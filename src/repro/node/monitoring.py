@@ -1,0 +1,270 @@
+"""The rented service: spectrum monitoring from a sensor node.
+
+This is what users pay node operators for (§2): tune a band, capture
+IQ, compute the PSD, and report which channels are occupied. It is
+also why calibration matters — an indoor node simply cannot see the
+high-band emissions a renter cares about, and the calibration report
+predicts exactly that.
+
+:class:`SpectrumMonitor` runs the full physical path: every known
+transmitter whose signal lands in the tuned band is synthesized at its
+propagated receive power (through the node's obstruction map), the
+capture is digitized by the SDR model, and detection happens on the
+Welch PSD alone — the monitor never peeks at the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import math
+
+from repro.cellular.tower import RE_PER_RB, CellTower
+from repro.dsp.filters import design_lowpass_fir, fir_filter
+from repro.dsp.psd import OccupiedBand, detect_occupied_bands, welch_psd
+from repro.environment.links import direct_received_power_dbm
+from repro.fm.tower import FmTower
+from repro.fm.waveform import fm_waveform
+from repro.node.sensor import SensorNode
+from repro.sdr.capture import CaptureSession
+from repro.tv.tower import TvTower
+from repro.tv.waveform import atsc_waveform
+
+#: LTE resource-block bandwidth (12 x 15 kHz subcarriers).
+_RB_BANDWIDTH_HZ = 180e3
+
+
+def lte_like_waveform(
+    rng: np.random.Generator,
+    n_samples: int,
+    sample_rate_hz: float,
+    occupied_hz: float,
+    channel_offset_hz: float = 0.0,
+) -> np.ndarray:
+    """Unit-power OFDM-like downlink: band-limited Gaussian noise.
+
+    For energy detection an LTE carrier is spectrally flat noise over
+    its occupied bandwidth; no subcarrier structure is needed.
+    """
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive: {n_samples}")
+    half = occupied_hz / 2.0
+    if abs(channel_offset_hz) + half >= sample_rate_hz / 2.0:
+        raise ValueError("LTE carrier does not fit in the capture")
+    noise = (
+        rng.standard_normal(n_samples)
+        + 1j * rng.standard_normal(n_samples)
+    ) / np.sqrt(2.0)
+    taps = design_lowpass_fir(half, sample_rate_hz, 129)
+    shaped = fir_filter(taps, noise)
+    power = float(np.mean(np.abs(shaped) ** 2))
+    if power <= 0.0:
+        raise RuntimeError("degenerate shaped-noise power")
+    shaped = shaped / np.sqrt(power)
+    if channel_offset_hz != 0.0:
+        from repro.dsp.iq import frequency_shift
+
+        shaped = frequency_shift(
+            shaped, channel_offset_hz, sample_rate_hz
+        )
+    return shaped
+
+
+@dataclass(frozen=True)
+class MonitoredEmitter:
+    """One known transmitter, for scoring detections (ground truth)."""
+
+    label: str
+    freq_hz: float
+    kind: str  # "tv" or "fm"
+
+
+@dataclass
+class SpectrumReport:
+    """One monitoring capture's result.
+
+    Attributes:
+        center_freq_hz: tuned center.
+        sample_rate_hz: capture bandwidth.
+        detections: occupied bands found in the PSD (baseband-relative
+            edges).
+        truth: transmitters actually present in the band.
+    """
+
+    center_freq_hz: float
+    sample_rate_hz: float
+    detections: List[OccupiedBand] = field(default_factory=list)
+    truth: List[MonitoredEmitter] = field(default_factory=list)
+
+    def detected_labels(self, tolerance_hz: float = 150e3) -> List[str]:
+        """Truth emitters matched by at least one detection."""
+        out = []
+        for emitter in self.truth:
+            offset = emitter.freq_hz - self.center_freq_hz
+            for band in self.detections:
+                if (
+                    band.low_hz - tolerance_hz
+                    <= offset
+                    <= band.high_hz + tolerance_hz
+                ):
+                    out.append(emitter.label)
+                    break
+        return out
+
+    def detection_rate(self) -> float:
+        """Fraction of in-band transmitters actually detected."""
+        if not self.truth:
+            return 0.0
+        return len(self.detected_labels()) / len(self.truth)
+
+
+@dataclass
+class SpectrumMonitor:
+    """Runs monitoring captures from one node.
+
+    Attributes:
+        node: the sensor providing the service.
+        tv_towers / fm_towers / cell_towers: known transmitters (used
+            to synthesize the physical world in the band and to score
+            detections).
+    """
+
+    node: SensorNode
+    tv_towers: Sequence[TvTower] = ()
+    fm_towers: Sequence[FmTower] = ()
+    cell_towers: Sequence[CellTower] = ()
+
+    def _emitters_in_band(
+        self, center_hz: float, sample_rate_hz: float
+    ) -> List[Tuple[MonitoredEmitter, object]]:
+        half = sample_rate_hz / 2.0
+        out = []
+        for tower in self.tv_towers:
+            if abs(tower.center_freq_hz - center_hz) < half * 0.85:
+                out.append(
+                    (
+                        MonitoredEmitter(
+                            tower.callsign, tower.center_freq_hz, "tv"
+                        ),
+                        tower,
+                    )
+                )
+        for tower in self.fm_towers:
+            if abs(tower.center_freq_hz - center_hz) < half * 0.95:
+                out.append(
+                    (
+                        MonitoredEmitter(
+                            tower.callsign, tower.center_freq_hz, "fm"
+                        ),
+                        tower,
+                    )
+                )
+        for tower in self.cell_towers:
+            occupied = tower.bandwidth_rb * _RB_BANDWIDTH_HZ
+            if (
+                abs(tower.downlink_freq_hz - center_hz)
+                < half - occupied / 2.0
+            ):
+                out.append(
+                    (
+                        MonitoredEmitter(
+                            tower.tower_id,
+                            tower.downlink_freq_hz,
+                            "lte",
+                        ),
+                        tower,
+                    )
+                )
+        return out
+
+    def capture_and_detect(
+        self,
+        center_freq_hz: float,
+        sample_rate_hz: float,
+        rng: np.random.Generator,
+        n_samples: int = 1 << 16,
+        threshold_db: float = 6.0,
+    ) -> SpectrumReport:
+        """One monitoring capture: synthesize, digitize, detect."""
+        self.node.sdr.check_tune(center_freq_hz)
+        session = CaptureSession(
+            sdr=self.node.sdr,
+            antenna=self.node.antenna,
+            center_freq_hz=center_freq_hz,
+            sample_rate_hz=sample_rate_hz,
+        )
+        emitters = self._emitters_in_band(
+            center_freq_hz, sample_rate_hz
+        )
+        signals = []
+        truth = []
+        for emitter, tower in emitters:
+            truth.append(emitter)
+            offset = emitter.freq_hz - center_freq_hz
+            if emitter.kind == "lte":
+                # Total carrier EIRP: per-RE EIRP plus the RE count.
+                n_re = tower.bandwidth_rb * RE_PER_RB
+                eirp = tower.eirp_per_re_dbm() + 10.0 * math.log10(
+                    n_re
+                )
+            else:
+                eirp = tower.erp_dbm
+            power_dbm = direct_received_power_dbm(
+                self.node.environment,
+                tower.position,
+                eirp,
+                emitter.freq_hz,
+                self.node.antenna,
+            )
+            if emitter.kind == "tv":
+                waveform = atsc_waveform(
+                    rng, n_samples, sample_rate_hz, offset
+                )
+            elif emitter.kind == "fm":
+                waveform = fm_waveform(
+                    rng, n_samples, sample_rate_hz, offset
+                )
+            else:
+                waveform = lte_like_waveform(
+                    rng,
+                    n_samples,
+                    sample_rate_hz,
+                    tower.bandwidth_rb * _RB_BANDWIDTH_HZ,
+                    offset,
+                )
+            signals.append((waveform, power_dbm))
+        capture = session.capture(signals, rng, n_samples)
+        freqs, psd = welch_psd(
+            capture.samples, sample_rate_hz, nperseg=1024
+        )
+        detections = detect_occupied_bands(
+            freqs, psd, threshold_db=threshold_db
+        )
+        return SpectrumReport(
+            center_freq_hz=center_freq_hz,
+            sample_rate_hz=sample_rate_hz,
+            detections=detections,
+            truth=truth,
+        )
+
+    def survey(
+        self,
+        centers_hz: Sequence[float],
+        sample_rate_hz: float,
+        rng: np.random.Generator,
+        n_samples: int = 1 << 16,
+    ) -> List[SpectrumReport]:
+        """Monitoring captures over several tuned centers."""
+        reports: List[SpectrumReport] = []
+        for center in centers_hz:
+            if not self.node.sdr.can_tune(center):
+                continue
+            reports.append(
+                self.capture_and_detect(
+                    center, sample_rate_hz, rng, n_samples
+                )
+            )
+        return reports

@@ -1,0 +1,54 @@
+"""The sensor node: SDR + antenna + host at an installation site."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.environment.site import SiteEnvironment
+from repro.geo.coords import GeoPoint
+from repro.node.claims import NodeClaims
+from repro.sdr.antenna import WIDEBAND_700_2700, Antenna
+from repro.sdr.frontend import BLADERF_XA9, SdrFrontEnd
+
+
+@dataclass
+class SensorNode:
+    """One spectrum-sensor station in the crowd-sourced network.
+
+    Attributes:
+        node_id: unique identifier within the network.
+        environment: ground-truth installation site (the simulation
+            propagates signals through this; the calibration pipeline
+            treats it as unknown).
+        sdr: receiver front end.
+        antenna: receive antenna.
+        claims: what the operator *says* about this node; defaults to
+            honest claims derived from the ground truth.
+    """
+
+    node_id: str
+    environment: SiteEnvironment
+    sdr: SdrFrontEnd = field(default_factory=lambda: BLADERF_XA9)
+    antenna: Antenna = field(default_factory=lambda: WIDEBAND_700_2700)
+    claims: Optional[NodeClaims] = None
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("node_id must be non-empty")
+        if self.claims is None:
+            self.claims = NodeClaims.honest(self)
+
+    @property
+    def position(self) -> GeoPoint:
+        """The node's true position."""
+        return self.environment.position
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.node_id}: {self.sdr.name} + antenna "
+            f"{self.antenna.low_hz / 1e6:.0f}-"
+            f"{self.antenna.high_hz / 1e6:.0f} MHz at "
+            f"{self.environment.name}"
+        )

@@ -1,0 +1,72 @@
+"""RF physics substrate: units, noise, path loss, fading, link budgets.
+
+This package provides the physical-layer arithmetic the whole
+simulation rests on. Every model here is a standard textbook model
+(free-space Friis, log-distance, single knife-edge diffraction, ITU-R
+P.2109-style building entry loss, log-normal shadowing) chosen so the
+calibration pipeline sees the same qualitative behaviour the paper's
+real testbed saw.
+"""
+
+from repro.rf.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watts,
+    watts_to_dbm,
+    dbm_to_dbfs,
+    dbfs_to_dbm,
+    wavelength_m,
+)
+from repro.rf.noise import (
+    BOLTZMANN_J_PER_K,
+    thermal_noise_dbm,
+    noise_floor_dbm,
+    snr_db,
+)
+from repro.rf.pathloss import (
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    two_ray_path_loss_db,
+)
+from repro.rf.diffraction import (
+    fresnel_v,
+    knife_edge_loss_db,
+)
+from repro.rf.penetration import (
+    building_entry_loss_db,
+    MATERIAL_LOSS_DB,
+    material_loss_db,
+)
+from repro.rf.fading import (
+    lognormal_shadowing_db,
+    rician_fading_db,
+    rayleigh_fading_db,
+)
+from repro.rf.link import LinkBudget, received_power_dbm
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "dbm_to_dbfs",
+    "dbfs_to_dbm",
+    "wavelength_m",
+    "BOLTZMANN_J_PER_K",
+    "thermal_noise_dbm",
+    "noise_floor_dbm",
+    "snr_db",
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "two_ray_path_loss_db",
+    "fresnel_v",
+    "knife_edge_loss_db",
+    "building_entry_loss_db",
+    "MATERIAL_LOSS_DB",
+    "material_loss_db",
+    "lognormal_shadowing_db",
+    "rician_fading_db",
+    "rayleigh_fading_db",
+    "LinkBudget",
+    "received_power_dbm",
+]

@@ -1,0 +1,47 @@
+"""Single knife-edge diffraction loss (ITU-R P.526 approximation).
+
+Obstruction maps convert "a building blocks this bearing by h meters
+above the ray" into a frequency-dependent extra loss through this
+model. Higher frequencies diffract less, which is exactly the effect
+the paper measures in Figures 3 and 4: the same physical obstruction
+costs more dB at 2.6 GHz than at 700 MHz.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.rf.units import wavelength_m
+
+
+def fresnel_v(
+    obstacle_height_m: float,
+    dist_tx_m: float,
+    dist_rx_m: float,
+    freq_hz: float,
+) -> float:
+    """Fresnel-Kirchhoff diffraction parameter ``v``.
+
+    ``obstacle_height_m`` is the height of the knife edge above the
+    straight line between transmitter and receiver (negative when the
+    edge is below the line, i.e. the path is clear).
+    """
+    if dist_tx_m <= 0.0 or dist_rx_m <= 0.0:
+        raise ValueError("edge-to-endpoint distances must be positive")
+    lam = wavelength_m(freq_hz)
+    return obstacle_height_m * math.sqrt(
+        2.0 * (dist_tx_m + dist_rx_m) / (lam * dist_tx_m * dist_rx_m)
+    )
+
+
+def knife_edge_loss_db(v: float) -> float:
+    """Diffraction loss for Fresnel parameter ``v``.
+
+    Uses the ITU-R P.526 closed-form approximation
+    ``J(v) = 6.9 + 20 log10(sqrt((v-0.1)^2 + 1) + v - 0.1)`` for
+    v > -0.78 and zero loss below (unobstructed path).
+    """
+    if v <= -0.78:
+        return 0.0
+    term = math.sqrt((v - 0.1) ** 2 + 1.0) + v - 0.1
+    return 6.9 + 20.0 * math.log10(term)

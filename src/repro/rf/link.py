@@ -1,0 +1,69 @@
+"""End-to-end link-budget computation.
+
+A :class:`LinkBudget` collects every gain/loss term on a path from a
+transmitter to a receiver's ADC; :func:`received_power_dbm` is the
+single place where they are summed, so every subsystem (ADS-B,
+cellular, TV) computes received power identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class LinkBudget:
+    """Itemized link budget, all terms in dB/dBm.
+
+    Attributes:
+        tx_power_dbm: transmitter output power.
+        tx_antenna_gain_dbi: transmit antenna gain toward the receiver.
+        path_loss_db: propagation loss (positive number).
+        obstruction_loss_db: extra loss from obstructions/penetration.
+        fading_db: fading gain (signed; negative is a fade).
+        rx_antenna_gain_dbi: receive antenna gain toward the transmitter.
+        cable_loss_db: feedline loss at the receiver (positive number).
+        extras_db: named additional signed gain terms for bookkeeping.
+    """
+
+    tx_power_dbm: float
+    tx_antenna_gain_dbi: float = 0.0
+    path_loss_db: float = 0.0
+    obstruction_loss_db: float = 0.0
+    fading_db: float = 0.0
+    rx_antenna_gain_dbi: float = 0.0
+    cable_loss_db: float = 0.0
+    extras_db: Dict[str, float] = field(default_factory=dict)
+
+    def received_power_dbm(self) -> float:
+        """Power at the receiver input (before SDR gain)."""
+        total = (
+            self.tx_power_dbm
+            + self.tx_antenna_gain_dbi
+            - self.path_loss_db
+            - self.obstruction_loss_db
+            + self.fading_db
+            + self.rx_antenna_gain_dbi
+            - self.cable_loss_db
+        )
+        return total + sum(self.extras_db.values())
+
+    def itemized(self) -> Dict[str, float]:
+        """All terms by name, for reports and debugging."""
+        items = {
+            "tx_power_dbm": self.tx_power_dbm,
+            "tx_antenna_gain_dbi": self.tx_antenna_gain_dbi,
+            "path_loss_db": -self.path_loss_db,
+            "obstruction_loss_db": -self.obstruction_loss_db,
+            "fading_db": self.fading_db,
+            "rx_antenna_gain_dbi": self.rx_antenna_gain_dbi,
+            "cable_loss_db": -self.cable_loss_db,
+        }
+        items.update(self.extras_db)
+        return items
+
+
+def received_power_dbm(budget: LinkBudget) -> float:
+    """Functional alias for :meth:`LinkBudget.received_power_dbm`."""
+    return budget.received_power_dbm()

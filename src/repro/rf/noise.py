@@ -1,0 +1,44 @@
+"""Thermal noise and receiver noise-floor arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant, J/K.
+BOLTZMANN_J_PER_K = 1.380649e-23
+
+#: Standard reference temperature for noise calculations, kelvin.
+REFERENCE_TEMPERATURE_K = 290.0
+
+
+def thermal_noise_dbm(
+    bandwidth_hz: float, temperature_k: float = REFERENCE_TEMPERATURE_K
+) -> float:
+    """Thermal noise power kTB in dBm for a given bandwidth.
+
+    At 290 K this is the familiar -174 dBm/Hz + 10*log10(B).
+    """
+    if bandwidth_hz <= 0.0:
+        raise ValueError(f"bandwidth must be positive: {bandwidth_hz}")
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive: {temperature_k}")
+    watts = BOLTZMANN_J_PER_K * temperature_k * bandwidth_hz
+    return 10.0 * math.log10(watts) + 30.0
+
+
+def noise_floor_dbm(
+    bandwidth_hz: float,
+    noise_figure_db: float,
+    temperature_k: float = REFERENCE_TEMPERATURE_K,
+) -> float:
+    """Receiver noise floor: thermal noise degraded by the noise figure."""
+    if noise_figure_db < 0.0:
+        raise ValueError(
+            f"noise figure cannot be negative: {noise_figure_db}"
+        )
+    return thermal_noise_dbm(bandwidth_hz, temperature_k) + noise_figure_db
+
+
+def snr_db(signal_dbm: float, noise_dbm: float) -> float:
+    """Signal-to-noise ratio in dB."""
+    return signal_dbm - noise_dbm

@@ -1,0 +1,68 @@
+"""Path-loss models: free-space, log-distance, two-ray ground."""
+
+from __future__ import annotations
+
+import math
+
+from repro.rf.units import wavelength_m
+
+
+def free_space_path_loss_db(distance_m: float, freq_hz: float) -> float:
+    """Friis free-space path loss in dB.
+
+    FSPL = 20 log10(4 pi d / lambda). Distances below one wavelength
+    are clamped to one wavelength so near-field geometries do not
+    produce negative loss.
+    """
+    if distance_m < 0.0:
+        raise ValueError(f"distance must be non-negative: {distance_m}")
+    lam = wavelength_m(freq_hz)
+    d = max(distance_m, lam)
+    return 20.0 * math.log10(4.0 * math.pi * d / lam)
+
+
+def log_distance_path_loss_db(
+    distance_m: float,
+    freq_hz: float,
+    exponent: float = 2.0,
+    reference_m: float = 1.0,
+) -> float:
+    """Log-distance path loss with configurable exponent.
+
+    Free-space loss up to ``reference_m``, then ``10*n*log10(d/d0)``
+    beyond it. Exponents of 2.7-3.5 model urban macro links; the
+    simulation uses ~2.0-2.2 for elevated LoS links like ADS-B.
+    """
+    if exponent <= 0.0:
+        raise ValueError(f"path-loss exponent must be positive: {exponent}")
+    if reference_m <= 0.0:
+        raise ValueError(f"reference distance must be positive: {reference_m}")
+    if distance_m < 0.0:
+        raise ValueError(f"distance must be non-negative: {distance_m}")
+    ref_loss = free_space_path_loss_db(reference_m, freq_hz)
+    d = max(distance_m, reference_m)
+    return ref_loss + 10.0 * exponent * math.log10(d / reference_m)
+
+
+def two_ray_path_loss_db(
+    distance_m: float,
+    freq_hz: float,
+    tx_height_m: float,
+    rx_height_m: float,
+) -> float:
+    """Two-ray ground-reflection path loss.
+
+    Below the crossover distance ``4*pi*ht*hr/lambda`` this reduces to
+    free space; beyond it the loss follows 40 log10(d) independent of
+    frequency. Used for low tower-to-ground links.
+    """
+    if tx_height_m <= 0.0 or rx_height_m <= 0.0:
+        raise ValueError("antenna heights must be positive")
+    lam = wavelength_m(freq_hz)
+    crossover = 4.0 * math.pi * tx_height_m * rx_height_m / lam
+    if distance_m <= crossover:
+        return free_space_path_loss_db(distance_m, freq_hz)
+    d = distance_m
+    return 40.0 * math.log10(d) - 20.0 * math.log10(
+        tx_height_m * rx_height_m
+    )

@@ -1,0 +1,59 @@
+"""RF unit conversions: dB, dBm, watts, dBFS, wavelength."""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum, m/s.
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in dB to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises ValueError for non-positive ratios rather than returning
+    -inf silently; callers that want a floor should clamp first.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be positive: {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert power in dBm to watts."""
+    return 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert power in watts to dBm."""
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive: {watts}")
+    return 10.0 * math.log10(watts) + 30.0
+
+
+def dbm_to_dbfs(power_dbm: float, full_scale_dbm: float) -> float:
+    """Express an absolute power relative to an ADC's full scale.
+
+    ``full_scale_dbm`` is the input power that produces a full-scale
+    digital sample after the receiver's fixed gain. The paper's TV
+    experiment reports received signal strength in dBFS because SDRs
+    are not absolutely calibrated.
+    """
+    return power_dbm - full_scale_dbm
+
+
+def dbfs_to_dbm(power_dbfs: float, full_scale_dbm: float) -> float:
+    """Inverse of :func:`dbm_to_dbfs`."""
+    return power_dbfs + full_scale_dbm
+
+
+def wavelength_m(freq_hz: float) -> float:
+    """Wavelength in meters for a carrier frequency in Hz."""
+    if freq_hz <= 0.0:
+        raise ValueError(f"frequency must be positive: {freq_hz}")
+    return SPEED_OF_LIGHT_M_S / freq_hz

@@ -1,0 +1,21 @@
+"""SDR substrate: receiver front-end and antenna models.
+
+Models the paper's hardware — a BladeRF xA9 SDR driven through a
+700-2700 MHz wide-band antenna — at the level the calibration
+arithmetic needs: tuning-range checks, noise figure, fixed gain,
+full-scale (dBFS) reference, and antenna gain versus frequency
+including out-of-band rolloff.
+"""
+
+from repro.sdr.antenna import Antenna, WIDEBAND_700_2700
+from repro.sdr.frontend import SdrFrontEnd, BLADERF_XA9, TuningError
+from repro.sdr.capture import CaptureSession
+
+__all__ = [
+    "Antenna",
+    "WIDEBAND_700_2700",
+    "SdrFrontEnd",
+    "BLADERF_XA9",
+    "TuningError",
+    "CaptureSession",
+]

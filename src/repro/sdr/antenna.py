@@ -1,0 +1,67 @@
+"""Antenna gain model.
+
+A real wide-band antenna has roughly flat gain inside its rated band
+and rolls off outside it — it still receives strong out-of-band
+signals (the paper measured 213 MHz TV on a 700-2700 MHz antenna),
+just with reduced efficiency. We model that with a per-octave rolloff
+outside the rated edges plus an optional azimuth gain pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """An antenna with a rated band and out-of-band rolloff.
+
+    Attributes:
+        low_hz / high_hz: rated band edges.
+        gain_dbi: in-band peak gain.
+        rolloff_db_per_octave: gain slope outside the rated band.
+        azimuth_pattern: optional function bearing_deg -> relative gain
+            in dB (0 for omni); lets experiments model directional
+            antennas without subclassing.
+    """
+
+    low_hz: float
+    high_hz: float
+    gain_dbi: float = 2.0
+    rolloff_db_per_octave: float = 9.0
+    azimuth_pattern: Optional[Callable[[float], float]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low_hz < self.high_hz:
+            raise ValueError(
+                f"bad antenna band: [{self.low_hz}, {self.high_hz}]"
+            )
+        if self.rolloff_db_per_octave < 0.0:
+            raise ValueError(
+                f"rolloff must be >= 0: {self.rolloff_db_per_octave}"
+            )
+
+    def in_band(self, freq_hz: float) -> bool:
+        """Whether a frequency is inside the rated band."""
+        return self.low_hz <= freq_hz <= self.high_hz
+
+    def gain_at(self, freq_hz: float, bearing_deg: float = 0.0) -> float:
+        """Effective gain in dBi toward ``bearing_deg`` at ``freq_hz``."""
+        if freq_hz <= 0.0:
+            raise ValueError(f"frequency must be positive: {freq_hz}")
+        gain = self.gain_dbi
+        if freq_hz < self.low_hz:
+            octaves = math.log2(self.low_hz / freq_hz)
+            gain -= self.rolloff_db_per_octave * octaves
+        elif freq_hz > self.high_hz:
+            octaves = math.log2(freq_hz / self.high_hz)
+            gain -= self.rolloff_db_per_octave * octaves
+        if self.azimuth_pattern is not None:
+            gain += self.azimuth_pattern(bearing_deg % 360.0)
+        return gain
+
+
+#: The 700-2700 MHz wide-band antenna used in the paper's testbed.
+WIDEBAND_700_2700 = Antenna(low_hz=700e6, high_hz=2700e6, gain_dbi=2.0)

@@ -1,0 +1,99 @@
+"""SDR receiver front-end model.
+
+Captures the receiver properties the calibration pipeline depends on:
+tuning range (a node can only be evaluated at frequencies its SDR can
+reach), noise figure (sets the decode floor), fixed RF gain, and the
+full-scale reference that converts absolute input power into the dBFS
+numbers the paper's TV experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rf.noise import noise_floor_dbm
+from repro.rf.units import dbm_to_dbfs
+
+
+class TuningError(ValueError):
+    """Requested frequency is outside the SDR's tuning range."""
+
+
+@dataclass(frozen=True)
+class SdrFrontEnd:
+    """A software-defined radio receiver.
+
+    Attributes:
+        name: model name, for reports.
+        min_freq_hz / max_freq_hz: tuning range.
+        max_sample_rate_hz: maximum complex sample rate.
+        noise_figure_db: cascade noise figure at the antenna port.
+        gain_db: fixed RF/IF gain (the paper fixes gain to avoid AGC
+            artifacts).
+        full_scale_dbm: input power that drives the ADC to full scale
+            at ``gain_db`` — the dBFS reference point.
+        adc_bits: ADC resolution, bounding the dynamic range.
+    """
+
+    name: str
+    min_freq_hz: float
+    max_freq_hz: float
+    max_sample_rate_hz: float
+    noise_figure_db: float = 7.0
+    gain_db: float = 40.0
+    full_scale_dbm: float = -20.0
+    adc_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_freq_hz < self.max_freq_hz:
+            raise ValueError(
+                f"bad tuning range [{self.min_freq_hz}, {self.max_freq_hz}]"
+            )
+        if self.max_sample_rate_hz <= 0.0:
+            raise ValueError(
+                f"sample rate must be positive: {self.max_sample_rate_hz}"
+            )
+        if self.adc_bits < 1:
+            raise ValueError(f"adc_bits must be >= 1: {self.adc_bits}")
+
+    def can_tune(self, freq_hz: float) -> bool:
+        """Whether ``freq_hz`` is inside the tuning range."""
+        return self.min_freq_hz <= freq_hz <= self.max_freq_hz
+
+    def check_tune(self, freq_hz: float) -> None:
+        """Raise :class:`TuningError` if the frequency is unreachable."""
+        if not self.can_tune(freq_hz):
+            raise TuningError(
+                f"{self.name} cannot tune {freq_hz / 1e6:.3f} MHz "
+                f"(range {self.min_freq_hz / 1e6:.0f}-"
+                f"{self.max_freq_hz / 1e6:.0f} MHz)"
+            )
+
+    def noise_floor_dbm(self, bandwidth_hz: float) -> float:
+        """Receiver noise floor over ``bandwidth_hz``."""
+        return noise_floor_dbm(bandwidth_hz, self.noise_figure_db)
+
+    def input_dbm_to_dbfs(self, power_dbm: float) -> float:
+        """Convert an input power into the digital dBFS reading."""
+        return dbm_to_dbfs(power_dbm, self.full_scale_dbm)
+
+    def dynamic_range_db(self) -> float:
+        """Theoretical ADC dynamic range (6.02 dB per bit)."""
+        return 6.02 * self.adc_bits
+
+    def dbfs_floor(self) -> float:
+        """Lowest representable level given the ADC resolution."""
+        return -self.dynamic_range_db()
+
+
+#: The BladeRF xA9 used in the paper (47 MHz-6 GHz, 61.44 Msps).
+BLADERF_XA9 = SdrFrontEnd(
+    name="BladeRF xA9",
+    min_freq_hz=47e6,
+    max_freq_hz=6e9,
+    max_sample_rate_hz=61.44e6,
+    noise_figure_db=7.0,
+    gain_db=40.0,
+    full_scale_dbm=-20.0,
+    adc_bits=12,
+)

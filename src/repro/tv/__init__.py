@@ -1,0 +1,29 @@
+"""Broadcast-TV substrate: ATSC channels, towers, and the power meter.
+
+Extends the frequency-response evaluation below the cellular bands,
+exactly as the paper does: known ATSC transmitters (sub-600 MHz, up to
+50 km away) are measured with a GNU Radio-style chain — bandpass the
+desired channel, magnitude-square, very long moving average (Parseval)
+— at fixed SDR gain, and the result is reported in dBFS.
+"""
+
+from repro.tv.channels import (
+    ATSC_CHANNEL_WIDTH_HZ,
+    atsc_channel_for_freq,
+    atsc_channel_center_hz,
+    atsc_channel_edges_hz,
+)
+from repro.tv.tower import TvTower
+from repro.tv.waveform import atsc_waveform
+from repro.tv.meter import TvMeasurement, TvPowerMeter
+
+__all__ = [
+    "ATSC_CHANNEL_WIDTH_HZ",
+    "atsc_channel_for_freq",
+    "atsc_channel_center_hz",
+    "atsc_channel_edges_hz",
+    "TvTower",
+    "atsc_waveform",
+    "TvMeasurement",
+    "TvPowerMeter",
+]

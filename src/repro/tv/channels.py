@@ -1,0 +1,49 @@
+"""ATSC RF channel plan (North America).
+
+6 MHz channels: VHF-low 2-6, VHF-high 7-13 (174-216 MHz), UHF 14-36
+(470-608 MHz post-repack). The paper's six measured carriers — 213,
+473, 521, 545, 587 and 605 MHz — are the centers of channels 13, 14,
+22, 26, 33 and 36.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: ATSC channel bandwidth.
+ATSC_CHANNEL_WIDTH_HZ = 6e6
+
+
+def atsc_channel_edges_hz(channel: int) -> Tuple[float, float]:
+    """(lower, upper) band edge of an RF channel number."""
+    if 2 <= channel <= 4:
+        low = 54e6 + (channel - 2) * 6e6
+    elif 5 <= channel <= 6:
+        low = 76e6 + (channel - 5) * 6e6
+    elif 7 <= channel <= 13:
+        low = 174e6 + (channel - 7) * 6e6
+    elif 14 <= channel <= 36:
+        low = 470e6 + (channel - 14) * 6e6
+    else:
+        raise ValueError(f"unknown ATSC RF channel: {channel}")
+    return low, low + ATSC_CHANNEL_WIDTH_HZ
+
+
+def atsc_channel_center_hz(channel: int) -> float:
+    """Center frequency of an RF channel."""
+    low, high = atsc_channel_edges_hz(channel)
+    return 0.5 * (low + high)
+
+
+def atsc_channel_for_freq(freq_hz: float) -> int:
+    """RF channel number containing ``freq_hz``.
+
+    Raises ValueError for frequencies outside the broadcast plan.
+    """
+    for channel in list(range(2, 7)) + list(range(7, 14)) + list(
+        range(14, 37)
+    ):
+        low, high = atsc_channel_edges_hz(channel)
+        if low <= freq_hz < high:
+            return channel
+    raise ValueError(f"{freq_hz} Hz is not in an ATSC channel")

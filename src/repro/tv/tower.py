@@ -1,0 +1,39 @@
+"""Broadcast TV transmitter model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.coords import GeoPoint
+from repro.tv.channels import (
+    atsc_channel_center_hz,
+    atsc_channel_edges_hz,
+)
+
+
+@dataclass(frozen=True)
+class TvTower:
+    """One ATSC transmitter.
+
+    Attributes:
+        callsign: station callsign, for reports.
+        channel: RF channel number.
+        position: transmitter site (altitude = radiation center).
+        erp_dbm: effective radiated power toward the horizon.
+    """
+
+    callsign: str
+    channel: int
+    position: GeoPoint
+    erp_dbm: float = 75.0
+
+    def __post_init__(self) -> None:
+        atsc_channel_edges_hz(self.channel)  # validates the channel
+
+    @property
+    def center_freq_hz(self) -> float:
+        return atsc_channel_center_hz(self.channel)
+
+    @property
+    def band_edges_hz(self):
+        return atsc_channel_edges_hz(self.channel)

@@ -1,0 +1,76 @@
+"""Synthetic ATSC 8VSB baseband waveform.
+
+8VSB occupies ~5.38 MHz of its 6 MHz channel with a nearly flat,
+noise-like spectrum plus a pilot tone 310 kHz above the lower band
+edge. For power measurement that is well modelled as band-limited
+Gaussian noise plus a small CW pilot — the meter never demodulates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import design_lowpass_fir, fir_filter
+from repro.dsp.iq import complex_tone, frequency_shift
+
+#: Occupied bandwidth of the 8VSB signal.
+VSB_OCCUPIED_HZ = 5.38e6
+
+#: Pilot offset above the lower channel edge.
+PILOT_OFFSET_HZ = 309_441.0
+
+#: Fraction of total power in the pilot (about -11.3 dB).
+PILOT_POWER_FRACTION = 0.07
+
+
+def atsc_waveform(
+    rng: np.random.Generator,
+    n_samples: int,
+    sample_rate_hz: float,
+    channel_offset_hz: float = 0.0,
+) -> np.ndarray:
+    """Unit-mean-power ATSC-like waveform at a baseband offset.
+
+    Args:
+        rng: randomness source for the data-like noise.
+        n_samples: waveform length.
+        sample_rate_hz: sample rate; must fit the occupied bandwidth
+            at the requested offset.
+        channel_offset_hz: channel center relative to capture center.
+
+    Returns:
+        Complex baseband samples with mean power 1.0.
+    """
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive: {n_samples}")
+    half_occupied = VSB_OCCUPIED_HZ / 2.0
+    nyquist = sample_rate_hz / 2.0
+    if abs(channel_offset_hz) + half_occupied >= nyquist:
+        raise ValueError(
+            f"channel at offset {channel_offset_hz} Hz does not fit in "
+            f"a {sample_rate_hz} Hz capture"
+        )
+    noise = (
+        rng.standard_normal(n_samples)
+        + 1j * rng.standard_normal(n_samples)
+    ) / np.sqrt(2.0)
+    taps = design_lowpass_fir(half_occupied, sample_rate_hz, 129)
+    shaped = fir_filter(taps, noise)
+    power = np.mean(np.abs(shaped) ** 2)
+    if power <= 0.0:
+        raise RuntimeError("degenerate shaped-noise power")
+    shaped = shaped / np.sqrt(power)
+
+    pilot_offset = -half_occupied + PILOT_OFFSET_HZ
+    pilot = complex_tone(
+        pilot_offset,
+        sample_rate_hz,
+        n_samples,
+        amplitude=np.sqrt(PILOT_POWER_FRACTION),
+    )
+    signal = (
+        np.sqrt(1.0 - PILOT_POWER_FRACTION) * shaped + pilot
+    )
+    if channel_offset_hz != 0.0:
+        signal = frequency_shift(signal, channel_offset_hz, sample_rate_hz)
+    return signal

@@ -1,0 +1,18 @@
+"""Shared fixtures: the standard world is expensive, build it once."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import World, build_world
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    """The standard testbed + traffic + ground truth."""
+    return build_world()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,155 @@
+"""Tests for Gillham altitude coding and DF11 acquisition squitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adsb.altitude import (
+    GILLHAM_MAX_FT,
+    GILLHAM_MIN_FT,
+    decode_ac12,
+    encode_ac12_gillham,
+    gillham_decode,
+    gillham_encode,
+)
+from repro.adsb.decoder import Dump1090Decoder
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import (
+    AcquisitionSquitter,
+    build_acquisition_squitter,
+    parse_frame,
+)
+from repro.adsb.modem import PpmDemodulator, modulate_frame
+from repro.adsb.transponder import Transponder
+
+ICAO = IcaoAddress(0x3C6544)
+
+
+class TestGillham:
+    def test_full_range_roundtrip(self):
+        for alt in range(GILLHAM_MIN_FT, GILLHAM_MAX_FT + 100, 100):
+            assert gillham_decode(gillham_encode(alt)) == alt
+
+    def test_gray_property_single_bit_steps(self):
+        prev = None
+        for alt in range(GILLHAM_MIN_FT, GILLHAM_MAX_FT + 100, 100):
+            code = gillham_encode(alt)
+            if prev is not None:
+                assert bin(code ^ prev).count("1") == 1
+            prev = code
+
+    def test_known_anchor(self):
+        # -1000 ft sits two 100 ft steps up the scale (origin at
+        # -1200 ft): n500=0, so D/A/B are all zero and only the third
+        # C pattern is set.
+        assert gillham_encode(-1000) == 0b010
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            gillham_encode(150)  # not a 100 ft multiple
+        with pytest.raises(ValueError):
+            gillham_encode(GILLHAM_MAX_FT + 100)
+        with pytest.raises(ValueError):
+            gillham_decode(1 << 11)
+
+    def test_illegal_c_pattern_returns_none(self):
+        assert gillham_decode(0b000) is None  # C=0 never occurs
+        assert gillham_decode(0b111) is None
+        assert gillham_decode(0b101) is None
+
+
+class TestAc12:
+    @given(st.integers(min_value=-10, max_value=1267))
+    @settings(max_examples=120)
+    def test_gillham_ac12_roundtrip(self, hundreds):
+        alt = hundreds * 100
+        field = encode_ac12_gillham(alt)
+        assert (field >> 4) & 1 == 0  # Q bit clear
+        assert decode_ac12(field) == alt
+
+    def test_q1_path(self):
+        # N=1560 -> 38000 ft with Q=1.
+        n = 1560
+        field = ((n >> 4) << 5) | (1 << 4) | (n & 0xF)
+        assert decode_ac12(field) == 38_000.0
+
+    def test_zero_field_is_no_information(self):
+        assert decode_ac12(0) is None
+
+    def test_out_of_range_field(self):
+        with pytest.raises(ValueError):
+            decode_ac12(1 << 12)
+
+
+class TestAcquisitionSquitter:
+    def test_build_and_parse(self):
+        frame = build_acquisition_squitter(ICAO)
+        assert len(frame.data) == 7
+        assert not frame.is_long
+        assert frame.is_valid()
+        message = parse_frame(frame)
+        assert isinstance(message, AcquisitionSquitter)
+        assert message.icao == ICAO
+
+    def test_corruption_detected(self):
+        frame = bytearray(build_acquisition_squitter(ICAO).data)
+        frame[2] ^= 0x08
+        from repro.adsb.crc import frame_is_valid
+
+        assert not frame_is_valid(bytes(frame))
+
+    def test_short_frame_has_no_me(self):
+        from repro.adsb.messages import FrameError
+
+        frame = build_acquisition_squitter(ICAO)
+        with pytest.raises(FrameError):
+            _ = frame.me
+
+    def test_modem_roundtrip(self, rng):
+        frame = build_acquisition_squitter(ICAO)
+        wave = modulate_frame(frame.data)
+        assert len(wave) == 16 + 112  # preamble + 56 bits x 2
+        samples = 0.01 * (
+            rng.standard_normal(500) + 1j * rng.standard_normal(500)
+        )
+        samples[100 : 100 + len(wave)] += wave
+        results = PpmDemodulator().demodulate(samples)
+        assert any(f == frame.data for _, f, _ in results)
+
+    def test_decoder_counts_acquisition(self):
+        decoder = Dump1090Decoder()
+        frame = build_acquisition_squitter(ICAO)
+        msg = decoder.decode_frame_bytes(frame.data, 1.0, -45.0)
+        assert msg is not None
+        assert msg.kind == "acquisition"
+        assert msg.icao == ICAO
+
+    def test_transponder_emits_acquisition(self, rng):
+        t = Transponder(ICAO, "TEST", tx_power_w=200.0)
+
+        def pos(_t):
+            return (37.9, -122.1, 9000.0, 100.0, 100.0)
+
+        events = t.squitters_between(0.0, 10.0, pos, rng)
+        short = [e for e in events if len(e.frame.data) == 7]
+        # About one acquisition squitter per second.
+        assert 8 <= len(short) <= 12
+
+    def test_mixed_long_short_iq_capture(self, rng):
+        from repro.adsb.messages import build_identification
+
+        decoder = Dump1090Decoder()
+        short = build_acquisition_squitter(ICAO)
+        long_frame = build_identification(IcaoAddress(0xAA), "MIX1")
+        w_short = modulate_frame(short.data)
+        w_long = modulate_frame(long_frame.data)
+        samples = 0.005 * (
+            rng.standard_normal(2000)
+            + 1j * rng.standard_normal(2000)
+        )
+        samples[100 : 100 + len(w_short)] += w_short
+        samples[900 : 900 + len(w_long)] += w_long
+        messages = decoder.decode_iq(samples)
+        kinds = {m.kind for m in messages}
+        assert kinds == {"acquisition", "identification"}

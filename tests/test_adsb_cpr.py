@@ -1,0 +1,130 @@
+"""Tests for repro.adsb.cpr — including the textbook decode vectors."""
+
+import pytest
+
+from repro.adsb.cpr import (
+    cpr_decode_global,
+    cpr_decode_local,
+    cpr_encode,
+    cpr_nl,
+)
+
+
+class TestNlFunction:
+    def test_equator(self):
+        assert cpr_nl(0.0) == 59
+
+    def test_reference_latitudes(self):
+        # Values from the DO-260B NL table.
+        assert cpr_nl(10.0) == 59
+        assert cpr_nl(52.0) == 36
+        assert cpr_nl(59.0) == 30
+        assert cpr_nl(80.0) == 10
+
+    def test_near_poles(self):
+        assert cpr_nl(87.0) == 2
+        assert cpr_nl(88.0) == 1
+        assert cpr_nl(-88.0) == 1
+
+    def test_symmetric_in_latitude(self):
+        for lat in (15.0, 37.5, 66.0):
+            assert cpr_nl(lat) == cpr_nl(-lat)
+
+    def test_monotonically_decreasing(self):
+        values = [cpr_nl(lat) for lat in range(0, 88, 2)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTextbookVectors:
+    """The worked example from 'The 1090 MHz Riddle'.
+
+    Messages 8D40621D58C382D690C8AC2863A7 (even) and
+    8D40621D58C386435CC412692AD6 (odd) decode globally (even most
+    recent) to lat 52.25720, lon 3.91937.
+    """
+
+    EVEN = (93000, 51372)  # (lat_cpr, lon_cpr) from the even frame
+    ODD = (74158, 50194)
+
+    def test_global_decode_even_recent(self):
+        result = cpr_decode_global(
+            self.EVEN, self.ODD, most_recent_odd=False
+        )
+        assert result is not None
+        lat, lon = result
+        assert lat == pytest.approx(52.25720, abs=1e-4)
+        assert lon == pytest.approx(3.91937, abs=1e-4)
+
+    def test_encode_matches_transmitted_counts(self):
+        yz, xz = cpr_encode(52.25720214843750, 3.91937255859375, False)
+        assert yz == self.EVEN[0]
+        assert xz == self.EVEN[1]
+
+    def test_local_decode_with_reference(self):
+        lat, lon = cpr_decode_local(
+            self.EVEN[0], self.EVEN[1], False, 52.258, 3.918
+        )
+        assert lat == pytest.approx(52.25720, abs=1e-4)
+        assert lon == pytest.approx(3.91937, abs=1e-4)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "lat,lon",
+        [
+            (37.8715, -122.2730),
+            (0.0, 0.0),
+            (-33.9, 151.2),
+            (61.2, -149.9),
+            (52.2572, 3.9194),
+        ],
+    )
+    def test_global_pair_roundtrip(self, lat, lon):
+        even = cpr_encode(lat, lon, False)
+        odd = cpr_encode(lat, lon, True)
+        result = cpr_decode_global(even, odd, most_recent_odd=True)
+        assert result is not None
+        assert result[0] == pytest.approx(lat, abs=3e-4)
+        assert result[1] == pytest.approx(lon, abs=3e-4)
+
+    @pytest.mark.parametrize("odd", [False, True])
+    def test_local_roundtrip(self, odd):
+        lat, lon = 37.95, -122.1
+        yz, xz = cpr_encode(lat, lon, odd)
+        got_lat, got_lon = cpr_decode_local(
+            yz, xz, odd, 37.8715, -122.2730
+        )
+        assert got_lat == pytest.approx(lat, abs=3e-4)
+        assert got_lon == pytest.approx(lon, abs=3e-4)
+
+    def test_encode_range_17_bits(self):
+        for lat, lon in [(89.9, 179.9), (-89.9, -179.9), (45.0, 0.0)]:
+            for odd in (False, True):
+                yz, xz = cpr_encode(lat, lon, odd)
+                assert 0 <= yz < (1 << 17)
+                assert 0 <= xz < (1 << 17)
+
+    def test_encode_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            cpr_encode(91.0, 0.0, False)
+
+
+class TestGlobalDecodeFailure:
+    def test_nl_boundary_crossing_returns_none(self):
+        # An aircraft crossing a longitude-zone (NL) boundary between
+        # its even and odd transmissions yields an uncombinable pair.
+        even = cpr_encode(68.2, 0.0, False)
+        odd = cpr_encode(68.6, 0.0, True)
+        assert cpr_decode_global(even, odd, True) is None
+
+    def test_distant_pair_may_alias_but_stays_in_range(self):
+        # CPR ambiguity: a mismatched pair can decode to a wrong but
+        # self-consistent position; it must still be a legal lat/lon
+        # (the decoder's range sanity check handles rejection).
+        even = cpr_encode(10.0, 0.0, False)
+        odd = cpr_encode(60.0, 0.0, True)
+        result = cpr_decode_global(even, odd, True)
+        if result is not None:
+            lat, lon = result
+            assert -90.0 <= lat <= 90.0
+            assert -180.0 <= lon < 360.0

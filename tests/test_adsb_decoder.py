@@ -1,0 +1,140 @@
+"""Tests for repro.adsb.decoder."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.decoder import Dump1090Decoder
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import (
+    build_airborne_position,
+    build_airborne_velocity,
+    build_identification,
+)
+from repro.adsb.modem import modulate_frame
+from repro.geo.coords import GeoPoint
+
+ICAO = IcaoAddress(0x40621D)
+RECEIVER = GeoPoint(37.8715, -122.2730, 20.0)
+
+
+class TestFrameDecoding:
+    def test_velocity(self):
+        decoder = Dump1090Decoder()
+        frame = build_airborne_velocity(ICAO, 120.0, -80.0, 640.0)
+        msg = decoder.decode_frame_bytes(frame.data, 1.0, -40.0)
+        assert msg is not None
+        assert msg.kind == "velocity"
+        assert msg.velocity_kt == pytest.approx((120.0, -80.0))
+        assert msg.time_s == 1.0
+        assert msg.rssi_dbfs == -40.0
+
+    def test_identification(self):
+        decoder = Dump1090Decoder()
+        frame = build_identification(ICAO, "UAL42")
+        msg = decoder.decode_frame_bytes(frame.data, 0.0, -35.0)
+        assert msg.kind == "identification"
+        assert msg.callsign == "UAL42"
+
+    def test_bad_crc_counted_and_dropped(self):
+        decoder = Dump1090Decoder()
+        frame = bytearray(build_identification(ICAO, "UAL42").data)
+        frame[6] ^= 0x01
+        assert decoder.decode_frame_bytes(bytes(frame), 0.0, -35.0) is None
+        assert decoder.frames_bad_crc == 1
+        assert decoder.messages_decoded == 0
+
+    def test_statistics(self):
+        decoder = Dump1090Decoder()
+        good = build_identification(ICAO, "UAL42").data
+        decoder.decode_frame_bytes(good, 0.0, -35.0)
+        decoder.decode_frame_bytes(good, 0.5, -35.0)
+        assert decoder.frames_seen == 2
+        assert decoder.messages_decoded == 2
+
+
+class TestCprResolution:
+    def test_even_odd_pair_resolves_globally(self):
+        decoder = Dump1090Decoder()  # no receiver reference
+        lat, lon, alt = 37.95, -122.1, 30_000.0
+        even = build_airborne_position(ICAO, lat, lon, alt, odd=False)
+        odd = build_airborne_position(ICAO, lat, lon, alt, odd=True)
+        first = decoder.decode_frame_bytes(even.data, 0.0, -40.0)
+        assert first.position is None  # single frame: unresolvable
+        second = decoder.decode_frame_bytes(odd.data, 0.5, -40.0)
+        assert second.position is not None
+        assert second.position.lat_deg == pytest.approx(lat, abs=3e-4)
+        assert second.position.lon_deg == pytest.approx(lon, abs=3e-4)
+        assert second.position.alt_m == pytest.approx(
+            alt * 0.3048, rel=1e-3
+        )
+
+    def test_local_decode_with_receiver_position(self):
+        decoder = Dump1090Decoder(receiver_position=RECEIVER)
+        frame = build_airborne_position(
+            ICAO, 37.95, -122.1, 30_000.0, odd=False
+        )
+        msg = decoder.decode_frame_bytes(frame.data, 0.0, -40.0)
+        assert msg.position is not None
+        assert msg.position.lat_deg == pytest.approx(37.95, abs=3e-4)
+
+    def test_stale_pair_not_combined(self):
+        decoder = Dump1090Decoder()
+        even = build_airborne_position(
+            ICAO, 37.95, -122.1, 30_000.0, odd=False
+        )
+        odd = build_airborne_position(
+            ICAO, 37.95, -122.1, 30_000.0, odd=True
+        )
+        decoder.decode_frame_bytes(even.data, 0.0, -40.0)
+        msg = decoder.decode_frame_bytes(odd.data, 60.0, -40.0)
+        assert msg.position is None  # older than the 10 s pair window
+
+    def test_out_of_range_position_discarded(self):
+        decoder = Dump1090Decoder(
+            receiver_position=RECEIVER, max_range_km=50.0
+        )
+        # Aircraft ~550 km away: fails the range sanity check.
+        frame = build_airborne_position(
+            ICAO, 42.8, -122.27, 30_000.0, odd=False
+        )
+        decoder.decode_frame_bytes(frame.data, 0.0, -40.0)
+        frame_odd = build_airborne_position(
+            ICAO, 42.8, -122.27, 30_000.0, odd=True
+        )
+        msg = decoder.decode_frame_bytes(frame_odd.data, 0.5, -40.0)
+        assert msg.position is None
+
+    def test_per_aircraft_cpr_state(self):
+        decoder = Dump1090Decoder()
+        other = IcaoAddress(0x111111)
+        even_a = build_airborne_position(
+            ICAO, 37.95, -122.1, 30_000.0, odd=False
+        )
+        odd_b = build_airborne_position(
+            other, 38.1, -122.3, 20_000.0, odd=True
+        )
+        decoder.decode_frame_bytes(even_a.data, 0.0, -40.0)
+        msg = decoder.decode_frame_bytes(odd_b.data, 0.2, -40.0)
+        # B's odd frame must not pair with A's even frame.
+        assert msg.position is None
+
+
+class TestIqDecoding:
+    def test_decode_iq_end_to_end(self, rng):
+        decoder = Dump1090Decoder(receiver_position=RECEIVER)
+        frame = build_identification(ICAO, "IQTEST")
+        wave = modulate_frame(frame.data, amplitude=0.5)
+        n = 5000
+        samples = 0.002 * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        )
+        samples[1000 : 1000 + len(wave)] += wave
+        messages = decoder.decode_iq(samples, block_start_s=2.0)
+        assert len(messages) == 1
+        msg = messages[0]
+        assert msg.callsign == "IQTEST"
+        # 1000 samples at 2 Msps after a 2 s block start.
+        assert msg.time_s == pytest.approx(2.0005, abs=1e-6)
+        # amplitude 0.5 -> about -6 dBFS mean pulse power, minus the
+        # half-empty PPM duty cycle.
+        assert -15.0 < msg.rssi_dbfs < 0.0

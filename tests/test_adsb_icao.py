@@ -1,0 +1,52 @@
+"""Tests for repro.adsb.icao."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.icao import IcaoAddress, random_icao
+
+
+class TestIcaoAddress:
+    def test_construction_and_str(self):
+        addr = IcaoAddress(0xA1B2C3)
+        assert str(addr) == "A1B2C3"
+        assert addr.value == 0xA1B2C3
+
+    def test_str_zero_padded(self):
+        assert str(IcaoAddress(0x1)) == "000001"
+
+    def test_from_hex(self):
+        assert IcaoAddress.from_hex("4840D6").value == 0x4840D6
+        assert IcaoAddress.from_hex("abcdef").value == 0xABCDEF
+
+    def test_bytes_roundtrip(self):
+        addr = IcaoAddress(0x40621D)
+        assert addr.to_bytes() == b"\x40\x62\x1d"
+        assert IcaoAddress.from_bytes(addr.to_bytes()) == addr
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            IcaoAddress(-1)
+        with pytest.raises(ValueError):
+            IcaoAddress(1 << 24)
+
+    def test_bad_byte_length(self):
+        with pytest.raises(ValueError):
+            IcaoAddress.from_bytes(b"\x00\x01")
+
+    def test_ordering_and_hashing(self):
+        a, b = IcaoAddress(1), IcaoAddress(2)
+        assert a < b
+        assert len({a, b, IcaoAddress(1)}) == 2
+
+
+class TestRandomIcao:
+    def test_in_range_and_nonzero(self, rng):
+        for _ in range(100):
+            addr = random_icao(rng)
+            assert 1 <= addr.value < (1 << 24)
+
+    def test_deterministic_per_seed(self):
+        a = random_icao(np.random.default_rng(5))
+        b = random_icao(np.random.default_rng(5))
+        assert a == b

@@ -1,0 +1,187 @@
+"""Tests for repro.adsb.messages — build/parse plus real-frame vectors."""
+
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import (
+    AdsbFrame,
+    AirbornePosition,
+    AirborneVelocity,
+    FrameError,
+    Identification,
+    build_airborne_position,
+    build_airborne_velocity,
+    build_identification,
+    parse_frame,
+)
+
+ICAO = IcaoAddress(0x4840D6)
+
+
+class TestRealFrameParsing:
+    def test_position_frame_fields(self):
+        # 8D40621D58C382D690C8AC2863A7: ICAO 40621D, TC 11,
+        # altitude 38000 ft, even CPR frame.
+        frame = AdsbFrame(
+            bytes.fromhex("8D40621D58C382D690C8AC2863A7")
+        )
+        message = parse_frame(frame)
+        assert isinstance(message, AirbornePosition)
+        assert str(message.icao) == "40621D"
+        assert message.type_code == 11
+        assert message.altitude_ft == pytest.approx(38000.0)
+        assert not message.odd
+        assert message.cpr_lat == 93000
+        assert message.cpr_lon == 51372
+
+    def test_velocity_frame_fields(self):
+        # 8D485020994409940838175B284F: ground speed ~159 kt heading
+        # ~183 deg, vertical rate -832 fpm.
+        frame = AdsbFrame(
+            bytes.fromhex("8D485020994409940838175B284F")
+        )
+        message = parse_frame(frame)
+        assert isinstance(message, AirborneVelocity)
+        assert str(message.icao) == "485020"
+        assert message.east_velocity_kt == pytest.approx(-8.0)
+        assert message.north_velocity_kt == pytest.approx(-159.0)
+        assert message.vertical_rate_fpm == pytest.approx(-832.0)
+
+    def test_identification_frame_fields(self):
+        frame = AdsbFrame(
+            bytes.fromhex("8D4840D6202CC371C32CE0576098")
+        )
+        message = parse_frame(frame)
+        assert isinstance(message, Identification)
+        assert str(message.icao) == "4840D6"
+        assert message.callsign == "KLM1023"
+
+
+class TestBuildPosition:
+    def test_roundtrip_fields(self):
+        frame = build_airborne_position(
+            ICAO, 37.9, -122.1, 32_500.0, odd=True
+        )
+        assert frame.is_valid()
+        message = parse_frame(frame)
+        assert isinstance(message, AirbornePosition)
+        assert message.icao == ICAO
+        assert message.odd
+        assert message.altitude_ft == pytest.approx(32_500.0)
+
+    def test_altitude_quantized_to_25ft(self):
+        frame = build_airborne_position(
+            ICAO, 10.0, 20.0, 10_012.0, odd=False
+        )
+        message = parse_frame(frame)
+        assert message.altitude_ft % 25.0 == 0.0
+        assert abs(message.altitude_ft - 10_012.0) <= 12.5
+
+    def test_negative_altitude(self):
+        frame = build_airborne_position(
+            ICAO, 10.0, 20.0, -500.0, odd=False
+        )
+        assert parse_frame(frame).altitude_ft == pytest.approx(-500.0)
+
+    def test_altitude_out_of_q_range_rejected(self):
+        with pytest.raises(FrameError):
+            build_airborne_position(ICAO, 0.0, 0.0, 60_000.0, odd=False)
+
+    def test_type_code_validation(self):
+        with pytest.raises(FrameError):
+            build_airborne_position(
+                ICAO, 0.0, 0.0, 1000.0, odd=False, type_code=5
+            )
+        with pytest.raises(FrameError):
+            build_airborne_position(
+                ICAO, 0.0, 0.0, 1000.0, odd=False, type_code=19
+            )
+
+    def test_frame_structure(self):
+        frame = build_airborne_position(ICAO, 0.0, 0.0, 1000.0, odd=False)
+        assert frame.downlink_format == 17
+        assert frame.icao == ICAO
+        assert 9 <= frame.type_code <= 18
+        assert len(frame.data) == 14
+
+
+class TestBuildVelocity:
+    @pytest.mark.parametrize(
+        "east,north,rate",
+        [
+            (100.0, -200.0, 0.0),
+            (-8.0, -159.0, -832.0),
+            (0.0, 0.0, 640.0),
+            (500.0, 500.0, 0.0),
+        ],
+    )
+    def test_roundtrip(self, east, north, rate):
+        frame = build_airborne_velocity(ICAO, east, north, rate)
+        assert frame.is_valid()
+        message = parse_frame(frame)
+        assert isinstance(message, AirborneVelocity)
+        assert message.east_velocity_kt == pytest.approx(east, abs=0.5)
+        assert message.north_velocity_kt == pytest.approx(north, abs=0.5)
+        assert message.vertical_rate_fpm == pytest.approx(rate, abs=32.0)
+
+    def test_velocity_out_of_range_rejected(self):
+        with pytest.raises(FrameError):
+            build_airborne_velocity(ICAO, 1100.0, 0.0)
+        with pytest.raises(FrameError):
+            build_airborne_velocity(ICAO, 0.0, 0.0, 40_000.0)
+
+
+class TestBuildIdentification:
+    @pytest.mark.parametrize(
+        "callsign", ["UAL123", "KLM1023", "N123AB", "A", "SWA12 4"]
+    )
+    def test_roundtrip(self, callsign):
+        frame = build_identification(ICAO, callsign)
+        assert frame.is_valid()
+        message = parse_frame(frame)
+        assert isinstance(message, Identification)
+        assert message.callsign == callsign.upper().rstrip()
+
+    def test_lowercase_normalized(self):
+        message = parse_frame(build_identification(ICAO, "ual99"))
+        assert message.callsign == "UAL99"
+
+    def test_too_long_rejected(self):
+        with pytest.raises(FrameError):
+            build_identification(ICAO, "TOOLONGCS")
+
+    def test_unencodable_character_rejected(self):
+        with pytest.raises(FrameError):
+            build_identification(ICAO, "BAD*CS")
+
+    def test_type_code_validation(self):
+        with pytest.raises(FrameError):
+            build_identification(ICAO, "OK", type_code=0)
+
+
+class TestFrameValidation:
+    def test_wrong_length_rejected(self):
+        # 7 and 14 bytes are the two legal Mode S frame lengths.
+        with pytest.raises(FrameError):
+            AdsbFrame(b"\x8d" * 10)
+        with pytest.raises(FrameError):
+            AdsbFrame(b"\x8d" * 3)
+
+    def test_corrupted_frame_fails_parse(self):
+        frame = build_identification(ICAO, "UAL1")
+        corrupted = bytearray(frame.data)
+        corrupted[5] ^= 0x40
+        with pytest.raises(FrameError):
+            parse_frame(AdsbFrame(bytes(corrupted)))
+
+    def test_unmodelled_type_code_returns_none(self):
+        # Build a frame with TC 28 (aircraft status) by hand.
+        from repro.adsb.crc import crc24_bytes
+
+        header = bytes([(17 << 3) | 5]) + ICAO.to_bytes()
+        me = bytes([28 << 3]) + b"\x00" * 6
+        body = header + me
+        frame = AdsbFrame(
+            body + crc24_bytes(body).to_bytes(3, "big")
+        )
+        assert parse_frame(frame) is None

@@ -1,0 +1,146 @@
+"""Tests for repro.adsb.modem."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import build_identification
+from repro.adsb.modem import (
+    FRAME_SAMPLES,
+    MESSAGE_SAMPLES,
+    PREAMBLE_PULSES,
+    PREAMBLE_SAMPLES,
+    PpmDemodulator,
+    bits_to_frame,
+    frame_to_bits,
+    modulate_frame,
+)
+
+ICAO = IcaoAddress(0xABC123)
+FRAME = build_identification(ICAO, "TEST123").data
+
+
+class TestBitPacking:
+    def test_roundtrip(self):
+        bits = frame_to_bits(FRAME)
+        assert len(bits) == 112
+        assert bits_to_frame(bits) == FRAME
+
+    def test_msb_first(self):
+        bits = frame_to_bits(b"\x80\x01")
+        assert bits == [1] + [0] * 14 + [1]
+
+    def test_non_byte_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_frame([1, 0, 1])
+
+
+class TestModulation:
+    def test_waveform_length(self):
+        wave = modulate_frame(FRAME)
+        assert len(wave) == FRAME_SAMPLES
+        assert FRAME_SAMPLES == PREAMBLE_SAMPLES + MESSAGE_SAMPLES
+
+    def test_preamble_pulses(self):
+        wave = np.abs(modulate_frame(FRAME))
+        for idx in PREAMBLE_PULSES:
+            assert wave[idx] == pytest.approx(1.0)
+        # Quiet slots of the preamble carry no energy.
+        for idx in (1, 3, 4, 5, 6, 8, 10, 15):
+            assert wave[idx] == 0.0
+
+    def test_ppm_encoding_one_pulse_per_bit(self):
+        wave = np.abs(modulate_frame(FRAME))
+        message = wave[PREAMBLE_SAMPLES:]
+        for i in range(112):
+            pair = message[2 * i : 2 * i + 2]
+            assert np.sum(pair > 0.5) == 1  # exactly one half high
+
+    def test_bit_polarity(self):
+        bits = frame_to_bits(FRAME)
+        wave = np.abs(modulate_frame(FRAME))
+        message = wave[PREAMBLE_SAMPLES:]
+        for i, bit in enumerate(bits[:16]):
+            first, second = message[2 * i], message[2 * i + 1]
+            if bit:
+                assert first > second
+            else:
+                assert second > first
+
+    def test_amplitude_scaling(self):
+        wave = modulate_frame(FRAME, amplitude=0.25)
+        assert np.max(np.abs(wave)) == pytest.approx(0.25)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            modulate_frame(FRAME[:-1])
+        with pytest.raises(ValueError):
+            modulate_frame(FRAME, amplitude=0.0)
+
+
+class TestDemodulation:
+    def _noisy_capture(self, rng, snr_db=20.0, offset=500):
+        wave = modulate_frame(FRAME, amplitude=1.0)
+        noise_amp = 10.0 ** (-snr_db / 20.0)
+        n = len(wave) + 2 * offset
+        samples = noise_amp * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        )
+        samples[offset : offset + len(wave)] += wave
+        return samples
+
+    def test_clean_roundtrip(self, rng):
+        samples = self._noisy_capture(rng, snr_db=30.0)
+        results = PpmDemodulator().demodulate(samples)
+        assert len(results) == 1
+        start, frame, rssi = results[0]
+        assert start == 500
+        assert frame == FRAME
+        assert rssi > 0.0
+
+    def test_moderate_snr_roundtrip(self, rng):
+        samples = self._noisy_capture(rng, snr_db=15.0)
+        results = PpmDemodulator().demodulate(samples)
+        assert any(frame == FRAME for _, frame, _ in results)
+
+    def test_pure_noise_no_valid_frames(self, rng):
+        from repro.adsb.crc import frame_is_valid
+
+        noise = 0.1 * (
+            rng.standard_normal(50_000)
+            + 1j * rng.standard_normal(50_000)
+        )
+        results = PpmDemodulator().demodulate(noise)
+        # Preamble-shaped noise may slice, but CRC must reject it.
+        assert not any(frame_is_valid(f) for _, f, _ in results)
+
+    def test_two_frames_in_one_capture(self, rng):
+        frame2 = build_identification(IcaoAddress(0x111111), "OTHER1").data
+        w1 = modulate_frame(FRAME)
+        w2 = modulate_frame(frame2)
+        n = 3000
+        samples = 0.01 * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        )
+        samples[100 : 100 + len(w1)] += w1
+        samples[1500 : 1500 + len(w2)] += w2
+        frames = [f for _, f, _ in PpmDemodulator().demodulate(samples)]
+        assert FRAME in frames
+        assert frame2 in frames
+
+    def test_rssi_tracks_amplitude(self, rng):
+        weak = self._noisy_capture(
+            np.random.default_rng(1), snr_db=40.0
+        )
+        strong = weak * 10.0
+        r_weak = PpmDemodulator().demodulate(weak)[0][2]
+        r_strong = PpmDemodulator().demodulate(strong)[0][2]
+        assert 10 * np.log10(r_strong / r_weak) == pytest.approx(
+            20.0, abs=0.5
+        )
+
+    def test_truncated_frame_not_decoded(self, rng):
+        wave = modulate_frame(FRAME)
+        samples = np.zeros(len(wave) // 2, dtype=complex)
+        samples[: len(wave) // 2] = wave[: len(wave) // 2]
+        assert PpmDemodulator().demodulate(samples) == []

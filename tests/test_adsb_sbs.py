@@ -1,0 +1,110 @@
+"""Tests for the SBS-1 / BaseStation output format."""
+
+import math
+
+import pytest
+
+from repro.adsb.decoder import DecodedMessage
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.sbs import parse_sbs, stream_to_sbs, to_sbs
+from repro.geo.coords import GeoPoint
+
+A = IcaoAddress(0xABC123)
+
+
+def _msg(kind, **kwargs):
+    return DecodedMessage(
+        time_s=kwargs.pop("time_s", 12.5),
+        icao=A,
+        kind=kind,
+        rssi_dbfs=-40.0,
+        **kwargs,
+    )
+
+
+class TestRender:
+    def test_position_line(self):
+        msg = _msg(
+            "position",
+            position=GeoPoint(37.95123, -122.10456, 9144.0),
+        )
+        line = to_sbs(msg)
+        parts = line.split(",")
+        assert len(parts) == 22
+        assert parts[0] == "MSG"
+        assert parts[1] == "3"
+        assert parts[4] == "ABC123"
+        assert float(parts[14]) == pytest.approx(37.95123, abs=1e-5)
+        assert float(parts[15]) == pytest.approx(-122.10456, abs=1e-5)
+        assert float(parts[11]) == pytest.approx(30_000.0, abs=1.0)
+
+    def test_identification_line(self):
+        line = to_sbs(_msg("identification", callsign="UAL99"))
+        parts = line.split(",")
+        assert parts[1] == "1"
+        assert parts[10] == "UAL99"
+
+    def test_velocity_line(self):
+        line = to_sbs(
+            _msg("velocity", velocity_kt=(100.0, -100.0))
+        )
+        parts = line.split(",")
+        assert parts[1] == "4"
+        assert float(parts[12]) == pytest.approx(
+            math.hypot(100.0, 100.0), abs=1.0
+        )
+        assert float(parts[13]) == pytest.approx(135.0, abs=1.0)
+
+    def test_acquisition_line(self):
+        parts = to_sbs(_msg("acquisition")).split(",")
+        assert parts[1] == "8"
+        assert parts[10] == ""  # no callsign
+
+    def test_timestamp_format(self):
+        line = to_sbs(_msg("acquisition", time_s=3725.25))
+        parts = line.split(",")
+        assert parts[7] == "01:02:05.250"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            to_sbs(_msg("telemetry"))
+
+    def test_stream(self):
+        text = stream_to_sbs(
+            [_msg("acquisition"), _msg("identification", callsign="X")]
+        )
+        assert text.count("\n") == 1
+        assert text.count("MSG") == 2
+
+
+class TestParse:
+    def test_roundtrip_position(self):
+        msg = _msg(
+            "position", position=GeoPoint(37.9, -122.1, 9000.0)
+        )
+        record = parse_sbs(to_sbs(msg))
+        assert record.kind == "position"
+        assert record.icao == A
+        assert record.position.lat_deg == pytest.approx(37.9, abs=1e-5)
+        assert record.position.alt_m == pytest.approx(9000.0, abs=5.0)
+
+    def test_roundtrip_identification(self):
+        record = parse_sbs(
+            to_sbs(_msg("identification", callsign="KLM1023"))
+        )
+        assert record.callsign == "KLM1023"
+
+    def test_roundtrip_velocity(self):
+        record = parse_sbs(
+            to_sbs(_msg("velocity", velocity_kt=(0.0, 250.0)))
+        )
+        assert record.speed_kt == pytest.approx(250.0)
+        assert record.track_deg == pytest.approx(0.0)
+
+    def test_bad_lines_rejected(self):
+        with pytest.raises(ValueError):
+            parse_sbs("MSG,3,too,short")
+        with pytest.raises(ValueError):
+            parse_sbs(",".join(["SEL"] + ["x"] * 21))
+        with pytest.raises(ValueError):
+            parse_sbs(",".join(["MSG", "7"] + [""] * 20))

@@ -1,0 +1,161 @@
+"""Tests for repro.adsb.tracks."""
+
+import pytest
+
+from repro.adsb.decoder import DecodedMessage, Dump1090Decoder
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import (
+    build_airborne_position,
+    build_airborne_velocity,
+    build_identification,
+)
+from repro.adsb.tracks import AircraftTracker
+from repro.geo.coords import GeoPoint
+
+A = IcaoAddress(0x111111)
+B = IcaoAddress(0x222222)
+
+
+def _msg(icao, kind, time_s, **kwargs):
+    return DecodedMessage(
+        time_s=time_s, icao=icao, kind=kind, rssi_dbfs=-40.0, **kwargs
+    )
+
+
+class TestTrackMerging:
+    def test_new_track_created(self):
+        tracker = AircraftTracker()
+        track = tracker.update(_msg(A, "acquisition", 1.0))
+        assert len(tracker) == 1
+        assert track.first_seen_s == 1.0
+        assert track.message_count == 1
+
+    def test_fields_merge_across_kinds(self):
+        tracker = AircraftTracker()
+        tracker.update(
+            _msg(A, "identification", 1.0, callsign="UAL12")
+        )
+        tracker.update(
+            _msg(A, "velocity", 2.0, velocity_kt=(100.0, -50.0))
+        )
+        tracker.update(
+            _msg(
+                A,
+                "position",
+                3.0,
+                position=GeoPoint(37.9, -122.1, 9000.0),
+            )
+        )
+        track = tracker.get(A)
+        assert track.callsign == "UAL12"
+        assert track.velocity_kt == (100.0, -50.0)
+        assert track.position.lat_deg == 37.9
+        assert track.message_count == 3
+        assert track.last_seen_s == 3.0
+        assert track.ground_speed_kt() == pytest.approx(111.8, abs=0.1)
+
+    def test_position_history_accumulates(self):
+        tracker = AircraftTracker()
+        for i in range(5):
+            tracker.update(
+                _msg(
+                    A,
+                    "position",
+                    float(i),
+                    position=GeoPoint(37.0 + i * 0.01, -122.0, 9000.0),
+                )
+            )
+        assert len(tracker.get(A).positions) == 5
+
+    def test_history_capped(self):
+        tracker = AircraftTracker(max_history=3)
+        for i in range(10):
+            tracker.update(
+                _msg(
+                    A,
+                    "position",
+                    float(i),
+                    position=GeoPoint(37.0, -122.0, 9000.0),
+                )
+            )
+        assert len(tracker.get(A).positions) == 3
+
+    def test_mean_rssi(self):
+        tracker = AircraftTracker()
+        tracker.update(_msg(A, "acquisition", 0.0))
+        tracker.update(_msg(A, "acquisition", 1.0))
+        assert tracker.get(A).mean_rssi_dbfs() == pytest.approx(-40.0)
+
+    def test_two_aircraft_separate(self):
+        tracker = AircraftTracker()
+        tracker.update(_msg(A, "acquisition", 0.0))
+        tracker.update(_msg(B, "acquisition", 5.0))
+        assert len(tracker) == 2
+        assert tracker.all_tracks()[0].icao == B  # most recent first
+
+
+class TestLifecycle:
+    def test_active_window(self):
+        tracker = AircraftTracker(track_ttl_s=30.0)
+        tracker.update(_msg(A, "acquisition", 0.0))
+        tracker.update(_msg(B, "acquisition", 100.0))
+        active = tracker.active(now_s=110.0)
+        assert [t.icao for t in active] == [B]
+
+    def test_prune(self):
+        tracker = AircraftTracker(track_ttl_s=30.0)
+        tracker.update(_msg(A, "acquisition", 0.0))
+        tracker.update(_msg(B, "acquisition", 100.0))
+        removed = tracker.prune(now_s=110.0)
+        assert removed == 1
+        assert tracker.get(A) is None
+        assert tracker.get(B) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AircraftTracker(track_ttl_s=0.0)
+        with pytest.raises(ValueError):
+            AircraftTracker(max_history=0)
+
+
+class TestWithRealDecoder:
+    def test_end_to_end_tracking(self):
+        decoder = Dump1090Decoder(
+            receiver_position=GeoPoint(37.8715, -122.2730, 20.0)
+        )
+        tracker = AircraftTracker()
+        frames = [
+            (build_identification(A, "TRK1"), 0.0),
+            (
+                build_airborne_position(
+                    A, 37.95, -122.1, 30_000.0, odd=False
+                ),
+                0.4,
+            ),
+            (
+                build_airborne_position(
+                    A, 37.95, -122.1, 30_000.0, odd=True
+                ),
+                0.9,
+            ),
+            (build_airborne_velocity(A, 250.0, 250.0), 1.2),
+        ]
+        for frame, t in frames:
+            msg = decoder.decode_frame_bytes(frame.data, t, -42.0)
+            if msg is not None:
+                tracker.update(msg)
+        track = tracker.get(A)
+        assert track.callsign == "TRK1"
+        assert track.position is not None
+        assert track.position.lat_deg == pytest.approx(37.95, abs=1e-3)
+        assert track.velocity_kt == (250.0, 250.0)
+        assert track.message_count == 4
+
+    def test_summary_table_renders(self):
+        tracker = AircraftTracker()
+        tracker.update(
+            _msg(A, "identification", 0.0, callsign="TBL1")
+        )
+        table = tracker.summary_table()
+        assert "TBL1" in table
+        assert "111111" in table

@@ -1,0 +1,112 @@
+"""Tests for repro.adsb.transponder."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import (
+    AirbornePosition,
+    AirborneVelocity,
+    Identification,
+    parse_frame,
+)
+from repro.adsb.transponder import (
+    IDENT_INTERVAL_S,
+    MAX_TX_POWER_W,
+    MIN_TX_POWER_W,
+    POSITION_INTERVAL_S,
+    Transponder,
+)
+
+ICAO = IcaoAddress(0x123456)
+
+
+def fixed_position(_t):
+    return (37.9, -122.1, 9000.0, 250.0, 250.0)
+
+
+class TestConstruction:
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            Transponder(ICAO, "X", tx_power_w=10.0)
+        with pytest.raises(ValueError):
+            Transponder(ICAO, "X", tx_power_w=1000.0)
+
+    def test_random_power_in_class_range(self, rng):
+        for _ in range(50):
+            t = Transponder.with_random_power(ICAO, "UAL1", rng)
+            assert MIN_TX_POWER_W <= t.tx_power_w <= MAX_TX_POWER_W
+
+
+class TestSquitterSchedule:
+    def test_rates_over_30s(self, rng):
+        t = Transponder(ICAO, "UAL1", tx_power_w=250.0)
+        events = t.squitters_between(0.0, 30.0, fixed_position, rng)
+        kinds = {"position": 0, "velocity": 0, "identification": 0}
+        for e in events:
+            message = parse_frame(e.frame)
+            if isinstance(message, AirbornePosition):
+                kinds["position"] += 1
+            elif isinstance(message, AirborneVelocity):
+                kinds["velocity"] += 1
+            elif isinstance(message, Identification):
+                kinds["identification"] += 1
+        # DO-260B: at least 2 position and 2 velocity per second.
+        assert kinds["position"] == pytest.approx(
+            30 / POSITION_INTERVAL_S, abs=2
+        )
+        assert kinds["velocity"] == pytest.approx(60, abs=2)
+        assert kinds["identification"] == pytest.approx(
+            30 / IDENT_INTERVAL_S, abs=1
+        )
+
+    def test_events_sorted_and_in_window(self, rng):
+        t = Transponder(ICAO, "UAL1", tx_power_w=100.0)
+        events = t.squitters_between(5.0, 12.0, fixed_position, rng)
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+        assert all(5.0 <= x < 12.0 for x in times)
+
+    def test_empty_window(self, rng):
+        t = Transponder(ICAO, "UAL1", tx_power_w=100.0)
+        assert t.squitters_between(3.0, 3.0, fixed_position, rng) == []
+
+    def test_invalid_window(self, rng):
+        t = Transponder(ICAO, "UAL1", tx_power_w=100.0)
+        with pytest.raises(ValueError):
+            t.squitters_between(5.0, 1.0, fixed_position, rng)
+
+    def test_positions_alternate_even_odd(self, rng):
+        t = Transponder(ICAO, "UAL1", tx_power_w=100.0)
+        events = t.squitters_between(0.0, 10.0, fixed_position, rng)
+        parities = []
+        for e in events:
+            message = parse_frame(e.frame)
+            if isinstance(message, AirbornePosition):
+                parities.append(message.odd)
+        assert len(parities) >= 10
+        for a, b in zip(parities, parities[1:]):
+            assert a != b
+
+    def test_all_frames_crc_valid(self, rng):
+        t = Transponder(ICAO, "UAL1", tx_power_w=100.0)
+        events = t.squitters_between(0.0, 10.0, fixed_position, rng)
+        assert all(e.frame.is_valid() for e in events)
+
+    def test_event_carries_true_position(self, rng):
+        t = Transponder(ICAO, "UAL1", tx_power_w=100.0)
+        events = t.squitters_between(0.0, 2.0, fixed_position, rng)
+        for e in events:
+            assert e.lat_deg == 37.9
+            assert e.lon_deg == -122.1
+            assert e.alt_m == 9000.0
+            assert e.tx_power_w == 100.0
+
+    def test_phase_differs_between_aircraft(self, rng):
+        t1 = Transponder(IcaoAddress(1), "A", tx_power_w=100.0)
+        t2 = Transponder(IcaoAddress(2), "B", tx_power_w=100.0)
+        e1 = t1.squitters_between(0.0, 5.0, fixed_position, rng)
+        e2 = t2.squitters_between(0.0, 5.0, fixed_position, rng)
+        times1 = {round(e.time_s, 3) for e in e1}
+        times2 = {round(e.time_s, 3) for e in e2}
+        assert times1 != times2

@@ -1,0 +1,85 @@
+"""Tests for repro.airspace.flightradar."""
+
+import numpy as np
+import pytest
+
+from repro.airspace.flightradar import FlightRadarService
+from repro.airspace.traffic import TrafficConfig, TrafficSimulator
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import haversine_m
+
+CENTER = GeoPoint(37.8715, -122.2730)
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return TrafficSimulator(
+        center=CENTER, config=TrafficConfig(n_aircraft=60), rng_seed=9
+    )
+
+
+class TestQuery:
+    def test_reports_within_radius(self, traffic):
+        service = FlightRadarService(traffic=traffic, latency_s=0.0)
+        reports = service.query(CENTER, 50_000.0, 15.0)
+        for r in reports:
+            assert haversine_m(CENTER, r.position) <= 50_000.0
+
+    def test_radius_filter_monotonic(self, traffic):
+        service = FlightRadarService(traffic=traffic, latency_s=0.0)
+        small = service.query(CENTER, 30_000.0, 15.0)
+        large = service.query(CENTER, 100_000.0, 15.0)
+        assert len(small) <= len(large)
+
+    def test_latency_shifts_positions(self, traffic):
+        instant = FlightRadarService(traffic=traffic, latency_s=0.0)
+        delayed = FlightRadarService(traffic=traffic, latency_s=10.0)
+        now = {r.icao: r for r in instant.query(CENTER, 200_000.0, 15.0)}
+        late = {r.icao: r for r in delayed.query(CENTER, 200_000.0, 15.0)}
+        moved = []
+        for icao in set(now) & set(late):
+            moved.append(
+                haversine_m(now[icao].position, late[icao].position)
+            )
+        # Enroute speeds 90-260 m/s over 10 s => 0.9-2.6 km offsets,
+        # the paper's "within 2.5 km of reported location".
+        assert max(moved) <= 2_700.0
+        assert np.mean(moved) > 500.0
+
+    def test_report_fields(self, traffic):
+        service = FlightRadarService(traffic=traffic)
+        reports = service.query(CENTER, 100_000.0, 15.0)
+        assert reports
+        r = reports[0]
+        assert r.callsign
+        assert r.ground_speed_ms > 0.0
+        assert 0.0 <= r.track_deg < 360.0
+
+    def test_coverage_miss_rate(self, traffic):
+        full = FlightRadarService(traffic=traffic, latency_s=0.0)
+        lossy = FlightRadarService(
+            traffic=traffic, latency_s=0.0, coverage_miss_rate=0.5
+        )
+        rng = np.random.default_rng(0)
+        n_full = len(full.query(CENTER, 100_000.0, 15.0))
+        counts = [
+            len(lossy.query(CENTER, 100_000.0, 15.0, rng))
+            for _ in range(30)
+        ]
+        assert np.mean(counts) == pytest.approx(n_full * 0.5, rel=0.2)
+
+    def test_miss_rate_requires_rng(self, traffic):
+        lossy = FlightRadarService(
+            traffic=traffic, coverage_miss_rate=0.1
+        )
+        with pytest.raises(ValueError):
+            lossy.query(CENTER, 100_000.0, 15.0)
+
+    def test_validation(self, traffic):
+        with pytest.raises(ValueError):
+            FlightRadarService(traffic=traffic, latency_s=-1.0)
+        with pytest.raises(ValueError):
+            FlightRadarService(traffic=traffic, coverage_miss_rate=1.0)
+        service = FlightRadarService(traffic=traffic)
+        with pytest.raises(ValueError):
+            service.query(CENTER, 0.0, 15.0)

@@ -1,0 +1,121 @@
+"""Tests for repro.airspace.traffic and repro.airspace.aircraft."""
+
+import numpy as np
+import pytest
+
+from repro.airspace.aircraft import MS_TO_KT
+from repro.airspace.traffic import TrafficConfig, TrafficSimulator
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import haversine_m
+
+CENTER = GeoPoint(37.8715, -122.2730)
+
+
+class TestTrafficConfig:
+    def test_defaults(self):
+        config = TrafficConfig()
+        assert config.n_aircraft == 80
+        assert config.radius_m == 100_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(n_aircraft=-1)
+        with pytest.raises(ValueError):
+            TrafficConfig(radius_m=0.0)
+
+    def test_density_profile_scaling(self):
+        config = TrafficConfig(
+            n_aircraft=100, density_profile=lambda h: 0.5
+        )
+        assert config.aircraft_count_at_hour(12.0) == 50
+
+    def test_no_profile_is_constant(self):
+        config = TrafficConfig(n_aircraft=60)
+        assert config.aircraft_count_at_hour(3.0) == 60
+
+
+class TestTrafficSimulator:
+    def test_population_size(self):
+        sim = TrafficSimulator(
+            center=CENTER, config=TrafficConfig(n_aircraft=25)
+        )
+        assert len(sim.aircraft) == 25
+
+    def test_unique_icaos_and_callsigns_format(self):
+        sim = TrafficSimulator(
+            center=CENTER, config=TrafficConfig(n_aircraft=50)
+        )
+        icaos = {ac.icao for ac in sim.aircraft}
+        assert len(icaos) == 50
+        for ac in sim.aircraft:
+            assert len(ac.callsign) >= 5
+
+    def test_deterministic_per_seed(self):
+        a = TrafficSimulator(center=CENTER, config=TrafficConfig(10), rng_seed=7)
+        b = TrafficSimulator(center=CENTER, config=TrafficConfig(10), rng_seed=7)
+        assert [ac.icao for ac in a.aircraft] == [
+            ac.icao for ac in b.aircraft
+        ]
+
+    def test_different_seeds_differ(self):
+        a = TrafficSimulator(center=CENTER, config=TrafficConfig(10), rng_seed=1)
+        b = TrafficSimulator(center=CENTER, config=TrafficConfig(10), rng_seed=2)
+        assert [ac.icao for ac in a.aircraft] != [
+            ac.icao for ac in b.aircraft
+        ]
+
+    def test_most_aircraft_in_range_during_window(self):
+        sim = TrafficSimulator(
+            center=CENTER, config=TrafficConfig(n_aircraft=80)
+        )
+        in_range = sim.aircraft_within(15.0)
+        assert len(in_range) >= 60  # most stay within the disk
+
+    def test_aircraft_within_smaller_radius(self):
+        sim = TrafficSimulator(
+            center=CENTER, config=TrafficConfig(n_aircraft=80)
+        )
+        near = sim.aircraft_within(15.0, radius_m=30_000.0)
+        far = sim.aircraft_within(15.0, radius_m=100_000.0)
+        assert len(near) < len(far)
+        for ac in near:
+            pos = ac.state_at(15.0).position
+            assert haversine_m(CENTER, pos) <= 30_000.0
+
+    def test_squitters_generated_for_population(self, rng):
+        sim = TrafficSimulator(
+            center=CENTER, config=TrafficConfig(n_aircraft=10)
+        )
+        events = sim.squitters_between(0.0, 5.0, rng)
+        # ~10 aircraft x (2+2+0.2)/s x 5 s.
+        assert 150 <= len(events) <= 260
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+
+
+class TestAircraftState:
+    def test_velocity_components(self):
+        sim = TrafficSimulator(
+            center=CENTER, config=TrafficConfig(n_aircraft=5)
+        )
+        ac = sim.aircraft[0]
+        state = ac.state_at(0.0)
+        speed_kt = np.hypot(
+            state.east_velocity_kt, state.north_velocity_kt
+        )
+        assert speed_kt == pytest.approx(
+            state.ground_speed_ms * MS_TO_KT, rel=1e-6
+        )
+
+    def test_squitter_position_adapter(self):
+        sim = TrafficSimulator(
+            center=CENTER, config=TrafficConfig(n_aircraft=5)
+        )
+        ac = sim.aircraft[0]
+        lat, lon, alt, east, north = ac.squitter_position_at(3.0)
+        state = ac.state_at(3.0)
+        assert lat == state.position.lat_deg
+        assert lon == state.position.lon_deg
+        assert alt == state.position.alt_m
+        assert east == pytest.approx(state.east_velocity_kt)
+        assert north == pytest.approx(state.north_velocity_kt)

@@ -1,0 +1,80 @@
+"""Tests for repro.cellular.bands and repro.cellular.arfcn."""
+
+import pytest
+
+from repro.cellular.arfcn import (
+    band_for_earfcn,
+    downlink_hz_to_earfcn,
+    earfcn_to_downlink_hz,
+)
+from repro.cellular.bands import BANDS, band_by_name
+
+
+class TestBandTable:
+    def test_paper_bands_present(self):
+        # The testbed's five downlinks live in B12, B2, B4, B7.
+        for name in ("B12", "B2", "B4", "B7"):
+            band_by_name(name)
+
+    def test_north_america_span(self):
+        # Paper: "as low as 617 MHz all the way to 4499 MHz" — B71
+        # bottom and B48 top bound our table's span.
+        lows = min(b.downlink_low_hz for b in BANDS)
+        highs = max(b.downlink_high_hz for b in BANDS)
+        assert lows == pytest.approx(617e6)
+        assert highs >= 3.7e9
+
+    def test_unknown_band_raises(self):
+        with pytest.raises(KeyError):
+            band_by_name("B999")
+
+    def test_band_contains(self):
+        b12 = band_by_name("B12")
+        assert b12.contains_freq(731e6)
+        assert not b12.contains_freq(800e6)
+        assert b12.contains_earfcn(5030)
+        assert not b12.contains_earfcn(5200)
+
+
+class TestEarfcnConversion:
+    @pytest.mark.parametrize(
+        "earfcn,freq_mhz",
+        [
+            (5030, 731.0),   # Tower 1
+            (1000, 1970.0),  # Tower 2
+            (2300, 2145.0),  # Tower 3
+            (3150, 2660.0),  # Tower 4
+            (3350, 2680.0),  # Tower 5
+            (600, 1930.0),   # B2 lower edge
+            (68586, 617.0),  # B71 lower edge
+        ],
+    )
+    def test_known_channels(self, earfcn, freq_mhz):
+        assert earfcn_to_downlink_hz(earfcn) == pytest.approx(
+            freq_mhz * 1e6
+        )
+
+    def test_roundtrip(self):
+        for earfcn in (5030, 1000, 2300, 3150, 3350, 55240):
+            freq = earfcn_to_downlink_hz(earfcn)
+            band = band_for_earfcn(earfcn)
+            assert downlink_hz_to_earfcn(freq, band) == earfcn
+
+    def test_unknown_earfcn_raises(self):
+        with pytest.raises(ValueError):
+            earfcn_to_downlink_hz(99999999)
+
+    def test_off_raster_raises(self):
+        with pytest.raises(ValueError):
+            downlink_hz_to_earfcn(731.05e6, band_by_name("B12"))
+
+    def test_out_of_band_raises(self):
+        with pytest.raises(ValueError):
+            downlink_hz_to_earfcn(100e6)
+
+    def test_overlapping_bands_hint(self):
+        # 2145 MHz is in both B4 and B66; the hint disambiguates.
+        b4 = band_by_name("B4")
+        b66 = band_by_name("B66")
+        assert downlink_hz_to_earfcn(2145e6, b4) == 2300
+        assert downlink_hz_to_earfcn(2145e6, b66) == 66786

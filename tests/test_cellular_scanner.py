@@ -1,0 +1,125 @@
+"""Tests for repro.cellular.scanner."""
+
+import numpy as np
+import pytest
+
+from repro.cellular.scanner import SRSUE_SENSITIVITY_DBM, SrsUeScanner
+from repro.environment.scenarios import (
+    make_indoor_site,
+    make_rooftop_site,
+    make_window_site,
+    standard_cell_towers,
+)
+from repro.sdr.antenna import WIDEBAND_700_2700, Antenna
+from repro.sdr.frontend import BLADERF_XA9, SdrFrontEnd
+
+
+@pytest.fixture(scope="module")
+def towers():
+    return standard_cell_towers()
+
+
+def _scanner(site, sdr=None, antenna=None):
+    return SrsUeScanner(
+        env=site,
+        sdr=sdr or BLADERF_XA9,
+        antenna=antenna or WIDEBAND_700_2700,
+    )
+
+
+class TestRooftopScan:
+    def test_all_towers_decoded(self, towers):
+        scanner = _scanner(make_rooftop_site())
+        results = scanner.scan_all(towers)
+        assert len(results) == 5
+        assert all(r.decoded for r in results)
+
+    def test_rsrp_very_high(self, towers):
+        # Paper: "RSRP is very high indicating excellent reception
+        # for all 5 towers when the sensor is placed on the rooftop."
+        scanner = _scanner(make_rooftop_site())
+        for r in scanner.scan_all(towers):
+            assert r.rsrp_dbm > -70.0
+
+    def test_pci_reported(self, towers):
+        scanner = _scanner(make_rooftop_site())
+        pcis = {r.pci for r in scanner.scan_all(towers)}
+        assert pcis == {11, 22, 33, 44, 55}
+
+
+class TestWindowScan:
+    def test_towers_1_to_3_only(self, towers):
+        scanner = _scanner(make_window_site())
+        decoded = {
+            r.pci for r in scanner.scan_all(towers) if r.decoded
+        }
+        assert decoded == {11, 22, 33}
+
+    def test_attenuated_relative_to_rooftop(self, towers):
+        roof = _scanner(make_rooftop_site())
+        window = _scanner(make_window_site())
+        t1 = towers.by_id("Tower 1")
+        assert window.rsrp_dbm(t1) < roof.rsrp_dbm(t1) - 15.0
+
+
+class TestIndoorScan:
+    def test_only_tower_1(self, towers):
+        # Paper: indoors "it can only decode wireless packets from
+        # tower 1 ... 700 MHz signals penetrate buildings much better".
+        scanner = _scanner(make_indoor_site())
+        results = scanner.scan_all(towers)
+        decoded = [r for r in results if r.decoded]
+        assert len(decoded) == 1
+        assert decoded[0].pci == 11
+
+    def test_missing_bars_have_no_rsrp(self, towers):
+        scanner = _scanner(make_indoor_site())
+        for r in scanner.scan_all(towers):
+            if not r.decoded:
+                assert r.rsrp_dbm is None
+                assert r.pci is None
+
+
+class TestScannerMechanics:
+    def test_unknown_earfcn_empty(self, towers):
+        scanner = _scanner(make_rooftop_site())
+        assert scanner.scan_earfcn(424242, towers) == []
+
+    def test_untunable_frequency_not_decoded(self, towers):
+        narrow_sdr = SdrFrontEnd(
+            name="narrow",
+            min_freq_hz=800e6,
+            max_freq_hz=1e9,
+            max_sample_rate_hz=20e6,
+        )
+        scanner = _scanner(make_rooftop_site(), sdr=narrow_sdr)
+        results = scanner.scan_earfcn(1000, towers)  # 1970 MHz
+        assert results and not results[0].decoded
+
+    def test_shadowing_cached_per_tower(self, towers):
+        scanner = _scanner(make_window_site())
+        rng = np.random.default_rng(3)
+        t1 = towers.by_id("Tower 1")
+        first = scanner.rsrp_dbm(t1, rng)
+        second = scanner.rsrp_dbm(t1, rng)
+        assert first == second
+
+    def test_sensitivity_threshold_boundary(self, towers):
+        high_threshold = SrsUeScanner(
+            env=make_rooftop_site(),
+            sdr=BLADERF_XA9,
+            antenna=WIDEBAND_700_2700,
+            sensitivity_dbm=-40.0,
+        )
+        results = high_threshold.scan_all(towers)
+        assert not any(r.decoded for r in results)
+
+    def test_default_sensitivity_constant(self):
+        assert SRSUE_SENSITIVITY_DBM == -100.0
+
+    def test_deaf_antenna_kills_decode(self, towers):
+        deaf = Antenna(
+            low_hz=5e9, high_hz=6e9, rolloff_db_per_octave=80.0
+        )
+        scanner = _scanner(make_rooftop_site(), antenna=deaf)
+        assert not any(r.decoded for r in scanner.scan_all(towers))

@@ -1,0 +1,85 @@
+"""Tests for repro.cellular.tower and repro.cellular.cellmapper."""
+
+import math
+
+import pytest
+
+from repro.cellular.cellmapper import TowerDatabase
+from repro.cellular.tower import RE_PER_RB, CellTower
+from repro.geo.coords import GeoPoint
+
+SITE = GeoPoint(37.8715, -122.2730)
+
+
+def _tower(tower_id="T1", pci=7, earfcn=5030, lat=37.88, lon=-122.28):
+    return CellTower(
+        tower_id=tower_id,
+        pci=pci,
+        position=GeoPoint(lat, lon, 30.0),
+        earfcn=earfcn,
+    )
+
+
+class TestCellTower:
+    def test_downlink_frequency(self):
+        assert _tower(earfcn=5030).downlink_freq_hz == pytest.approx(731e6)
+        assert _tower(earfcn=3150).downlink_freq_hz == pytest.approx(2660e6)
+
+    def test_band_name(self):
+        assert _tower(earfcn=5030).band_name == "B12"
+        assert _tower(earfcn=1000).band_name == "B2"
+
+    def test_eirp_per_re(self):
+        tower = _tower()
+        n_re = tower.bandwidth_rb * RE_PER_RB
+        expected = 46.0 - 10.0 * math.log10(n_re) + 17.0
+        assert tower.eirp_per_re_dbm() == pytest.approx(expected)
+
+    def test_nominal_range_by_band(self):
+        assert _tower(earfcn=5030).nominal_range_km() == 40.0  # low band
+        assert _tower(earfcn=3150).nominal_range_km() == 19.0  # mid band
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _tower(pci=504)
+        with pytest.raises(ValueError):
+            CellTower("T", 1, SITE, earfcn=123456789)
+        with pytest.raises(ValueError):
+            CellTower("T", 1, SITE, earfcn=5030, bandwidth_rb=0)
+
+
+class TestTowerDatabase:
+    def test_add_and_lookup(self):
+        db = TowerDatabase()
+        db.add(_tower("A"))
+        db.add(_tower("B", earfcn=1000))
+        assert db.by_id("A").tower_id == "A"
+        assert len(db.by_earfcn(5030)) == 1
+        assert db.earfcns() == [1000, 5030]
+
+    def test_duplicate_rejected(self):
+        db = TowerDatabase()
+        db.add(_tower("A"))
+        with pytest.raises(ValueError):
+            db.add(_tower("A"))
+
+    def test_same_id_different_channel_allowed(self):
+        db = TowerDatabase()
+        db.add(_tower("A", earfcn=5030))
+        db.add(_tower("A", earfcn=1000))  # co-sited second carrier
+        assert len(db.towers) == 2
+
+    def test_near_query(self):
+        db = TowerDatabase()
+        db.add(_tower("close", lat=37.875, lon=-122.275))
+        db.add(_tower("far", pci=8, earfcn=1000, lat=38.5, lon=-121.5))
+        near = db.near(SITE, 5_000.0)
+        assert [t.tower_id for t in near] == ["close"]
+
+    def test_near_invalid_radius(self):
+        with pytest.raises(ValueError):
+            TowerDatabase().near(SITE, -1.0)
+
+    def test_missing_id_raises(self):
+        with pytest.raises(KeyError):
+            TowerDatabase().by_id("nope")

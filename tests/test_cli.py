@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCalibrate:
+    def test_default_window(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "Calibration report" in out
+        assert "Trust score" in out
+
+    def test_rooftop_classified(self, capsys):
+        assert main(["calibrate", "--location", "rooftop"]) == 0
+        out = capsys.readouterr().out
+        assert "Installation: rooftop" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "calibrate",
+                    "--location",
+                    "indoor",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(path.read_text())
+        assert data["classification"]["installation"] == "indoor"
+        assert 0.0 <= data["scores"]["overall"] <= 1.0
+
+    def test_bad_location_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["calibrate", "--location", "basement"])
+
+
+class TestFigures:
+    def test_figure_1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rooftop" in out
+        assert "km" in out
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "Tower 1" in capsys.readouterr().out
+
+    def test_figure_3(self, capsys):
+        assert main(["figure", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "RSRP" in out
+        assert "--" in out  # missing bars
+
+    def test_figure_4(self, capsys):
+        assert main(["figure", "4"]) == 0
+        assert "521 MHz" in capsys.readouterr().out
+
+    def test_figure_fm(self, capsys):
+        assert main(["figure", "fm"]) == 0
+        assert "KAAA" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9"])
+
+
+class TestTrustAndSchedule:
+    def test_trust(self, capsys):
+        assert main(["trust"]) == 0
+        out = capsys.readouterr().out
+        assert "omniscient" in out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "--windows", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out
+
+    def test_schedule_invalid(self, capsys):
+        assert main(["schedule", "--windows", "0"]) == 2
+
+
+class TestParser:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

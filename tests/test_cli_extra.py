@@ -1,0 +1,19 @@
+"""Tests for the fleet/crosscheck CLI commands."""
+
+from repro.cli import main
+
+
+class TestFleetCommand:
+    def test_fleet(self, capsys):
+        assert main(["fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "Rejected" in out
+        assert "rooftop-0" in out
+
+
+class TestCrosscheckCommand:
+    def test_crosscheck(self, capsys):
+        assert main(["crosscheck"]) == 0
+        out = capsys.readouterr().out
+        assert "replayer" in out
+        assert "FLAGGED" in out

@@ -1,0 +1,124 @@
+"""Tests for absolute-power calibration (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.abs_power import (
+    AbsolutePowerCalibration,
+    AbsolutePowerCalibrator,
+)
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import KnnFovEstimator
+from repro.core.frequency import FrequencyEvaluator, FrequencyProfile
+from repro.node.sensor import SensorNode
+
+
+@pytest.fixture(scope="module")
+def calibrations(world):
+    out = {}
+    calibrator = AbsolutePowerCalibrator()
+    for location in ("rooftop", "window", "indoor"):
+        node = SensorNode(location, world.testbed.site(location))
+        scan = DirectionalEvaluator(
+            node=node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        ).run(np.random.default_rng(1))
+        fov = KnnFovEstimator().estimate(scan)
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+            fm_towers=world.testbed.fm_towers,
+        ).run()
+        out[location] = (
+            node,
+            calibrator.calibrate(
+                node,
+                profile,
+                world.testbed.tv_towers,
+                world.testbed.fm_towers,
+                fov=fov,
+            ),
+        )
+    return out
+
+
+class TestEstimates:
+    def test_rooftop_exact(self, calibrations):
+        node, result = calibrations["rooftop"]
+        assert result.reliable
+        assert result.full_scale_dbm_estimate == pytest.approx(
+            node.sdr.full_scale_dbm, abs=1.0
+        )
+
+    def test_window_anchored_on_in_view_signal(self, calibrations):
+        node, result = calibrations["window"]
+        assert result.reliable
+        # The anchor must be one of the stations inside the window's
+        # narrow field of view.
+        assert result.anchor_label in ("K22CC", "KCCC")
+        assert result.full_scale_dbm_estimate == pytest.approx(
+            node.sdr.full_scale_dbm, abs=3.0
+        )
+
+    def test_indoor_unreliable(self, calibrations):
+        node, result = calibrations["indoor"]
+        # Every path is obstructed: the estimate is biased high and
+        # must be flagged as untrustworthy.
+        assert not result.reliable
+        assert (
+            result.full_scale_dbm_estimate
+            > node.sdr.full_scale_dbm + 10.0
+        )
+
+    def test_to_dbm_conversion(self, calibrations):
+        _, result = calibrations["rooftop"]
+        assert result.to_dbm(-30.0) == pytest.approx(
+            result.full_scale_dbm_estimate - 30.0
+        )
+
+
+class TestEdgeCases:
+    def test_too_few_signals(self, world):
+        node = SensorNode("x", world.testbed.site("rooftop"))
+        empty = FrequencyProfile(node_id="x")
+        result = AbsolutePowerCalibrator().calibrate(
+            node, empty, world.testbed.tv_towers
+        )
+        assert result.full_scale_dbm_estimate is None
+        assert not result.reliable
+        with pytest.raises(ValueError):
+            result.to_dbm(-30.0)
+
+    def test_no_fov_means_unreliable(self, world):
+        node = SensorNode("x", world.testbed.site("rooftop"))
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+            fm_towers=world.testbed.fm_towers,
+        ).run()
+        result = AbsolutePowerCalibrator().calibrate(
+            node,
+            profile,
+            world.testbed.tv_towers,
+            world.testbed.fm_towers,
+        )
+        assert result.full_scale_dbm_estimate is not None
+        assert not result.reliable  # no FoV evidence supplied
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            AbsolutePowerCalibrator(quantile=1.5)
+
+    def test_record_fields(self):
+        record = AbsolutePowerCalibration(
+            full_scale_dbm_estimate=-20.0,
+            spread_db=3.0,
+            anchor_label="K22CC",
+            anchor_bearing_deg=140.0,
+            n_signals=9,
+            reliable=True,
+        )
+        assert record.to_dbm(0.0) == -20.0

@@ -1,0 +1,135 @@
+"""Tests for repro.core.classify."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import (
+    Classification,
+    IndoorOutdoorClassifier,
+    InstallationFeatures,
+    classify_node,
+    extract_features,
+)
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import KnnFovEstimator
+from repro.core.frequency import FrequencyEvaluator
+from repro.node.sensor import SensorNode
+
+
+def _features(**kwargs):
+    defaults = dict(
+        fov_open_fraction=0.5,
+        max_received_range_km=95.0,
+        reach_km=90.0,
+        high_band_decode_fraction=1.0,
+        high_band_excess_db=2.0,
+        low_band_excess_db=1.0,
+    )
+    defaults.update(kwargs)
+    return InstallationFeatures(**defaults)
+
+
+class TestRules:
+    def test_rooftop_profile(self):
+        verdict = IndoorOutdoorClassifier().classify(_features())
+        assert verdict.installation == "rooftop"
+        assert verdict.outdoor
+
+    def test_indoor_profile(self):
+        verdict = IndoorOutdoorClassifier().classify(
+            _features(
+                fov_open_fraction=0.0,
+                max_received_range_km=18.0,
+                reach_km=15.0,
+                high_band_decode_fraction=0.0,
+                high_band_excess_db=45.0,
+                low_band_excess_db=30.0,
+            )
+        )
+        assert verdict.installation == "indoor"
+        assert not verdict.outdoor
+
+    def test_window_profile(self):
+        verdict = IndoorOutdoorClassifier().classify(
+            _features(
+                fov_open_fraction=0.11,
+                max_received_range_km=90.0,
+                reach_km=80.0,
+                high_band_decode_fraction=0.5,
+                high_band_excess_db=35.0,
+                low_band_excess_db=22.0,
+            )
+        )
+        assert verdict.installation == "window"
+        assert not verdict.outdoor
+
+    def test_probability_ordering(self):
+        clf = IndoorOutdoorClassifier()
+        roof = clf.outdoor_probability(_features())
+        indoor = clf.outdoor_probability(
+            _features(
+                fov_open_fraction=0.0,
+                max_received_range_km=18.0,
+                reach_km=15.0,
+                high_band_decode_fraction=0.0,
+                high_band_excess_db=45.0,
+            )
+        )
+        assert roof > 0.9
+        assert indoor < 0.05
+
+    def test_probability_in_unit_interval(self):
+        clf = IndoorOutdoorClassifier()
+        for frac in (0.0, 0.3, 1.0):
+            p = clf.outdoor_probability(
+                _features(fov_open_fraction=frac)
+            )
+            assert 0.0 <= p <= 1.0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "location", ["rooftop", "window", "indoor"]
+    )
+    def test_all_locations_classified_correctly(self, world, location):
+        node = SensorNode(location, world.testbed.site(location))
+        scan = DirectionalEvaluator(
+            node=node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        ).run(np.random.default_rng(1))
+        fov = KnnFovEstimator().estimate(scan)
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        ).run()
+        verdict = classify_node(scan, fov, profile)
+        assert verdict.installation == location
+        assert verdict.outdoor == (location == "rooftop")
+
+    def test_extract_features_floor_when_band_dead(self, world):
+        node = SensorNode("indoor", world.testbed.site("indoor"))
+        scan = DirectionalEvaluator(
+            node=node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        ).run(np.random.default_rng(1))
+        fov = KnnFovEstimator().estimate(scan)
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+        ).run()
+        features = extract_features(scan, fov, profile)
+        assert (
+            features.high_band_excess_db
+            == InstallationFeatures.HIGH_EXCESS_FLOOR_DB
+        )
+
+
+class TestClassificationRecord:
+    def test_fields(self):
+        c = Classification("window", False, 0.2)
+        assert c.installation == "window"
+        assert not c.outdoor
+        assert c.outdoor_probability == 0.2

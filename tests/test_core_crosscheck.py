@@ -1,0 +1,165 @@
+"""Tests for cross-validation between co-located nodes."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.core.crosscheck import (
+    CrossChecker,
+    informative_received_set,
+    jaccard,
+)
+from repro.core.directional import DirectionalEvaluator
+from repro.node.fabrication import ReplayFabricator
+from repro.node.sensor import SensorNode
+
+
+class TestJaccard:
+    def test_identical(self):
+        s = {IcaoAddress(1), IcaoAddress(2)}
+        assert jaccard(s, set(s)) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({IcaoAddress(1)}, {IcaoAddress(2)}) == 0.0
+
+    def test_partial(self):
+        a = {IcaoAddress(1), IcaoAddress(2), IcaoAddress(3)}
+        b = {IcaoAddress(2), IcaoAddress(3), IcaoAddress(4)}
+        assert jaccard(a, b) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+
+@pytest.fixture(scope="module")
+def colocated_scans(world):
+    """Scans from the three sites, watching the same traffic."""
+    scans = []
+    for location in ("rooftop", "window", "indoor"):
+        node = SensorNode(location, world.testbed.site(location))
+        evaluator = DirectionalEvaluator(
+            node=node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        )
+        scans.append(evaluator.run(np.random.default_rng(13)))
+    return scans
+
+
+class TestInformativeSet:
+    def test_excludes_close_traffic(self, colocated_scans):
+        scan = colocated_scans[0]
+        received = informative_received_set(scan)
+        close = {
+            o.icao
+            for o in scan.received
+            if o.ground_range_km < 20.0
+        }
+        assert not (received & close)
+
+    def test_includes_ghosts(self, colocated_scans):
+        scan = colocated_scans[0]
+        scan_with_ghost = type(scan)(
+            node_id=scan.node_id,
+            duration_s=scan.duration_s,
+            radius_m=scan.radius_m,
+            observations=scan.observations,
+            ghost_icaos=[IcaoAddress(0xFFFFFF)],
+        )
+        assert IcaoAddress(0xFFFFFF) in informative_received_set(
+            scan_with_ghost
+        )
+
+
+class TestCrossChecker:
+    def test_honest_rooftops_agree(self, world):
+        scans = []
+        for i in range(3):
+            node = SensorNode(
+                f"roof-{i}", world.testbed.site("rooftop")
+            )
+            scans.append(
+                DirectionalEvaluator(
+                    node=node,
+                    traffic=world.traffic,
+                    ground_truth=world.ground_truth,
+                ).run(np.random.default_rng(20 + i))
+            )
+        rows = CrossChecker().assess(scans)
+        assert all(not r.flagged for r in rows)
+        assert all(r.mean_similarity > 0.6 for r in rows)
+
+    def test_replaying_node_flagged(self, world, rng):
+        # Two honest rooftop nodes plus one replaying old data.
+        scans = []
+        for i in range(2):
+            node = SensorNode(
+                f"roof-{i}", world.testbed.site("rooftop")
+            )
+            scans.append(
+                DirectionalEvaluator(
+                    node=node,
+                    traffic=world.traffic,
+                    ground_truth=world.ground_truth,
+                ).run(np.random.default_rng(30 + i))
+            )
+        # The replayer's donor comes from different traffic.
+        from repro.airspace.flightradar import FlightRadarService
+        from repro.airspace.traffic import (
+            TrafficConfig,
+            TrafficSimulator,
+        )
+
+        other = TrafficSimulator(
+            center=world.testbed.center,
+            config=TrafficConfig(n_aircraft=80),
+            rng_seed=777,
+        )
+        donor_node = SensorNode(
+            "cheater", world.testbed.site("rooftop")
+        )
+        donor = DirectionalEvaluator(
+            node=donor_node,
+            traffic=other,
+            ground_truth=FlightRadarService(traffic=other),
+        ).run(np.random.default_rng(777))
+        honest_now = DirectionalEvaluator(
+            node=donor_node,
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        ).run(np.random.default_rng(32))
+        replayed = ReplayFabricator(donor=donor).fabricate(
+            honest_now, rng
+        )
+        scans.append(replayed)
+
+        rows = CrossChecker().assess(scans)
+        by_id = {r.node_id: r for r in rows}
+        assert by_id["cheater"].flagged
+        assert not by_id["roof-0"].flagged
+        assert not by_id["roof-1"].flagged
+
+    def test_different_fovs_pass_or_abstain(self, colocated_scans):
+        # Rooftop vs window vs indoor have very different fields of
+        # view: similarity drops, and the nearly-deaf indoor node has
+        # too little evidence to judge — it must abstain, not flag.
+        # With only three heterogeneous peers the unique-fraction
+        # check would misfire (the rooftop hears much that the
+        # window/indoor peers cannot), so it is relaxed here: that
+        # check assumes peers collectively cover the sky.
+        rows = CrossChecker(
+            min_similarity=0.02, max_unique_fraction=1.0
+        ).assess(colocated_scans)
+        by_id = {r.node_id: r for r in rows}
+        assert not by_id["rooftop"].flagged
+        assert not by_id["window"].flagged
+        assert by_id["indoor"].abstained
+        assert not by_id["indoor"].flagged
+
+    def test_validation(self, colocated_scans):
+        with pytest.raises(ValueError):
+            CrossChecker().assess(colocated_scans[:1])
+        with pytest.raises(ValueError):
+            CrossChecker().assess(
+                [colocated_scans[0], colocated_scans[0]]
+            )

@@ -1,0 +1,127 @@
+"""Tests for repro.core.directional — the §3.1 procedure."""
+
+import numpy as np
+import pytest
+
+from repro.airspace.flightradar import FlightRadarService
+from repro.airspace.traffic import TrafficConfig, TrafficSimulator
+from repro.core.directional import (
+    ADSB_BANDWIDTH_HZ,
+    DECODE_SNR_DB,
+    DirectionalEvaluator,
+)
+from repro.node.sensor import SensorNode
+
+
+@pytest.fixture(scope="module")
+def small_world(world):
+    """A reduced traffic picture for fast per-test scans."""
+    traffic = TrafficSimulator(
+        center=world.testbed.center,
+        config=TrafficConfig(n_aircraft=25),
+        rng_seed=3,
+    )
+    return world.testbed, traffic, FlightRadarService(traffic=traffic)
+
+
+def _evaluator(small_world, location="rooftop", **kwargs):
+    testbed, traffic, gt = small_world
+    node = SensorNode(location, testbed.site(location))
+    return DirectionalEvaluator(
+        node=node, traffic=traffic, ground_truth=gt, **kwargs
+    )
+
+
+class TestConfiguration:
+    def test_paper_defaults(self, small_world):
+        ev = _evaluator(small_world)
+        assert ev.duration_s == 30.0
+        assert ev.ground_truth_query_s == 15.0
+        assert ev.radius_m == 100_000.0
+
+    def test_decode_threshold(self, small_world):
+        ev = _evaluator(small_world)
+        floor = ev.node.sdr.noise_floor_dbm(ADSB_BANDWIDTH_HZ)
+        assert ev.decode_threshold_dbm() == pytest.approx(
+            floor + DECODE_SNR_DB
+        )
+
+    def test_validation(self, small_world):
+        with pytest.raises(ValueError):
+            _evaluator(small_world, duration_s=0.0)
+        with pytest.raises(ValueError):
+            _evaluator(small_world, ground_truth_query_s=99.0)
+        with pytest.raises(ValueError):
+            _evaluator(small_world, radius_m=-1.0)
+
+
+class TestScan:
+    def test_observations_cover_ground_truth(self, small_world):
+        testbed, traffic, gt = small_world
+        ev = _evaluator(small_world)
+        scan = ev.run(np.random.default_rng(0))
+        reports = gt.query(ev.node.position, ev.radius_m, 15.0)
+        assert len(scan.observations) == len(reports)
+        assert {o.icao for o in scan.observations} == {
+            r.icao for r in reports
+        }
+
+    def test_received_have_messages_and_rssi(self, small_world):
+        scan = _evaluator(small_world).run(np.random.default_rng(0))
+        for obs in scan.received:
+            assert obs.n_messages > 0
+            assert obs.mean_rssi_dbfs is not None
+        for obs in scan.missed:
+            assert obs.n_messages == 0
+            assert obs.mean_rssi_dbfs is None
+
+    def test_observation_geometry_within_radius(self, small_world):
+        scan = _evaluator(small_world).run(np.random.default_rng(0))
+        for obs in scan.observations:
+            assert obs.ground_range_m <= scan.radius_m + 1.0
+            assert 0.0 <= obs.bearing_deg < 360.0
+
+    def test_rooftop_beats_indoor(self, small_world):
+        roof = _evaluator(small_world, "rooftop").run(
+            np.random.default_rng(0)
+        )
+        indoor = _evaluator(small_world, "indoor").run(
+            np.random.default_rng(0)
+        )
+        assert roof.reception_rate > indoor.reception_rate
+        assert (
+            roof.max_received_range_km()
+            >= indoor.max_received_range_km()
+        )
+
+    def test_no_ghosts_for_honest_node(self, small_world):
+        scan = _evaluator(small_world).run(np.random.default_rng(0))
+        # Boundary crossings can create the odd ghost; it stays rare.
+        assert len(scan.ghost_icaos) <= 2
+
+    def test_deterministic_given_seed(self, small_world):
+        ev = _evaluator(small_world)
+        a = ev.run(np.random.default_rng(77))
+        b = ev.run(np.random.default_rng(77))
+        assert [o.received for o in a.observations] == [
+            o.received for o in b.observations
+        ]
+        assert a.decoded_message_count == b.decoded_message_count
+
+    def test_message_count_consistent(self, small_world):
+        scan = _evaluator(small_world).run(np.random.default_rng(0))
+        tallied = sum(o.n_messages for o in scan.observations)
+        # Ghost messages (if any) are the only ones not in the tally.
+        assert tallied <= scan.decoded_message_count
+
+
+class TestRepeated:
+    def test_run_repeated_count_and_independence(self, small_world):
+        scans = _evaluator(small_world).run_repeated(3, seed=5)
+        assert len(scans) == 3
+        rates = [s.reception_rate for s in scans]
+        assert max(rates) - min(rates) < 0.3
+
+    def test_run_repeated_validation(self, small_world):
+        with pytest.raises(ValueError):
+            _evaluator(small_world).run_repeated(0)

@@ -1,0 +1,84 @@
+"""Tests for scan pooling and the pooling experiment."""
+
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.core.fov import pool_scans
+from repro.core.observations import AircraftObservation, DirectionalScan
+from repro.experiments import fov_pooling
+from repro.geo.coords import GeoPoint
+
+
+def _scan(node_id="n", n_obs=3, icao_base=1):
+    observations = [
+        AircraftObservation(
+            icao=IcaoAddress(icao_base + i),
+            callsign="T",
+            bearing_deg=float(i * 30),
+            ground_range_m=40_000.0,
+            elevation_deg=10.0,
+            position=GeoPoint(38.0, -122.0, 9000.0),
+            received=True,
+            n_messages=10,
+            mean_rssi_dbfs=-40.0,
+        )
+        for i in range(n_obs)
+    ]
+    return DirectionalScan(
+        node_id=node_id,
+        duration_s=30.0,
+        radius_m=100_000.0,
+        observations=observations,
+        decoded_message_count=10 * n_obs,
+    )
+
+
+class TestPoolScans:
+    def test_concatenates_observations(self):
+        pooled = pool_scans([_scan(icao_base=1), _scan(icao_base=100)])
+        assert len(pooled.observations) == 6
+        assert pooled.duration_s == 60.0
+        assert pooled.decoded_message_count == 60
+
+    def test_single_scan_identity_content(self):
+        scan = _scan()
+        pooled = pool_scans([scan])
+        assert pooled.observations == scan.observations
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pool_scans([])
+
+    def test_rejects_mixed_nodes(self):
+        with pytest.raises(ValueError):
+            pool_scans([_scan("a"), _scan("b")])
+
+    def test_ghosts_concatenated(self):
+        a = _scan()
+        a.ghost_icaos = [IcaoAddress(0xAAA)]
+        b = _scan(icao_base=50)
+        b.ghost_icaos = [IcaoAddress(0xBBB)]
+        pooled = pool_scans([a, b])
+        assert len(pooled.ghost_icaos) == 2
+
+
+class TestPoolingExperiment:
+    def test_sweep_improves_or_holds(self, world):
+        rows = fov_pooling.run_fov_pooling(
+            n_scans_options=[1, 3], n_trials=2, world=world
+        )
+        assert rows[1].agreement_mean >= rows[0].agreement_mean - 0.02
+        assert (
+            rows[1].informative_aircraft
+            > 2 * rows[0].informative_aircraft
+        )
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            fov_pooling.run_fov_pooling(n_trials=0, world=world)
+
+    def test_format(self, world):
+        rows = fov_pooling.run_fov_pooling(
+            n_scans_options=[1], n_trials=1, world=world
+        )
+        assert "pooled scans" in fov_pooling.format_rows(rows)

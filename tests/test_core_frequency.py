@@ -1,0 +1,152 @@
+"""Tests for repro.core.frequency — the §3.2 evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyEvaluator
+from repro.node.sensor import SensorNode
+from repro.sdr.frontend import SdrFrontEnd
+
+
+@pytest.fixture(scope="module")
+def profiles(world):
+    out = {}
+    for location in ("rooftop", "window", "indoor"):
+        node = SensorNode(location, world.testbed.site(location))
+        out[location] = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        ).run()
+    return out
+
+
+class TestProfileStructure:
+    def test_eleven_measurements(self, profiles):
+        for profile in profiles.values():
+            assert len(profile.measurements) == 11  # 5 cell + 6 TV
+            assert len(profile.by_source("cellular")) == 5
+            assert len(profile.by_source("tv")) == 6
+
+    def test_sorted_by_frequency(self, profiles):
+        freqs = [m.freq_hz for m in profiles["rooftop"].measurements]
+        assert freqs == sorted(freqs)
+
+    def test_decoded_have_excess(self, profiles):
+        for profile in profiles.values():
+            for m in profile.measurements:
+                if m.decoded:
+                    assert m.measured is not None
+                    assert m.excess_attenuation_db is not None
+                else:
+                    assert m.measured is None
+                    assert m.excess_attenuation_db is None
+
+
+class TestPaperShapes:
+    def test_rooftop_decodes_everything(self, profiles):
+        assert all(m.decoded for m in profiles["rooftop"].measurements)
+
+    def test_rooftop_excess_small(self, profiles):
+        # Every signal is near-reference from the roof except the
+        # 521 MHz TV tower, which sits behind the rooftop structures
+        # (it is the window's in-view tower).
+        for m in profiles["rooftop"].measurements:
+            if m.label == "K22CC":
+                assert m.excess_attenuation_db > 15.0
+            else:
+                assert m.excess_attenuation_db < 5.0
+
+    def test_window_loses_high_band_cellular(self, profiles):
+        cellular = profiles["window"].by_source("cellular")
+        dead = [m.label for m in cellular if not m.decoded]
+        assert dead == ["Tower 4", "Tower 5"]
+
+    def test_indoor_keeps_only_700mhz_cellular(self, profiles):
+        cellular = profiles["indoor"].by_source("cellular")
+        alive = [m.label for m in cellular if m.decoded]
+        assert alive == ["Tower 1"]
+
+    def test_tv_usable_everywhere(self, profiles):
+        # Paper: despite attenuation, locations 2 and 3 "can be used
+        # for sub-600 MHz spectrum measurements".
+        for profile in profiles.values():
+            tv = profile.by_source("tv")
+            assert all(m.decoded for m in tv)
+
+    def test_excess_ordering_across_locations(self, profiles):
+        roof = profiles["rooftop"].mean_excess_attenuation_db(0, 1e9)
+        indoor = profiles["indoor"].mean_excess_attenuation_db(0, 1e9)
+        assert indoor > roof + 10.0
+
+
+class TestProfileQueries:
+    def test_band_filter(self, profiles):
+        low = profiles["rooftop"].band(0.0, 1e9)
+        assert all(m.freq_hz <= 1e9 for m in low)
+        assert len(low) == 7  # 6 TV + Tower 1
+
+    def test_decode_fraction(self, profiles):
+        assert profiles["rooftop"].decode_fraction() == 1.0
+        assert profiles["indoor"].decode_fraction(1.5e9) == 0.0
+
+    def test_mean_excess_none_when_band_dead(self, profiles):
+        assert (
+            profiles["indoor"].mean_excess_attenuation_db(1.5e9)
+            is None
+        )
+
+    def test_usable_bands(self, profiles):
+        roof = profiles["rooftop"].usable_bands(max_excess_db=15.0)
+        indoor = profiles["indoor"].usable_bands(max_excess_db=15.0)
+        # All bands usable from the roof except the out-of-view
+        # 521 MHz tower.
+        assert len(roof) == 10
+        assert len(indoor) == 0
+
+
+class TestEvaluatorOptions:
+    def test_iq_mode_requires_rng(self, world):
+        node = SensorNode("n", world.testbed.site("rooftop"))
+        evaluator = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        )
+        with pytest.raises(ValueError):
+            evaluator.run(tv_iq_mode=True)
+
+    def test_iq_mode_close_to_budget_mode(self, world):
+        node = SensorNode("n", world.testbed.site("rooftop"))
+        evaluator = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        )
+        budget = evaluator.run()
+        iq = evaluator.run(
+            rng=np.random.default_rng(5), tv_iq_mode=True
+        )
+        for m_budget, m_iq in zip(
+            budget.by_source("tv"), iq.by_source("tv")
+        ):
+            assert m_iq.measured == pytest.approx(
+                m_budget.measured, abs=1.5
+            )
+
+    def test_untunable_sdr_yields_undecoded(self, world):
+        hf_only = SdrFrontEnd(
+            name="hf",
+            min_freq_hz=1e6,
+            max_freq_hz=60e6,
+            max_sample_rate_hz=10e6,
+        )
+        node = SensorNode(
+            "hf-node", world.testbed.site("rooftop"), sdr=hf_only
+        )
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        ).run()
+        assert not any(m.decoded for m in profile.measurements)

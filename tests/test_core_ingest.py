@@ -1,0 +1,133 @@
+"""Tests for SBS-feed ingestion into the calibration pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.decoder import Dump1090Decoder
+from repro.adsb.sbs import stream_to_sbs
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import KnnFovEstimator
+from repro.core.ingest import parse_sbs_stream, scan_from_sbs
+from repro.environment.links import AdsbLinkModel
+from repro.geo.coords import GeoPoint
+from repro.node.sensor import SensorNode
+
+
+@pytest.fixture(scope="module")
+def sbs_world(world):
+    """Run the §3.1 measurement, exporting the decodes as SBS lines.
+
+    Replicates DirectionalEvaluator.run's physical path, but feeds the
+    decoded messages through the SBS text format — the shape of a real
+    dump1090 deployment.
+    """
+    from repro.core.directional import (
+        ADSB_BANDWIDTH_HZ,
+        DECODE_SNR_DB,
+    )
+
+    node = SensorNode("sbs-node", world.testbed.site("rooftop"))
+    rng = np.random.default_rng(40)
+    link = AdsbLinkModel(
+        env=node.environment, rx_antenna=node.antenna
+    )
+    decoder = Dump1090Decoder(receiver_position=node.position)
+    threshold = node.sdr.noise_floor_dbm(ADSB_BANDWIDTH_HZ) + DECODE_SNR_DB
+    messages = []
+    for event in world.traffic.squitters_between(0.0, 30.0, rng):
+        tx = GeoPoint(event.lat_deg, event.lon_deg, event.alt_m)
+        rx = link.message_received_power_dbm(
+            event.frame.icao, tx, event.tx_power_w, rng,
+            time_s=event.time_s,
+        )
+        if rx < threshold:
+            continue
+        msg = decoder.decode_frame_bytes(
+            event.frame.data,
+            event.time_s,
+            node.sdr.input_dbm_to_dbfs(rx),
+        )
+        if msg is not None:
+            messages.append(msg)
+    sbs_text = stream_to_sbs(messages)
+    reports = world.ground_truth.query(
+        node.position, 100_000.0, 15.0
+    )
+    return node, sbs_text, reports, messages
+
+
+class TestParseStream:
+    def test_parses_full_feed(self, sbs_world):
+        _node, sbs_text, _reports, messages = sbs_world
+        records = parse_sbs_stream(sbs_text.splitlines())
+        assert len(records) == len(messages)
+
+    def test_skips_garbage_lines(self, sbs_world):
+        _node, sbs_text, _reports, messages = sbs_world
+        noisy = (
+            "STATUS,ok\n\n"
+            + sbs_text
+            + "\nMSG,3,truncated\n# comment\n"
+        )
+        records = parse_sbs_stream(noisy.splitlines())
+        assert len(records) == len(messages)
+
+
+class TestScanFromSbs:
+    def test_matches_direct_pipeline(self, sbs_world, world):
+        node, sbs_text, reports, _messages = sbs_world
+        ingested = scan_from_sbs(
+            sbs_text.splitlines(),
+            reports,
+            node_id="sbs-node",
+            receiver_position=node.position,
+        )
+        direct = DirectionalEvaluator(
+            node=SensorNode(
+                "sbs-node", world.testbed.site("rooftop")
+            ),
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+        ).run(np.random.default_rng(40))
+        assert len(ingested.observations) == len(direct.observations)
+        # Same fading realization -> identical received sets.
+        assert {o.icao for o in ingested.received} == {
+            o.icao for o in direct.received
+        }
+
+    def test_fov_estimation_works_on_ingested_scan(self, sbs_world):
+        node, sbs_text, reports, _messages = sbs_world
+        scan = scan_from_sbs(
+            sbs_text.splitlines(),
+            reports,
+            node_id="sbs-node",
+            receiver_position=node.position,
+        )
+        fov = KnnFovEstimator().estimate(scan)
+        truth = node.environment.obstruction_map
+        assert fov.agreement_with_truth(truth) > 0.85
+
+    def test_ghosts_surface(self, sbs_world):
+        node, sbs_text, reports, _messages = sbs_world
+        # Drop half of the ground truth: those aircraft now look like
+        # ghosts, exactly what the trust layer needs to see.
+        reduced = reports[::2]
+        scan = scan_from_sbs(
+            sbs_text.splitlines(),
+            reduced,
+            node_id="sbs-node",
+            receiver_position=node.position,
+        )
+        assert len(scan.ghost_icaos) > 0
+
+    def test_no_rssi_in_sbs(self, sbs_world):
+        node, sbs_text, reports, _messages = sbs_world
+        scan = scan_from_sbs(
+            sbs_text.splitlines(),
+            reports,
+            node_id="sbs-node",
+            receiver_position=node.position,
+        )
+        assert all(
+            o.mean_rssi_dbfs is None for o in scan.observations
+        )

@@ -1,0 +1,83 @@
+"""Tests for repro.core.observations."""
+
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.core.observations import AircraftObservation, DirectionalScan
+from repro.geo.coords import GeoPoint
+
+
+def _obs(value, received, range_km=40.0):
+    return AircraftObservation(
+        icao=IcaoAddress(value),
+        callsign="TST1",
+        bearing_deg=120.0,
+        ground_range_m=range_km * 1000.0,
+        elevation_deg=12.0,
+        position=GeoPoint(38.0, -122.0, 9000.0),
+        received=received,
+        n_messages=10 if received else 0,
+        mean_rssi_dbfs=-42.0 if received else None,
+    )
+
+
+class TestAircraftObservation:
+    def test_range_km_property(self):
+        assert _obs(1, True, 55.0).ground_range_km == 55.0
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            _obs(1, True, -1.0)
+
+    def test_received_requires_messages(self):
+        with pytest.raises(ValueError):
+            AircraftObservation(
+                icao=IcaoAddress(1),
+                callsign="X",
+                bearing_deg=0.0,
+                ground_range_m=1000.0,
+                elevation_deg=0.0,
+                position=GeoPoint(0.0, 0.0),
+                received=True,
+                n_messages=0,
+            )
+
+
+class TestDirectionalScan:
+    def _scan(self):
+        return DirectionalScan(
+            node_id="n",
+            duration_s=30.0,
+            radius_m=100_000.0,
+            observations=[
+                _obs(1, True, 30.0),
+                _obs(2, True, 80.0),
+                _obs(3, False, 50.0),
+                _obs(4, False, 90.0),
+            ],
+            decoded_message_count=20,
+        )
+
+    def test_received_and_missed_partition(self):
+        scan = self._scan()
+        assert len(scan.received) == 2
+        assert len(scan.missed) == 2
+        assert len(scan.received) + len(scan.missed) == len(
+            scan.observations
+        )
+
+    def test_reception_rate(self):
+        assert self._scan().reception_rate == 0.5
+
+    def test_reception_rate_empty(self):
+        scan = DirectionalScan("n", 30.0, 1e5)
+        assert scan.reception_rate == 0.0
+
+    def test_max_received_range(self):
+        assert self._scan().max_received_range_km() == 80.0
+
+    def test_max_range_no_receptions(self):
+        scan = DirectionalScan(
+            "n", 30.0, 1e5, observations=[_obs(1, False)]
+        )
+        assert scan.max_received_range_km() == 0.0

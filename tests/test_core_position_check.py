@@ -1,0 +1,112 @@
+"""Tests for position-claim verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.directional import DirectionalEvaluator
+from repro.core.network import CalibrationService
+from repro.core.position_check import (
+    MAX_PLAUSIBLE_RANGE_KM,
+    PositionVerifier,
+    plausible_range_check,
+)
+from repro.core.observations import DirectionalScan
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import destination_point
+from repro.node.claims import NodeClaims
+from repro.node.sensor import SensorNode
+
+
+@pytest.fixture(scope="module")
+def rooftop_scan(world):
+    node = SensorNode("rooftop", world.testbed.site("rooftop"))
+    return DirectionalEvaluator(
+        node=node,
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+    ).run(np.random.default_rng(9))
+
+
+class TestPositionVerifier:
+    def test_true_position_consistent(self, world, rooftop_scan):
+        result = PositionVerifier().verify(
+            rooftop_scan, world.testbed.center
+        )
+        assert result.consistent
+        assert result.centroid_offset_km < 60.0
+        assert result.impossible_receptions == 0
+
+    def test_spoofed_position_flagged(self, world, rooftop_scan):
+        spoofed = destination_point(
+            world.testbed.center, 45.0, 200_000.0
+        )
+        result = PositionVerifier().verify(rooftop_scan, spoofed)
+        assert not result.consistent
+        assert result.centroid_offset_km > 100.0
+
+    def test_far_spoof_has_impossible_receptions(
+        self, world, rooftop_scan
+    ):
+        spoofed = destination_point(
+            world.testbed.center, 90.0, 600_000.0
+        )
+        result = PositionVerifier().verify(rooftop_scan, spoofed)
+        assert not result.consistent
+        assert result.impossible_receptions > 0
+
+    def test_too_few_receptions_abstains(self, world):
+        empty = DirectionalScan("x", 30.0, 1e5)
+        result = PositionVerifier().verify(
+            empty, world.testbed.center
+        )
+        assert result.consistent
+        assert result.reception_centroid is None
+
+    def test_plausible_range_helper(self, world, rooftop_scan):
+        spoofed = destination_point(
+            world.testbed.center, 90.0,
+            (MAX_PLAUSIBLE_RANGE_KM + 200.0) * 1000.0,
+        )
+        assert plausible_range_check(rooftop_scan, spoofed) > 0
+        assert (
+            plausible_range_check(rooftop_scan, world.testbed.center)
+            == 0
+        )
+
+
+class TestServiceIntegration:
+    def test_spoofed_claim_produces_violation(self, world):
+        service = CalibrationService(
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        )
+        node = SensorNode(
+            "spoofer", world.testbed.site("rooftop")
+        )
+        honest = NodeClaims.honest(node)
+        node.claims = NodeClaims(
+            position=destination_point(
+                world.testbed.center, 10.0, 250_000.0
+            ),
+            min_freq_hz=honest.min_freq_hz,
+            max_freq_hz=honest.max_freq_hz,
+            outdoor=honest.outdoor,
+            unobstructed=honest.unobstructed,
+        )
+        assessment = service.evaluate_node(node, seed=2)
+        claims = {v.claim for v in assessment.claim_violations}
+        assert "claimed position" in claims
+
+    def test_honest_claim_no_position_violation(self, world):
+        service = CalibrationService(
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        )
+        node = SensorNode("honest", world.testbed.site("rooftop"))
+        assessment = service.evaluate_node(node, seed=2)
+        claims = {v.claim for v in assessment.claim_violations}
+        assert "claimed position" not in claims

@@ -1,0 +1,102 @@
+"""Tests for repro.core.scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import (
+    DEFAULT_DIURNAL_PROFILE,
+    MeasurementScheduler,
+    diurnal_density,
+    expected_distinct_aircraft,
+)
+
+
+class TestDiurnalDensity:
+    def test_profile_length(self):
+        assert len(DEFAULT_DIURNAL_PROFILE) == 24
+
+    def test_anchor_values(self):
+        assert diurnal_density(8.0) == pytest.approx(1.0)
+        assert diurnal_density(3.0) == pytest.approx(0.08)
+
+    def test_interpolation(self):
+        mid = diurnal_density(5.5)
+        assert mid == pytest.approx(
+            0.5 * (DEFAULT_DIURNAL_PROFILE[5] + DEFAULT_DIURNAL_PROFILE[6])
+        )
+
+    def test_wraps_midnight(self):
+        assert diurnal_density(23.5) == pytest.approx(
+            0.5 * (DEFAULT_DIURNAL_PROFILE[23] + DEFAULT_DIURNAL_PROFILE[0])
+        )
+        assert diurnal_density(24.0) == diurnal_density(0.0)
+
+
+class TestExpectedAircraft:
+    def test_single_window(self):
+        got = expected_distinct_aircraft(
+            [8.0], diurnal_density, peak_aircraft=100.0
+        )
+        assert got == pytest.approx(100.0)
+
+    def test_widely_spaced_windows_add(self):
+        got = expected_distinct_aircraft(
+            [8.0, 16.0], diurnal_density, peak_aircraft=100.0
+        )
+        assert got == pytest.approx(
+            100.0 * (diurnal_density(8.0) + diurnal_density(16.0)),
+            rel=0.01,
+        )
+
+    def test_coincident_windows_mostly_overlap(self):
+        single = expected_distinct_aircraft([8.0], diurnal_density)
+        double = expected_distinct_aircraft(
+            [8.0, 8.05], diurnal_density
+        )
+        assert double < single * 1.2
+
+    def test_empty_schedule_zero(self):
+        assert expected_distinct_aircraft([], diurnal_density) == 0.0
+
+    def test_invalid_peak(self):
+        with pytest.raises(ValueError):
+            expected_distinct_aircraft([8.0], diurnal_density, 0.0)
+
+
+class TestScheduler:
+    def test_greedy_beats_baselines(self):
+        scheduler = MeasurementScheduler()
+        rng = np.random.default_rng(1)
+        for n in (1, 3, 5):
+            greedy = scheduler.schedule(n).expected_aircraft
+            uniform = scheduler.naive_uniform(n).expected_aircraft
+            rand = scheduler.random_schedule(n, rng).expected_aircraft
+            assert greedy >= uniform
+            assert greedy >= rand
+
+    def test_greedy_picks_peak_first(self):
+        plan = MeasurementScheduler().schedule(1)
+        assert diurnal_density(plan.hours[0]) == pytest.approx(
+            1.0, abs=0.05
+        )
+
+    def test_monotone_in_budget(self):
+        scheduler = MeasurementScheduler()
+        values = [
+            scheduler.schedule(n).expected_aircraft for n in (1, 2, 4)
+        ]
+        assert values == sorted(values)
+
+    def test_hours_sorted_and_in_day(self):
+        plan = MeasurementScheduler().schedule(5)
+        assert list(plan.hours) == sorted(plan.hours)
+        assert all(0.0 <= h < 24.0 for h in plan.hours)
+
+    def test_validation(self):
+        scheduler = MeasurementScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(0)
+        with pytest.raises(ValueError):
+            scheduler.naive_uniform(0)
+        with pytest.raises(ValueError):
+            scheduler.random_schedule(0, np.random.default_rng(0))

@@ -1,0 +1,107 @@
+"""Tests for the simulated-day traffic model and schedule validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import (
+    DayTrafficModel,
+    MeasurementScheduler,
+    diurnal_density,
+)
+from repro.experiments import scheduling
+
+
+class TestDayTrafficModel:
+    def test_sample_day_shapes(self, rng):
+        model = DayTrafficModel()
+        flights = model.sample_day(rng)
+        assert len(flights) > 500  # a busy metro day
+        for entry, exit_ in flights:
+            assert 0.0 <= entry < 24.0
+            assert exit_ > entry
+
+    def test_density_shapes_arrivals(self, rng):
+        model = DayTrafficModel()
+        flights = model.sample_day(rng)
+        morning = sum(1 for e, _x in flights if 7.0 <= e < 10.0)
+        night = sum(1 for e, _x in flights if 1.0 <= e < 4.0)
+        assert morning > 3 * night
+
+    def test_distinct_observed_monotone_in_windows(self, rng):
+        model = DayTrafficModel()
+        few = model.distinct_observed([8.0], np.random.default_rng(1))
+        many = model.distinct_observed(
+            [8.0, 12.0, 16.0], np.random.default_rng(1)
+        )
+        assert many >= few
+
+    def test_close_windows_mostly_overlap(self):
+        model = DayTrafficModel()
+        base = np.mean(
+            [
+                model.distinct_observed(
+                    [8.0], np.random.default_rng(i)
+                )
+                for i in range(20)
+            ]
+        )
+        double = np.mean(
+            [
+                model.distinct_observed(
+                    [8.0, 8.05], np.random.default_rng(i)
+                )
+                for i in range(20)
+            ]
+        )
+        assert double < base * 1.3
+
+    def test_invalid_rate(self, rng):
+        model = DayTrafficModel(peak_rate_per_h=0.0)
+        with pytest.raises(ValueError):
+            model.sample_day(rng)
+
+    def test_peak_hour_observation_scale(self):
+        # At the density peak, a window should see roughly
+        # rate * dwell aircraft (steady-state occupancy).
+        model = DayTrafficModel()
+        counts = [
+            model.distinct_observed([8.0], np.random.default_rng(i))
+            for i in range(30)
+        ]
+        expected = model.peak_rate_per_h * model.mean_dwell_h
+        assert np.mean(counts) == pytest.approx(
+            expected * diurnal_density(8.0), rel=0.35
+        )
+
+
+class TestScheduleValidation:
+    def test_orderings_agree(self):
+        rows = scheduling.run_schedule_validation(
+            n_windows=4, n_days=25
+        )
+        by_name = {r.strategy: r for r in rows}
+        assert (
+            by_name["greedy"].simulated_mean
+            > by_name["uniform"].simulated_mean
+        )
+        assert (
+            by_name["greedy"].analytic > by_name["uniform"].analytic
+        )
+
+    def test_greedy_hours_match_scheduler(self):
+        plan = MeasurementScheduler().schedule(4)
+        rows = scheduling.run_schedule_validation(n_windows=4, n_days=5)
+        greedy = next(r for r in rows if r.strategy == "greedy")
+        assert greedy.analytic == pytest.approx(
+            plan.expected_aircraft
+        )
+
+    def test_validation_input_check(self):
+        with pytest.raises(ValueError):
+            scheduling.run_schedule_validation(n_days=0)
+
+    def test_format(self):
+        rows = scheduling.run_schedule_validation(n_windows=2, n_days=3)
+        text = scheduling.format_validation(rows)
+        assert "analytic" in text
+        assert "simulated" in text

@@ -1,0 +1,144 @@
+"""Tests for repro.core.serialize (round-trip fidelity)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.classify import classify_node, extract_features
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import KnnFovEstimator
+from repro.core.frequency import FrequencyEvaluator
+from repro.core.report import CalibrationReport
+from repro.core.serialize import (
+    fov_from_dict,
+    fov_to_dict,
+    observation_from_dict,
+    observation_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    report_from_json,
+    report_to_json,
+    scan_from_dict,
+    scan_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_outputs(world):
+    node = world.node_at("window")
+    scan = DirectionalEvaluator(
+        node=node,
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+    ).run(np.random.default_rng(6))
+    fov = KnnFovEstimator().estimate(scan)
+    profile = FrequencyEvaluator(
+        node=node,
+        cell_towers=world.testbed.cell_towers,
+        tv_towers=world.testbed.tv_towers,
+        fm_towers=world.testbed.fm_towers,
+    ).run()
+    features = extract_features(scan, fov, profile)
+    report = CalibrationReport(
+        node_id=node.node_id,
+        scan=scan,
+        fov=fov,
+        profile=profile,
+        features=features,
+        classification=classify_node(scan, fov, profile),
+    )
+    return scan, fov, profile, report
+
+
+class TestObservationRoundtrip:
+    def test_roundtrip_all(self, pipeline_outputs):
+        scan = pipeline_outputs[0]
+        for obs in scan.observations:
+            back = observation_from_dict(observation_to_dict(obs))
+            assert back == obs
+
+
+class TestScanRoundtrip:
+    def test_roundtrip(self, pipeline_outputs):
+        scan = pipeline_outputs[0]
+        back = scan_from_dict(scan_to_dict(scan))
+        assert back.node_id == scan.node_id
+        assert back.duration_s == scan.duration_s
+        assert back.observations == scan.observations
+        assert back.ghost_icaos == scan.ghost_icaos
+        assert back.reception_rate == scan.reception_rate
+
+    def test_json_safe(self, pipeline_outputs):
+        scan = pipeline_outputs[0]
+        text = json.dumps(scan_to_dict(scan))
+        assert "node_id" in text
+
+
+class TestFovRoundtrip:
+    def test_roundtrip(self, pipeline_outputs):
+        fov = pipeline_outputs[1]
+        back = fov_from_dict(fov_to_dict(fov))
+        assert back.open_flags == fov.open_flags
+        assert back.max_range_km == fov.max_range_km
+        assert back.open_fraction() == fov.open_fraction()
+
+
+class TestProfileRoundtrip:
+    def test_roundtrip(self, pipeline_outputs):
+        profile = pipeline_outputs[2]
+        back = profile_from_dict(profile_to_dict(profile))
+        assert back.node_id == profile.node_id
+        assert back.measurements == profile.measurements
+        assert back.decode_fraction() == profile.decode_fraction()
+
+
+class TestReportRoundtrip:
+    def test_json_roundtrip_preserves_scores(self, pipeline_outputs):
+        report = pipeline_outputs[3]
+        back = report_from_json(report_to_json(report))
+        assert back.node_id == report.node_id
+        assert back.overall_score() == pytest.approx(
+            report.overall_score()
+        )
+        assert back.directional_score() == pytest.approx(
+            report.directional_score()
+        )
+        assert (
+            back.classification.installation
+            == report.classification.installation
+        )
+        assert back.band_grades == report.band_grades
+
+    def test_claim_verification_still_works_after_roundtrip(
+        self, pipeline_outputs, world
+    ):
+        from repro.node.claims import NodeClaims
+        from repro.node.sensor import SensorNode
+
+        report = pipeline_outputs[3]
+        back = report_from_json(report_to_json(report))
+        node = SensorNode("window", world.testbed.site("window"))
+        original = {
+            v.claim
+            for v in report.verify_claims(NodeClaims.inflated(node))
+        }
+        restored = {
+            v.claim
+            for v in back.verify_claims(NodeClaims.inflated(node))
+        }
+        assert original == restored
+
+    def test_json_is_valid_and_complete(self, pipeline_outputs):
+        report = pipeline_outputs[3]
+        data = json.loads(report_to_json(report, indent=2))
+        assert set(data) == {
+            "node_id",
+            "scan",
+            "fov",
+            "profile",
+            "features",
+            "classification",
+            "band_grades",
+            "scores",
+        }

@@ -1,0 +1,71 @@
+"""Tests for the per-sector/per-band usability matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import CalibrationService
+from repro.node.sensor import SensorNode
+
+
+@pytest.fixture(scope="module")
+def reports(world):
+    service = CalibrationService(
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+        cell_towers=world.testbed.cell_towers,
+        tv_towers=world.testbed.tv_towers,
+        fm_towers=world.testbed.fm_towers,
+    )
+    out = {}
+    for location in ("rooftop", "window", "indoor"):
+        node = SensorNode(location, world.testbed.site(location))
+        out[location] = service.evaluate_node(node, seed=1).report
+    return out
+
+
+class TestUsabilityMatrix:
+    def test_shape(self, reports):
+        matrix = reports["rooftop"].usability_matrix(n_sectors=8)
+        assert len(matrix) == 8
+        bands = next(iter(matrix.values()))
+        assert len(bands) == 14  # 3 FM + 6 TV + 5 cellular
+
+    def test_rooftop_western_sectors_broadly_usable(self, reports):
+        matrix = reports["rooftop"].usability_matrix(n_sectors=8)
+        west = matrix["225-270"]
+        usable = sum(west.values())
+        assert usable >= 10
+
+    def test_window_only_se_sector(self, reports):
+        matrix = reports["window"].usability_matrix(n_sectors=8)
+        for sector, cells in matrix.items():
+            if sector == "135-180":
+                assert any(cells.values())
+            else:
+                assert not any(cells.values())
+
+    def test_window_se_cells_are_the_in_view_signals(self, reports):
+        matrix = reports["window"].usability_matrix(n_sectors=8)
+        usable = {
+            band
+            for band, ok in matrix["135-180"].items()
+            if ok
+        }
+        assert usable == {"102 MHz", "521 MHz"}
+
+    def test_indoor_nothing_usable(self, reports):
+        matrix = reports["indoor"].usability_matrix(n_sectors=8)
+        assert not any(
+            any(cells.values()) for cells in matrix.values()
+        )
+
+    def test_sector_validation(self, reports):
+        with pytest.raises(ValueError):
+            reports["rooftop"].usability_matrix(n_sectors=7)
+        with pytest.raises(ValueError):
+            reports["rooftop"].usability_matrix(n_sectors=0)
+
+    def test_render(self, reports):
+        text = reports["window"].render_usability()
+        assert "sector" in text
+        assert "yes" in text

@@ -1,0 +1,59 @@
+"""Tests for repro.dsp.agc."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.agc import AGC, FixedGain
+from repro.dsp.iq import complex_tone
+
+
+class TestFixedGain:
+    def test_zero_db_is_identity(self):
+        x = complex_tone(1e3, 1e6, 100)
+        assert np.allclose(FixedGain(0.0).apply(x), x)
+
+    def test_20db_is_10x_amplitude(self):
+        x = complex_tone(1e3, 1e6, 100)
+        out = FixedGain(20.0).apply(x)
+        assert np.allclose(np.abs(out), 10.0)
+
+    def test_negative_gain_attenuates(self):
+        x = complex_tone(1e3, 1e6, 100)
+        out = FixedGain(-6.02).apply(x)
+        assert np.allclose(np.abs(out), 0.5, atol=1e-3)
+
+
+class TestAGC:
+    def test_converges_to_target(self, rng):
+        agc = AGC(target_power=1.0, attack=5e-3)
+        weak = 0.1 * complex_tone(1e3, 1e6, 20_000)
+        out = agc.apply(weak)
+        tail_power = np.mean(np.abs(out[-2000:]) ** 2)
+        assert tail_power == pytest.approx(1.0, rel=0.15)
+
+    def test_distorts_relative_levels(self):
+        """Why the paper fixes gain: AGC erases level differences."""
+        agc_strong = AGC(attack=5e-3)
+        agc_weak = AGC(attack=5e-3)
+        strong = 0.8 * complex_tone(1e3, 1e6, 20_000)
+        weak = 0.05 * complex_tone(1e3, 1e6, 20_000)
+        out_strong = agc_strong.apply(strong)
+        out_weak = agc_weak.apply(weak)
+        p_strong = np.mean(np.abs(out_strong[-2000:]) ** 2)
+        p_weak = np.mean(np.abs(out_weak[-2000:]) ** 2)
+        # 24 dB input difference compresses to < 3 dB after AGC.
+        ratio_db = 10 * np.log10(p_strong / p_weak)
+        assert abs(ratio_db) < 3.0
+
+    def test_gain_capped_on_silence(self):
+        agc = AGC(max_gain_db=20.0)
+        out = agc.apply(np.zeros(1000, dtype=complex))
+        assert np.all(out == 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AGC(target_power=0.0)
+        with pytest.raises(ValueError):
+            AGC(attack=0.0)
+        with pytest.raises(ValueError):
+            AGC(attack=1.5)

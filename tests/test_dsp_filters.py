@@ -1,0 +1,108 @@
+"""Tests for repro.dsp.filters."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import (
+    design_bandpass_fir,
+    design_lowpass_fir,
+    fir_filter,
+    moving_average,
+)
+from repro.dsp.iq import complex_tone
+
+
+def _tone_gain(taps, freq_hz, fs):
+    tone = complex_tone(freq_hz, fs, 8192)
+    out = fir_filter(taps, tone)
+    # Ignore edges where convolution hasn't settled.
+    steady = out[1000:-1000]
+    return float(np.mean(np.abs(steady)))
+
+
+class TestLowpass:
+    def test_passband_unity(self):
+        taps = design_lowpass_fir(100e3, 1e6, 129)
+        assert _tone_gain(taps, 10e3, 1e6) == pytest.approx(1.0, abs=0.02)
+
+    def test_stopband_rejection(self):
+        taps = design_lowpass_fir(100e3, 1e6, 129)
+        assert _tone_gain(taps, 400e3, 1e6) < 0.01
+
+    def test_cutoff_validation(self):
+        with pytest.raises(ValueError):
+            design_lowpass_fir(600e3, 1e6)
+        with pytest.raises(ValueError):
+            design_lowpass_fir(0.0, 1e6)
+
+    def test_tap_count_validation(self):
+        with pytest.raises(ValueError):
+            design_lowpass_fir(100e3, 1e6, 128)  # even
+        with pytest.raises(ValueError):
+            design_lowpass_fir(100e3, 1e6, 1)
+
+
+class TestBandpass:
+    def test_passband_and_stopband(self):
+        taps = design_bandpass_fir(100e3, 300e3, 1e6, 257)
+        assert _tone_gain(taps, 200e3, 1e6) == pytest.approx(1.0, abs=0.03)
+        assert _tone_gain(taps, 0.0, 1e6) < 0.02
+        assert _tone_gain(taps, 450e3, 1e6) < 0.02
+
+    def test_negative_band_for_baseband(self):
+        taps = design_bandpass_fir(-300e3, -100e3, 1e6, 257)
+        assert _tone_gain(taps, -200e3, 1e6) == pytest.approx(
+            1.0, abs=0.03
+        )
+        assert _tone_gain(taps, 200e3, 1e6) < 0.02
+
+    def test_symmetric_band_is_real_lowpass(self):
+        taps = design_bandpass_fir(-100e3, 100e3, 1e6, 129)
+        assert np.allclose(taps.imag if np.iscomplexobj(taps) else 0, 0)
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            design_bandpass_fir(300e3, 100e3, 1e6)
+        with pytest.raises(ValueError):
+            design_bandpass_fir(100e3, 600e3, 1e6)
+
+
+class TestFirFilter:
+    def test_same_length_output(self):
+        taps = design_lowpass_fir(100e3, 1e6, 65)
+        x = np.ones(500, dtype=complex)
+        assert len(fir_filter(taps, x)) == 500
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            fir_filter(np.array([]), np.ones(10))
+
+
+class TestMovingAverage:
+    def test_constant_input(self):
+        out = moving_average(np.full(100, 3.0), 10)
+        assert np.allclose(out, 3.0)
+
+    def test_step_response(self):
+        x = np.concatenate([np.zeros(50), np.ones(50)])
+        out = moving_average(x, 10)
+        assert out[49] == 0.0
+        assert out[59] == pytest.approx(1.0)
+        assert out[54] == pytest.approx(0.5)
+
+    def test_growing_edge(self):
+        x = np.arange(1.0, 6.0)
+        out = moving_average(x, 3)
+        assert out[0] == 1.0
+        assert out[1] == pytest.approx(1.5)
+        assert out[2] == pytest.approx(2.0)
+        assert out[4] == pytest.approx(4.0)
+
+    def test_window_longer_than_input(self):
+        x = np.array([2.0, 4.0, 6.0])
+        out = moving_average(x, 100)
+        assert out[2] == pytest.approx(4.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(10), 0)

@@ -1,0 +1,119 @@
+"""Tests for repro.dsp.iq."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.iq import (
+    IQBuffer,
+    awgn,
+    complex_tone,
+    frequency_shift,
+    mix_signals,
+)
+
+
+class TestIQBuffer:
+    def test_duration(self):
+        buf = IQBuffer(np.zeros(2000, dtype=complex), 2e6)
+        assert buf.duration_s == pytest.approx(1e-3)
+        assert len(buf) == 2000
+
+    def test_slice_time(self):
+        samples = np.arange(1000, dtype=complex)
+        buf = IQBuffer(samples, 1000.0)
+        part = buf.slice_time(0.25, 0.5)
+        assert len(part) == 250
+        assert part.samples[0] == 250
+
+    def test_slice_invalid(self):
+        buf = IQBuffer(np.zeros(10, dtype=complex), 10.0)
+        with pytest.raises(ValueError):
+            buf.slice_time(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            buf.slice_time(0.5, 0.1)
+
+    def test_power(self):
+        buf = IQBuffer(np.full(100, 2.0 + 0j), 1e6)
+        assert np.all(buf.power() == pytest.approx(4.0))
+        assert np.all(buf.magnitude() == pytest.approx(2.0))
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            IQBuffer(np.zeros(4, dtype=complex), 0.0)
+
+
+class TestComplexTone:
+    def test_unit_amplitude(self):
+        tone = complex_tone(1e3, 1e6, 1000)
+        assert np.allclose(np.abs(tone), 1.0)
+
+    def test_frequency_via_fft(self):
+        fs, f0, n = 1e6, 125e3, 4096
+        tone = complex_tone(f0, fs, n)
+        spectrum = np.abs(np.fft.fft(tone))
+        peak_bin = int(np.argmax(spectrum))
+        assert peak_bin == pytest.approx(f0 / fs * n, abs=1.0)
+
+    def test_phase_offset(self):
+        tone = complex_tone(0.0, 1e6, 10, phase_rad=np.pi / 2)
+        assert tone[0] == pytest.approx(1j)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            complex_tone(1e3, 1e6, -1)
+
+
+class TestAwgn:
+    def test_power_matches(self, rng):
+        noise = awgn(rng, 100_000, 0.25)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(
+            0.25, rel=0.03
+        )
+
+    def test_zero_power_is_silence(self, rng):
+        assert np.all(awgn(rng, 100, 0.0) == 0.0)
+
+    def test_negative_power_rejected(self, rng):
+        with pytest.raises(ValueError):
+            awgn(rng, 10, -1.0)
+
+    def test_iq_balance(self, rng):
+        noise = awgn(rng, 100_000, 1.0)
+        i_power = np.mean(noise.real**2)
+        q_power = np.mean(noise.imag**2)
+        assert i_power == pytest.approx(q_power, rel=0.05)
+
+
+class TestFrequencyShift:
+    def test_shifts_tone(self):
+        fs, n = 1e6, 4096
+        tone = complex_tone(50e3, fs, n)
+        shifted = frequency_shift(tone, 100e3, fs)
+        spectrum = np.abs(np.fft.fft(shifted))
+        peak_bin = int(np.argmax(spectrum))
+        assert peak_bin == pytest.approx(150e3 / fs * n, abs=1.0)
+
+    def test_preserves_power(self, rng):
+        noise = awgn(rng, 10_000, 1.0)
+        shifted = frequency_shift(noise, 37e3, 1e6)
+        assert np.mean(np.abs(shifted) ** 2) == pytest.approx(
+            np.mean(np.abs(noise) ** 2)
+        )
+
+
+class TestMixSignals:
+    def test_sums_equal_length(self):
+        a = np.ones(10, dtype=complex)
+        b = 2.0 * np.ones(10, dtype=complex)
+        assert np.allclose(mix_signals(a, b), 3.0)
+
+    def test_zero_pads_shorter(self):
+        a = np.ones(10, dtype=complex)
+        b = np.ones(4, dtype=complex)
+        mixed = mix_signals(a, b)
+        assert np.allclose(mixed[:4], 2.0)
+        assert np.allclose(mixed[4:], 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mix_signals()

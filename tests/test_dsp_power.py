@@ -1,0 +1,114 @@
+"""Tests for repro.dsp.power."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.iq import awgn, complex_tone, frequency_shift
+from repro.dsp.power import (
+    ParsevalPowerMeter,
+    mean_power,
+    mean_power_dbfs,
+    parseval_band_power,
+)
+
+
+class TestMeanPower:
+    def test_constant_envelope(self):
+        assert mean_power(np.full(100, 0.5 + 0j)) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_power(np.array([]))
+
+    def test_dbfs_full_scale(self):
+        samples = complex_tone(1e3, 1e6, 1000)
+        assert mean_power_dbfs(samples) == pytest.approx(0.0, abs=0.01)
+
+    def test_dbfs_half_amplitude(self):
+        samples = 0.5 * complex_tone(1e3, 1e6, 1000)
+        assert mean_power_dbfs(samples) == pytest.approx(-6.02, abs=0.05)
+
+    def test_dbfs_floor_on_silence(self):
+        assert mean_power_dbfs(np.zeros(100, dtype=complex)) == -150.0
+
+    def test_invalid_full_scale(self):
+        with pytest.raises(ValueError):
+            mean_power_dbfs(np.ones(10, dtype=complex), full_scale=0.0)
+
+
+class TestParsevalBandPower:
+    def test_tone_in_band(self):
+        tone = complex_tone(100e3, 1e6, 8192, amplitude=1.0)
+        power = parseval_band_power(tone, 1e6, 50e3, 150e3)
+        assert power == pytest.approx(1.0, rel=0.01)
+
+    def test_tone_out_of_band(self):
+        tone = complex_tone(300e3, 1e6, 8192)
+        power = parseval_band_power(tone, 1e6, -100e3, 100e3)
+        assert power < 0.01
+
+    def test_total_band_equals_mean_power(self, rng):
+        noise = awgn(rng, 8192, 1.0)
+        total = parseval_band_power(noise, 1e6, -500e3, 500e3)
+        assert total == pytest.approx(mean_power(noise), rel=1e-6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parseval_band_power(np.array([]), 1e6, -1e3, 1e3)
+
+
+class TestParsevalPowerMeter:
+    def test_reads_in_band_tone_power(self):
+        meter = ParsevalPowerMeter(
+            sample_rate_hz=1e6,
+            band_low_hz=-100e3,
+            band_high_hz=100e3,
+            average_window=4096,
+        )
+        tone = complex_tone(20e3, 1e6, 32768, amplitude=0.5)
+        # 0.5 amplitude -> -6 dBFS.
+        assert meter.read_dbfs(tone) == pytest.approx(-6.0, abs=0.3)
+
+    def test_rejects_out_of_band_signal(self):
+        meter = ParsevalPowerMeter(
+            sample_rate_hz=1e6,
+            band_low_hz=-100e3,
+            band_high_hz=100e3,
+            average_window=4096,
+        )
+        tone = complex_tone(350e3, 1e6, 32768)
+        assert meter.read_dbfs(tone) < -40.0
+
+    def test_matches_fft_reference(self, rng):
+        """The filter chain agrees with the Parseval FFT reference."""
+        fs = 8e6
+        noise = awgn(rng, 1 << 16, 1.0)
+        # Band-limit the noise so it sits inside the meter band.
+        shaped = frequency_shift(noise, 0.0, fs)
+        meter = ParsevalPowerMeter(
+            sample_rate_hz=fs,
+            band_low_hz=-2.5e6,
+            band_high_hz=2.5e6,
+            average_window=1 << 15,
+        )
+        measured = meter.read_dbfs(shaped)
+        reference = 10 * np.log10(
+            parseval_band_power(shaped, fs, -2.5e6, 2.5e6)
+        )
+        assert measured == pytest.approx(reference, abs=0.5)
+
+    def test_measure_trace_settles(self, rng):
+        meter = ParsevalPowerMeter(
+            sample_rate_hz=1e6,
+            band_low_hz=-200e3,
+            band_high_hz=200e3,
+            average_window=2048,
+        )
+        tone = complex_tone(50e3, 1e6, 16384, amplitude=1.0)
+        trace = meter.measure(tone)
+        assert trace[-1] == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_full_scale(self, rng):
+        meter = ParsevalPowerMeter(1e6, -1e5, 1e5)
+        with pytest.raises(ValueError):
+            meter.read_dbfs(awgn(rng, 1024, 1.0), full_scale=-1.0)

@@ -1,0 +1,108 @@
+"""Robustness: the whole pipeline must survive an empty sky.
+
+Dead of night, no aircraft anywhere: every stage should degrade
+gracefully (empty scans, abstentions, low-confidence reports) rather
+than crash or fabricate conclusions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.airspace.flightradar import FlightRadarService
+from repro.airspace.traffic import TrafficConfig, TrafficSimulator
+from repro.core.classify import classify_node, extract_features
+from repro.core.directional import DirectionalEvaluator
+from repro.core.fov import (
+    KnnFovEstimator,
+    LinearSvmFovEstimator,
+    SectorHistogramEstimator,
+)
+from repro.core.frequency import FrequencyEvaluator
+from repro.core.network import CalibrationService, TrustEvaluator
+from repro.core.position_check import PositionVerifier
+from repro.core.report import CalibrationReport
+from repro.node.sensor import SensorNode
+
+
+@pytest.fixture(scope="module")
+def empty_world(world):
+    traffic = TrafficSimulator(
+        center=world.testbed.center,
+        config=TrafficConfig(n_aircraft=0),
+        rng_seed=1,
+    )
+    return world.testbed, traffic, FlightRadarService(traffic=traffic)
+
+
+@pytest.fixture(scope="module")
+def empty_scan(empty_world):
+    testbed, traffic, gt = empty_world
+    node = SensorNode("empty", testbed.site("rooftop"))
+    return DirectionalEvaluator(
+        node=node, traffic=traffic, ground_truth=gt
+    ).run(np.random.default_rng(0))
+
+
+class TestEmptySky:
+    def test_scan_is_empty_but_valid(self, empty_scan):
+        assert empty_scan.observations == []
+        assert empty_scan.reception_rate == 0.0
+        assert empty_scan.max_received_range_km() == 0.0
+        assert empty_scan.received_range_percentile_km(90.0) == 0.0
+
+    def test_all_fov_estimators_survive(self, empty_scan):
+        for estimator in (
+            SectorHistogramEstimator(),
+            KnnFovEstimator(),
+            LinearSvmFovEstimator(),
+        ):
+            fov = estimator.estimate(empty_scan)
+            assert fov.open_fraction() == pytest.approx(0.0, abs=0.51)
+
+    def test_trust_abstains(self, empty_scan):
+        assessment = TrustEvaluator().assess(empty_scan)
+        # No evidence is not evidence of cheating.
+        assert assessment.is_trustworthy()
+
+    def test_position_check_abstains(self, empty_scan, world):
+        result = PositionVerifier().verify(
+            empty_scan, world.testbed.center
+        )
+        assert result.consistent
+
+    def test_full_report_buildable(self, empty_scan, world, empty_world):
+        testbed, _traffic, _gt = empty_world
+        node = SensorNode("empty", testbed.site("rooftop"))
+        fov = KnnFovEstimator().estimate(empty_scan)
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=testbed.cell_towers,
+            tv_towers=testbed.tv_towers,
+        ).run()
+        features = extract_features(empty_scan, fov, profile)
+        report = CalibrationReport(
+            node_id="empty",
+            scan=empty_scan,
+            fov=fov,
+            profile=profile,
+            features=features,
+            classification=classify_node(empty_scan, fov, profile),
+        )
+        text = report.render_text()
+        assert "0/0 aircraft" in text
+        assert 0.0 <= report.overall_score() <= 1.0
+
+    def test_service_end_to_end(self, empty_world):
+        testbed, traffic, gt = empty_world
+        service = CalibrationService(
+            traffic=traffic,
+            ground_truth=gt,
+            cell_towers=testbed.cell_towers,
+            tv_towers=testbed.tv_towers,
+        )
+        node = SensorNode("empty", testbed.site("rooftop"))
+        assessment = service.evaluate_node(node, seed=0)
+        # The frequency evaluation still works (towers exist), so the
+        # node is not worthless — but the directional side is blind.
+        assert assessment.report.directional_score() <= 0.51
+        assert assessment.trust.is_trustworthy()

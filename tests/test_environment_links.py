@@ -1,0 +1,181 @@
+"""Tests for repro.environment.links."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.environment.links import (
+    AdsbLinkModel,
+    direct_received_power_dbm,
+    ray_geometry,
+)
+from repro.environment.scenarios import (
+    make_indoor_site,
+    make_rooftop_site,
+)
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import destination_point
+from repro.rf.pathloss import free_space_path_loss_db
+from repro.sdr.antenna import WIDEBAND_700_2700
+
+SITE = GeoPoint(37.8715, -122.2730, 20.0)
+
+
+class TestRayGeometry:
+    def test_cardinal_azimuth(self):
+        north = destination_point(SITE, 0.0, 10_000.0)
+        geom = ray_geometry(SITE, north)
+        assert geom.azimuth_deg == pytest.approx(0.0, abs=0.5)
+        assert geom.ground_m == pytest.approx(10_000.0, rel=0.01)
+
+    def test_elevation_and_slant(self):
+        target = destination_point(SITE, 90.0, 30_000.0).with_altitude(
+            30_020.0
+        )
+        geom = ray_geometry(SITE, target)
+        assert geom.elevation_deg == pytest.approx(45.0, abs=0.2)
+        assert geom.slant_m == pytest.approx(
+            np.hypot(30_000.0, 30_000.0), rel=0.01
+        )
+
+    def test_minimum_slant_clamped(self):
+        geom = ray_geometry(SITE, SITE)
+        assert geom.slant_m >= 1.0
+
+
+class TestDirectReceivedPower:
+    def test_matches_friis_in_clear_direction(self):
+        env = make_rooftop_site()
+        tx = destination_point(SITE, 250.0, 5_000.0).with_altitude(
+            2_000.0
+        )
+        geom = ray_geometry(env.position, tx)
+        expected = (
+            40.0
+            - free_space_path_loss_db(geom.slant_m, 1e9)
+            + WIDEBAND_700_2700.gain_at(1e9)
+        )
+        got = direct_received_power_dbm(
+            env, tx, 40.0, 1e9, WIDEBAND_700_2700
+        )
+        assert got == pytest.approx(expected, abs=0.5)
+
+    def test_obstructed_direction_weaker(self):
+        env = make_rooftop_site()
+        clear = destination_point(SITE, 250.0, 5_000.0).with_altitude(50.0)
+        blocked = destination_point(SITE, 45.0, 5_000.0).with_altitude(50.0)
+        p_clear = direct_received_power_dbm(
+            env, clear, 40.0, 1e9, WIDEBAND_700_2700
+        )
+        p_blocked = direct_received_power_dbm(
+            env, blocked, 40.0, 1e9, WIDEBAND_700_2700
+        )
+        assert p_blocked < p_clear - 15.0
+
+
+class TestAdsbLinkModel:
+    def test_shadowing_cached_per_aircraft(self, rng):
+        link = AdsbLinkModel(
+            env=make_rooftop_site(), rx_antenna=WIDEBAND_700_2700
+        )
+        icao = IcaoAddress(0x123)
+        tx = destination_point(SITE, 250.0, 40_000.0).with_altitude(
+            9_000.0
+        )
+        a = link.mean_received_power_dbm(icao, tx, 250.0, rng)
+        b = link.mean_received_power_dbm(icao, tx, 250.0, rng)
+        assert a == b
+
+    def test_reset_redraws(self):
+        link = AdsbLinkModel(
+            env=make_rooftop_site(), rx_antenna=WIDEBAND_700_2700
+        )
+        icao = IcaoAddress(0x123)
+        tx = destination_point(SITE, 45.0, 40_000.0).with_altitude(9_000.0)
+        a = link.mean_received_power_dbm(
+            icao, tx, 250.0, np.random.default_rng(1)
+        )
+        link.reset()
+        b = link.mean_received_power_dbm(
+            icao, tx, 250.0, np.random.default_rng(2)
+        )
+        assert a != b
+
+    def test_blocked_direction_weaker_than_clear(self, rng):
+        link = AdsbLinkModel(
+            env=make_rooftop_site(), rx_antenna=WIDEBAND_700_2700
+        )
+        clear_tx = destination_point(SITE, 250.0, 40_000.0).with_altitude(
+            9_000.0
+        )
+        blocked_tx = destination_point(SITE, 45.0, 40_000.0).with_altitude(
+            9_000.0
+        )
+        p_clear = link.mean_received_power_dbm(
+            IcaoAddress(1), clear_tx, 250.0, rng
+        )
+        p_blocked = link.mean_received_power_dbm(
+            IcaoAddress(2), blocked_tx, 250.0, rng
+        )
+        assert p_blocked < p_clear - 10.0
+
+    def test_leakage_bounds_blocked_loss(self, rng):
+        """Even deeply obstructed paths retain the leakage floor."""
+        env = make_indoor_site()
+        link = AdsbLinkModel(env=env, rx_antenna=WIDEBAND_700_2700)
+        tx = destination_point(SITE, 90.0, 10_000.0).with_altitude(2_000.0)
+        geom_power = []
+        for i in range(40):
+            geom_power.append(
+                link.mean_received_power_dbm(
+                    IcaoAddress(100 + i), tx, 250.0, rng
+                )
+            )
+        geom = ray_geometry(env.position, tx)
+        unobstructed = (
+            10.0 * np.log10(250.0 * 1000.0)
+            - free_space_path_loss_db(geom.slant_m, 1090e6)
+            + WIDEBAND_700_2700.gain_at(1090e6)
+        )
+        worst = min(geom_power)
+        # The combined extra loss stays near the leakage budget
+        # (38 dB +/- a few sigma), far better than raw wall stacks.
+        assert worst > unobstructed - 55.0
+
+    def test_fading_coherent_within_block(self, rng):
+        link = AdsbLinkModel(
+            env=make_rooftop_site(),
+            rx_antenna=WIDEBAND_700_2700,
+            coherence_time_s=5.0,
+        )
+        icao = IcaoAddress(0x77)
+        tx = destination_point(SITE, 250.0, 40_000.0).with_altitude(
+            9_000.0
+        )
+        a = link.message_received_power_dbm(
+            icao, tx, 250.0, rng, time_s=1.0
+        )
+        b = link.message_received_power_dbm(
+            icao, tx, 250.0, rng, time_s=4.9
+        )
+        c = link.message_received_power_dbm(
+            icao, tx, 250.0, rng, time_s=6.0
+        )
+        assert a == b  # same coherence block shares the fade
+        assert a != c  # the next block draws fresh
+
+    def test_message_fading_varies(self, rng):
+        link = AdsbLinkModel(
+            env=make_rooftop_site(), rx_antenna=WIDEBAND_700_2700
+        )
+        icao = IcaoAddress(0x42)
+        tx = destination_point(SITE, 250.0, 40_000.0).with_altitude(
+            9_000.0
+        )
+        draws = {
+            round(
+                link.message_received_power_dbm(icao, tx, 250.0, rng), 4
+            )
+            for _ in range(20)
+        }
+        assert len(draws) > 10

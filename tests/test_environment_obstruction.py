@@ -1,0 +1,197 @@
+"""Tests for repro.environment.obstruction."""
+
+import pytest
+
+from repro.environment.obstruction import (
+    AmbientLayer,
+    Obstruction,
+    ObstructionMap,
+    combine_parallel_paths_db,
+    flags_to_sectors,
+    stack_loss_db,
+)
+from repro.geo.sectors import AzimuthSector
+from repro.rf.penetration import material_loss_db
+
+
+class TestCombineParallelPaths:
+    def test_single_path_identity(self):
+        assert combine_parallel_paths_db([20.0]) == pytest.approx(20.0)
+
+    def test_equal_paths_gain_3db(self):
+        assert combine_parallel_paths_db([20.0, 20.0]) == pytest.approx(
+            16.99, abs=0.01
+        )
+
+    def test_weakest_loss_dominates(self):
+        combined = combine_parallel_paths_db([10.0, 60.0])
+        assert combined == pytest.approx(10.0, abs=0.01)
+
+    def test_never_exceeds_minimum(self):
+        losses = [17.0, 23.0, 40.0]
+        assert combine_parallel_paths_db(losses) <= min(losses)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_parallel_paths_db([])
+
+
+class TestStackLoss:
+    def test_sums_materials(self):
+        stack = ("concrete", "brick")
+        expected = material_loss_db("concrete", 1e9) + material_loss_db(
+            "brick", 1e9
+        )
+        assert stack_loss_db(stack, 1e9) == pytest.approx(expected)
+
+    def test_empty_stack_lossless(self):
+        assert stack_loss_db((), 1e9) == 0.0
+
+
+class TestObstruction:
+    def _obstruction(self, **kwargs):
+        defaults = dict(
+            sector=AzimuthSector(0.0, 90.0),
+            clear_elevation_deg=45.0,
+            materials=("concrete",),
+            edge_distance_m=5.0,
+        )
+        defaults.update(kwargs)
+        return Obstruction(**defaults)
+
+    def test_outside_sector_no_loss(self):
+        obs = self._obstruction()
+        assert obs.loss_db(180.0, 5.0, 1e9, 50_000.0) == 0.0
+
+    def test_above_clear_elevation_no_loss(self):
+        obs = self._obstruction()
+        assert obs.loss_db(45.0, 50.0, 1e9, 50_000.0) == 0.0
+        assert obs.loss_db(45.0, 45.0, 1e9, 50_000.0) == 0.0
+
+    def test_blocked_ray_attenuated(self):
+        obs = self._obstruction()
+        loss = obs.loss_db(45.0, 5.0, 1e9, 50_000.0)
+        assert loss > 10.0
+
+    def test_loss_bounded_by_through_path(self):
+        obs = self._obstruction()
+        through = material_loss_db("concrete", 1e9)
+        assert obs.loss_db(45.0, 5.0, 1e9, 50_000.0) <= through
+
+    def test_diffraction_eases_near_clear_elevation(self):
+        obs = self._obstruction(clear_elevation_deg=60.0)
+        grazing = obs.loss_db(45.0, 59.0, 1e9, 50_000.0)
+        deep = obs.loss_db(45.0, 0.0, 1e9, 50_000.0)
+        assert grazing < deep
+
+    def test_higher_frequency_loses_more(self):
+        obs = self._obstruction()
+        low = obs.loss_db(45.0, 5.0, 731e6, 50_000.0)
+        high = obs.loss_db(45.0, 5.0, 2.66e9, 50_000.0)
+        assert high > low
+
+    def test_extra_loss_added(self):
+        base = self._obstruction()
+        extra = self._obstruction(extra_loss_db=10.0)
+        assert extra.loss_db(45.0, 5.0, 1e9, 50_000.0) > base.loss_db(
+            45.0, 5.0, 1e9, 50_000.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._obstruction(clear_elevation_deg=95.0)
+        with pytest.raises(ValueError):
+            self._obstruction(edge_distance_m=0.0)
+        with pytest.raises(ValueError):
+            self._obstruction(extra_loss_db=-1.0)
+
+
+class TestAmbientLayer:
+    def test_elevation_band(self):
+        layer = AmbientLayer(30.0, 90.0, ("concrete",))
+        assert layer.loss_db(45.0, 1e9) > 0.0
+        assert layer.loss_db(10.0, 1e9) == 0.0
+        assert layer.loss_db(90.0, 1e9) == 0.0  # half-open interval
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmbientLayer(50.0, 40.0, ("concrete",))
+
+
+class TestObstructionMap:
+    def _map(self):
+        return ObstructionMap(
+            obstructions=[
+                Obstruction(
+                    sector=AzimuthSector(0.0, 180.0),
+                    clear_elevation_deg=60.0,
+                    materials=("concrete", "concrete"),
+                    edge_distance_m=4.0,
+                )
+            ]
+        )
+
+    def test_loss_composition(self):
+        m = ObstructionMap(
+            obstructions=[
+                Obstruction(
+                    sector=AzimuthSector(0.0, 90.0),
+                    clear_elevation_deg=80.0,
+                    materials=("brick",),
+                    edge_distance_m=3.0,
+                ),
+                Obstruction(
+                    sector=AzimuthSector(45.0, 90.0),
+                    clear_elevation_deg=80.0,
+                    materials=("brick",),
+                    edge_distance_m=3.0,
+                ),
+            ]
+        )
+        single = m.loss_db(20.0, 5.0, 1e9, 50_000.0)
+        double = m.loss_db(60.0, 5.0, 1e9, 50_000.0)
+        assert double == pytest.approx(2 * single, rel=0.01)
+
+    def test_is_clear(self):
+        m = self._map()
+        assert m.is_clear(270.0, 5.0)
+        assert not m.is_clear(90.0, 5.0)
+
+    def test_clear_sectors(self):
+        m = self._map()
+        sectors = m.clear_sectors(elevation_deg=5.0)
+        assert len(sectors) == 1
+        assert sectors[0].start_deg == pytest.approx(180.0)
+        assert sectors[0].width_deg == pytest.approx(180.0)
+
+    def test_empty_map_all_clear(self):
+        m = ObstructionMap()
+        sectors = m.clear_sectors()
+        assert len(sectors) == 1
+        assert sectors[0].width_deg == 360.0
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            ObstructionMap().clear_sectors(resolution_deg=0.0)
+
+
+class TestFlagsToSectors:
+    def test_all_false(self):
+        assert flags_to_sectors([False] * 8, 45.0) == []
+
+    def test_all_true(self):
+        sectors = flags_to_sectors([True] * 8, 45.0)
+        assert len(sectors) == 1
+        assert sectors[0].width_deg == 360.0
+
+    def test_wrapping_run(self):
+        flags = [True, True, False, False, False, False, False, True]
+        sectors = flags_to_sectors(flags, 45.0)
+        assert len(sectors) == 1
+        assert sectors[0].start_deg == pytest.approx(315.0)
+        assert sectors[0].width_deg == pytest.approx(135.0)
+
+    def test_two_runs(self):
+        flags = [True, False, True, False]
+        sectors = flags_to_sectors(flags, 90.0)
+        assert len(sectors) == 2

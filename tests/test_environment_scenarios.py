@@ -1,0 +1,127 @@
+"""Tests for repro.environment.scenarios — the testbed ground truth."""
+
+import pytest
+
+from repro.environment.scenarios import (
+    DEFAULT_SITE_LATLON,
+    ROOFTOP_OPEN_SECTOR,
+    WINDOW_OPEN_SECTOR,
+    Testbed,
+    make_indoor_site,
+    make_rooftop_site,
+    make_window_site,
+    standard_cell_towers,
+    standard_testbed,
+    standard_tv_towers,
+)
+from repro.geo.distance import haversine_m
+
+
+class TestSites:
+    def test_rooftop_open_west(self):
+        site = make_rooftop_site()
+        m = site.obstruction_map
+        assert m.is_clear(270.0, 5.0)
+        assert m.is_clear(200.0, 5.0)
+        assert not m.is_clear(45.0, 5.0)
+        assert site.is_outdoor
+        assert site.installation == "rooftop"
+
+    def test_rooftop_clear_above_structures(self):
+        m = make_rooftop_site().obstruction_map
+        assert m.is_clear(45.0, 80.0)  # above the 75 deg clear line
+
+    def test_window_narrow_sector(self):
+        site = make_window_site()
+        m = site.obstruction_map
+        assert m.is_clear(140.0, 5.0)
+        assert not m.is_clear(200.0, 5.0)
+        assert not m.is_clear(0.0, 5.0)
+        assert not site.is_outdoor
+
+    def test_window_glass_costs_a_little(self):
+        m = make_window_site().obstruction_map
+        loss = m.loss_db(140.0, 5.0, 1090e6, 50_000.0)
+        assert 0.0 < loss < 5.0
+
+    def test_indoor_everything_blocked(self):
+        site = make_indoor_site()
+        m = site.obstruction_map
+        for bearing in (0.0, 90.0, 180.0, 270.0):
+            assert not m.is_clear(bearing, 5.0)
+            assert not m.is_clear(bearing, 60.0)
+        assert site.installation == "indoor"
+
+    def test_indoor_low_elevation_heavier_than_roof(self):
+        m = make_indoor_site().obstruction_map
+        low = m.loss_db(90.0, 5.0, 1090e6, 30_000.0)
+        high = m.loss_db(90.0, 60.0, 1090e6, 30_000.0)
+        assert low > high
+
+    def test_all_sites_share_latlon(self):
+        lat, lon = DEFAULT_SITE_LATLON
+        for site in (
+            make_rooftop_site(),
+            make_window_site(),
+            make_indoor_site(),
+        ):
+            assert site.position.lat_deg == lat
+            assert site.position.lon_deg == lon
+
+    def test_sector_constants_consistent(self):
+        assert ROOFTOP_OPEN_SECTOR.contains(270.0)
+        assert WINDOW_OPEN_SECTOR.width_deg == pytest.approx(40.0)
+
+
+class TestTowers:
+    def test_five_towers_paper_frequencies(self):
+        db = standard_cell_towers()
+        freqs = sorted(
+            round(t.downlink_freq_hz / 1e6) for t in db.towers
+        )
+        assert freqs == [731, 1970, 2145, 2660, 2680]
+
+    def test_towers_500_to_1000m(self):
+        testbed = standard_testbed()
+        for tower in testbed.cell_towers.towers:
+            d = haversine_m(testbed.center, tower.position)
+            assert 400.0 <= d <= 1100.0
+
+    def test_six_tv_channels_paper_centers(self):
+        centers = sorted(
+            round(t.center_freq_hz / 1e6) for t in standard_tv_towers()
+        )
+        assert centers == [213, 473, 521, 545, 587, 605]
+
+    def test_tv_towers_within_50km(self):
+        testbed = standard_testbed()
+        for tower in testbed.tv_towers:
+            d = haversine_m(testbed.center, tower.position)
+            assert d <= 50_500.0
+
+    def test_521_tower_in_window_fov(self):
+        testbed = standard_testbed()
+        ch22 = next(
+            t for t in testbed.tv_towers if t.channel == 22
+        )
+        from repro.geo.distance import initial_bearing_deg
+
+        bearing = initial_bearing_deg(testbed.center, ch22.position)
+        assert WINDOW_OPEN_SECTOR.contains(bearing)
+
+
+class TestTestbed:
+    def test_standard_composition(self):
+        testbed = standard_testbed()
+        assert set(testbed.sites) == {"rooftop", "window", "indoor"}
+        assert len(testbed.cell_towers.towers) == 5
+        assert len(testbed.tv_towers) == 6
+
+    def test_site_lookup(self):
+        testbed = standard_testbed()
+        assert testbed.site("window").installation == "window"
+        with pytest.raises(KeyError):
+            testbed.site("basement")
+
+    def test_empty_testbed_constructible(self):
+        assert Testbed().sites == {}

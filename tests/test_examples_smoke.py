@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must run to completion.
+
+The three fastest examples run in-process via runpy; the heavyweight
+surveys are exercised indirectly by the benchmark suite on the same
+code paths.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, capsys) -> str:
+    argv = sys.argv
+    try:
+        sys.argv = [script]
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "Calibration report" in out
+        assert "Trust score" in out
+
+    def test_iq_pipeline_demo(self, capsys):
+        out = _run("iq_pipeline_demo.py", capsys)
+        assert "messages decoded" in out
+        assert "Aircraft table" in out
+
+    def test_measurement_scheduling(self, capsys):
+        out = _run("measurement_scheduling.py", capsys)
+        assert "Greedy 4-window plan" in out
+
+    def test_cbrs_verification(self, capsys):
+        out = _run("cbrs_verification.py", capsys)
+        assert "Verification accuracy: 100%" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "directional_survey.py",
+        "frequency_survey.py",
+        "iq_pipeline_demo.py",
+        "network_trust.py",
+        "measurement_scheduling.py",
+        "cbrs_verification.py",
+        "signals_of_opportunity.py",
+        "spectrum_monitoring.py",
+        "end_to_end_day.py",
+    ],
+)
+def test_example_exists_and_compiles(script):
+    path = EXAMPLES / script
+    assert path.exists()
+    compile(path.read_text(), str(path), "exec")

@@ -1,0 +1,39 @@
+"""Tests for the cross-check experiment."""
+
+import pytest
+
+from repro.experiments import crosscheck_exp
+
+
+class TestCrossCheckExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self, world):
+        return crosscheck_exp.run_crosscheck_experiment(world=world)
+
+    def test_five_nodes(self, outcome):
+        assert len(outcome.rows) == 5
+
+    def test_cheaters_flagged_no_false_alarms(self, outcome):
+        assert outcome.all_cheaters_flagged()
+        assert outcome.false_alarms() == 0
+
+    def test_replayer_fully_disjoint(self, outcome):
+        replayer = next(
+            r for r in outcome.rows if r.node_id == "replayer"
+        )
+        assert replayer.mean_similarity < 0.05
+        assert replayer.unique_fraction > 0.9
+
+    def test_padder_caught_by_unique_fraction(self, outcome):
+        padder = next(
+            r for r in outcome.rows if r.node_id == "padder"
+        )
+        # The padding attack keeps similarity moderate but is unique
+        # to the padder — that is the discriminating signal.
+        assert padder.mean_similarity > 0.2
+        assert padder.unique_fraction > 0.35
+
+    def test_format(self, outcome):
+        text = crosscheck_exp.format_rows(outcome)
+        assert "FLAGGED" in text
+        assert "unique fraction" in text

@@ -1,0 +1,245 @@
+"""Tests for the extension experiments (repeatability, FoV, classifier,
+scheduling, trust, CBRS, ablations)."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    cbrs,
+    classifier,
+    fov_estimators,
+    repeatability,
+    scheduling,
+    trust,
+)
+
+
+class TestRepeatability:
+    @pytest.fixture(scope="class")
+    def rows(self, world):
+        return repeatability.run_repeatability(n_runs=4, world=world)
+
+    def test_three_locations(self, rows):
+        assert [r.location for r in rows] == [
+            "rooftop",
+            "window",
+            "indoor",
+        ]
+
+    def test_small_spread_within_location(self, rows):
+        for row in rows:
+            assert row.reception_rate_std < 0.06
+
+    def test_locations_separated(self, rows):
+        roof, window, indoor = rows
+        assert roof.separated_from(window)
+        assert window.separated_from(indoor)
+
+    def test_format(self, rows):
+        assert "+/-" in repeatability.format_rows(rows)
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            repeatability.run_repeatability(n_runs=1, world=world)
+
+
+class TestFovComparison:
+    @pytest.fixture(scope="class")
+    def scores(self, world):
+        return fov_estimators.run_fov_comparison(
+            n_seeds=2, world=world
+        )
+
+    def test_grid_complete(self, scores):
+        assert len(scores) == 9  # 3 estimators x 3 locations
+
+    def test_all_estimators_beat_coin_flip(self, scores):
+        for s in scores:
+            assert s.agreement_mean > 0.7
+
+    def test_open_fraction_ordering(self, scores):
+        by_loc = {}
+        for s in scores:
+            by_loc.setdefault(s.location, []).append(
+                s.open_fraction_mean
+            )
+        assert min(by_loc["rooftop"]) > max(by_loc["window"])
+        assert max(by_loc["indoor"]) <= min(by_loc["window"]) + 0.05
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            fov_estimators.run_fov_comparison(n_seeds=0, world=world)
+
+    def test_unknown_estimator(self):
+        with pytest.raises(ValueError):
+            fov_estimators._make_estimator("forest")
+
+
+class TestClassifierExperiment:
+    def test_perfect_on_testbed(self, world):
+        result = classifier.run_classifier_experiment(
+            n_seeds=2, world=world
+        )
+        assert result.accuracy() == 1.0
+        assert result.outdoor_probability["rooftop"] > 0.8
+        assert result.outdoor_probability["indoor"] < 0.2
+        text = classifier.format_confusion(result)
+        assert "P[outdoor]" in text
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            classifier.run_classifier_experiment(n_seeds=0, world=world)
+
+
+class TestScheduling:
+    def test_greedy_dominates(self):
+        rows = scheduling.run_scheduling(budgets=[1, 2, 4])
+        for row in rows:
+            assert row.greedy >= row.uniform
+            assert row.greedy >= row.random_mean
+            assert row.greedy_gain_over_uniform >= 0.0
+
+    def test_format(self):
+        rows = scheduling.run_scheduling(budgets=[2])
+        assert "greedy" in scheduling.format_rows(rows)
+
+
+class TestTrust:
+    @pytest.fixture(scope="class")
+    def rows(self, world):
+        return trust.run_trust_experiment(world=world)
+
+    def test_honest_trusted(self, rows):
+        honest = next(r for r in rows if r.operator == "honest")
+        assert honest.trustworthy
+        assert honest.failed_checks == []
+
+    def test_all_adversaries_caught(self, rows):
+        for row in rows:
+            if row.operator != "honest":
+                assert not row.trustworthy
+                assert row.failed_checks
+
+    def test_trust_scores_ordered(self, rows):
+        honest = next(r for r in rows if r.operator == "honest")
+        for row in rows:
+            if row.operator != "honest":
+                assert row.trust_score < honest.trust_score
+
+    def test_format(self, rows):
+        text = trust.format_rows(rows)
+        assert "omniscient" in text
+
+
+class TestCbrs:
+    @pytest.fixture(scope="class")
+    def rows(self, world):
+        return cbrs.run_cbrs_verification(world=world)
+
+    def test_six_cases(self, rows):
+        assert len(rows) == 6
+
+    def test_perfect_detection(self, rows):
+        assert cbrs.detection_accuracy(rows) == 1.0
+
+    def test_inflated_claims_flagged(self, rows):
+        for row in rows:
+            if row.claim_style == "inflated":
+                assert row.flagged
+
+    def test_honest_installation_claims_pass(self, rows):
+        for row in rows:
+            if row.claim_style == "honest":
+                assert not row.flagged
+
+    def test_format(self, rows):
+        assert "inflated" in cbrs.format_rows(rows)
+
+
+class TestAblations:
+    def test_duration_sweep_monotone_messages(self, world):
+        rows = ablations.sweep_capture_duration(
+            durations_s=[5.0, 30.0, 60.0], world=world
+        )
+        messages = [r.messages for r in rows]
+        assert messages == sorted(messages)
+        assert rows[-1].fov_agreement >= rows[0].fov_agreement - 0.1
+
+    def test_latency_sweep_error_scales(self, world):
+        rows = ablations.sweep_ground_truth_latency(
+            latencies_s=[0.0, 10.0, 60.0], world=world
+        )
+        errors = [r.mean_position_error_km for r in rows]
+        assert errors == sorted(errors)
+        assert errors[0] == pytest.approx(0.0, abs=0.01)
+        # Paper: 10 s latency keeps aircraft within 2.5 km.
+        assert errors[1] < 2.5
+
+    def test_latency_does_not_break_matching(self, world):
+        rows = ablations.sweep_ground_truth_latency(
+            latencies_s=[0.0, 30.0], world=world
+        )
+        assert rows[1].reception_rate == pytest.approx(
+            rows[0].reception_rate, abs=0.1
+        )
+
+    def test_threshold_sweep_monotone(self, world):
+        rows = ablations.sweep_decode_threshold(
+            thresholds_db=[6.0, 10.0, 20.0], world=world
+        )
+        rates = [r.reception_rate for r in rows]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_coverage_gap_sweep(self, world):
+        rows = ablations.sweep_ground_truth_coverage(
+            miss_rates=[0.0, 0.05], world=world
+        )
+        assert rows[0].apparent_ghost_fraction == 0.0
+        assert rows[1].apparent_ghost_fraction > 0.0
+        assert rows[0].ghost_check_passed
+        assert rows[1].ghost_check_passed
+        assert "ghost" in ablations.format_coverage(rows)
+
+    def test_density_sweep(self, world):
+        rows = ablations.sweep_traffic_density(
+            densities=[10, 80], n_trials=2, world=world
+        )
+        assert (
+            rows[1].fov_agreement_mean > rows[0].fov_agreement_mean
+        )
+        assert (
+            rows[1].informative_aircraft
+            > rows[0].informative_aircraft
+        )
+        with pytest.raises(ValueError):
+            ablations.sweep_traffic_density(n_trials=0, world=world)
+        assert "aircraft" in ablations.format_density(rows)
+
+    def test_leakage_ablation(self, world):
+        rows = ablations.sweep_leakage(world=world)
+        on = next(r for r in rows if r.leakage == "on")
+        off = next(r for r in rows if r.leakage == "off")
+        # Leakage is what gives blocked directions their near-field
+        # reception; without it the indoor node goes nearly deaf
+        # at low elevations.
+        assert on.near_reception_rate >= off.near_reception_rate
+
+    def test_formats(self, world):
+        assert "duration" in ablations.format_duration(
+            ablations.sweep_capture_duration(
+                durations_s=[10.0], world=world
+            )
+        )
+        assert "latency" in ablations.format_latency(
+            ablations.sweep_ground_truth_latency(
+                latencies_s=[0.0], world=world
+            )
+        )
+        assert "SNR" in ablations.format_threshold(
+            ablations.sweep_decode_threshold(
+                thresholds_db=[10.0], world=world
+            )
+        )
+        assert "leakage" in ablations.format_leakage(
+            ablations.sweep_leakage(world=world)
+        )

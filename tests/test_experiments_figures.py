@@ -1,0 +1,176 @@
+"""Tests for the figure experiment harnesses — the paper's shapes.
+
+These are the reproduction's acceptance tests: who wins, by roughly
+what factor, and where the crossovers fall, per figure.
+"""
+
+import pytest
+
+from repro.experiments import figure1, figure2, figure3, figure4
+from repro.experiments.common import LOCATIONS, format_table
+
+
+@pytest.fixture(scope="module")
+def panels(world):
+    return figure1.run_figure1(world=world)
+
+
+class TestFigure1:
+    def test_three_panels_in_order(self, panels):
+        assert [p.location for p in panels] == list(LOCATIONS)
+
+    def test_rooftop_long_reach_in_open_sector(self, panels):
+        rooftop = panels[0]
+        # Paper: "up to 95 km from the sensor in the west sector".
+        assert rooftop.max_range_in_open_km() > 80.0
+
+    def test_rooftop_blocked_sectors_capped(self, panels):
+        rooftop = panels[0]
+        assert rooftop.max_range_blocked_km() < 45.0
+
+    def test_window_narrow_but_deep(self, panels):
+        window = panels[1]
+        # Paper: "a few airplanes in the slim unobscured direction up
+        # to 80 km away".
+        assert window.max_range_in_open_km() > 60.0
+        assert len(window.scan.received) < len(
+            panels[0].scan.received
+        )
+
+    def test_indoor_close_only(self, panels):
+        indoor = panels[2]
+        # Paper: "only receive some messages from airplanes very
+        # close to the sensor".
+        assert indoor.scan.max_received_range_km() < 35.0
+        assert len(indoor.scan.received) >= 1
+
+    def test_near_field_received_everywhere(self, panels):
+        # Paper: within 20 km there is "a chance of being received
+        # regardless of direction".
+        for panel in panels:
+            assert panel.near_reception_rate(20.0) > 0.3
+
+    def test_reception_ordering(self, panels):
+        rates = [p.scan.reception_rate for p in panels]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_summary_and_ascii_render(self, panels):
+        summary = figure1.format_summary(panels)
+        assert "rooftop" in summary
+        art = figure1.render_ascii_polar(panels[0])
+        assert "#" in art
+        assert "km" in art
+
+
+class TestFigure2:
+    def test_layout_rows(self):
+        rows = figure2.run_figure2()
+        assert len(rows) == 5
+        assert [r.tower_id for r in rows] == [
+            f"Tower {i}" for i in range(1, 6)
+        ]
+
+    def test_paper_frequencies_and_ranges(self):
+        rows = figure2.run_figure2()
+        freqs = [round(r.downlink_mhz) for r in rows]
+        assert freqs == [731, 1970, 2145, 2660, 2680]
+        for r in rows:
+            assert 400.0 <= r.distance_m <= 1100.0
+
+    def test_low_band_coverage_caption(self):
+        rows = figure2.run_figure2()
+        assert rows[0].nominal_range_km == 40.0  # low band
+        assert all(r.nominal_range_km == 19.0 for r in rows[1:])
+
+    def test_format(self):
+        text = figure2.format_layout(figure2.run_figure2())
+        assert "Tower 1" in text
+        assert "B12" in text
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self, world):
+        return figure3.run_figure3(world=world)
+
+    def test_rooftop_all_decoded_high(self, result):
+        values = result.rsrp_dbm["rooftop"]
+        assert all(v is not None for v in values.values())
+        assert all(v > -70.0 for v in values.values())
+
+    def test_window_towers_123(self, result):
+        assert result.decoded_towers("window") == [
+            "Tower 1",
+            "Tower 2",
+            "Tower 3",
+        ]
+
+    def test_indoor_tower_1_only(self, result):
+        assert result.decoded_towers("indoor") == ["Tower 1"]
+
+    def test_attenuation_ordering_on_tower1(self, result):
+        roof = result.rsrp_dbm["rooftop"]["Tower 1"]
+        window = result.rsrp_dbm["window"]["Tower 1"]
+        indoor = result.rsrp_dbm["indoor"]["Tower 1"]
+        assert roof > window > indoor
+
+    def test_format_shows_missing_bars(self, result):
+        text = figure3.format_bars(result)
+        assert "--" in text
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self, world):
+        return figure4.run_figure4(world=world)
+
+    def test_all_channels_measured_everywhere(self, result):
+        for location in LOCATIONS:
+            assert result.usable_channels(location) == 6
+
+    def test_rooftop_strongest_except_521(self, result):
+        for mhz in (213, 473, 545, 587, 605):
+            roof = result.power_dbfs["rooftop"][mhz]
+            window = result.power_dbfs["window"][mhz]
+            indoor = result.power_dbfs["indoor"][mhz]
+            assert roof > window
+            assert roof > indoor
+
+    def test_window_521_exception(self, result):
+        # Paper: "the very strong signal at [521] MHz when the sensor
+        # is placed behind a window ... the tower broadcasting at this
+        # frequency is in the field of view".
+        assert (
+            result.power_dbfs["window"][521]
+            > result.power_dbfs["rooftop"][521] + 10.0
+        )
+        assert result.power_dbfs["window"][521] == pytest.approx(
+            max(result.power_dbfs["rooftop"].values()), abs=3.0
+        )
+
+    def test_degraded_locations_still_usable(self, result):
+        # Paper: locations 2 and 3 remain usable below 600 MHz.
+        for location in ("window", "indoor"):
+            for mhz, value in result.power_dbfs[location].items():
+                assert value > -70.0  # well above the -80 dBFS floor
+
+    def test_iq_mode_matches_budget(self, world):
+        budget = figure4.run_figure4(world=world, iq_mode=False)
+        iq = figure4.run_figure4(world=world, iq_mode=True)
+        for location in LOCATIONS:
+            for mhz in budget.power_dbfs[location]:
+                assert iq.power_dbfs[location][mhz] == pytest.approx(
+                    budget.power_dbfs[location][mhz], abs=1.5
+                )
+
+    def test_format(self, result):
+        text = figure4.format_bars(result)
+        assert "521 MHz" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")

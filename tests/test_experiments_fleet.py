@@ -1,0 +1,52 @@
+"""Tests for the fleet experiment."""
+
+import pytest
+
+from repro.experiments import fleet
+
+
+class TestFleet:
+    @pytest.fixture(scope="class")
+    def result(self, world):
+        return fleet.run_fleet(world=world)
+
+    def test_twelve_nodes_assessed(self, result):
+        assert len(result.assessments) == 12
+
+    def test_cheaters_rejected_exactly(self, result):
+        assert result.rejected() == ["indoor-3", "window-3"]
+
+    def test_marketplace_excludes_rejected(self, result):
+        listed = {a.node_id for a in result.marketplace()}
+        assert not (listed & set(result.cheaters))
+        assert len(listed) == 10
+
+    def test_quality_ordering_by_class(self, result):
+        market = result.marketplace()
+        scores = {
+            a.node_id: a.report.overall_score() for a in market
+        }
+        assert scores["rooftop-0"] > scores["window-0"]
+        assert scores["window-0"] > scores["indoor-0"]
+
+    def test_damaged_node_downgraded(self, result):
+        scores = {
+            a.node_id: a.report.overall_score()
+            for a in result.marketplace()
+        }
+        assert scores["rooftop-3"] < scores["rooftop-0"] - 0.2
+
+    def test_classes_recovered_for_healthy_nodes(self, result):
+        for node_id, assessment in result.assessments.items():
+            if node_id in result.cheaters + result.degraded:
+                continue
+            expected = node_id.rsplit("-", 1)[0]
+            assert (
+                assessment.report.classification.installation
+                == expected
+            )
+
+    def test_format(self, result):
+        text = fleet.format_marketplace(result)
+        assert "Rejected" in text
+        assert "rank" in text

@@ -1,0 +1,48 @@
+"""Tests for the hardware-fault experiment."""
+
+import pytest
+
+from repro.experiments import hardware_faults
+
+
+class TestHardwareFaults:
+    @pytest.fixture(scope="class")
+    def rows(self, world):
+        return hardware_faults.run_hardware_faults(world=world)
+
+    def test_four_nodes(self, rows):
+        assert [r.fault for r in rows][0] == "healthy"
+        assert len(rows) == 4
+
+    def test_healthy_scores_highest(self, rows):
+        healthy = rows[0]
+        for row in rows[1:]:
+            assert row.overall_score < healthy.overall_score
+
+    def test_wrong_antenna_worst(self, rows):
+        by_fault = {r.fault: r for r in rows}
+        wrong = by_fault["wrong-band antenna"]
+        assert wrong.overall_score == min(
+            r.overall_score for r in rows
+        )
+        assert wrong.dead_bands >= 4
+
+    def test_deaf_sdr_loses_high_band(self, rows):
+        by_fault = {r.fault: r for r in rows}
+        deaf = by_fault["deaf SDR (<=1.7 GHz, NF 17)"]
+        # Towers 2-5 (1.97-2.68 GHz) are beyond its tuning range.
+        assert deaf.dead_bands >= 4
+        assert any("coverage" in v for v in deaf.violations)
+
+    def test_damaged_cable_degrades_everything(self, rows):
+        by_fault = {r.fault: r for r in rows}
+        damaged = by_fault["damaged cable"]
+        healthy = by_fault["healthy"]
+        assert (
+            damaged.adsb_reception_rate
+            < healthy.adsb_reception_rate
+        )
+        assert damaged.overall_score < healthy.overall_score - 0.2
+
+    def test_format(self, rows):
+        assert "hardware" in hardware_faults.format_rows(rows)

@@ -1,0 +1,59 @@
+"""Tests for the monitoring-utility experiment."""
+
+import pytest
+
+from repro.experiments import monitoring
+from repro.experiments.monitoring import MonitoringRow
+
+
+class TestMonitoringUtility:
+    @pytest.fixture(scope="class")
+    def rows(self, world):
+        return monitoring.run_monitoring_utility(world=world)
+
+    def test_three_rows(self, rows):
+        assert [r.location for r in rows] == [
+            "rooftop",
+            "window",
+            "indoor",
+        ]
+
+    def test_rooftop_perfect_service(self, rows):
+        roof = rows[0]
+        assert roof.detection_rate == 1.0
+        assert roof.total == 14  # 3 FM + 6 TV + 5 LTE
+
+    def test_indoor_misses_high_band(self, rows):
+        indoor = rows[2]
+        assert indoor.detection_rate < 1.0
+        assert indoor.detected >= 9  # all broadcast still detectable
+
+    def test_rankings_consistent_with_calibration(self, rows):
+        assert monitoring.rankings_agree(rows)
+
+    def test_quality_scores_strictly_ordered(self, rows):
+        assert (
+            rows[0].quality_score
+            > rows[1].quality_score
+            > rows[2].quality_score
+        )
+
+    def test_format(self, rows):
+        text = monitoring.format_rows(rows)
+        assert "detection rate" in text
+
+
+class TestRankingsAgree:
+    def test_detects_inversion(self):
+        rows = [
+            MonitoringRow("a", 0.5, 5, 10, 0.9),
+            MonitoringRow("b", 0.9, 9, 10, 0.2),
+        ]
+        assert not monitoring.rankings_agree(rows)
+
+    def test_ties_are_fine(self):
+        rows = [
+            MonitoringRow("a", 1.0, 10, 10, 0.9),
+            MonitoringRow("b", 1.0, 10, 10, 0.2),
+        ]
+        assert monitoring.rankings_agree(rows)

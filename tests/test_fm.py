@@ -1,0 +1,149 @@
+"""Tests for the FM broadcast substrate (repro.fm)."""
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyEvaluator
+from repro.dsp.power import parseval_band_power
+from repro.environment.scenarios import (
+    make_indoor_site,
+    make_rooftop_site,
+    standard_fm_towers,
+)
+from repro.fm.channels import (
+    fm_channel_center_hz,
+    fm_channel_for_freq,
+)
+from repro.fm.meter import FmPowerMeter
+from repro.fm.tower import FmTower
+from repro.fm.waveform import FM_OCCUPIED_HZ, fm_waveform
+from repro.geo.coords import GeoPoint
+from repro.node.sensor import SensorNode
+from repro.sdr.antenna import WIDEBAND_700_2700
+from repro.sdr.frontend import BLADERF_XA9
+
+
+class TestChannelPlan:
+    @pytest.mark.parametrize(
+        "channel,mhz",
+        [(200, 87.9), (205, 88.9), (234, 94.7), (271, 102.1), (300, 107.9)],
+    )
+    def test_known_channels(self, channel, mhz):
+        assert fm_channel_center_hz(channel) == pytest.approx(mhz * 1e6)
+
+    def test_roundtrip(self):
+        for channel in (200, 237, 300):
+            freq = fm_channel_center_hz(channel)
+            assert fm_channel_for_freq(freq) == channel
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fm_channel_center_hz(199)
+        with pytest.raises(ValueError):
+            fm_channel_for_freq(88.95e6)  # off raster
+        with pytest.raises(ValueError):
+            fm_channel_for_freq(120e6)
+
+
+class TestWaveform:
+    def test_constant_envelope_unit_power(self, rng):
+        wave = fm_waveform(rng, 1 << 14, 1e6)
+        assert np.allclose(np.abs(wave), 1.0, atol=1e-9)
+
+    def test_band_limited_by_carson(self, rng):
+        fs = 1e6
+        wave = fm_waveform(rng, 1 << 15, fs)
+        in_band = parseval_band_power(
+            wave, fs, -FM_OCCUPIED_HZ / 2, FM_OCCUPIED_HZ / 2
+        )
+        assert in_band > 0.97
+
+    def test_offset(self, rng):
+        fs = 2e6
+        wave = fm_waveform(rng, 1 << 15, fs, channel_offset_hz=400e3)
+        shifted = parseval_band_power(
+            wave,
+            fs,
+            400e3 - FM_OCCUPIED_HZ / 2,
+            400e3 + FM_OCCUPIED_HZ / 2,
+        )
+        assert shifted > 0.95
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fm_waveform(rng, 0, 1e6)
+        with pytest.raises(ValueError):
+            fm_waveform(rng, 1024, 1e6, channel_offset_hz=480e3)
+
+
+class TestFmTower:
+    def test_fields(self):
+        tower = FmTower("KQED", 205, GeoPoint(37.75, -122.45, 300.0))
+        assert tower.center_freq_hz == pytest.approx(88.9e6)
+
+    def test_invalid_channel(self):
+        with pytest.raises(ValueError):
+            FmTower("KBAD", 400, GeoPoint(0.0, 0.0))
+
+
+@pytest.fixture(scope="module")
+def towers():
+    return standard_fm_towers()
+
+
+class TestFmMeter:
+    def _meter(self, site):
+        return FmPowerMeter(
+            env=site, sdr=BLADERF_XA9, antenna=WIDEBAND_700_2700
+        )
+
+    def test_budget_well_above_noise(self, towers):
+        meter = self._meter(make_rooftop_site())
+        for tower in towers:
+            m = meter.measure_budget(tower)
+            assert m.above_noise_db > 20.0
+
+    def test_iq_matches_budget(self, towers, rng):
+        meter = self._meter(make_rooftop_site())
+        budget = meter.measure_budget(towers[0])
+        iq = meter.measure_iq(towers[0], rng)
+        assert iq.power_dbfs == pytest.approx(
+            budget.power_dbfs, abs=1.0
+        )
+
+    def test_indoor_attenuated_but_usable(self, towers):
+        roof = self._meter(make_rooftop_site())
+        indoor = self._meter(make_indoor_site())
+        for tower in towers:
+            r = roof.measure_budget(tower)
+            i = indoor.measure_budget(tower)
+            assert i.power_dbfs < r.power_dbfs
+            # Sub-108 MHz penetrates well: still far above noise.
+            assert i.above_noise_db > 10.0
+
+
+class TestFrequencyEvaluatorWithFm:
+    def test_fm_rows_in_profile(self, world):
+        node = SensorNode("n", world.testbed.site("rooftop"))
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+            fm_towers=world.testbed.fm_towers,
+        ).run()
+        fm_rows = profile.by_source("fm")
+        assert len(fm_rows) == 3
+        assert all(m.decoded for m in fm_rows)
+        assert all(m.freq_hz < 110e6 for m in fm_rows)
+
+    def test_fm_extends_low_band_coverage(self, world):
+        node = SensorNode("n", world.testbed.site("indoor"))
+        profile = FrequencyEvaluator(
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+            fm_towers=world.testbed.fm_towers,
+        ).run()
+        below_150 = profile.band(0.0, 150e6)
+        assert len(below_150) == 3
+        assert all(m.decoded for m in below_150)

@@ -1,0 +1,105 @@
+"""Tests for repro.geo.coords."""
+
+import math
+
+import pytest
+
+from repro.geo.coords import ENU, GeoPoint, enu_to_geo, geo_to_enu
+
+
+class TestGeoPoint:
+    def test_basic_construction(self):
+        p = GeoPoint(37.5, -122.0, 100.0)
+        assert p.lat_deg == 37.5
+        assert p.lon_deg == -122.0
+        assert p.alt_m == 100.0
+
+    def test_default_altitude_is_zero(self):
+        assert GeoPoint(0.0, 0.0).alt_m == 0.0
+
+    def test_latitude_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint(90.1, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-91.0, 0.0)
+
+    def test_nonfinite_longitude_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, float("nan"))
+
+    def test_longitude_normalized_into_range(self):
+        assert GeoPoint(0.0, 190.0).lon_deg == -170.0
+        assert GeoPoint(0.0, -190.0).lon_deg == 170.0
+        assert GeoPoint(0.0, 360.0).lon_deg == 0.0
+
+    def test_radian_properties(self):
+        p = GeoPoint(45.0, 90.0)
+        assert p.lat_rad == pytest.approx(math.pi / 4)
+        assert p.lon_rad == pytest.approx(math.pi / 2)
+
+    def test_with_altitude(self):
+        p = GeoPoint(10.0, 20.0, 5.0).with_altitude(123.0)
+        assert p.alt_m == 123.0
+        assert p.lat_deg == 10.0
+
+    def test_frozen(self):
+        p = GeoPoint(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.lat_deg = 3.0
+
+
+class TestENU:
+    def test_horizontal_and_slant(self):
+        e = ENU(3.0, 4.0, 12.0)
+        assert e.horizontal_m == pytest.approx(5.0)
+        assert e.slant_m == pytest.approx(13.0)
+
+    def test_azimuth_cardinal_directions(self):
+        assert ENU(0.0, 1.0, 0.0).azimuth_deg == pytest.approx(0.0)
+        assert ENU(1.0, 0.0, 0.0).azimuth_deg == pytest.approx(90.0)
+        assert ENU(0.0, -1.0, 0.0).azimuth_deg == pytest.approx(180.0)
+        assert ENU(-1.0, 0.0, 0.0).azimuth_deg == pytest.approx(270.0)
+
+    def test_elevation_sign(self):
+        assert ENU(100.0, 0.0, 100.0).elevation_deg == pytest.approx(45.0)
+        assert ENU(100.0, 0.0, -100.0).elevation_deg == pytest.approx(-45.0)
+
+    def test_elevation_at_origin_is_zero(self):
+        assert ENU(0.0, 0.0, 0.0).elevation_deg == 0.0
+
+    def test_elevation_straight_up(self):
+        assert ENU(0.0, 0.0, 10.0).elevation_deg == pytest.approx(90.0)
+
+
+class TestEnuConversion:
+    def test_roundtrip(self):
+        origin = GeoPoint(37.8715, -122.2730, 20.0)
+        target = GeoPoint(37.95, -122.10, 8000.0)
+        enu = geo_to_enu(origin, target)
+        back = enu_to_geo(origin, enu)
+        assert back.lat_deg == pytest.approx(target.lat_deg, abs=1e-6)
+        assert back.lon_deg == pytest.approx(target.lon_deg, abs=1e-6)
+        assert back.alt_m == pytest.approx(target.alt_m, abs=1e-6)
+
+    def test_north_offset(self):
+        origin = GeoPoint(37.0, -122.0)
+        target = GeoPoint(37.01, -122.0)
+        enu = geo_to_enu(origin, target)
+        assert enu.north_m == pytest.approx(1111.9, rel=0.01)
+        assert abs(enu.east_m) < 1.0
+
+    def test_east_offset_scales_with_cos_lat(self):
+        equator = geo_to_enu(GeoPoint(0.0, 0.0), GeoPoint(0.0, 0.01))
+        high = geo_to_enu(GeoPoint(60.0, 0.0), GeoPoint(60.0, 0.01))
+        assert high.east_m == pytest.approx(
+            equator.east_m * math.cos(math.radians(60.0)), rel=0.001
+        )
+
+    def test_up_is_altitude_difference(self):
+        origin = GeoPoint(37.0, -122.0, 15.0)
+        target = GeoPoint(37.0, -122.0, 10_000.0)
+        assert geo_to_enu(origin, target).up_m == pytest.approx(9985.0)
+
+    def test_pole_inverse_rejected(self):
+        with pytest.raises(ValueError):
+            enu_to_geo(GeoPoint(90.0, 0.0), ENU(10.0, 0.0, 0.0))

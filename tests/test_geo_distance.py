@@ -1,0 +1,128 @@
+"""Tests for repro.geo.distance."""
+
+import pytest
+
+from repro.geo.coords import EARTH_RADIUS_M, GeoPoint
+from repro.geo.distance import (
+    destination_point,
+    elevation_angle_deg,
+    haversine_m,
+    initial_bearing_deg,
+    slant_range_m,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(37.0, -122.0)
+        assert haversine_m(p, p) == 0.0
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 0.0)
+        expected = EARTH_RADIUS_M * 3.141592653589793 / 180.0
+        assert haversine_m(a, b) == pytest.approx(expected, rel=1e-9)
+
+    def test_symmetric(self):
+        a = GeoPoint(37.87, -122.27)
+        b = GeoPoint(38.5, -121.5)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a))
+
+    def test_known_city_pair(self):
+        # SFO to LAX, great-circle roughly 543 km.
+        sfo = GeoPoint(37.6213, -122.3790)
+        lax = GeoPoint(33.9416, -118.4085)
+        assert haversine_m(sfo, lax) == pytest.approx(543e3, rel=0.02)
+
+    def test_ignores_altitude(self):
+        a = GeoPoint(37.0, -122.0, 0.0)
+        b = GeoPoint(37.1, -122.0, 10_000.0)
+        c = GeoPoint(37.1, -122.0, 0.0)
+        assert haversine_m(a, b) == pytest.approx(haversine_m(a, c))
+
+    def test_antipodal_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        half = 3.141592653589793 * EARTH_RADIUS_M
+        assert haversine_m(a, b) == pytest.approx(half, rel=1e-6)
+
+
+class TestBearing:
+    def test_cardinal_bearings(self):
+        origin = GeoPoint(37.0, -122.0)
+        north = GeoPoint(38.0, -122.0)
+        south = GeoPoint(36.0, -122.0)
+        assert initial_bearing_deg(origin, north) == pytest.approx(0.0)
+        assert initial_bearing_deg(origin, south) == pytest.approx(180.0)
+
+    def test_east_west_at_equator(self):
+        origin = GeoPoint(0.0, 0.0)
+        assert initial_bearing_deg(origin, GeoPoint(0.0, 1.0)) == (
+            pytest.approx(90.0)
+        )
+        assert initial_bearing_deg(origin, GeoPoint(0.0, -1.0)) == (
+            pytest.approx(270.0)
+        )
+
+    def test_normalized_range(self):
+        origin = GeoPoint(37.0, -122.0)
+        for lat, lon in [(38, -123), (36, -121), (36.5, -123.5)]:
+            bearing = initial_bearing_deg(
+                origin, GeoPoint(float(lat), float(lon))
+            )
+            assert 0.0 <= bearing < 360.0
+
+
+class TestDestination:
+    def test_roundtrip_distance_and_bearing(self):
+        start = GeoPoint(37.87, -122.27)
+        for bearing in (0.0, 45.0, 133.0, 278.0):
+            end = destination_point(start, bearing, 50_000.0)
+            assert haversine_m(start, end) == pytest.approx(
+                50_000.0, rel=1e-6
+            )
+            assert initial_bearing_deg(start, end) == pytest.approx(
+                bearing, abs=0.01
+            )
+
+    def test_zero_distance_is_identity(self):
+        start = GeoPoint(10.0, 20.0, 5.0)
+        end = destination_point(start, 123.0, 0.0)
+        assert end.lat_deg == pytest.approx(start.lat_deg)
+        assert end.lon_deg == pytest.approx(start.lon_deg)
+
+    def test_altitude_preserved(self):
+        start = GeoPoint(10.0, 20.0, 777.0)
+        assert destination_point(start, 90.0, 1000.0).alt_m == 777.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            destination_point(GeoPoint(0.0, 0.0), 0.0, -1.0)
+
+
+class TestSlantAndElevation:
+    def test_slant_includes_altitude(self):
+        a = GeoPoint(37.0, -122.0, 0.0)
+        b = destination_point(a, 90.0, 30_000.0).with_altitude(40_000.0)
+        slant = slant_range_m(a, b)
+        assert slant == pytest.approx(50_000.0, rel=0.001)
+
+    def test_elevation_45_degrees(self):
+        a = GeoPoint(37.0, -122.0, 0.0)
+        b = destination_point(a, 0.0, 10_000.0).with_altitude(10_000.0)
+        assert elevation_angle_deg(a, b) == pytest.approx(45.0, abs=0.1)
+
+    def test_elevation_straight_up_and_down(self):
+        a = GeoPoint(37.0, -122.0, 0.0)
+        up = GeoPoint(37.0, -122.0, 1000.0)
+        assert elevation_angle_deg(a, up) == 90.0
+        assert elevation_angle_deg(up, a) == -90.0
+
+    def test_elevation_same_point(self):
+        a = GeoPoint(37.0, -122.0, 5.0)
+        assert elevation_angle_deg(a, a) == 0.0
+
+    def test_elevation_negative_below_horizon(self):
+        a = GeoPoint(37.0, -122.0, 500.0)
+        b = destination_point(a, 0.0, 20_000.0).with_altitude(0.0)
+        assert elevation_angle_deg(a, b) < 0.0

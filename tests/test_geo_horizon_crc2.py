@@ -1,0 +1,86 @@
+"""Tests for the radio horizon and two-bit CRC correction additions."""
+
+import random
+
+import pytest
+
+from repro.adsb.crc import fix_two_bit_errors, frame_is_valid
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import (
+    build_acquisition_squitter,
+    build_identification,
+)
+from repro.geo.distance import radio_horizon_m
+
+FRAME = build_identification(IcaoAddress(0x654321), "TWOBIT").data
+SHORT = build_acquisition_squitter(IcaoAddress(0x654321)).data
+
+
+class TestRadioHorizon:
+    def test_ground_station_to_cruise_altitude(self):
+        # 20 m station to FL390 (~12 km): about 450 km.
+        d = radio_horizon_m(20.0, 12_000.0)
+        assert d == pytest.approx(450e3, rel=0.05)
+
+    def test_zero_heights(self):
+        assert radio_horizon_m(0.0, 0.0) == 0.0
+
+    def test_monotone_in_height(self):
+        low = radio_horizon_m(2.0, 10_000.0)
+        high = radio_horizon_m(100.0, 10_000.0)
+        assert high > low
+
+    def test_symmetric(self):
+        assert radio_horizon_m(15.0, 9_000.0) == pytest.approx(
+            radio_horizon_m(9_000.0, 15.0)
+        )
+
+    def test_k_factor_extends_range(self):
+        geometric = radio_horizon_m(20.0, 10_000.0, k_factor=1.0)
+        standard = radio_horizon_m(20.0, 10_000.0)
+        assert standard > geometric
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            radio_horizon_m(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            radio_horizon_m(10.0, 10.0, k_factor=0.0)
+
+
+class TestTwoBitFix:
+    def test_valid_frame_unchanged(self):
+        assert fix_two_bit_errors(FRAME) == FRAME
+
+    def test_single_bit_still_handled(self):
+        c = bytearray(FRAME)
+        c[3] ^= 0x40
+        assert fix_two_bit_errors(bytes(c)) == FRAME
+
+    def test_random_two_bit_errors_long(self):
+        rng = random.Random(42)
+        for _ in range(60):
+            i, j = rng.sample(range(112), 2)
+            c = bytearray(FRAME)
+            c[i // 8] ^= 1 << (7 - i % 8)
+            c[j // 8] ^= 1 << (7 - j % 8)
+            assert fix_two_bit_errors(bytes(c)) == FRAME
+
+    def test_random_two_bit_errors_short(self):
+        rng = random.Random(43)
+        for _ in range(40):
+            i, j = rng.sample(range(56), 2)
+            c = bytearray(SHORT)
+            c[i // 8] ^= 1 << (7 - i % 8)
+            c[j // 8] ^= 1 << (7 - j % 8)
+            assert fix_two_bit_errors(bytes(c)) == SHORT
+
+    def test_repairs_are_crc_valid(self):
+        rng = random.Random(44)
+        for _ in range(30):
+            i, j = rng.sample(range(112), 2)
+            c = bytearray(FRAME)
+            c[i // 8] ^= 1 << (7 - i % 8)
+            c[j // 8] ^= 1 << (7 - j % 8)
+            repaired = fix_two_bit_errors(bytes(c))
+            assert repaired is not None
+            assert frame_is_valid(repaired)

@@ -1,0 +1,139 @@
+"""Tests for repro.geo.sectors."""
+
+import pytest
+
+from repro.geo.sectors import (
+    AzimuthSector,
+    bearing_difference,
+    normalize_bearing,
+    sector_union_width,
+)
+
+
+class TestNormalizeBearing:
+    def test_in_range_unchanged(self):
+        assert normalize_bearing(123.4) == 123.4
+
+    def test_wraps_positive(self):
+        assert normalize_bearing(370.0) == pytest.approx(10.0)
+        assert normalize_bearing(720.0) == pytest.approx(0.0)
+
+    def test_wraps_negative(self):
+        assert normalize_bearing(-10.0) == pytest.approx(350.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            normalize_bearing(float("nan"))
+
+
+class TestBearingDifference:
+    def test_simple(self):
+        assert bearing_difference(10.0, 30.0) == pytest.approx(20.0)
+
+    def test_wraps_through_north(self):
+        assert bearing_difference(350.0, 10.0) == pytest.approx(20.0)
+
+    def test_maximum_is_180(self):
+        assert bearing_difference(0.0, 180.0) == pytest.approx(180.0)
+        assert bearing_difference(90.0, 271.0) == pytest.approx(179.0)
+
+    def test_symmetric(self):
+        assert bearing_difference(33.0, 297.0) == bearing_difference(
+            297.0, 33.0
+        )
+
+
+class TestAzimuthSector:
+    def test_contains_simple(self):
+        s = AzimuthSector(90.0, 45.0)
+        assert s.contains(90.0)
+        assert s.contains(134.9)
+        assert not s.contains(135.0)
+        assert not s.contains(89.9)
+
+    def test_contains_wrapping(self):
+        s = AzimuthSector(350.0, 20.0)
+        assert s.contains(355.0)
+        assert s.contains(0.0)
+        assert s.contains(9.9)
+        assert not s.contains(10.0)
+        assert not s.contains(349.0)
+
+    def test_full_circle_contains_everything(self):
+        s = AzimuthSector(123.0, 360.0)
+        for bearing in (0.0, 90.0, 122.9, 123.0, 359.9):
+            assert s.contains(bearing)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            AzimuthSector(0.0, 0.0)
+        with pytest.raises(ValueError):
+            AzimuthSector(0.0, 361.0)
+
+    def test_start_normalized(self):
+        assert AzimuthSector(370.0, 10.0).start_deg == pytest.approx(10.0)
+
+    def test_end_and_center(self):
+        s = AzimuthSector(350.0, 20.0)
+        assert s.end_deg == pytest.approx(10.0)
+        assert s.center_deg == pytest.approx(0.0)
+
+    def test_from_edges(self):
+        s = AzimuthSector.from_edges(120.0, 160.0)
+        assert s.start_deg == 120.0
+        assert s.width_deg == pytest.approx(40.0)
+
+    def test_from_edges_wrapping(self):
+        s = AzimuthSector.from_edges(340.0, 20.0)
+        assert s.width_deg == pytest.approx(40.0)
+        assert s.contains(0.0)
+
+    def test_from_edges_equal_is_full_circle(self):
+        s = AzimuthSector.from_edges(45.0, 45.0)
+        assert s.width_deg == 360.0
+
+    def test_overlaps(self):
+        a = AzimuthSector(0.0, 90.0)
+        b = AzimuthSector(45.0, 90.0)
+        c = AzimuthSector(180.0, 90.0)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_overlaps_wrapping(self):
+        a = AzimuthSector(350.0, 20.0)
+        b = AzimuthSector(5.0, 10.0)
+        assert a.overlaps(b)
+
+
+class TestSectorUnion:
+    def test_disjoint(self):
+        width = sector_union_width(
+            [AzimuthSector(0.0, 30.0), AzimuthSector(100.0, 40.0)]
+        )
+        assert width == pytest.approx(70.0)
+
+    def test_overlapping_counted_once(self):
+        width = sector_union_width(
+            [AzimuthSector(0.0, 60.0), AzimuthSector(30.0, 60.0)]
+        )
+        assert width == pytest.approx(90.0)
+
+    def test_wrapping_sector(self):
+        width = sector_union_width([AzimuthSector(350.0, 20.0)])
+        assert width == pytest.approx(20.0)
+
+    def test_full_cover(self):
+        width = sector_union_width(
+            [AzimuthSector(0.0, 200.0), AzimuthSector(180.0, 200.0)]
+        )
+        assert width == pytest.approx(360.0)
+
+    def test_empty(self):
+        assert sector_union_width([]) == 0.0
+
+    def test_nested(self):
+        width = sector_union_width(
+            [AzimuthSector(10.0, 100.0), AzimuthSector(20.0, 10.0)]
+        )
+        assert width == pytest.approx(100.0)

@@ -1,0 +1,173 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.decoder import Dump1090Decoder
+from repro.adsb.modem import SAMPLE_RATE_HZ, modulate_frame
+from repro.airspace.flightradar import FlightRadarService
+from repro.airspace.traffic import TrafficConfig, TrafficSimulator
+from repro.core.directional import DirectionalEvaluator
+from repro.core.network import CalibrationService
+from repro.environment.links import AdsbLinkModel
+from repro.environment.scenarios import standard_testbed
+from repro.geo.coords import GeoPoint
+from repro.node.fabrication import OmniscientFabricator
+from repro.node.sensor import SensorNode
+from repro.sdr.capture import CaptureSession
+
+
+class TestIqPathAgreesWithLinkPath:
+    """The fast link-level simulation and the full IQ modem path must
+    agree on what decodes: same squitters, same channel, both routes."""
+
+    def test_agreement_over_short_capture(self):
+        testbed = standard_testbed()
+        node = SensorNode("x", testbed.site("rooftop"))
+        traffic = TrafficSimulator(
+            center=testbed.center,
+            config=TrafficConfig(n_aircraft=5, radius_m=50_000.0),
+            rng_seed=21,
+        )
+        capture_s = 0.6
+
+        # Route A: link-level decode decision.
+        rng_a = np.random.default_rng(8)
+        link = AdsbLinkModel(
+            env=node.environment, rx_antenna=node.antenna
+        )
+        events = traffic.squitters_between(0.0, capture_s, rng_a)
+        from repro.core.directional import (
+            ADSB_BANDWIDTH_HZ,
+            DECODE_SNR_DB,
+        )
+
+        threshold = (
+            node.sdr.noise_floor_dbm(ADSB_BANDWIDTH_HZ) + DECODE_SNR_DB
+        )
+        expected_frames = []
+        powers = []
+        for e in events:
+            tx = GeoPoint(e.lat_deg, e.lon_deg, e.alt_m)
+            p = link.message_received_power_dbm(
+                e.frame.icao, tx, e.tx_power_w, rng_a
+            )
+            powers.append(p)
+            # Keep a margin band out of the comparison: right at the
+            # threshold, noise realization legitimately decides.
+            if p > threshold + 3.0:
+                expected_frames.append((e, p))
+
+        # Route B: synthesize IQ for the same events/powers and decode.
+        rng_b = np.random.default_rng(9)
+        session = CaptureSession(
+            sdr=node.sdr,
+            antenna=node.antenna,
+            center_freq_hz=1090e6,
+            sample_rate_hz=SAMPLE_RATE_HZ,
+        )
+        n = int(capture_s * SAMPLE_RATE_HZ) + 400
+        signals = []
+        for e, p in zip(events, powers):
+            wave = modulate_frame(e.frame.data)
+            padded = np.zeros(n, dtype=np.complex128)
+            start = int(e.time_s * SAMPLE_RATE_HZ)
+            end = min(start + len(wave), n)
+            padded[start:end] = wave[: end - start]
+            signals.append((padded, p))
+        capture = session.capture(signals, rng_b, n)
+        decoder = Dump1090Decoder(receiver_position=node.position)
+        decoded = decoder.decode_iq(capture.samples)
+        decoded_icaos = {m.icao for m in decoded}
+
+        # Every comfortably-above-threshold squitter's aircraft must
+        # appear in the IQ decode (overlapping frames may drop some
+        # individual messages, but each aircraft sends several).
+        expected_icaos = {e.frame.icao for e, _ in expected_frames}
+        assert expected_icaos <= decoded_icaos
+
+
+class TestFullPipeline:
+    def test_three_locations_end_to_end(self):
+        testbed = standard_testbed()
+        traffic = TrafficSimulator(
+            center=testbed.center,
+            config=TrafficConfig(n_aircraft=60),
+            rng_seed=77,
+        )
+        service = CalibrationService(
+            traffic=traffic,
+            ground_truth=FlightRadarService(traffic=traffic),
+            cell_towers=testbed.cell_towers,
+            tv_towers=testbed.tv_towers,
+        )
+        nodes = [
+            SensorNode(loc, testbed.site(loc))
+            for loc in ("rooftop", "window", "indoor")
+        ]
+        out = service.evaluate_network(nodes, seed=0)
+        # Quality ordering matches the physical ordering.
+        assert (
+            out["rooftop"].report.overall_score()
+            > out["window"].report.overall_score()
+            > out["indoor"].report.overall_score()
+        )
+        # Installations recovered.
+        for loc in ("rooftop", "window", "indoor"):
+            assert (
+                out[loc].report.classification.installation == loc
+            )
+            assert out[loc].trust.is_trustworthy()
+
+    def test_fabricating_node_rejected_others_kept(self):
+        testbed = standard_testbed()
+        traffic = TrafficSimulator(
+            center=testbed.center,
+            config=TrafficConfig(n_aircraft=60),
+            rng_seed=78,
+        )
+        service = CalibrationService(
+            traffic=traffic,
+            ground_truth=FlightRadarService(traffic=traffic),
+            cell_towers=testbed.cell_towers,
+            tv_towers=testbed.tv_towers,
+        )
+        nodes = [
+            SensorNode("honest", testbed.site("rooftop")),
+            SensorNode("cheater", testbed.site("indoor")),
+        ]
+        out = service.evaluate_network(
+            nodes,
+            seed=0,
+            fabrications={"cheater": OmniscientFabricator()},
+        )
+        assert out["honest"].trust.is_trustworthy()
+        assert not out["cheater"].trust.is_trustworthy()
+
+    def test_scan_statistics_scale_with_duration(self):
+        testbed = standard_testbed()
+        traffic = TrafficSimulator(
+            center=testbed.center,
+            config=TrafficConfig(n_aircraft=40),
+            rng_seed=79,
+        )
+        gt = FlightRadarService(traffic=traffic)
+        node = SensorNode("x", testbed.site("rooftop"))
+        short = DirectionalEvaluator(
+            node=node,
+            traffic=traffic,
+            ground_truth=gt,
+            duration_s=10.0,
+            ground_truth_query_s=5.0,
+        ).run(np.random.default_rng(0))
+        long = DirectionalEvaluator(
+            node=node,
+            traffic=traffic,
+            ground_truth=gt,
+            duration_s=40.0,
+            ground_truth_query_s=20.0,
+        ).run(np.random.default_rng(0))
+        assert (
+            long.decoded_message_count
+            > 2 * short.decoded_message_count
+        )

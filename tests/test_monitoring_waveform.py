@@ -1,0 +1,38 @@
+"""Direct tests for the LTE-like monitoring waveform."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.power import parseval_band_power
+from repro.node.monitoring import lte_like_waveform
+
+
+class TestLteLikeWaveform:
+    def test_unit_power(self, rng):
+        wave = lte_like_waveform(rng, 1 << 14, 12e6, 9e6)
+        assert np.mean(np.abs(wave) ** 2) == pytest.approx(
+            1.0, rel=0.05
+        )
+
+    def test_band_limited(self, rng):
+        fs, occupied = 12e6, 9e6
+        wave = lte_like_waveform(rng, 1 << 15, fs, occupied)
+        in_band = parseval_band_power(
+            wave, fs, -occupied / 2, occupied / 2
+        )
+        total = parseval_band_power(wave, fs, -fs / 2, fs / 2)
+        assert in_band / total > 0.97
+
+    def test_offset_carrier(self, rng):
+        fs = 20e6
+        wave = lte_like_waveform(
+            rng, 1 << 15, fs, 5e6, channel_offset_hz=6e6
+        )
+        shifted = parseval_band_power(wave, fs, 3.5e6, 8.5e6)
+        assert shifted > 0.9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            lte_like_waveform(rng, 0, 12e6, 9e6)
+        with pytest.raises(ValueError):
+            lte_like_waveform(rng, 1024, 10e6, 9e6, 2e6)

@@ -1,0 +1,160 @@
+"""Tests for repro.node (sensor, claims, fabrication)."""
+
+import numpy as np
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.core.observations import AircraftObservation, DirectionalScan
+from repro.environment.scenarios import (
+    make_indoor_site,
+    make_rooftop_site,
+)
+from repro.geo.coords import GeoPoint
+from repro.node.claims import NodeClaims
+from repro.node.fabrication import (
+    GhostTrafficFabricator,
+    HonestReporter,
+    OmniscientFabricator,
+    ReplayFabricator,
+    apply_fabrication,
+)
+from repro.node.sensor import SensorNode
+
+
+def _observation(icao_value, received, range_km=50.0, bearing=200.0):
+    return AircraftObservation(
+        icao=IcaoAddress(icao_value),
+        callsign=f"TST{icao_value:04d}",
+        bearing_deg=bearing,
+        ground_range_m=range_km * 1000.0,
+        elevation_deg=10.0,
+        position=GeoPoint(37.9, -122.1, 9000.0),
+        received=received,
+        n_messages=30 if received else 0,
+        mean_rssi_dbfs=-40.0 if received else None,
+    )
+
+
+def _scan(n_received=5, n_missed=5):
+    observations = [
+        _observation(i + 1, True) for i in range(n_received)
+    ] + [
+        _observation(100 + i, False) for i in range(n_missed)
+    ]
+    return DirectionalScan(
+        node_id="test",
+        duration_s=30.0,
+        radius_m=100_000.0,
+        observations=observations,
+        decoded_message_count=30 * n_received,
+    )
+
+
+class TestSensorNode:
+    def test_defaults(self):
+        node = SensorNode("n1", make_rooftop_site())
+        assert node.sdr.name == "BladeRF xA9"
+        assert node.antenna.low_hz == 700e6
+        assert node.claims is not None
+
+    def test_position_from_environment(self):
+        node = SensorNode("n1", make_rooftop_site())
+        assert node.position == make_rooftop_site().position
+
+    def test_describe(self):
+        text = SensorNode("n1", make_rooftop_site()).describe()
+        assert "n1" in text
+        assert "BladeRF" in text
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            SensorNode("", make_rooftop_site())
+
+
+class TestNodeClaims:
+    def test_honest_rooftop(self):
+        node = SensorNode("n1", make_rooftop_site())
+        claims = NodeClaims.honest(node)
+        assert claims.outdoor
+        assert not claims.unobstructed  # only a 180 deg FoV
+        assert claims.min_freq_hz == 700e6
+        assert claims.max_freq_hz == 2700e6
+
+    def test_honest_indoor(self):
+        node = SensorNode("n1", make_indoor_site())
+        claims = NodeClaims.honest(node)
+        assert not claims.outdoor
+        assert not claims.unobstructed
+
+    def test_inflated(self):
+        node = SensorNode("n1", make_indoor_site())
+        claims = NodeClaims.inflated(node)
+        assert claims.outdoor
+        assert claims.unobstructed
+        assert claims.min_freq_hz == node.sdr.min_freq_hz
+        assert claims.max_freq_hz == node.sdr.max_freq_hz
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeClaims(
+                position=GeoPoint(0.0, 0.0),
+                min_freq_hz=2e9,
+                max_freq_hz=1e9,
+                outdoor=True,
+                unobstructed=True,
+            )
+
+
+class TestFabrication:
+    def test_honest_identity(self, rng):
+        scan = _scan()
+        assert HonestReporter().fabricate(scan, rng) is scan
+
+    def test_omniscient_marks_all_received(self, rng):
+        scan = _scan(n_received=3, n_missed=7)
+        faked = OmniscientFabricator().fabricate(scan, rng)
+        assert all(o.received for o in faked.observations)
+        assert len(faked.observations) == 10
+        rssis = [o.mean_rssi_dbfs for o in faked.observations]
+        assert np.std(rssis) < 1.0  # the constant-RSSI tell
+
+    def test_replay_produces_ghosts(self, rng):
+        donor = _scan(n_received=6, n_missed=0)
+        current = DirectionalScan(
+            node_id="test",
+            duration_s=30.0,
+            radius_m=100_000.0,
+            observations=[_observation(900 + i, True) for i in range(4)],
+            decoded_message_count=120,
+        )
+        faked = ReplayFabricator(donor=donor).fabricate(current, rng)
+        assert len(faked.ghost_icaos) == 6
+        assert not any(o.received for o in faked.observations)
+
+    def test_replay_keeps_overlap(self, rng):
+        donor = _scan(n_received=3, n_missed=0)
+        current = _scan(n_received=0, n_missed=3)
+        # Give current the same ICAOs 1-3 as the donor's received.
+        current = DirectionalScan(
+            node_id="test",
+            duration_s=30.0,
+            radius_m=100_000.0,
+            observations=[_observation(i + 1, False) for i in range(3)],
+        )
+        faked = ReplayFabricator(donor=donor).fabricate(current, rng)
+        assert all(o.received for o in faked.observations)
+        assert faked.ghost_icaos == []
+
+    def test_ghost_padding(self, rng):
+        scan = _scan()
+        faked = GhostTrafficFabricator(n_ghosts=12).fabricate(scan, rng)
+        assert len(faked.ghost_icaos) == 12
+        assert faked.observations == scan.observations
+
+    def test_ghost_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GhostTrafficFabricator(n_ghosts=-1).fabricate(_scan(), rng)
+
+    def test_apply_helper(self, rng):
+        scan = _scan()
+        assert apply_fabrication(HonestReporter(), scan, rng) is scan

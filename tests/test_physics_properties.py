@@ -1,0 +1,127 @@
+"""Property-based tests on physical-model monotonicities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.environment.links import direct_received_power_dbm
+from repro.environment.scenarios import (
+    make_indoor_site,
+    make_rooftop_site,
+)
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import destination_point
+from repro.rf.pathloss import free_space_path_loss_db
+from repro.rf.penetration import MATERIAL_LOSS_DB, material_loss_db
+from repro.sdr.antenna import WIDEBAND_700_2700
+
+SITE = GeoPoint(37.8715, -122.2730, 20.0)
+
+frequencies = st.floats(min_value=100e6, max_value=6e9)
+distances = st.floats(min_value=100.0, max_value=200_000.0)
+bearings = st.floats(min_value=0.0, max_value=359.9)
+
+
+class TestPathLossProperties:
+    @given(distances, distances, frequencies)
+    @settings(max_examples=80)
+    def test_fspl_monotone_in_distance(self, d1, d2, freq):
+        lo, hi = sorted((d1, d2))
+        assert free_space_path_loss_db(
+            lo, freq
+        ) <= free_space_path_loss_db(hi, freq)
+
+    @given(distances, frequencies, frequencies)
+    @settings(max_examples=80)
+    def test_fspl_monotone_in_frequency(self, d, f1, f2):
+        lo, hi = sorted((f1, f2))
+        assert free_space_path_loss_db(
+            d, lo
+        ) <= free_space_path_loss_db(d, hi)
+
+    @given(distances, frequencies)
+    @settings(max_examples=80)
+    def test_fspl_nonnegative(self, d, freq):
+        assert free_space_path_loss_db(d, freq) >= 0.0
+
+
+class TestMaterialProperties:
+    @given(
+        st.sampled_from(sorted(MATERIAL_LOSS_DB)),
+        frequencies,
+        frequencies,
+    )
+    @settings(max_examples=80)
+    def test_material_loss_monotone_in_frequency(
+        self, material, f1, f2
+    ):
+        lo, hi = sorted((f1, f2))
+        assert material_loss_db(material, lo) <= material_loss_db(
+            material, hi
+        ) + 1e-9
+
+    @given(st.sampled_from(sorted(MATERIAL_LOSS_DB)), frequencies)
+    @settings(max_examples=80)
+    def test_material_loss_nonnegative(self, material, freq):
+        assert material_loss_db(material, freq) >= 0.0
+
+
+class TestLinkProperties:
+    @given(bearings, st.floats(min_value=1_000.0, max_value=90_000.0))
+    @settings(max_examples=60)
+    def test_received_power_bounded_by_friis(self, bearing, distance):
+        """Obstructions only remove power, never add it."""
+        env = make_rooftop_site()
+        tx = destination_point(SITE, bearing, distance).with_altitude(
+            8_000.0
+        )
+        got = direct_received_power_dbm(
+            env, tx, 40.0, 1090e6, WIDEBAND_700_2700
+        )
+        from repro.environment.links import ray_geometry
+
+        geom = ray_geometry(env.position, tx)
+        friis = (
+            40.0
+            - free_space_path_loss_db(geom.slant_m, 1090e6)
+            + WIDEBAND_700_2700.gain_at(1090e6, geom.azimuth_deg)
+        )
+        assert got <= friis + 1e-9
+
+    @given(bearings)
+    @settings(max_examples=40)
+    def test_indoor_never_beats_rooftop(self, bearing):
+        tx = destination_point(SITE, bearing, 30_000.0).with_altitude(
+            8_000.0
+        )
+        roof = direct_received_power_dbm(
+            make_rooftop_site(), tx, 40.0, 1090e6, WIDEBAND_700_2700
+        )
+        indoor = direct_received_power_dbm(
+            make_indoor_site(), tx, 40.0, 1090e6, WIDEBAND_700_2700
+        )
+        # The rooftop site sits 5 m higher; allow that tiny geometric
+        # difference, obstruction differences dominate anyway.
+        assert indoor <= roof + 0.5
+
+
+class TestAntennaProperties:
+    @given(frequencies)
+    @settings(max_examples=80)
+    def test_gain_never_exceeds_rated(self, freq):
+        assert (
+            WIDEBAND_700_2700.gain_at(freq)
+            <= WIDEBAND_700_2700.gain_dbi + 1e-9
+        )
+
+    @given(frequencies, frequencies)
+    @settings(max_examples=80)
+    def test_gain_unimodal_toward_band(self, f1, f2):
+        """Moving toward the rated band never reduces gain."""
+        ant = WIDEBAND_700_2700
+        lo, hi = sorted((f1, f2))
+        if hi <= ant.low_hz:  # both below band
+            assert ant.gain_at(lo) <= ant.gain_at(hi) + 1e-9
+        elif lo >= ant.high_hz:  # both above band
+            assert ant.gain_at(hi) <= ant.gain_at(lo) + 1e-9

@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adsb.cpr import cpr_decode_local, cpr_encode
+from repro.adsb.crc import crc24_bytes, frame_is_valid
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import (
+    AirbornePosition,
+    AirborneVelocity,
+    Identification,
+    build_airborne_position,
+    build_airborne_velocity,
+    build_identification,
+    parse_frame,
+)
+from repro.adsb.modem import bits_to_frame, frame_to_bits, modulate_frame
+from repro.adsb.modem import PpmDemodulator
+from repro.dsp.filters import moving_average
+from repro.geo.coords import GeoPoint, enu_to_geo, geo_to_enu
+from repro.geo.distance import (
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+)
+from repro.geo.sectors import AzimuthSector, bearing_difference
+from repro.rf.units import (
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+)
+
+icao_values = st.integers(min_value=1, max_value=(1 << 24) - 1)
+latitudes = st.floats(min_value=-85.0, max_value=85.0)
+longitudes = st.floats(min_value=-179.9, max_value=179.9)
+bearings = st.floats(
+    min_value=0.0, max_value=359.999, allow_nan=False
+)
+
+
+class TestGeoProperties:
+    @given(latitudes, longitudes, latitudes, longitudes)
+    @settings(max_examples=80)
+    def test_haversine_symmetry_and_nonnegativity(
+        self, lat1, lon1, lat2, lon2
+    ):
+        a, b = GeoPoint(lat1, lon1), GeoPoint(lat2, lon2)
+        d_ab = haversine_m(a, b)
+        d_ba = haversine_m(b, a)
+        assert d_ab >= 0.0
+        assert d_ab == pytest.approx(d_ba, rel=1e-9)
+
+    @given(
+        latitudes,
+        longitudes,
+        bearings,
+        st.floats(min_value=1.0, max_value=500_000.0),
+    )
+    @settings(max_examples=80)
+    def test_destination_distance_consistent(
+        self, lat, lon, bearing, distance
+    ):
+        start = GeoPoint(lat, lon)
+        end = destination_point(start, bearing, distance)
+        assert haversine_m(start, end) == pytest.approx(
+            distance, rel=1e-6
+        )
+
+    @given(
+        st.floats(min_value=30.0, max_value=50.0),
+        st.floats(min_value=-130.0, max_value=-110.0),
+        st.floats(min_value=-0.5, max_value=0.5),
+        st.floats(min_value=-0.5, max_value=0.5),
+        st.floats(min_value=0.0, max_value=12_000.0),
+    )
+    @settings(max_examples=80)
+    def test_enu_roundtrip(self, lat, lon, dlat, dlon, alt):
+        origin = GeoPoint(lat, lon, 10.0)
+        target = GeoPoint(lat + dlat, lon + dlon, alt)
+        back = enu_to_geo(origin, geo_to_enu(origin, target))
+        assert back.lat_deg == pytest.approx(target.lat_deg, abs=1e-9)
+        assert back.lon_deg == pytest.approx(target.lon_deg, abs=1e-9)
+
+    @given(bearings, bearings)
+    @settings(max_examples=80)
+    def test_bearing_difference_bounds(self, a, b):
+        d = bearing_difference(a, b)
+        assert 0.0 <= d <= 180.0
+        assert d == pytest.approx(bearing_difference(b, a))
+
+    @given(bearings, st.floats(min_value=0.1, max_value=360.0))
+    @settings(max_examples=80)
+    def test_sector_contains_center(self, start, width):
+        sector = AzimuthSector(start, width)
+        assert sector.contains(sector.center_deg)
+
+
+class TestUnitProperties:
+    @given(st.floats(min_value=-120.0, max_value=120.0))
+    @settings(max_examples=60)
+    def test_db_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(
+            db, abs=1e-9
+        )
+
+    @given(st.floats(min_value=-150.0, max_value=80.0))
+    @settings(max_examples=60)
+    def test_dbm_roundtrip(self, dbm):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(
+            dbm, abs=1e-9
+        )
+
+
+class TestCprProperties:
+    @given(latitudes, longitudes, st.booleans())
+    @settings(max_examples=120)
+    def test_local_decode_inverts_encode(self, lat, lon, odd):
+        yz, xz = cpr_encode(lat, lon, odd)
+        assert 0 <= yz < (1 << 17)
+        assert 0 <= xz < (1 << 17)
+        got_lat, got_lon = cpr_decode_local(yz, xz, odd, lat, lon)
+        # Local decode against the true position as reference must
+        # recover it to CPR quantization accuracy (~5.1 m in lat).
+        assert got_lat == pytest.approx(lat, abs=5e-4)
+        assert bearing_difference(got_lon, lon) < 5e-3 or math.isclose(
+            got_lon, lon, abs_tol=5e-3
+        )
+
+
+class TestFrameProperties:
+    @given(icao_values, latitudes, longitudes,
+           st.floats(min_value=-900.0, max_value=48_000.0),
+           st.booleans())
+    @settings(max_examples=100)
+    def test_position_frames_valid_and_parse(
+        self, icao, lat, lon, alt, odd
+    ):
+        frame = build_airborne_position(
+            IcaoAddress(icao), lat, lon, alt, odd
+        )
+        assert frame_is_valid(frame.data)
+        message = parse_frame(frame)
+        assert isinstance(message, AirbornePosition)
+        assert message.icao.value == icao
+        assert message.odd == odd
+        assert abs(message.altitude_ft - alt) <= 12.5
+
+    @given(
+        icao_values,
+        st.floats(min_value=-1000.0, max_value=1000.0),
+        st.floats(min_value=-1000.0, max_value=1000.0),
+        st.floats(min_value=-30_000.0, max_value=30_000.0),
+    )
+    @settings(max_examples=100)
+    def test_velocity_frames_roundtrip(self, icao, east, north, rate):
+        frame = build_airborne_velocity(
+            IcaoAddress(icao), east, north, rate
+        )
+        assert frame_is_valid(frame.data)
+        message = parse_frame(frame)
+        assert isinstance(message, AirborneVelocity)
+        assert message.east_velocity_kt == pytest.approx(east, abs=0.5)
+        assert message.north_velocity_kt == pytest.approx(
+            north, abs=0.5
+        )
+        assert message.vertical_rate_fpm == pytest.approx(
+            rate, abs=32.0
+        )
+
+    @given(
+        icao_values,
+        st.text(
+            alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789",
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_identification_roundtrip(self, icao, callsign):
+        frame = build_identification(IcaoAddress(icao), callsign)
+        message = parse_frame(frame)
+        assert isinstance(message, Identification)
+        assert message.callsign == callsign
+
+    @given(st.binary(min_size=11, max_size=11))
+    @settings(max_examples=100)
+    def test_crc_appended_parity_always_validates(self, data):
+        parity = crc24_bytes(data)
+        assert frame_is_valid(data + parity.to_bytes(3, "big"))
+
+    @given(
+        st.binary(min_size=14, max_size=14),
+        st.integers(min_value=0, max_value=111),
+    )
+    @settings(max_examples=100)
+    def test_single_bit_error_always_detected(self, data, bit):
+        parity = crc24_bytes(data[:11])
+        frame = bytearray(data[:11] + parity.to_bytes(3, "big"))
+        frame[bit // 8] ^= 1 << (7 - bit % 8)
+        assert not frame_is_valid(bytes(frame))
+
+
+class TestModemProperties:
+    @given(st.binary(min_size=14, max_size=14))
+    @settings(max_examples=60)
+    def test_bits_roundtrip(self, data):
+        assert bits_to_frame(frame_to_bits(data)) == data
+
+    @given(st.binary(min_size=14, max_size=14))
+    @settings(max_examples=30)
+    def test_modulate_demodulate_noiseless_long(self, data):
+        # Force a long downlink format (>= 16) so the sliced length
+        # matches the modulated one, as for any real DF17 frame.
+        data = bytes([0x88 | (data[0] & 0x07)]) + data[1:]
+        wave = modulate_frame(data)
+        padded = np.zeros(len(wave) + 100, dtype=complex)
+        padded[50 : 50 + len(wave)] = wave
+        results = PpmDemodulator().demodulate(padded)
+        assert any(frame == data for _, frame, _ in results)
+
+    @given(st.binary(min_size=7, max_size=7))
+    @settings(max_examples=30)
+    def test_modulate_demodulate_noiseless_short(self, data):
+        # Force a short downlink format (DF 11).
+        data = bytes([(11 << 3) | (data[0] & 0x07)]) + data[1:]
+        wave = modulate_frame(data)
+        padded = np.zeros(len(wave) + 100, dtype=complex)
+        padded[50 : 50 + len(wave)] = wave
+        results = PpmDemodulator().demodulate(padded)
+        assert any(frame == data for _, frame, _ in results)
+
+
+class TestDspProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60)
+    def test_moving_average_bounded_by_input(self, values, window):
+        x = np.asarray(values)
+        out = moving_average(x, window)
+        assert np.all(out >= np.min(x) - 1e-9)
+        assert np.all(out <= np.max(x) + 1e-9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=40)
+    def test_moving_average_preserves_constants(self, level, window):
+        out = moving_average(np.full(100, level), window)
+        assert np.allclose(out, level)

@@ -1,0 +1,68 @@
+"""Tests for repro.rf.fading (statistical properties)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.fading import (
+    lognormal_shadowing_db,
+    rayleigh_fading_db,
+    rician_fading_db,
+)
+
+
+class TestLognormalShadowing:
+    def test_zero_sigma_is_deterministic(self, rng):
+        assert lognormal_shadowing_db(rng, 0.0) == 0.0
+
+    def test_mean_and_std(self, rng):
+        draws = np.array(
+            [lognormal_shadowing_db(rng, 6.0) for _ in range(4000)]
+        )
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.4)
+        assert np.std(draws) == pytest.approx(6.0, abs=0.4)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ValueError):
+            lognormal_shadowing_db(rng, -1.0)
+
+
+class TestRayleigh:
+    def test_mean_power_is_unity(self, rng):
+        draws = np.array(
+            [rayleigh_fading_db(rng) for _ in range(6000)]
+        )
+        linear = 10.0 ** (draws / 10.0)
+        assert np.mean(linear) == pytest.approx(1.0, rel=0.05)
+
+    def test_deep_fades_occur(self, rng):
+        draws = np.array(
+            [rayleigh_fading_db(rng) for _ in range(6000)]
+        )
+        # P(power < -10 dB) = 1 - exp(-0.1) ~ 9.5% for Rayleigh.
+        frac = np.mean(draws < -10.0)
+        assert frac == pytest.approx(0.095, abs=0.02)
+
+
+class TestRician:
+    def test_mean_power_is_unity(self, rng):
+        draws = np.array(
+            [rician_fading_db(rng, 9.0) for _ in range(6000)]
+        )
+        linear = 10.0 ** (draws / 10.0)
+        assert np.mean(linear) == pytest.approx(1.0, rel=0.05)
+
+    def test_high_k_concentrates(self, rng):
+        strong_los = np.std(
+            [rician_fading_db(rng, 20.0) for _ in range(3000)]
+        )
+        weak_los = np.std(
+            [rician_fading_db(rng, 0.0) for _ in range(3000)]
+        )
+        assert strong_los < weak_los
+
+    def test_low_k_approaches_rayleigh(self, rng):
+        rician = np.array(
+            [rician_fading_db(rng, -30.0) for _ in range(6000)]
+        )
+        frac_deep = np.mean(rician < -10.0)
+        assert frac_deep == pytest.approx(0.095, abs=0.025)

@@ -1,0 +1,48 @@
+"""Tests for repro.rf.link."""
+
+import pytest
+
+from repro.rf.link import LinkBudget, received_power_dbm
+
+
+class TestLinkBudget:
+    def test_tx_power_only(self):
+        assert LinkBudget(tx_power_dbm=30.0).received_power_dbm() == 30.0
+
+    def test_all_terms(self):
+        budget = LinkBudget(
+            tx_power_dbm=54.0,
+            tx_antenna_gain_dbi=3.0,
+            path_loss_db=130.0,
+            obstruction_loss_db=20.0,
+            fading_db=-4.0,
+            rx_antenna_gain_dbi=2.0,
+            cable_loss_db=1.0,
+        )
+        assert budget.received_power_dbm() == pytest.approx(-96.0)
+
+    def test_extras_are_signed(self):
+        budget = LinkBudget(
+            tx_power_dbm=0.0,
+            extras_db={"lna": 15.0, "connector": -0.5},
+        )
+        assert budget.received_power_dbm() == pytest.approx(14.5)
+
+    def test_itemized_matches_total(self):
+        budget = LinkBudget(
+            tx_power_dbm=40.0,
+            tx_antenna_gain_dbi=5.0,
+            path_loss_db=100.0,
+            obstruction_loss_db=10.0,
+            fading_db=2.0,
+            rx_antenna_gain_dbi=1.0,
+            cable_loss_db=0.5,
+            extras_db={"misc": -1.5},
+        )
+        assert sum(budget.itemized().values()) == pytest.approx(
+            budget.received_power_dbm()
+        )
+
+    def test_functional_alias(self):
+        budget = LinkBudget(tx_power_dbm=10.0, path_loss_db=60.0)
+        assert received_power_dbm(budget) == budget.received_power_dbm()

@@ -1,0 +1,54 @@
+"""Tests for repro.rf.noise."""
+
+import pytest
+
+from repro.rf.noise import noise_floor_dbm, snr_db, thermal_noise_dbm
+
+
+class TestThermalNoise:
+    def test_one_hz_reference(self):
+        # kTB at 290 K over 1 Hz is the textbook -174 dBm/Hz.
+        assert thermal_noise_dbm(1.0) == pytest.approx(-173.98, abs=0.01)
+
+    def test_scales_with_bandwidth(self):
+        one_mhz = thermal_noise_dbm(1e6)
+        ten_mhz = thermal_noise_dbm(10e6)
+        assert ten_mhz - one_mhz == pytest.approx(10.0, abs=1e-6)
+
+    def test_adsb_bandwidth(self):
+        # 2 MHz: -174 + 63 = -111 dBm.
+        assert thermal_noise_dbm(2e6) == pytest.approx(-110.97, abs=0.05)
+
+    def test_temperature_dependence(self):
+        cold = thermal_noise_dbm(1e6, temperature_k=145.0)
+        warm = thermal_noise_dbm(1e6, temperature_k=290.0)
+        assert warm - cold == pytest.approx(3.01, abs=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(0.0)
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(1e6, temperature_k=0.0)
+
+
+class TestNoiseFloor:
+    def test_adds_noise_figure(self):
+        base = thermal_noise_dbm(1e6)
+        assert noise_floor_dbm(1e6, 7.0) == pytest.approx(base + 7.0)
+
+    def test_zero_noise_figure(self):
+        assert noise_floor_dbm(1e6, 0.0) == pytest.approx(
+            thermal_noise_dbm(1e6)
+        )
+
+    def test_negative_noise_figure_rejected(self):
+        with pytest.raises(ValueError):
+            noise_floor_dbm(1e6, -1.0)
+
+
+class TestSnr:
+    def test_difference(self):
+        assert snr_db(-80.0, -104.0) == pytest.approx(24.0)
+
+    def test_negative_snr(self):
+        assert snr_db(-110.0, -104.0) == pytest.approx(-6.0)

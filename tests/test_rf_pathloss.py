@@ -1,0 +1,96 @@
+"""Tests for repro.rf.pathloss."""
+
+import pytest
+
+from repro.rf.pathloss import (
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    two_ray_path_loss_db,
+)
+
+
+class TestFreeSpace:
+    def test_known_value_adsb_100km(self):
+        # FSPL(100 km, 1090 MHz) ~ 133.2 dB.
+        loss = free_space_path_loss_db(100e3, 1090e6)
+        assert loss == pytest.approx(133.2, abs=0.2)
+
+    def test_known_value_2ghz_1km(self):
+        loss = free_space_path_loss_db(1e3, 2e9)
+        assert loss == pytest.approx(98.5, abs=0.2)
+
+    def test_inverse_square_in_db(self):
+        near = free_space_path_loss_db(1e3, 1e9)
+        far = free_space_path_loss_db(10e3, 1e9)
+        assert far - near == pytest.approx(20.0, abs=1e-9)
+
+    def test_frequency_scaling(self):
+        low = free_space_path_loss_db(1e3, 700e6)
+        high = free_space_path_loss_db(1e3, 2800e6)
+        assert high - low == pytest.approx(12.04, abs=0.01)
+
+    def test_near_field_clamped_nonnegative(self):
+        assert free_space_path_loss_db(0.0, 1e9) >= 0.0
+        assert free_space_path_loss_db(0.01, 1e9) >= 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(-1.0, 1e9)
+
+
+class TestLogDistance:
+    def test_exponent_two_matches_free_space(self):
+        for d in (10.0, 1e3, 50e3):
+            assert log_distance_path_loss_db(
+                d, 1e9, exponent=2.0
+            ) == pytest.approx(free_space_path_loss_db(d, 1e9), abs=0.01)
+
+    def test_higher_exponent_more_loss(self):
+        fs = log_distance_path_loss_db(10e3, 1e9, exponent=2.0)
+        urban = log_distance_path_loss_db(10e3, 1e9, exponent=3.5)
+        assert urban > fs
+
+    def test_slope_per_decade(self):
+        n = 3.0
+        a = log_distance_path_loss_db(1e3, 1e9, exponent=n)
+        b = log_distance_path_loss_db(10e3, 1e9, exponent=n)
+        assert b - a == pytest.approx(10.0 * n, abs=1e-9)
+
+    def test_below_reference_clamped(self):
+        ref = log_distance_path_loss_db(1.0, 1e9, reference_m=1.0)
+        assert log_distance_path_loss_db(
+            0.5, 1e9, reference_m=1.0
+        ) == pytest.approx(ref)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            log_distance_path_loss_db(1e3, 1e9, exponent=0.0)
+        with pytest.raises(ValueError):
+            log_distance_path_loss_db(1e3, 1e9, reference_m=0.0)
+        with pytest.raises(ValueError):
+            log_distance_path_loss_db(-5.0, 1e9)
+
+
+class TestTwoRay:
+    def test_matches_free_space_below_crossover(self):
+        # Crossover for 30 m / 1.5 m antennas at 900 MHz ~ 1.7 km.
+        close = two_ray_path_loss_db(500.0, 900e6, 30.0, 1.5)
+        assert close == pytest.approx(
+            free_space_path_loss_db(500.0, 900e6)
+        )
+
+    def test_fourth_power_beyond_crossover(self):
+        a = two_ray_path_loss_db(10e3, 900e6, 30.0, 1.5)
+        b = two_ray_path_loss_db(100e3, 900e6, 30.0, 1.5)
+        assert b - a == pytest.approx(40.0, abs=1e-9)
+
+    def test_taller_antennas_less_loss(self):
+        short = two_ray_path_loss_db(20e3, 900e6, 10.0, 1.5)
+        tall = two_ray_path_loss_db(20e3, 900e6, 60.0, 1.5)
+        assert tall < short
+
+    def test_invalid_heights(self):
+        with pytest.raises(ValueError):
+            two_ray_path_loss_db(1e3, 900e6, 0.0, 1.5)
+        with pytest.raises(ValueError):
+            two_ray_path_loss_db(1e3, 900e6, 30.0, -1.0)

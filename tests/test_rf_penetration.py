@@ -1,0 +1,82 @@
+"""Tests for repro.rf.penetration."""
+
+import pytest
+
+from repro.rf.penetration import (
+    MATERIAL_LOSS_DB,
+    building_entry_loss_db,
+    material_loss_db,
+)
+
+
+class TestMaterialLoss:
+    def test_free_space_is_lossless(self):
+        assert material_loss_db("free_space", 1e9) == 0.0
+        assert material_loss_db("free_space", 6e9) == 0.0
+
+    def test_anchor_at_1ghz(self):
+        for name, (base, _slope) in MATERIAL_LOSS_DB.items():
+            assert material_loss_db(name, 1e9) == pytest.approx(base)
+
+    def test_frequency_slope(self):
+        at_1 = material_loss_db("concrete", 1e9)
+        at_2 = material_loss_db("concrete", 2e9)
+        assert at_2 - at_1 == pytest.approx(
+            MATERIAL_LOSS_DB["concrete"][1]
+        )
+
+    def test_paper_key_contrast_700mhz_vs_2600mhz(self):
+        # The Figure 3 physics: concrete costs much more at 2.6 GHz
+        # than at 731 MHz, which is why only Tower 1 survives indoors.
+        low = material_loss_db("concrete", 731e6)
+        high = material_loss_db("concrete", 2660e6)
+        assert high - low > 10.0
+
+    def test_never_negative(self):
+        # Extrapolating glass to 50 MHz must clamp at zero.
+        assert material_loss_db("glass", 50e6) >= 0.0
+        assert material_loss_db("drywall", 10e6) >= 0.0
+
+    def test_unknown_material_raises(self):
+        with pytest.raises(KeyError):
+            material_loss_db("adamantium", 1e9)
+
+    def test_metal_is_heaviest(self):
+        others = [
+            material_loss_db(m, 1e9)
+            for m in MATERIAL_LOSS_DB
+            if m != "metal"
+        ]
+        assert material_loss_db("metal", 1e9) > max(others)
+
+
+class TestBuildingEntryLoss:
+    def test_increases_with_frequency(self):
+        losses = [
+            building_entry_loss_db(f)
+            for f in (200e6, 700e6, 2e9, 6e9)
+        ]
+        assert losses == sorted(losses)
+
+    def test_thermally_efficient_heavier(self):
+        traditional = building_entry_loss_db(1e9, traditional=True)
+        efficient = building_entry_loss_db(1e9, traditional=False)
+        assert efficient == pytest.approx(traditional + 12.0)
+
+    def test_p2109_anchor_1ghz(self):
+        # P.2109 traditional median at 1 GHz is ~12.6 dB.
+        assert building_entry_loss_db(
+            1e9, depth_walls=0
+        ) == pytest.approx(12.6, abs=0.1)
+
+    def test_interior_walls_add(self):
+        base = building_entry_loss_db(1e9, depth_walls=0)
+        deep = building_entry_loss_db(1e9, depth_walls=3)
+        assert deep > base
+
+    def test_never_negative(self):
+        assert building_entry_loss_db(60e6) >= 0.0
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            building_entry_loss_db(1e9, depth_walls=-1)

@@ -1,0 +1,83 @@
+"""Tests for repro.rf.units."""
+
+import pytest
+
+from repro.rf.units import (
+    SPEED_OF_LIGHT_M_S,
+    db_to_linear,
+    dbfs_to_dbm,
+    dbm_to_dbfs,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+    wavelength_m,
+)
+
+
+class TestDbConversions:
+    def test_db_to_linear_known_values(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(3.0) == pytest.approx(1.995, rel=0.001)
+        assert db_to_linear(-10.0) == pytest.approx(0.1)
+
+    def test_linear_to_db_known_values(self):
+        assert linear_to_db(1.0) == pytest.approx(0.0)
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+        assert linear_to_db(0.5) == pytest.approx(-3.0103, rel=1e-4)
+
+    def test_roundtrip(self):
+        for db in (-37.5, 0.0, 12.3, 60.0):
+            assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+    def test_nonpositive_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+
+class TestPowerConversions:
+    def test_dbm_watts_known_values(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert watts_to_dbm(1.0) == pytest.approx(30.0)
+        assert watts_to_dbm(0.5) == pytest.approx(26.99, rel=1e-3)
+
+    def test_transponder_power_range(self):
+        # 75-500 W is the Mode S transponder class range.
+        assert watts_to_dbm(75.0) == pytest.approx(48.75, abs=0.01)
+        assert watts_to_dbm(500.0) == pytest.approx(56.99, abs=0.01)
+
+    def test_roundtrip(self):
+        for dbm in (-100.0, -30.0, 0.0, 54.0):
+            assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_nonpositive_watts_rejected(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+
+class TestDbfs:
+    def test_full_scale_is_zero_dbfs(self):
+        assert dbm_to_dbfs(-20.0, full_scale_dbm=-20.0) == 0.0
+
+    def test_below_full_scale_negative(self):
+        assert dbm_to_dbfs(-50.0, full_scale_dbm=-20.0) == -30.0
+
+    def test_roundtrip(self):
+        assert dbfs_to_dbm(
+            dbm_to_dbfs(-72.5, -20.0), -20.0
+        ) == pytest.approx(-72.5)
+
+
+class TestWavelength:
+    def test_adsb_wavelength(self):
+        assert wavelength_m(1090e6) == pytest.approx(0.275, abs=0.001)
+
+    def test_consistency_with_c(self):
+        assert wavelength_m(1.0) == SPEED_OF_LIGHT_M_S
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            wavelength_m(0.0)

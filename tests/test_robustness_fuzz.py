@@ -1,0 +1,98 @@
+"""Fuzz tests: hostile or garbage input must never crash the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adsb.decoder import Dump1090Decoder
+from repro.adsb.modem import PpmDemodulator
+from repro.adsb.sbs import parse_sbs
+from repro.dsp.psd import detect_occupied_bands, welch_psd
+from repro.geo.coords import GeoPoint
+
+
+class TestDecoderFuzz:
+    @given(st.binary(min_size=7, max_size=7))
+    @settings(max_examples=150)
+    def test_random_short_frames_never_crash(self, data):
+        decoder = Dump1090Decoder(
+            receiver_position=GeoPoint(37.87, -122.27, 20.0)
+        )
+        decoder.decode_frame_bytes(data, 0.0, -40.0)
+
+    @given(st.binary(min_size=14, max_size=14))
+    @settings(max_examples=150)
+    def test_random_long_frames_never_crash(self, data):
+        decoder = Dump1090Decoder(
+            receiver_position=GeoPoint(37.87, -122.27, 20.0),
+            fix_errors=True,
+        )
+        decoder.decode_frame_bytes(data, 0.0, -40.0)
+
+    @given(st.binary(min_size=14, max_size=14))
+    @settings(max_examples=100)
+    def test_random_frames_never_validate(self, data):
+        """Random 112-bit strings pass the CRC with ~2^-24 odds, so a
+        hundred random samples must all be rejected (unless the random
+        bytes happen to BE a valid frame, which hypothesis will not
+        find)."""
+        decoder = Dump1090Decoder()
+        message = decoder.decode_frame_bytes(data, 0.0, -40.0)
+        if message is not None:
+            # If it decoded, the CRC genuinely passed — acceptable but
+            # astronomically rare; make sure the fields are sane.
+            assert message.icao is not None
+
+    def test_garbage_iq_never_crashes(self, rng):
+        decoder = Dump1090Decoder()
+        for scale in (0.0, 1e-9, 1.0, 1e6):
+            samples = scale * (
+                rng.standard_normal(10_000)
+                + 1j * rng.standard_normal(10_000)
+            )
+            decoder.decode_iq(samples)
+
+    def test_constant_iq_never_crashes(self):
+        decoder = Dump1090Decoder()
+        assert decoder.decode_iq(np.ones(5_000, dtype=complex)) == []
+        assert decoder.decode_iq(np.zeros(5_000, dtype=complex)) == []
+
+    def test_tiny_blocks(self, rng):
+        decoder = Dump1090Decoder()
+        for n in (0, 1, 15, 127):
+            samples = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            assert decoder.decode_iq(samples) == []
+
+
+class TestDemodulatorFuzz:
+    def test_impulse_train_never_crashes(self):
+        demod = PpmDemodulator()
+        samples = np.zeros(5_000, dtype=complex)
+        samples[::3] = 1.0
+        demod.demodulate(samples)
+
+    def test_alternating_never_crashes(self):
+        demod = PpmDemodulator()
+        samples = np.tile(
+            np.array([1.0, 0.0], dtype=complex), 3_000
+        )
+        demod.demodulate(samples)
+
+
+class TestSbsParseFuzz:
+    @given(st.text(max_size=200))
+    @settings(max_examples=150)
+    def test_random_text_raises_cleanly(self, text):
+        try:
+            parse_sbs(text)
+        except (ValueError, IndexError):
+            pass  # clean rejection is the contract
+
+
+class TestPsdFuzz:
+    def test_extreme_dynamic_range(self, rng):
+        samples = rng.standard_normal(1 << 14) * 1e-12 + 0j
+        samples[1000:1100] += 1e6
+        freqs, psd = welch_psd(samples, 1e6)
+        detect_occupied_bands(freqs, psd)

@@ -1,0 +1,88 @@
+"""Tests for repro.sdr.antenna and repro.sdr.frontend."""
+
+import pytest
+
+from repro.sdr.antenna import WIDEBAND_700_2700, Antenna
+from repro.sdr.frontend import BLADERF_XA9, SdrFrontEnd, TuningError
+
+
+class TestAntenna:
+    def test_in_band_gain_flat(self):
+        ant = WIDEBAND_700_2700
+        for freq in (700e6, 1090e6, 2700e6):
+            assert ant.gain_at(freq) == 2.0
+
+    def test_below_band_rolloff(self):
+        ant = WIDEBAND_700_2700
+        # One octave below 700 MHz: 9 dB down.
+        assert ant.gain_at(350e6) == pytest.approx(2.0 - 9.0)
+
+    def test_above_band_rolloff(self):
+        ant = WIDEBAND_700_2700
+        assert ant.gain_at(5400e6) == pytest.approx(2.0 - 9.0)
+
+    def test_tv_band_still_usable(self):
+        # The paper measured 213 MHz TV on this antenna: attenuated
+        # but far from deaf.
+        gain = WIDEBAND_700_2700.gain_at(213e6)
+        assert -20.0 < gain < 0.0
+
+    def test_azimuth_pattern_applied(self):
+        directional = Antenna(
+            low_hz=700e6,
+            high_hz=2700e6,
+            gain_dbi=5.0,
+            azimuth_pattern=lambda az: -10.0 if 90.0 < az < 270.0 else 0.0,
+        )
+        assert directional.gain_at(1e9, 0.0) == 5.0
+        assert directional.gain_at(1e9, 180.0) == -5.0
+
+    def test_in_band_predicate(self):
+        assert WIDEBAND_700_2700.in_band(1090e6)
+        assert not WIDEBAND_700_2700.in_band(213e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Antenna(low_hz=0.0, high_hz=1e9)
+        with pytest.raises(ValueError):
+            Antenna(low_hz=2e9, high_hz=1e9)
+        with pytest.raises(ValueError):
+            Antenna(low_hz=1e9, high_hz=2e9, rolloff_db_per_octave=-1.0)
+        with pytest.raises(ValueError):
+            WIDEBAND_700_2700.gain_at(0.0)
+
+
+class TestSdrFrontEnd:
+    def test_bladerf_tuning_range(self):
+        assert BLADERF_XA9.can_tune(1090e6)
+        assert BLADERF_XA9.can_tune(47e6)
+        assert BLADERF_XA9.can_tune(6e9)
+        assert not BLADERF_XA9.can_tune(10e6)
+        assert not BLADERF_XA9.can_tune(7e9)
+
+    def test_check_tune_raises(self):
+        with pytest.raises(TuningError):
+            BLADERF_XA9.check_tune(10e6)
+        BLADERF_XA9.check_tune(1090e6)  # no raise
+
+    def test_noise_floor(self):
+        # 2 MHz, NF 7 dB: -174 + 63 + 7 ~ -104 dBm.
+        assert BLADERF_XA9.noise_floor_dbm(2e6) == pytest.approx(
+            -104.0, abs=0.1
+        )
+
+    def test_dbfs_conversion(self):
+        assert BLADERF_XA9.input_dbm_to_dbfs(-20.0) == 0.0
+        assert BLADERF_XA9.input_dbm_to_dbfs(-60.0) == -40.0
+
+    def test_dynamic_range(self):
+        assert BLADERF_XA9.dynamic_range_db() == pytest.approx(72.24)
+        assert BLADERF_XA9.dbfs_floor() == pytest.approx(-72.24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SdrFrontEnd("bad", 1e9, 1e8, 1e6)
+        with pytest.raises(ValueError):
+            SdrFrontEnd("bad", 1e8, 1e9, 0.0)
+        with pytest.raises(ValueError):
+            SdrFrontEnd("bad", 1e8, 1e9, 1e6, adc_bits=0)

@@ -1,0 +1,92 @@
+"""Tests for repro.sdr.capture."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.iq import complex_tone
+from repro.sdr.antenna import WIDEBAND_700_2700
+from repro.sdr.capture import CaptureSession
+from repro.sdr.frontend import BLADERF_XA9
+
+
+def _session(freq=1090e6, fs=2e6):
+    return CaptureSession(
+        sdr=BLADERF_XA9,
+        antenna=WIDEBAND_700_2700,
+        center_freq_hz=freq,
+        sample_rate_hz=fs,
+    )
+
+
+class TestConstruction:
+    def test_untunable_frequency_rejected(self):
+        with pytest.raises(Exception):
+            _session(freq=10e6)
+
+    def test_sample_rate_limit(self):
+        with pytest.raises(ValueError):
+            _session(fs=100e6)
+        with pytest.raises(ValueError):
+            _session(fs=0.0)
+
+
+class TestScaling:
+    def test_full_scale_amplitude(self):
+        session = _session()
+        assert session.full_scale_amplitude_for(-20.0) == pytest.approx(1.0)
+        assert session.full_scale_amplitude_for(-40.0) == pytest.approx(0.1)
+
+    def test_noise_power_matches_floor(self):
+        session = _session()
+        expected_dbm = BLADERF_XA9.noise_floor_dbm(2e6)
+        expected_fullscale = 10.0 ** ((expected_dbm + 20.0) / 10.0)
+        assert session.noise_power_fullscale() == pytest.approx(
+            expected_fullscale
+        )
+
+
+class TestCapture:
+    def test_signal_power_at_port(self, rng):
+        session = _session()
+        tone = complex_tone(100e3, 2e6, 1 << 14)
+        buf = session.capture([(tone, -50.0)], rng, 1 << 14)
+        measured = np.mean(np.abs(buf.samples) ** 2)
+        # -50 dBm input is -30 dBFS = 1e-3 full-scale power; receiver
+        # noise (-84 dBFS) is negligible next to it.
+        assert 10 * np.log10(measured) == pytest.approx(-30.0, abs=0.3)
+
+    def test_noise_only_capture(self, rng):
+        session = _session()
+        buf = session.capture([], rng, 1 << 14)
+        measured = np.mean(np.abs(buf.samples) ** 2)
+        assert measured == pytest.approx(
+            session.noise_power_fullscale(), rel=0.1
+        )
+
+    def test_short_signal_zero_padded(self, rng):
+        session = _session()
+        tone = complex_tone(0.0, 2e6, 100)
+        buf = session.capture([(tone, -20.0)], rng, 1000)
+        head = np.mean(np.abs(buf.samples[:100]) ** 2)
+        tail = np.mean(np.abs(buf.samples[500:]) ** 2)
+        assert head > 100 * tail
+
+    def test_multiple_signals_summed(self, rng):
+        session = _session()
+        t1 = complex_tone(100e3, 2e6, 1 << 13)
+        t2 = complex_tone(-300e3, 2e6, 1 << 13)
+        buf = session.capture(
+            [(t1, -40.0), (t2, -40.0)], rng, 1 << 13
+        )
+        measured = np.mean(np.abs(buf.samples) ** 2)
+        # Two -20 dBFS tones -> -17 dBFS total.
+        assert 10 * np.log10(measured) == pytest.approx(-17.0, abs=0.3)
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(ValueError):
+            _session().capture([], rng, 0)
+
+    def test_buffer_metadata(self, rng):
+        buf = _session().capture([], rng, 256)
+        assert buf.sample_rate_hz == 2e6
+        assert buf.center_freq_hz == 1090e6

@@ -1,0 +1,79 @@
+"""Tests for repro.tv.channels and repro.tv.tower."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.tv.channels import (
+    ATSC_CHANNEL_WIDTH_HZ,
+    atsc_channel_center_hz,
+    atsc_channel_edges_hz,
+    atsc_channel_for_freq,
+)
+from repro.tv.tower import TvTower
+
+
+class TestChannelPlan:
+    @pytest.mark.parametrize(
+        "channel,center_mhz",
+        [
+            (13, 213.0),  # the paper's six measured carriers
+            (14, 473.0),
+            (22, 521.0),
+            (26, 545.0),
+            (33, 587.0),
+            (36, 605.0),
+            (2, 57.0),
+            (7, 177.0),
+        ],
+    )
+    def test_paper_channel_centers(self, channel, center_mhz):
+        assert atsc_channel_center_hz(channel) == pytest.approx(
+            center_mhz * 1e6
+        )
+
+    def test_channel_width(self):
+        for channel in (2, 6, 7, 13, 14, 36):
+            low, high = atsc_channel_edges_hz(channel)
+            assert high - low == ATSC_CHANNEL_WIDTH_HZ
+
+    def test_vhf_gaps_respected(self):
+        # Channel 4 ends at 72 MHz; channel 5 starts at 76 MHz.
+        assert atsc_channel_edges_hz(4)[1] == pytest.approx(72e6)
+        assert atsc_channel_edges_hz(5)[0] == pytest.approx(76e6)
+
+    def test_freq_to_channel_roundtrip(self):
+        for channel in (2, 5, 7, 13, 14, 22, 36):
+            center = atsc_channel_center_hz(channel)
+            assert atsc_channel_for_freq(center) == channel
+
+    def test_edge_belongs_to_lower_channel(self):
+        low, _high = atsc_channel_edges_hz(15)
+        assert atsc_channel_for_freq(low) == 15
+
+    def test_unknown_channel_raises(self):
+        with pytest.raises(ValueError):
+            atsc_channel_edges_hz(1)
+        with pytest.raises(ValueError):
+            atsc_channel_edges_hz(37)
+
+    def test_freq_outside_plan_raises(self):
+        with pytest.raises(ValueError):
+            atsc_channel_for_freq(74e6)  # in the 72-76 MHz gap
+        with pytest.raises(ValueError):
+            atsc_channel_for_freq(1e9)
+
+
+class TestTvTower:
+    def test_fields(self):
+        tower = TvTower(
+            "KTST", 22, GeoPoint(37.75, -122.45, 300.0), erp_dbm=80.0
+        )
+        assert tower.center_freq_hz == pytest.approx(521e6)
+        assert tower.band_edges_hz == (
+            pytest.approx(518e6),
+            pytest.approx(524e6),
+        )
+
+    def test_invalid_channel_rejected(self):
+        with pytest.raises(ValueError):
+            TvTower("KBAD", 99, GeoPoint(0.0, 0.0))

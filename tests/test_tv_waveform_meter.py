@@ -1,0 +1,113 @@
+"""Tests for repro.tv.waveform and repro.tv.meter."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.power import parseval_band_power
+from repro.environment.scenarios import (
+    make_rooftop_site,
+    make_window_site,
+    standard_tv_towers,
+)
+from repro.sdr.antenna import WIDEBAND_700_2700
+from repro.sdr.frontend import BLADERF_XA9
+from repro.tv.meter import TvPowerMeter
+from repro.tv.waveform import (
+    PILOT_POWER_FRACTION,
+    VSB_OCCUPIED_HZ,
+    atsc_waveform,
+)
+
+
+class TestAtscWaveform:
+    def test_unit_power(self, rng):
+        wave = atsc_waveform(rng, 1 << 15, 8e6)
+        assert np.mean(np.abs(wave) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_band_limited(self, rng):
+        fs = 8e6
+        wave = atsc_waveform(rng, 1 << 15, fs)
+        in_band = parseval_band_power(
+            wave, fs, -VSB_OCCUPIED_HZ / 2, VSB_OCCUPIED_HZ / 2
+        )
+        total = parseval_band_power(wave, fs, -fs / 2, fs / 2)
+        assert in_band / total > 0.98
+
+    def test_pilot_present(self, rng):
+        fs = 8e6
+        wave = atsc_waveform(rng, 1 << 15, fs)
+        pilot_freq = -VSB_OCCUPIED_HZ / 2 + 309_441.0
+        pilot_power = parseval_band_power(
+            wave, fs, pilot_freq - 20e3, pilot_freq + 20e3
+        )
+        assert pilot_power == pytest.approx(
+            PILOT_POWER_FRACTION, rel=0.25
+        )
+
+    def test_channel_offset(self, rng):
+        fs = 16e6
+        wave = atsc_waveform(rng, 1 << 15, fs, channel_offset_hz=4e6)
+        shifted_band = parseval_band_power(
+            wave, fs, 4e6 - VSB_OCCUPIED_HZ / 2, 4e6 + VSB_OCCUPIED_HZ / 2
+        )
+        assert shifted_band > 0.9
+
+    def test_offset_too_large_rejected(self, rng):
+        with pytest.raises(ValueError):
+            atsc_waveform(rng, 1024, 8e6, channel_offset_hz=3e6)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            atsc_waveform(rng, 0, 8e6)
+
+
+@pytest.fixture(scope="module")
+def towers():
+    return {t.callsign: t for t in standard_tv_towers()}
+
+
+def _meter(site):
+    return TvPowerMeter(
+        env=site, sdr=BLADERF_XA9, antenna=WIDEBAND_700_2700
+    )
+
+
+class TestTvPowerMeter:
+    def test_budget_mode_fields(self, towers):
+        meter = _meter(make_rooftop_site())
+        m = meter.measure_budget(towers["K14BB"])
+        assert m.channel == 14
+        assert m.freq_hz == pytest.approx(473e6)
+        assert -40.0 < m.power_dbfs < -10.0
+        assert m.above_noise_db > 20.0
+
+    def test_iq_matches_budget_within_1db(self, towers, rng):
+        meter = _meter(make_rooftop_site())
+        tower = towers["K26DD"]
+        budget = meter.measure_budget(tower)
+        iq = meter.measure_iq(tower, rng, n_samples=1 << 16)
+        assert iq.power_dbfs == pytest.approx(
+            budget.power_dbfs, abs=1.0
+        )
+
+    def test_window_521_exception(self, towers):
+        # The paper's standout: the 521 MHz tower is in the window's
+        # field of view, so the window beats the rooftop there.
+        roof = _meter(make_rooftop_site()).measure_budget(towers["K22CC"])
+        window = _meter(make_window_site()).measure_budget(
+            towers["K22CC"]
+        )
+        assert window.power_dbfs > roof.power_dbfs + 10.0
+
+    def test_window_attenuated_elsewhere(self, towers):
+        roof = _meter(make_rooftop_site())
+        window = _meter(make_window_site())
+        for callsign in ("K13AA", "K14BB", "K26DD", "K33EE", "K36FF"):
+            r = roof.measure_budget(towers[callsign])
+            w = window.measure_budget(towers[callsign])
+            assert w.power_dbfs < r.power_dbfs - 10.0
+
+    def test_noise_floor_dbfs(self):
+        meter = _meter(make_rooftop_site())
+        # 5.38 MHz at NF 7: about -99.7 dBm -> -79.7 dBFS at fs -20.
+        assert meter.noise_dbfs() == pytest.approx(-79.7, abs=0.5)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Export every reproduced figure's data as CSV for external plotting.
+
+Writes one CSV per figure under ``figures/`` (created if absent), so
+the polar scatters and bar charts can be rendered with any plotting
+stack without rerunning the simulation.
+
+Run from the repo root:  python tools/export_figures.py
+"""
+
+import csv
+import os
+import sys
+
+from repro.experiments import (
+    figure1,
+    figure3,
+    figure4,
+    fm_extension,
+)
+from repro.experiments.common import LOCATIONS, build_world
+
+OUT_DIR = "figures"
+
+
+def export_figure1(world) -> str:
+    path = os.path.join(OUT_DIR, "figure1_points.csv")
+    panels = figure1.run_figure1(world=world)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(
+            [
+                "location",
+                "icao",
+                "bearing_deg",
+                "range_km",
+                "elevation_deg",
+                "received",
+                "n_messages",
+                "mean_rssi_dbfs",
+            ]
+        )
+        for panel in panels:
+            for obs in panel.scan.observations:
+                writer.writerow(
+                    [
+                        panel.location,
+                        str(obs.icao),
+                        f"{obs.bearing_deg:.2f}",
+                        f"{obs.ground_range_km:.2f}",
+                        f"{obs.elevation_deg:.2f}",
+                        int(obs.received),
+                        obs.n_messages,
+                        (
+                            f"{obs.mean_rssi_dbfs:.1f}"
+                            if obs.mean_rssi_dbfs is not None
+                            else ""
+                        ),
+                    ]
+                )
+    return path
+
+
+def export_figure3(world) -> str:
+    path = os.path.join(OUT_DIR, "figure3_rsrp.csv")
+    result = figure3.run_figure3(world=world)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["tower", "freq_mhz"] + list(LOCATIONS))
+        for tower in sorted(result.tower_freq_mhz):
+            row = [tower, f"{result.tower_freq_mhz[tower]:.0f}"]
+            for location in LOCATIONS:
+                value = result.rsrp_dbm[location].get(tower)
+                row.append("" if value is None else f"{value:.1f}")
+            writer.writerow(row)
+    return path
+
+
+def export_figure4(world) -> str:
+    path = os.path.join(OUT_DIR, "figure4_tv_dbfs.csv")
+    result = figure4.run_figure4(world=world)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["freq_mhz"] + list(LOCATIONS))
+        for mhz in sorted(next(iter(result.power_dbfs.values()))):
+            row = [f"{mhz:.0f}"]
+            for location in LOCATIONS:
+                value = result.power_dbfs[location].get(mhz)
+                row.append("" if value is None else f"{value:.1f}")
+            writer.writerow(row)
+    return path
+
+
+def export_fm(world) -> str:
+    path = os.path.join(OUT_DIR, "fm_extension_dbfs.csv")
+    result = fm_extension.run_fm_extension(world=world)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["station"] + list(LOCATIONS))
+        for station in sorted(next(iter(result.power_dbfs.values()))):
+            row = [station]
+            for location in LOCATIONS:
+                value = result.power_dbfs[location][station]
+                row.append("" if value is None else f"{value:.1f}")
+            writer.writerow(row)
+    return path
+
+
+def main() -> int:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    world = build_world()
+    for exporter in (
+        export_figure1,
+        export_figure3,
+        export_figure4,
+        export_fm,
+    ):
+        path = exporter(world)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

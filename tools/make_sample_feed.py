@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Generate the sample SBS feed + tracker archive under examples/data/.
+
+The files let anyone try ``python -m repro ingest`` without hardware:
+
+    python -m repro ingest \
+        --sbs examples/data/sample_feed.sbs \
+        --tracker examples/data/sample_tracker.json \
+        --lat 37.8715 --lon -122.2730 --alt 20
+
+Run from the repo root:  python tools/make_sample_feed.py
+"""
+
+import os
+import sys
+
+import numpy as np
+
+from repro.adsb.decoder import Dump1090Decoder
+from repro.adsb.sbs import stream_to_sbs
+from repro.core.directional import ADSB_BANDWIDTH_HZ, DECODE_SNR_DB
+from repro.core.ingest import flight_reports_to_json
+from repro.environment.links import AdsbLinkModel
+from repro.experiments.common import build_world
+from repro.geo.coords import GeoPoint
+from repro.node.sensor import SensorNode
+
+OUT_DIR = os.path.join("examples", "data")
+
+
+def main() -> int:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    world = build_world()
+    node = SensorNode("sample", world.testbed.site("rooftop"))
+    rng = np.random.default_rng(2026)
+    link = AdsbLinkModel(
+        env=node.environment, rx_antenna=node.antenna
+    )
+    decoder = Dump1090Decoder(receiver_position=node.position)
+    threshold = (
+        node.sdr.noise_floor_dbm(ADSB_BANDWIDTH_HZ) + DECODE_SNR_DB
+    )
+    messages = []
+    for event in world.traffic.squitters_between(0.0, 30.0, rng):
+        tx = GeoPoint(event.lat_deg, event.lon_deg, event.alt_m)
+        rx = link.message_received_power_dbm(
+            event.frame.icao,
+            tx,
+            event.tx_power_w,
+            rng,
+            time_s=event.time_s,
+        )
+        if rx < threshold:
+            continue
+        msg = decoder.decode_frame_bytes(
+            event.frame.data,
+            event.time_s,
+            node.sdr.input_dbm_to_dbfs(rx),
+        )
+        if msg is not None:
+            messages.append(msg)
+
+    sbs_path = os.path.join(OUT_DIR, "sample_feed.sbs")
+    with open(sbs_path, "w") as f:
+        f.write(stream_to_sbs(messages))
+        f.write("\n")
+    print(f"wrote {sbs_path} ({len(messages)} messages)")
+
+    reports = world.ground_truth.query(
+        node.position, 100_000.0, 15.0
+    )
+    tracker_path = os.path.join(OUT_DIR, "sample_tracker.json")
+    with open(tracker_path, "w") as f:
+        f.write(flight_reports_to_json(reports, indent=1))
+    print(f"wrote {tracker_path} ({len(reports)} flights)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ __all__ = [
     "geo",
     "node",
     "rf",
+    "runtime",
     "sdr",
     "tv",
 ]

@@ -9,6 +9,10 @@ Commands:
 - ``figure {1,2,3,4,fm}`` — regenerate one of the paper's figures as
   a terminal table.
 - ``trust`` — run the fabrication-detection experiment.
+- ``fleet [--workers N] [--cache-dir DIR] [--checkpoint FILE]
+  [--resume]`` — calibrate the 12-node fleet through the
+  :mod:`repro.runtime` campaign machinery (parallel workers, retries,
+  result cache, resumable checkpoints) and print the marketplace.
 - ``schedule --windows N`` — compare measurement-scheduling
   strategies for a daily budget.
 """
@@ -74,8 +78,48 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("trust", help="run the fabrication-detection experiment")
-    sub.add_parser(
-        "fleet", help="calibrate a 12-node fleet and print the marketplace"
+
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help=(
+            "calibrate a 12-node fleet through the parallel runtime "
+            "and print the marketplace"
+        ),
+    )
+    fleet_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker pool size (1 = serial, bit-identical to seed)",
+    )
+    fleet_cmd.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="worker pool backend",
+    )
+    fleet_cmd.add_argument(
+        "--seed", type=int, default=95, help="campaign base seed"
+    )
+    fleet_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed result cache; unchanged nodes skip "
+        "recomputation on re-runs",
+    )
+    fleet_cmd.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="campaign manifest, rewritten after every finished job",
+    )
+    fleet_cmd.add_argument(
+        "--resume", action="store_true",
+        help="restore completed jobs from --checkpoint and run only "
+        "the remainder",
+    )
+    fleet_cmd.add_argument(
+        "--max-jobs", type=int, metavar="N",
+        help="stop after N jobs (simulates a partial run; combine "
+        "with --checkpoint/--resume)",
+    )
+    fleet_cmd.add_argument(
+        "--fail-node", metavar="NODE_ID",
+        help="inject a crash fault into one node to exercise "
+        "retry/partial-failure handling",
     )
     sub.add_parser(
         "crosscheck",
@@ -173,9 +217,43 @@ def _cmd_trust(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(_args: argparse.Namespace) -> int:
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(
+            f"--workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fail_node is not None:
+        from repro.runtime.campaign import standard_fleet_specs
+
+        known = [s.node_id for s in standard_fleet_specs()]
+        if args.fail_node not in known:
+            print(
+                f"--fail-node: unknown node {args.fail_node!r}"
+                f" (fleet nodes: {', '.join(known)})",
+                file=sys.stderr,
+            )
+            return 2
     world = build_world()
-    print(fleet.format_marketplace(fleet.run_fleet(world=world)))
+    result = fleet.run_fleet(
+        world=world,
+        seed=args.seed,
+        workers=args.workers,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        max_jobs=args.max_jobs,
+        fail_node=args.fail_node,
+    )
+    print(fleet.format_marketplace(result))
+    if result.campaign is not None:
+        print()
+        print(result.campaign.summary_text())
     return 0
 
 

@@ -52,7 +52,9 @@ from repro.core.report import (
     grade_for_excess_db,
 )
 from repro.core.network import (
+    AssessmentFailure,
     CalibrationService,
+    NetworkAssessments,
     NodeAssessment,
     TrustAssessment,
     TrustCheck,
@@ -83,6 +85,10 @@ from repro.core.scheduler import (
     expected_distinct_aircraft,
 )
 from repro.core.serialize import (
+    assessment_from_dict,
+    assessment_from_json,
+    assessment_to_dict,
+    assessment_to_json,
     report_from_json,
     report_to_json,
     scan_from_dict,
@@ -113,7 +119,9 @@ __all__ = [
     "CalibrationReport",
     "ClaimViolation",
     "grade_for_excess_db",
+    "AssessmentFailure",
     "CalibrationService",
+    "NetworkAssessments",
     "NodeAssessment",
     "TrustAssessment",
     "TrustCheck",
@@ -135,6 +143,10 @@ __all__ = [
     "Schedule",
     "diurnal_density",
     "expected_distinct_aircraft",
+    "assessment_from_dict",
+    "assessment_from_json",
+    "assessment_to_dict",
+    "assessment_to_json",
     "report_from_json",
     "report_to_json",
     "scan_from_dict",

@@ -227,6 +227,34 @@ class NodeAssessment:
         )
 
 
+@dataclass(frozen=True)
+class AssessmentFailure:
+    """A node whose assessment raised instead of completing.
+
+    A crowd-sourced network always contains some nodes that crash
+    mid-measurement (flaky hardware, malformed uploads); one of them
+    must not sink the calibration run for everyone else.
+    """
+
+    node_id: str
+    error: str
+    exception_type: str
+
+
+class NetworkAssessments(Dict[str, "NodeAssessment"]):
+    """Per-node assessments, plus the nodes that failed outright.
+
+    Behaves exactly like the plain ``{node_id: NodeAssessment}`` dict
+    :meth:`CalibrationService.evaluate_network` historically returned;
+    nodes whose evaluation raised are absent from the mapping and
+    recorded in :attr:`failures` instead.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.failures: Dict[str, AssessmentFailure] = {}
+
+
 @dataclass
 class CalibrationService:
     """Runs the whole pipeline over a network of nodes.
@@ -334,14 +362,27 @@ class CalibrationService:
         nodes: List[SensorNode],
         seed: int = 0,
         fabrications: Optional[Dict[str, FabricationStrategy]] = None,
-    ) -> Dict[str, NodeAssessment]:
-        """Evaluate every node; returns assessments keyed by node id."""
+    ) -> NetworkAssessments:
+        """Evaluate every node; returns assessments keyed by node id.
+
+        A node that raises during assessment is recorded in the
+        result's ``failures`` map instead of aborting the whole run —
+        the remaining nodes are still evaluated, with the same
+        per-node seeds they would have gotten in a clean run.
+        """
         fabrications = fabrications or {}
-        out: Dict[str, NodeAssessment] = {}
+        out = NetworkAssessments()
         for i, node in enumerate(nodes):
-            out[node.node_id] = self.evaluate_node(
-                node,
-                seed=seed + i,
-                fabrication=fabrications.get(node.node_id),
-            )
+            try:
+                out[node.node_id] = self.evaluate_node(
+                    node,
+                    seed=seed + i,
+                    fabrication=fabrications.get(node.node_id),
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate the node
+                out.failures[node.node_id] = AssessmentFailure(
+                    node_id=node.node_id,
+                    error=str(exc),
+                    exception_type=type(exc).__name__,
+                )
         return out

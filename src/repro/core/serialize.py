@@ -12,11 +12,17 @@ import json
 from typing import Any, Dict
 
 from repro.adsb.icao import IcaoAddress
+from repro.core.abs_power import AbsolutePowerCalibration
 from repro.core.classify import Classification, InstallationFeatures
 from repro.core.fov import FieldOfViewEstimate
 from repro.core.frequency import BandMeasurement, FrequencyProfile
+from repro.core.network import (
+    NodeAssessment,
+    TrustAssessment,
+    TrustCheck,
+)
 from repro.core.observations import AircraftObservation, DirectionalScan
-from repro.core.report import BandGrade, CalibrationReport
+from repro.core.report import BandGrade, CalibrationReport, ClaimViolation
 from repro.geo.coords import GeoPoint
 
 
@@ -205,3 +211,112 @@ def report_to_json(report: CalibrationReport, **json_kwargs) -> str:
 def report_from_json(text: str) -> CalibrationReport:
     """Parse a report from its JSON string."""
     return report_from_dict(json.loads(text))
+
+
+def trust_check_to_dict(check: TrustCheck) -> Dict[str, Any]:
+    """Serialize one trust check."""
+    return {
+        "name": check.name,
+        "passed": check.passed,
+        "score": check.score,
+        "detail": check.detail,
+    }
+
+
+def trust_check_from_dict(data: Dict[str, Any]) -> TrustCheck:
+    """Inverse of :func:`trust_check_to_dict`."""
+    return TrustCheck(**data)
+
+
+def trust_to_dict(trust: TrustAssessment) -> Dict[str, Any]:
+    """Serialize a trust assessment (score is recomputed on read)."""
+    return {
+        "node_id": trust.node_id,
+        "checks": [trust_check_to_dict(c) for c in trust.checks],
+    }
+
+
+def trust_from_dict(data: Dict[str, Any]) -> TrustAssessment:
+    """Inverse of :func:`trust_to_dict`."""
+    return TrustAssessment(
+        node_id=data["node_id"],
+        checks=[trust_check_from_dict(c) for c in data["checks"]],
+    )
+
+
+def violation_to_dict(violation: ClaimViolation) -> Dict[str, Any]:
+    """Serialize one claim violation."""
+    return {"claim": violation.claim, "evidence": violation.evidence}
+
+
+def violation_from_dict(data: Dict[str, Any]) -> ClaimViolation:
+    """Inverse of :func:`violation_to_dict`."""
+    return ClaimViolation(**data)
+
+
+def abs_power_to_dict(cal: AbsolutePowerCalibration) -> Dict[str, Any]:
+    """Serialize an absolute-power calibration."""
+    return {
+        "full_scale_dbm_estimate": cal.full_scale_dbm_estimate,
+        "spread_db": cal.spread_db,
+        "anchor_label": cal.anchor_label,
+        "anchor_bearing_deg": cal.anchor_bearing_deg,
+        "n_signals": cal.n_signals,
+        "reliable": cal.reliable,
+    }
+
+
+def abs_power_from_dict(data: Dict[str, Any]) -> AbsolutePowerCalibration:
+    """Inverse of :func:`abs_power_to_dict`."""
+    return AbsolutePowerCalibration(**data)
+
+
+def assessment_to_dict(assessment: NodeAssessment) -> Dict[str, Any]:
+    """Serialize a full node assessment.
+
+    This is the record the fleet runtime's result cache and campaign
+    checkpoints persist: everything the service concluded about one
+    node, round-trippable through JSON.
+    """
+    return {
+        "node_id": assessment.node_id,
+        "report": report_to_dict(assessment.report),
+        "trust": trust_to_dict(assessment.trust),
+        "claim_violations": [
+            violation_to_dict(v) for v in assessment.claim_violations
+        ],
+        "abs_power": (
+            abs_power_to_dict(assessment.abs_power)
+            if assessment.abs_power is not None
+            else None
+        ),
+    }
+
+
+def assessment_from_dict(data: Dict[str, Any]) -> NodeAssessment:
+    """Inverse of :func:`assessment_to_dict`."""
+    return NodeAssessment(
+        node_id=data["node_id"],
+        report=report_from_dict(data["report"]),
+        trust=trust_from_dict(data["trust"]),
+        claim_violations=[
+            violation_from_dict(v) for v in data["claim_violations"]
+        ],
+        abs_power=(
+            abs_power_from_dict(data["abs_power"])
+            if data["abs_power"] is not None
+            else None
+        ),
+    )
+
+
+def assessment_to_json(
+    assessment: NodeAssessment, **json_kwargs
+) -> str:
+    """Serialize a node assessment straight to a JSON string."""
+    return json.dumps(assessment_to_dict(assessment), **json_kwargs)
+
+
+def assessment_from_json(text: str) -> NodeAssessment:
+    """Parse a node assessment from its JSON string."""
+    return assessment_from_dict(json.loads(text))

@@ -5,21 +5,37 @@ one with damaged hardware, two with cheating operators — are all
 calibrated automatically. The output is the marketplace view a renter
 would see: nodes ranked by measured quality, with untrustworthy
 uploads rejected outright. No human visited any site.
+
+Since the runtime PR the calibration itself goes through
+:mod:`repro.runtime`: every node becomes a :class:`CalibrationJob`
+executed by a worker pool with retries, a content-addressed result
+cache, and campaign checkpoints. ``workers=1`` (the default) is the
+serial degenerate case — per-node seeds are assigned exactly as the
+historical ``evaluate_network`` loop did, so results are
+bit-identical to the pre-runtime path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.network import CalibrationService, NodeAssessment
+from repro.core.network import NodeAssessment
 from repro.experiments.common import World, build_world, format_table
-from repro.experiments.hardware_faults import DAMAGED_CABLE_ANTENNA
-from repro.node.fabrication import (
-    GhostTrafficFabricator,
-    OmniscientFabricator,
-)
 from repro.node.sensor import SensorNode
+from repro.runtime.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    fleet_jobs,
+    run_fleet_campaign,
+    standard_fleet_specs,
+)
+
+#: Node ids whose operators fabricate data in the standard fleet.
+CHEATERS = ("indoor-3", "window-3")
+
+#: Node ids with degraded hardware in the standard fleet.
+DEGRADED = ("rooftop-3",)
 
 
 @dataclass
@@ -29,6 +45,7 @@ class FleetResult:
     assessments: Dict[str, NodeAssessment]
     cheaters: List[str]
     degraded: List[str]
+    campaign: Optional[CampaignResult] = field(default=None, repr=False)
 
     def marketplace(self) -> List[NodeAssessment]:
         """Trustworthy nodes, best quality first."""
@@ -53,47 +70,47 @@ class FleetResult:
 
 def build_fleet(world: World) -> List[SensorNode]:
     """Twelve nodes: 4 rooftop, 4 window, 4 indoor; one damaged."""
-    nodes: List[SensorNode] = []
-    for cls in ("rooftop", "window", "indoor"):
-        for i in range(4):
-            node_id = f"{cls}-{i}"
-            if cls == "rooftop" and i == 3:
-                nodes.append(
-                    SensorNode(
-                        node_id,
-                        world.testbed.site(cls),
-                        antenna=DAMAGED_CABLE_ANTENNA,
-                    )
-                )
-            else:
-                nodes.append(
-                    SensorNode(node_id, world.testbed.site(cls))
-                )
-    return nodes
+    return [
+        spec.build(world) for spec in standard_fleet_specs()
+    ]
 
 
-def run_fleet(world: Optional[World] = None, seed: int = 95) -> FleetResult:
-    """Calibrate the whole fleet, adversaries included."""
+def run_fleet(
+    world: Optional[World] = None,
+    seed: int = 95,
+    workers: int = 1,
+    executor: str = "thread",
+    cache_dir: Optional[str] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    max_jobs: Optional[int] = None,
+    fail_node: Optional[str] = None,
+) -> FleetResult:
+    """Calibrate the whole fleet, adversaries included.
+
+    Runs through the :mod:`repro.runtime` campaign machinery; the
+    default arguments reproduce the historical serial run exactly.
+    """
     world = world or build_world()
-    service = CalibrationService(
-        traffic=world.traffic,
-        ground_truth=world.ground_truth,
-        cell_towers=world.testbed.cell_towers,
-        tv_towers=world.testbed.tv_towers,
-        fm_towers=world.testbed.fm_towers,
+    config = CampaignConfig(
+        workers=workers,
+        executor=executor,
+        cache_dir=cache_dir,
+        checkpoint_path=checkpoint,
+        resume=resume,
+        stop_after=max_jobs,
     )
-    nodes = build_fleet(world)
-    fabrications = {
-        "window-3": OmniscientFabricator(),
-        "indoor-3": GhostTrafficFabricator(n_ghosts=30),
-    }
-    assessments = service.evaluate_network(
-        nodes, seed=seed, fabrications=fabrications
+    campaign = run_fleet_campaign(
+        seed=seed,
+        config=config,
+        world=world,
+        fail_node=fail_node,
     )
     return FleetResult(
-        assessments=assessments,
-        cheaters=sorted(fabrications),
-        degraded=["rooftop-3"],
+        assessments=campaign.assessments,
+        cheaters=sorted(CHEATERS),
+        degraded=list(DEGRADED),
+        campaign=campaign,
     )
 
 
@@ -118,3 +135,14 @@ def format_marketplace(result: FleetResult) -> str:
     )
     rejected = ", ".join(result.rejected()) or "none"
     return f"{table}\n\nRejected (untrusted uploads): {rejected}"
+
+
+__all__ = [
+    "CHEATERS",
+    "DEGRADED",
+    "FleetResult",
+    "build_fleet",
+    "fleet_jobs",
+    "format_marketplace",
+    "run_fleet",
+]

@@ -1,0 +1,89 @@
+"""repro.runtime — the parallel fleet-calibration runtime.
+
+The paper's §2 vision is a *network* of crowd-sourced sensors
+calibrated continuously; this package is the execution layer that
+scales the per-node pipeline in :mod:`repro.core` from "a dozen nodes
+in a for-loop" toward that fleet:
+
+- :mod:`repro.runtime.jobs` — value-typed job specs with a
+  deterministic content hash of (node config, world seed, pipeline
+  version);
+- :mod:`repro.runtime.queue` — in-memory priority queue with an
+  explicit per-job state machine (PENDING → RUNNING →
+  DONE/FAILED/RETRYING);
+- :mod:`repro.runtime.workers` — thread/process pools with per-job
+  timeouts and exponential-backoff retries; ``workers=1`` is the
+  serial degenerate case, bit-identical to the historical loop;
+- :mod:`repro.runtime.cache` — content-addressed result cache
+  (memory + JSON-on-disk) so unchanged nodes skip recomputation;
+- :mod:`repro.runtime.campaign` — whole-fleet orchestration with
+  checkpoint/resume, partial-failure tolerance, and a summary ledger;
+- :mod:`repro.runtime.metrics` — counters and latency percentiles
+  surfaced in the campaign summary.
+
+Entry points: ``python -m repro fleet --workers 4`` on the command
+line, or :func:`repro.runtime.campaign.run_fleet_campaign` from code.
+"""
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    FleetCampaign,
+    JobLedgerEntry,
+    fleet_jobs,
+    run_fleet_campaign,
+    standard_fleet_specs,
+)
+from repro.runtime.jobs import (
+    PIPELINE_VERSION,
+    CalibrationJob,
+    CrashingFabricator,
+    InjectedFault,
+    NodeSpec,
+    WorldSpec,
+    build_fabrication,
+)
+from repro.runtime.metrics import MetricsRegistry, percentile
+from repro.runtime.queue import (
+    InvalidTransition,
+    JobQueue,
+    JobRecord,
+    JobState,
+)
+from repro.runtime.workers import (
+    JobOutcome,
+    RetryPolicy,
+    SystemClock,
+    execute_job,
+    run_queue,
+)
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "CalibrationJob",
+    "CampaignConfig",
+    "CampaignResult",
+    "CrashingFabricator",
+    "FleetCampaign",
+    "InjectedFault",
+    "InvalidTransition",
+    "JobLedgerEntry",
+    "JobOutcome",
+    "JobQueue",
+    "JobRecord",
+    "JobState",
+    "MetricsRegistry",
+    "NodeSpec",
+    "ResultCache",
+    "RetryPolicy",
+    "SystemClock",
+    "WorldSpec",
+    "build_fabrication",
+    "execute_job",
+    "fleet_jobs",
+    "percentile",
+    "run_fleet_campaign",
+    "run_queue",
+    "standard_fleet_specs",
+]

@@ -1,0 +1,445 @@
+"""Fleet campaigns: calibrate a whole network as one resumable run.
+
+A campaign takes a list of :class:`CalibrationJob` specs and drives
+them to terminal states through the cache, the queue, and the worker
+pool, in that order:
+
+1. jobs whose content key is already in the result cache are
+   restored without recomputation;
+2. on ``--resume``, jobs recorded DONE in the checkpoint manifest
+   (with a matching content key) are restored from it;
+3. everything else is enqueued and executed with retries; a job that
+   exhausts its attempts ends FAILED without sinking the campaign.
+
+After every terminal job the full manifest — per-job ledger plus the
+serialized assessments — is atomically rewritten to the checkpoint
+path, so a killed campaign resumes from its last completed job. The
+summary ledger and metrics (jobs run, retries, cache hits, latency
+percentiles) make partial runs auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.network import NodeAssessment
+from repro.core.serialize import (
+    assessment_from_dict,
+    assessment_to_dict,
+)
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import (
+    CalibrationJob,
+    NodeSpec,
+    WorldSpec,
+)
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.queue import JobQueue, JobState
+from repro.runtime.workers import (
+    Clock,
+    JobOutcome,
+    RetryPolicy,
+    execute_job,
+    seed_world_cache,
+)
+from repro.runtime.workers import run_queue as _run_queue
+
+if TYPE_CHECKING:
+    from repro.experiments.common import World
+
+#: Checkpoint manifest schema version.
+MANIFEST_FORMAT = 1
+
+#: The paper-standard 12-node fleet: 4 rooftop, 4 window, 4 indoor;
+#: one damaged feedline, two cheating operators.
+_FLEET_FABRICATIONS = {
+    "window-3": "omniscient",
+    "indoor-3": "ghost:30",
+}
+
+
+def standard_fleet_specs() -> Tuple[NodeSpec, ...]:
+    """Node specs for the standard 12-node fleet, in seed order."""
+    specs: List[NodeSpec] = []
+    for cls in ("rooftop", "window", "indoor"):
+        for i in range(4):
+            node_id = f"{cls}-{i}"
+            specs.append(
+                NodeSpec(
+                    node_id=node_id,
+                    location=cls,
+                    antenna=(
+                        "damaged_cable"
+                        if node_id == "rooftop-3"
+                        else "standard"
+                    ),
+                    fabrication=_FLEET_FABRICATIONS.get(node_id),
+                )
+            )
+    return tuple(specs)
+
+
+def fleet_jobs(
+    seed: int = 95,
+    world: Optional[WorldSpec] = None,
+    specs: Optional[Sequence[NodeSpec]] = None,
+    max_attempts: int = 3,
+    timeout_s: Optional[float] = None,
+    fail_node: Optional[str] = None,
+) -> List[CalibrationJob]:
+    """Jobs for a fleet campaign, seeded exactly like the serial path.
+
+    Per-node seeds are ``seed + index`` in spec order — the same
+    assignment ``CalibrationService.evaluate_network`` makes, so the
+    runtime's results are bit-identical to the historical loop.
+    ``fail_node`` swaps that node's fabrication for the ``crash``
+    fault injector.
+    """
+    world = world or WorldSpec()
+    specs = list(specs if specs is not None else standard_fleet_specs())
+    jobs: List[CalibrationJob] = []
+    for i, spec in enumerate(specs):
+        if fail_node is not None and spec.node_id == fail_node:
+            spec = replace(spec, fabrication="crash")
+        jobs.append(
+            CalibrationJob(
+                node=spec,
+                world=world,
+                seed=seed + i,
+                max_attempts=max_attempts,
+                timeout_s=timeout_s,
+            )
+        )
+    return jobs
+
+
+@dataclass
+class CampaignConfig:
+    """Execution policy for one campaign run."""
+
+    workers: int = 1
+    executor: str = "thread"
+    cache_dir: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
+    stop_after: Optional[int] = None  # run at most N jobs, then stop
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.resume and self.checkpoint_path is None:
+            raise ValueError("resume requires a checkpoint path")
+
+
+@dataclass
+class JobLedgerEntry:
+    """How one job reached its current state, and from where."""
+
+    job_id: str
+    key: str
+    state: str  # "done" | "failed" | "pending"
+    source: str  # "run" | "cache" | "checkpoint" | "deferred"
+    attempts: int = 0
+    errors: List[str] = field(default_factory=list)
+    duration_s: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (possibly partial) campaign produced."""
+
+    assessments: Dict[str, NodeAssessment]
+    ledger: Dict[str, JobLedgerEntry]
+    metrics: Dict[str, Union[int, float]]
+
+    def state_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self.ledger.values():
+            out[entry.state] = out.get(entry.state, 0) + 1
+        return out
+
+    def source_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self.ledger.values():
+            out[entry.source] = out.get(entry.source, 0) + 1
+        return out
+
+    def failed(self) -> List[JobLedgerEntry]:
+        return [
+            e for e in self.ledger.values() if e.state == "failed"
+        ]
+
+    def summary_text(self) -> str:
+        """Human-readable one-paragraph campaign summary."""
+        states = self.state_counts()
+        sources = self.source_counts()
+        lines = [
+            "Campaign summary: "
+            + ", ".join(
+                f"{states.get(s, 0)} {s}"
+                for s in ("done", "failed", "pending")
+            ),
+            "  sources: "
+            + ", ".join(
+                f"{n} from {src}" for src, n in sorted(sources.items())
+            ),
+            f"  jobs run: {self.metrics.get('jobs_done', 0)}"
+            f" (+{self.metrics.get('jobs_failed', 0)} failed),"
+            f" retries: {self.metrics.get('retries', 0)},"
+            f" cache hits: {self.metrics.get('cache_hits', 0)}",
+        ]
+        p50 = self.metrics.get("job_latency_p50_s")
+        p95 = self.metrics.get("job_latency_p95_s")
+        if p50 is not None:
+            lines.append(
+                f"  job latency: p50 {p50:.2f}s, p95 {p95:.2f}s"
+            )
+        for entry in self.failed():
+            last = entry.errors[-1] if entry.errors else "?"
+            lines.append(
+                f"  FAILED {entry.job_id} after {entry.attempts} "
+                f"attempts: {last}"
+            )
+        return "\n".join(lines)
+
+
+class FleetCampaign:
+    """Orchestrates one fleet calibration campaign end to end."""
+
+    def __init__(
+        self,
+        jobs: Sequence[CalibrationJob],
+        config: Optional[CampaignConfig] = None,
+        world: Optional[World] = None,
+        cache: Optional[ResultCache] = None,
+        runner: Optional[
+            Callable[[CalibrationJob], NodeAssessment]
+        ] = None,
+        clock: Optional[Clock] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.jobs = list(jobs)
+        ids = [j.job_id for j in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in campaign")
+        self.config = config or CampaignConfig()
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(self.config.cache_dir)
+        )
+        self.runner = runner or execute_job
+        self.clock = clock
+        self.retry_policy = retry_policy
+        if world is not None:
+            # Share the caller's already-built world with thread and
+            # serial workers instead of rebuilding it from its spec.
+            seed_world_cache(WorldSpec.from_world(world), world)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _load_manifest(self) -> Dict:
+        path = self.config.checkpoint_path
+        if path is None or not Path(path).exists():
+            return {}
+        try:
+            manifest = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            return {}
+        if manifest.get("format") != MANIFEST_FORMAT:
+            return {}
+        return manifest
+
+    def _write_manifest(
+        self,
+        ledger: Dict[str, JobLedgerEntry],
+        assessments: Dict[str, NodeAssessment],
+    ) -> None:
+        path = self.config.checkpoint_path
+        if path is None:
+            return
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "jobs": {
+                e.job_id: {
+                    "key": e.key,
+                    "state": e.state,
+                    "source": e.source,
+                    "attempts": e.attempts,
+                    "errors": e.errors,
+                }
+                for e in ledger.values()
+            },
+            "results": {
+                job_id: assessment_to_dict(a)
+                for job_id, a in assessments.items()
+            },
+        }
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(json.dumps(manifest))
+        os.replace(tmp, target)
+
+    def _restore_from_manifest(
+        self, manifest: Dict, job: CalibrationJob, key: str
+    ) -> Optional[NodeAssessment]:
+        """A DONE assessment from the checkpoint, if keys still match."""
+        entry = manifest.get("jobs", {}).get(job.job_id)
+        if not entry or entry.get("state") != "done":
+            return None
+        if entry.get("key") != key:
+            return None  # config changed since the checkpoint
+        stored = manifest.get("results", {}).get(job.job_id)
+        if stored is None:
+            return None
+        try:
+            return assessment_from_dict(stored)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        config = self.config
+        metrics = MetricsRegistry()
+        ledger: Dict[str, JobLedgerEntry] = {}
+        assessments: Dict[str, NodeAssessment] = {}
+        keys = {job.job_id: job.content_key() for job in self.jobs}
+        manifest = self._load_manifest() if config.resume else {}
+
+        to_run: List[CalibrationJob] = []
+        for job in self.jobs:
+            key = keys[job.job_id]
+            restored = (
+                self._restore_from_manifest(manifest, job, key)
+                if manifest
+                else None
+            )
+            if restored is not None:
+                assessments[job.job_id] = restored
+                ledger[job.job_id] = JobLedgerEntry(
+                    job_id=job.job_id,
+                    key=key,
+                    state="done",
+                    source="checkpoint",
+                )
+                metrics.incr("restored_from_checkpoint")
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                assessments[job.job_id] = cached
+                ledger[job.job_id] = JobLedgerEntry(
+                    job_id=job.job_id,
+                    key=key,
+                    state="done",
+                    source="cache",
+                )
+                continue
+            to_run.append(job)
+
+        if config.stop_after is not None:
+            for job in to_run[config.stop_after:]:
+                ledger[job.job_id] = JobLedgerEntry(
+                    job_id=job.job_id,
+                    key=keys[job.job_id],
+                    state="pending",
+                    source="deferred",
+                )
+            to_run = to_run[: config.stop_after]
+
+        queue = JobQueue()
+        for job in to_run:
+            queue.put(job)
+
+        def on_outcome(outcome: JobOutcome) -> None:
+            key = keys[outcome.job_id]
+            if outcome.state is JobState.DONE:
+                assert outcome.assessment is not None
+                assessments[outcome.job_id] = outcome.assessment
+                self.cache.put(key, outcome.assessment)
+            ledger[outcome.job_id] = JobLedgerEntry(
+                job_id=outcome.job_id,
+                key=key,
+                state=(
+                    "done"
+                    if outcome.state is JobState.DONE
+                    else "failed"
+                ),
+                source="run",
+                attempts=outcome.attempts,
+                errors=list(outcome.errors),
+                duration_s=outcome.duration_s,
+            )
+            # Checkpoint after every terminal job: a kill at any
+            # point loses at most the jobs still in flight.
+            self._write_manifest(ledger, assessments)
+
+        if to_run:
+            _run_queue(
+                queue,
+                workers=config.workers,
+                executor=config.executor,
+                runner=self.runner,
+                retry_policy=self.retry_policy,
+                clock=self.clock,
+                metrics=metrics,
+                on_outcome=on_outcome,
+            )
+        self._write_manifest(ledger, assessments)
+
+        summary = metrics.summary()
+        summary["cache_hits"] = self.cache.hits
+        summary["cache_misses"] = self.cache.misses
+        # Re-key into job order: with workers > 1 the dicts fill in
+        # completion order, and downstream stable sorts (marketplace
+        # ranking) must not depend on scheduling.
+        return CampaignResult(
+            assessments={
+                j.job_id: assessments[j.job_id]
+                for j in self.jobs
+                if j.job_id in assessments
+            },
+            ledger={
+                j.job_id: ledger[j.job_id]
+                for j in self.jobs
+                if j.job_id in ledger
+            },
+            metrics=summary,
+        )
+
+
+def run_fleet_campaign(
+    seed: int = 95,
+    config: Optional[CampaignConfig] = None,
+    world: Optional[World] = None,
+    world_spec: Optional[WorldSpec] = None,
+    max_attempts: int = 3,
+    timeout_s: Optional[float] = None,
+    fail_node: Optional[str] = None,
+) -> CampaignResult:
+    """Build and run the standard 12-node fleet campaign."""
+    if world is not None and world_spec is None:
+        world_spec = WorldSpec.from_world(world)
+    jobs = fleet_jobs(
+        seed=seed,
+        world=world_spec,
+        max_attempts=max_attempts,
+        timeout_s=timeout_s,
+        fail_node=fail_node,
+    )
+    campaign = FleetCampaign(jobs, config=config, world=world)
+    return campaign.run()

@@ -199,3 +199,68 @@ class TestCalibrationService:
         text = assessment.summary()
         assert "n3" in text
         assert "quality" in text
+
+
+class _ExplodingFabrication:
+    """A node whose upload path crashes mid-assessment."""
+
+    def fabricate(self, honest, rng):
+        raise RuntimeError("sensor firmware crashed")
+
+
+class TestPartialFailure:
+    @pytest.fixture(scope="class")
+    def service(self, world):
+        return CalibrationService(
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+        )
+
+    def test_one_crashing_node_does_not_abort_the_network(
+        self, service, world
+    ):
+        nodes = [
+            SensorNode("ok-1", world.testbed.site("rooftop")),
+            SensorNode("boom", world.testbed.site("window")),
+            SensorNode("ok-2", world.testbed.site("indoor")),
+        ]
+        out = service.evaluate_network(
+            nodes,
+            seed=0,
+            fabrications={"boom": _ExplodingFabrication()},
+        )
+        assert set(out) == {"ok-1", "ok-2"}
+        assert set(out.failures) == {"boom"}
+        failure = out.failures["boom"]
+        assert failure.exception_type == "RuntimeError"
+        assert "firmware crashed" in failure.error
+
+    def test_surviving_nodes_keep_their_seeds(self, service, world):
+        # Seeds are positional (seed + i), so a crash in the middle
+        # must not shift the randomness of later nodes.
+        nodes = [
+            SensorNode("a", world.testbed.site("rooftop")),
+            SensorNode("boom", world.testbed.site("window")),
+            SensorNode("b", world.testbed.site("indoor")),
+        ]
+        with_crash = service.evaluate_network(
+            nodes,
+            seed=0,
+            fabrications={"boom": _ExplodingFabrication()},
+        )
+        clean = service.evaluate_network(nodes, seed=0)
+        for node_id in ("a", "b"):
+            assert with_crash[
+                node_id
+            ].report.overall_score() == pytest.approx(
+                clean[node_id].report.overall_score()
+            )
+
+    def test_no_failures_on_clean_run(self, service, world):
+        out = service.evaluate_network(
+            [SensorNode("solo", world.testbed.site("rooftop"))],
+            seed=0,
+        )
+        assert out.failures == {}

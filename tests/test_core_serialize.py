@@ -142,3 +142,74 @@ class TestReportRoundtrip:
             "band_grades",
             "scores",
         }
+
+
+class TestAssessmentRoundtrip:
+    """NodeAssessment/TrustCheck round-trips (runtime cache format)."""
+
+    @pytest.fixture(scope="class")
+    def assessment(self, world):
+        from repro.core.network import CalibrationService
+        from repro.node.sensor import SensorNode
+
+        service = CalibrationService(
+            traffic=world.traffic,
+            ground_truth=world.ground_truth,
+            cell_towers=world.testbed.cell_towers,
+            tv_towers=world.testbed.tv_towers,
+            fm_towers=world.testbed.fm_towers,
+        )
+        node = SensorNode("ser-node", world.testbed.site("rooftop"))
+        return service.evaluate_node(node, seed=5)
+
+    def test_trust_round_trips_exactly(self, assessment):
+        from repro.core.serialize import trust_from_dict, trust_to_dict
+
+        back = trust_from_dict(trust_to_dict(assessment.trust))
+        assert back.node_id == assessment.trust.node_id
+        assert back.checks == assessment.trust.checks
+        assert back.trust_score() == pytest.approx(
+            assessment.trust.trust_score()
+        )
+
+    def test_abs_power_round_trips_exactly(self, assessment):
+        from repro.core.serialize import (
+            abs_power_from_dict,
+            abs_power_to_dict,
+        )
+
+        assert assessment.abs_power is not None
+        back = abs_power_from_dict(
+            abs_power_to_dict(assessment.abs_power)
+        )
+        assert back == assessment.abs_power
+
+    def test_full_assessment_json_round_trip(self, assessment):
+        from repro.core.serialize import (
+            assessment_from_json,
+            assessment_to_json,
+        )
+
+        text = assessment_to_json(assessment)
+        back = assessment_from_json(text)
+        assert back.node_id == assessment.node_id
+        assert back.trust.checks == assessment.trust.checks
+        assert back.abs_power == assessment.abs_power
+        assert back.claim_violations == assessment.claim_violations
+        assert back.report.overall_score() == pytest.approx(
+            assessment.report.overall_score()
+        )
+        # Serialization is a fixed point: one more round trip is
+        # byte-identical (what the result cache relies on).
+        assert assessment_to_json(back) == text
+
+    def test_none_abs_power_survives(self, make_assessment):
+        from repro.core.serialize import (
+            assessment_from_json,
+            assessment_to_json,
+        )
+
+        synthetic = make_assessment("bare")
+        back = assessment_from_json(assessment_to_json(synthetic))
+        assert back.abs_power is None
+        assert back.node_id == "bare"

@@ -1,0 +1,73 @@
+"""Tests for repro.runtime.cache — hits, misses, invalidation, disk."""
+
+import json
+
+from repro.core.serialize import assessment_to_json
+from repro.runtime.cache import ResultCache
+from repro.runtime.jobs import CalibrationJob, NodeSpec, WorldSpec
+
+
+def _key(**overrides):
+    defaults = dict(node=NodeSpec("n0", "rooftop"), seed=95)
+    defaults.update(overrides)
+    return CalibrationJob(**defaults).content_key()
+
+
+class TestMemoryCache:
+    def test_miss_then_hit(self, make_assessment):
+        cache = ResultCache()
+        key = _key()
+        assert cache.get(key) is None
+        cache.put(key, make_assessment("n0"))
+        assert cache.get(key).node_id == "n0"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_config_change_misses(self, make_assessment):
+        # Content addressing: a changed node config is a different
+        # key, so stale results can never be returned for it.
+        cache = ResultCache()
+        cache.put(_key(), make_assessment("n0"))
+        assert (
+            cache.get(_key(node=NodeSpec("n0", "indoor"))) is None
+        )
+        assert cache.get(_key(seed=96)) is None
+        assert (
+            cache.get(_key(world=WorldSpec(n_aircraft=3))) is None
+        )
+
+
+class TestDiskCache:
+    def test_persists_across_instances(self, tmp_path, make_assessment):
+        key = _key()
+        original = make_assessment("n0")
+        ResultCache(tmp_path).put(key, original)
+
+        fresh = ResultCache(tmp_path)
+        restored = fresh.get(key)
+        assert restored is not None
+        assert assessment_to_json(restored) == assessment_to_json(
+            original
+        )
+        assert fresh.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, make_assessment):
+        key = _key()
+        ResultCache(tmp_path).put(key, make_assessment("n0"))
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert ResultCache(tmp_path).get(key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path, make_assessment):
+        # An entry renamed/copied to the wrong key must not be served.
+        key_a, key_b = _key(), _key(seed=96)
+        ResultCache(tmp_path).put(key_a, make_assessment("n0"))
+        payload = json.loads((tmp_path / f"{key_a}.json").read_text())
+        (tmp_path / f"{key_b}.json").write_text(json.dumps(payload))
+        assert ResultCache(tmp_path).get(key_b) is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path, make_assessment):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(_key(seed=i), make_assessment("n0"))
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(list(tmp_path.glob("*.json"))) == 3

@@ -1,0 +1,223 @@
+"""Tests for repro.runtime.workers — retries, backoff, pools.
+
+Retry scheduling is exercised with a fake clock and an injected
+runner, so no test here sleeps or runs a real calibration.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.jobs import CalibrationJob, NodeSpec
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.queue import JobQueue, JobState
+from repro.runtime.workers import (
+    RetryPolicy,
+    run_queue,
+)
+
+
+class FakeClock:
+    """Manual monotonic clock: sleep() just advances time."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self.sleeps = []
+
+    def now(self) -> float:
+        return self.t
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.t += seconds
+
+
+def _job(node_id: str, max_attempts: int = 3, timeout_s=None):
+    return CalibrationJob(
+        node=NodeSpec(node_id, "rooftop"),
+        seed=1,
+        max_attempts=max_attempts,
+        timeout_s=timeout_s,
+    )
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, factor=2.0, max_delay_s=5.0, jitter=0.0
+        )
+        delays = [policy.delay_s("k", n) for n in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, factor=1.0, max_delay_s=1.0, jitter=0.2
+        )
+        a = policy.delay_s("key", 1)
+        assert a == policy.delay_s("key", 1)  # reproducible
+        assert 0.8 <= a <= 1.2
+        assert a != policy.delay_s("other-key", 1)  # de-synchronized
+
+    def test_rejects_bad_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s("k", 0)
+
+
+class TestSerialRetries:
+    def _flaky_runner(self, failures_by_id):
+        """Fails the first N calls per job id, then succeeds."""
+        calls = {}
+
+        def run(job):
+            n = calls.get(job.job_id, 0)
+            calls[job.job_id] = n + 1
+            if n < failures_by_id.get(job.job_id, 0):
+                raise RuntimeError(f"flake #{n + 1}")
+            return f"assessment-{job.job_id}"
+
+        return run, calls
+
+    def test_success_after_retries(self):
+        queue = JobQueue()
+        queue.put(_job("a", max_attempts=3))
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        runner, calls = self._flaky_runner({"a": 2})
+        policy = RetryPolicy(
+            base_delay_s=1.0, factor=2.0, max_delay_s=60.0, jitter=0.0
+        )
+        outcomes = run_queue(
+            queue,
+            runner=runner,
+            retry_policy=policy,
+            clock=clock,
+            metrics=metrics,
+        )
+        assert outcomes["a"].state is JobState.DONE
+        assert outcomes["a"].attempts == 3
+        assert calls["a"] == 3
+        assert metrics.count("retries") == 2
+        # Backoff schedule: 1 s after attempt 1, 2 s after attempt 2
+        # (jitter zeroed), observed through the fake clock's sleeps.
+        assert clock.t == pytest.approx(3.0, abs=1e-3)
+
+    def test_failure_after_max_attempts(self):
+        queue = JobQueue()
+        queue.put(_job("a", max_attempts=2))
+        runner, calls = self._flaky_runner({"a": 99})
+        metrics = MetricsRegistry()
+        outcomes = run_queue(
+            queue,
+            runner=runner,
+            retry_policy=RetryPolicy(base_delay_s=0.0, jitter=0.0),
+            clock=FakeClock(),
+            metrics=metrics,
+        )
+        assert outcomes["a"].state is JobState.FAILED
+        assert outcomes["a"].attempts == 2
+        assert len(outcomes["a"].errors) == 2
+        assert calls["a"] == 2
+        assert metrics.count("jobs_failed") == 1
+
+    def test_one_bad_job_does_not_sink_the_rest(self):
+        queue = JobQueue()
+        for name in ("good-1", "bad", "good-2"):
+            queue.put(_job(name, max_attempts=2))
+        runner, _ = self._flaky_runner({"bad": 99})
+        outcomes = run_queue(
+            queue,
+            runner=runner,
+            retry_policy=RetryPolicy(base_delay_s=0.0, jitter=0.0),
+            clock=FakeClock(),
+        )
+        assert outcomes["bad"].state is JobState.FAILED
+        assert outcomes["good-1"].state is JobState.DONE
+        assert outcomes["good-2"].state is JobState.DONE
+
+    def test_on_outcome_fires_per_terminal_job(self):
+        queue = JobQueue()
+        queue.put(_job("a"))
+        queue.put(_job("b"))
+        seen = []
+        run_queue(
+            queue,
+            runner=lambda job: job.job_id,
+            clock=FakeClock(),
+            on_outcome=lambda o: seen.append(o.job_id),
+        )
+        assert sorted(seen) == ["a", "b"]
+
+
+class TestPooledExecution:
+    def test_thread_pool_drains_queue(self):
+        queue = JobQueue()
+        for i in range(8):
+            queue.put(_job(f"n{i}"))
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def runner(job):
+            with lock:
+                active.append(job.job_id)
+                peak.append(len(active))
+            time.sleep(0.02)
+            with lock:
+                active.remove(job.job_id)
+            return job.job_id
+
+        outcomes = run_queue(queue, workers=4, runner=runner)
+        assert len(outcomes) == 8
+        assert all(
+            o.state is JobState.DONE for o in outcomes.values()
+        )
+        assert max(peak) > 1  # genuinely concurrent
+
+    def test_pool_retries_failures(self):
+        queue = JobQueue()
+        queue.put(_job("flaky", max_attempts=3))
+        queue.put(_job("ok"))
+        attempts = {"flaky": 0}
+        lock = threading.Lock()
+
+        def runner(job):
+            if job.job_id == "flaky":
+                with lock:
+                    attempts["flaky"] += 1
+                    if attempts["flaky"] < 3:
+                        raise RuntimeError("flake")
+            return job.job_id
+
+        metrics = MetricsRegistry()
+        outcomes = run_queue(
+            queue,
+            workers=2,
+            runner=runner,
+            retry_policy=RetryPolicy(
+                base_delay_s=0.01, jitter=0.0
+            ),
+            metrics=metrics,
+        )
+        assert outcomes["flaky"].state is JobState.DONE
+        assert outcomes["flaky"].attempts == 3
+        assert metrics.count("retries") == 2
+
+    def test_timeout_fails_job_without_wedging_pool(self):
+        queue = JobQueue()
+        queue.put(_job("slow", max_attempts=1, timeout_s=0.05))
+        queue.put(_job("fast"))
+
+        def runner(job):
+            if job.job_id == "slow":
+                time.sleep(0.5)
+            return job.job_id
+
+        metrics = MetricsRegistry()
+        outcomes = run_queue(
+            queue, workers=2, runner=runner, metrics=metrics
+        )
+        assert outcomes["slow"].state is JobState.FAILED
+        assert "timeout" in outcomes["slow"].errors[-1]
+        assert outcomes["fast"].state is JobState.DONE
+        assert metrics.count("timeouts") == 1

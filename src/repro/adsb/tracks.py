@@ -67,13 +67,21 @@ class AircraftTracker:
         track_ttl_s: idle time after which a track is dropped by
             :meth:`prune` / excluded by :meth:`active`.
         max_history: cap on stored position history per aircraft.
+        auto_prune: prune stale tracks automatically as message time
+            advances (every ``track_ttl_s`` of stream time), so a
+            long-running feed cannot accumulate dead aircraft without
+            anyone remembering to call :meth:`prune`. With it on,
+            memory is bounded by the aircraft heard in the last
+            ~2x TTL rather than by everything ever seen.
     """
 
     track_ttl_s: float = DEFAULT_TRACK_TTL_S
     max_history: int = 256
+    auto_prune: bool = True
     _tracks: Dict[IcaoAddress, TrackedAircraft] = field(
         default_factory=dict
     )
+    _last_prune_s: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
         if self.track_ttl_s <= 0.0:
@@ -110,6 +118,12 @@ class AircraftTracker:
             track.velocity_kt = message.velocity_kt
         elif message.kind == "identification":
             track.callsign = message.callsign
+        if (
+            self.auto_prune
+            and message.time_s - self._last_prune_s >= self.track_ttl_s
+        ):
+            self._last_prune_s = message.time_s
+            self.prune(message.time_s)
         return track
 
     def update_all(

@@ -15,6 +15,11 @@ Commands:
   result cache, resumable checkpoints) and print the marketplace.
 - ``schedule --windows N`` — compare measurement-scheduling
   strategies for a daily budget.
+- ``stream --source {replay,sim}`` — run the live ingest gateway:
+  online incremental calibration over a replayed or simulated record
+  stream, with drift detection and re-calibration requests
+  (``--window``, ``--drift-threshold``, ``--swap-to`` for the drift
+  scenario).
 """
 
 from __future__ import annotations
@@ -152,6 +157,62 @@ def _build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--lat", type=float, required=True)
     ingest.add_argument("--lon", type=float, required=True)
     ingest.add_argument("--alt", type=float, default=0.0)
+
+    stream = sub.add_parser(
+        "stream",
+        help=(
+            "run the live ingest gateway: online incremental "
+            "calibration with drift detection"
+        ),
+    )
+    stream.add_argument(
+        "--source", choices=["replay", "sim"], default="sim",
+        help="replay a recorded scan, or simulate a live node "
+        "window by window",
+    )
+    stream.add_argument(
+        "--location", choices=LOCATIONS, default="rooftop",
+        help="testbed installation the node streams from",
+    )
+    stream.add_argument(
+        "--scan", metavar="FILE",
+        help="recorded scan JSON to replay (replay source; default: "
+        "simulate one fresh scan first)",
+    )
+    stream.add_argument(
+        "--windows", type=int, default=4,
+        help="measurement windows to stream (sim source)",
+    )
+    stream.add_argument(
+        "--window", type=float, default=30.0,
+        help="calibration window length in stream seconds",
+    )
+    stream.add_argument(
+        "--drift-threshold", type=float, default=0.30,
+        help="sector-disagreement fraction that triggers "
+        "re-calibration",
+    )
+    stream.add_argument(
+        "--swap-to", choices=LOCATIONS, metavar="LOCATION",
+        help="sim: move the node to this location mid-stream (the "
+        "drift scenario)",
+    )
+    stream.add_argument(
+        "--swap-at", type=int, metavar="K",
+        help="sim: window index the swap happens at (default: "
+        "halfway)",
+    )
+    stream.add_argument(
+        "--queue-capacity", type=int, default=1024,
+        help="per-node broker queue bound",
+    )
+    stream.add_argument(
+        "--policy", choices=["block", "drop-oldest", "reject"],
+        default="block", help="broker overflow policy",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=11, help="simulation seed"
+    )
     return parser
 
 
@@ -316,6 +377,137 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.directional import DirectionalEvaluator
+    from repro.core.serialize import scan_from_dict
+    from repro.stream import (
+        EngineConfig,
+        GatewayConfig,
+        OverflowPolicy,
+        ReplaySource,
+        SimulatedNodeSource,
+        StreamGateway,
+    )
+
+    if args.window <= 0.0:
+        print("--window must be positive", file=sys.stderr)
+        return 2
+    if not 0.0 < args.drift_threshold <= 1.0:
+        print("--drift-threshold must be in (0, 1]", file=sys.stderr)
+        return 2
+    if args.windows < 1:
+        print("--windows must be >= 1", file=sys.stderr)
+        return 2
+    if args.swap_at is not None and args.swap_to is None:
+        print("--swap-at requires --swap-to", file=sys.stderr)
+        return 2
+
+    node_id = f"{args.location}-stream"
+    window_s = args.window
+    if args.source == "replay" and args.scan:
+        with open(args.scan) as f:
+            data = json.load(f)
+        # Accept either a bare scan dict or a full calibration report
+        # (``repro calibrate --json``), which nests the scan.
+        scan = scan_from_dict(data.get("scan", data))
+        node_id = scan.node_id
+        # Window boundaries must match the recording.
+        window_s = scan.duration_s
+        records = ReplaySource(scan=scan).records()
+    else:
+        world = build_world()
+
+        def evaluator(location: str) -> DirectionalEvaluator:
+            return DirectionalEvaluator(
+                node=SensorNode(node_id, world.testbed.site(location)),
+                traffic=world.traffic,
+                ground_truth=world.ground_truth,
+                duration_s=window_s,
+                ground_truth_query_s=window_s / 2.0,
+            )
+
+        if args.source == "replay":
+            import numpy as np
+
+            scan = evaluator(args.location).run(
+                np.random.default_rng(args.seed)
+            )
+            records = ReplaySource(scan=scan).records()
+        else:
+            swap_at = None
+            swap_evaluator = None
+            if args.swap_to is not None:
+                swap_at = (
+                    args.swap_at
+                    if args.swap_at is not None
+                    else args.windows // 2
+                )
+                if not 0 < swap_at < args.windows:
+                    print(
+                        f"--swap-at must be in (0, {args.windows})",
+                        file=sys.stderr,
+                    )
+                    return 2
+                swap_evaluator = evaluator(args.swap_to)
+            records = SimulatedNodeSource(
+                evaluator=evaluator(args.location),
+                n_windows=args.windows,
+                seed=args.seed,
+                swap_at=swap_at,
+                swap_evaluator=swap_evaluator,
+            ).records()
+
+    engine = EngineConfig(
+        window_s=window_s, drift_threshold=args.drift_threshold
+    )
+    gateway = StreamGateway(
+        config=GatewayConfig(
+            engine=engine,
+            queue_capacity=args.queue_capacity,
+            policy=OverflowPolicy(args.policy),
+        )
+    )
+    for i, record in enumerate(records):
+        gateway.publish(node_id, record, timeout_s=0.0)
+        if (i + 1) % 256 == 0:
+            gateway.drain_node(node_id)
+    gateway.flush()
+
+    session = gateway.sessions[node_id]
+    print(f"streamed {session.counters.records} records for {node_id}")
+    for summary in session.engine.summaries:
+        drift = " DRIFT" if summary.drift is not None else ""
+        print(
+            f"  window {summary.index:>2} (t={summary.end_s:6.1f} s): "
+            f"{summary.evidence:>3} obs, "
+            f"{summary.open_fraction:5.1%} open{drift}"
+        )
+    for event in gateway.drift_events():
+        hours = ", ".join(
+            f"{h:.1f}h" for h in event.request.schedule.hours
+        )
+        print(
+            f"drift at t={event.detected_at_s:.0f} s: "
+            f"{event.request.reason}"
+        )
+        print(f"  re-calibration requested at hours: {hours}")
+    snapshot = gateway.snapshot(node_id)
+    print()
+    print(
+        f"Final field of view: "
+        f"{snapshot.report.fov.open_fraction():.0%} open; "
+        f"trust score {snapshot.trust.trust_score():.2f}"
+    )
+    for check in snapshot.trust.checks:
+        status = "pass" if check.passed else "FAIL"
+        print(f"  [{status}] {check.name}: {check.detail}")
+    print()
+    print(gateway.summary_text())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -327,6 +519,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "crosscheck": _cmd_crosscheck,
         "schedule": _cmd_schedule,
         "ingest": _cmd_ingest,
+        "stream": _cmd_stream,
     }
     return handlers[args.command](args)
 

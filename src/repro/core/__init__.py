@@ -14,6 +14,8 @@
   checks that catch fabricated data.
 - :mod:`repro.core.scheduler` — §5: when to measure, given diurnal
   flight-density variation.
+- :mod:`repro.core.metrics` — shared counters / latency percentiles
+  used by both the fleet runtime and the stream gateway.
 """
 
 # observations must be imported first: repro.node.fabrication (pulled
@@ -70,7 +72,8 @@ from repro.core.crosscheck import (
     informative_received_set,
     jaccard,
 )
-from repro.core.ingest import parse_sbs_stream, scan_from_sbs
+from repro.core.ingest import IngestStats, parse_sbs_stream, scan_from_sbs
+from repro.core.metrics import MetricsRegistry, percentile
 from repro.core.position_check import (
     PositionCheckResult,
     PositionVerifier,
@@ -132,7 +135,10 @@ __all__ = [
     "CrossCheckRow",
     "informative_received_set",
     "jaccard",
+    "IngestStats",
+    "MetricsRegistry",
     "parse_sbs_stream",
+    "percentile",
     "scan_from_sbs",
     "PositionCheckResult",
     "PositionVerifier",

@@ -179,7 +179,7 @@ class SectorHistogramEstimator:
                 received[i] >= self.min_received
                 and received[i] / total[i] >= self.min_ratio
             )
-        filled = _fill_unobserved(flags)
+        filled = fill_unobserved(flags)
         return FieldOfViewEstimate(
             bin_deg=self.bin_deg,
             open_flags=filled,
@@ -187,8 +187,13 @@ class SectorHistogramEstimator:
         )
 
 
-def _fill_unobserved(flags: List[Optional[bool]]) -> List[bool]:
-    """Give empty bins the verdict of the nearest populated bin."""
+def fill_unobserved(flags: List[Optional[bool]]) -> List[bool]:
+    """Give empty bins the verdict of the nearest populated bin.
+
+    Shared with the streaming engine's incremental sector statistics
+    (:mod:`repro.stream.online`), which must fill identically to stay
+    bit-compatible with this estimator.
+    """
     n = len(flags)
     if all(f is None for f in flags):
         return [False] * n

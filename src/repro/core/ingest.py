@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.adsb.icao import IcaoAddress
 from repro.adsb.sbs import SbsRecord, parse_sbs
@@ -30,21 +30,56 @@ class _IngestTally:
     n_messages: int = 0
 
 
-def parse_sbs_stream(lines: Iterable[str]) -> List[SbsRecord]:
+@dataclass
+class IngestStats:
+    """Skip-and-count accounting for one SBS feed pass.
+
+    Every input line lands in exactly one bucket, so
+    ``lines == blank + parsed + malformed`` always holds. The last
+    rejection is kept (not raised) for operator diagnostics.
+    """
+
+    lines: int = 0
+    blank: int = 0
+    parsed: int = 0
+    malformed: int = 0
+    last_error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "lines": self.lines,
+            "blank": self.blank,
+            "parsed": self.parsed,
+            "malformed": self.malformed,
+        }
+
+
+def parse_sbs_stream(
+    lines: Iterable[str], stats: Optional[IngestStats] = None
+) -> List[SbsRecord]:
     """Parse an SBS feed, skipping blank and malformed lines.
 
     Real feeds contain status lines and the occasional truncated
     record; ingestion is forgiving where frame decoding is strict.
+    Pass an :class:`IngestStats` to count what was skipped — dropped
+    input should be visible in counters, never silent.
     """
     records: List[SbsRecord] = []
+    if stats is None:
+        stats = IngestStats()
     for line in lines:
+        stats.lines += 1
         line = line.strip()
         if not line:
+            stats.blank += 1
             continue
         try:
             records.append(parse_sbs(line))
-        except (ValueError, IndexError):
+        except (ValueError, IndexError) as exc:
+            stats.malformed += 1
+            stats.last_error = str(exc)
             continue
+        stats.parsed += 1
     return records
 
 
@@ -97,6 +132,7 @@ def scan_from_sbs(
     receiver_position: GeoPoint,
     duration_s: float = 30.0,
     radius_m: float = 100_000.0,
+    stats: Optional[IngestStats] = None,
 ) -> DirectionalScan:
     """Join an SBS feed with a flight-tracker report into a scan.
 
@@ -108,6 +144,7 @@ def scan_from_sbs(
             observation geometry.
         duration_s / radius_m: measurement parameters, recorded in the
             scan.
+        stats: optional skip-and-count accounting for the feed pass.
 
     Exactly the paper's §3.1 join: each ground-truth aircraft becomes
     an observation marked received when at least one SBS message
@@ -115,7 +152,7 @@ def scan_from_sbs(
     the ground truth surface as ghosts for the trust checks.
     """
     tallies: Dict[IcaoAddress, _IngestTally] = {}
-    for record in parse_sbs_stream(lines):
+    for record in parse_sbs_stream(lines, stats=stats):
         tally = tallies.setdefault(record.icao, _IngestTally())
         tally.n_messages += 1
 

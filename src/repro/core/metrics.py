@@ -1,0 +1,66 @@
+"""Shared metrics: counters and latency percentiles.
+
+Just enough observability for a campaign or stream summary — jobs
+run, retries, cache hits, records consumed, p50/p95 latencies —
+without pulling in a metrics dependency. Thread-safe, since both the
+runtime's worker pool and the stream gateway's consumers record from
+many threads at once.
+
+This started life as :mod:`repro.runtime.metrics`; it moved to
+:mod:`repro.core` when the streaming subsystem needed the same
+counters, so :mod:`repro.runtime` and :mod:`repro.stream` share one
+implementation (the old import path still works as a re-export).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Union
+
+
+def percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]) of a non-empty list."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"p must be in [0, 100]: {p}")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class MetricsRegistry:
+    """Named counters plus per-name duration observations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._durations: Dict[str, List[float]] = {}
+
+    def incr(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, name: str, duration_s: float) -> None:
+        with self._lock:
+            self._durations.setdefault(name, []).append(duration_s)
+
+    def durations(self, name: str) -> List[float]:
+        with self._lock:
+            return list(self._durations.get(name, []))
+
+    def summary(self) -> Dict[str, Union[int, float]]:
+        """Flat dict: every counter, plus p50/p95/total per timer."""
+        with self._lock:
+            out: Dict[str, Union[int, float]] = dict(self._counters)
+            for name, values in self._durations.items():
+                if not values:
+                    continue
+                out[f"{name}_p50_s"] = percentile(values, 50.0)
+                out[f"{name}_p95_s"] = percentile(values, 95.0)
+                out[f"{name}_total_s"] = sum(values)
+            return out

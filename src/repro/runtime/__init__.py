@@ -44,7 +44,7 @@ from repro.runtime.jobs import (
     WorldSpec,
     build_fabrication,
 )
-from repro.runtime.metrics import MetricsRegistry, percentile
+from repro.core.metrics import MetricsRegistry, percentile
 from repro.runtime.queue import (
     InvalidTransition,
     JobQueue,

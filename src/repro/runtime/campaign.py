@@ -46,7 +46,7 @@ from repro.runtime.jobs import (
     NodeSpec,
     WorldSpec,
 )
-from repro.runtime.metrics import MetricsRegistry
+from repro.core.metrics import MetricsRegistry
 from repro.runtime.queue import JobQueue, JobState
 from repro.runtime.workers import (
     Clock,

@@ -1,60 +1,13 @@
-"""Lightweight runtime metrics: counters and latency percentiles.
+"""Backward-compatible re-export of :mod:`repro.core.metrics`.
 
-Just enough observability for a campaign summary — jobs run, retries,
-cache hits, p50/p95 job latency — without pulling in a metrics
-dependency. Thread-safe, since the worker pool records from many
-threads at once.
+The counters/percentiles implementation was promoted to
+:mod:`repro.core.metrics` so the fleet runtime and the streaming
+gateway share one copy; this module keeps the historical import path
+(`from repro.runtime.metrics import MetricsRegistry`) working.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Union
+from repro.core.metrics import MetricsRegistry, percentile
 
-
-def percentile(values: List[float], p: float) -> float:
-    """Nearest-rank percentile (p in [0, 100]) of a non-empty list."""
-    if not values:
-        raise ValueError("percentile of empty list")
-    if not 0.0 <= p <= 100.0:
-        raise ValueError(f"p must be in [0, 100]: {p}")
-    ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * len(ordered)) - 1))
-    return ordered[rank]
-
-
-class MetricsRegistry:
-    """Named counters plus per-name duration observations."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._durations: Dict[str, List[float]] = {}
-
-    def incr(self, name: str, by: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + by
-
-    def count(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def observe(self, name: str, duration_s: float) -> None:
-        with self._lock:
-            self._durations.setdefault(name, []).append(duration_s)
-
-    def durations(self, name: str) -> List[float]:
-        with self._lock:
-            return list(self._durations.get(name, []))
-
-    def summary(self) -> Dict[str, Union[int, float]]:
-        """Flat dict: every counter, plus p50/p95/total per timer."""
-        with self._lock:
-            out: Dict[str, Union[int, float]] = dict(self._counters)
-            for name, values in self._durations.items():
-                if not values:
-                    continue
-                out[f"{name}_p50_s"] = percentile(values, 50.0)
-                out[f"{name}_p95_s"] = percentile(values, 95.0)
-                out[f"{name}_total_s"] = sum(values)
-            return out
+__all__ = ["MetricsRegistry", "percentile"]

@@ -37,7 +37,7 @@ from repro.runtime.jobs import (
     WorldSpec,
     build_fabrication,
 )
-from repro.runtime.metrics import MetricsRegistry
+from repro.core.metrics import MetricsRegistry
 from repro.runtime.queue import JobQueue, JobRecord, JobState
 
 if TYPE_CHECKING:

@@ -1,0 +1,244 @@
+"""Bounded per-node record queues with explicit overflow policies.
+
+A crowd-sourced network's ingest path is where memory dies first:
+thousands of cheap senders, some of them bursty, some wedged, some
+malicious. The broker gives every node a *bounded* queue and makes the
+overflow behaviour an explicit, counted policy instead of an OOM:
+
+- ``BLOCK`` — the publisher waits (with a timeout) for space; the
+  default for trusted local pipes where losing data is worse than
+  slowing the sender.
+- ``DROP_OLDEST`` — the queue sheds its oldest record to admit the
+  new one; right for live telemetry where fresh data beats stale.
+- ``REJECT`` — the new record is refused; right when the sender can
+  retry (and the transport can say "429").
+
+Every drop, rejection and timeout increments a counter — backpressure
+you cannot observe is backpressure you cannot debug.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.core.metrics import MetricsRegistry
+from repro.stream.records import StreamRecord
+
+
+class OverflowPolicy(enum.Enum):
+    """What a full queue does with the next record."""
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop-oldest"
+    REJECT = "reject"
+
+
+class PutResult(enum.Enum):
+    """Outcome of one publish attempt."""
+
+    OK = "ok"
+    DROPPED_OLDEST = "dropped-oldest"
+    REJECTED = "rejected"
+    TIMEOUT = "timeout"
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the published record made it into the queue."""
+        return self in (PutResult.OK, PutResult.DROPPED_OLDEST)
+
+
+@dataclass
+class QueueStats:
+    """Counters for one node's queue (drops are never silent)."""
+
+    enqueued: int = 0
+    consumed: int = 0
+    dropped_oldest: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    high_watermark: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "enqueued": self.enqueued,
+            "consumed": self.consumed,
+            "dropped_oldest": self.dropped_oldest,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "high_watermark": self.high_watermark,
+        }
+
+
+class BoundedQueue:
+    """One node's bounded FIFO with a configurable overflow policy."""
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: OverflowPolicy = OverflowPolicy.BLOCK,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = QueueStats()
+        self._items: Deque[StreamRecord] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def put(
+        self,
+        record: StreamRecord,
+        timeout_s: Optional[float] = None,
+    ) -> PutResult:
+        """Publish one record under this queue's overflow policy.
+
+        ``timeout_s`` only matters under ``BLOCK``: ``None`` waits
+        forever, otherwise the put gives up (and is counted) after
+        that long without space.
+        """
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                if self.policy is OverflowPolicy.REJECT:
+                    self.stats.rejected += 1
+                    return PutResult.REJECTED
+                if self.policy is OverflowPolicy.DROP_OLDEST:
+                    self._items.popleft()
+                    self.stats.dropped_oldest += 1
+                    self._append(record)
+                    return PutResult.DROPPED_OLDEST
+                # BLOCK: wait for a consumer to make room.
+                if not self._not_full.wait_for(
+                    lambda: len(self._items) < self.capacity,
+                    timeout=timeout_s,
+                ):
+                    self.stats.timeouts += 1
+                    return PutResult.TIMEOUT
+            self._append(record)
+            return PutResult.OK
+
+    def _append(self, record: StreamRecord) -> None:
+        """Append under the held lock and update counters/waiters."""
+        self._items.append(record)
+        self.stats.enqueued += 1
+        self.stats.high_watermark = max(
+            self.stats.high_watermark, len(self._items)
+        )
+        self._not_empty.notify()
+
+    def get(self, timeout_s: Optional[float] = None) -> Optional[StreamRecord]:
+        """Pop the oldest record, waiting up to ``timeout_s``.
+
+        Returns ``None`` on timeout (``timeout_s=0`` is a non-blocking
+        poll).
+        """
+        with self._lock:
+            if not self._items and timeout_s != 0:
+                self._not_empty.wait_for(
+                    lambda: bool(self._items), timeout=timeout_s
+                )
+            if not self._items:
+                return None
+            record = self._items.popleft()
+            self.stats.consumed += 1
+            self._not_full.notify()
+            return record
+
+    def drain(self) -> List[StreamRecord]:
+        """Pop everything currently queued (non-blocking)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self.stats.consumed += len(items)
+            self._not_full.notify_all()
+            return items
+
+
+class StreamBroker:
+    """Per-node bounded queues between publishers and sessions.
+
+    Attributes:
+        capacity: per-node queue bound.
+        policy: overflow policy applied to every queue.
+        metrics: shared registry mirroring the global counters
+            (``broker_enqueued``, ``broker_dropped_oldest``,
+            ``broker_rejected``, ``broker_put_timeouts``).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        policy: OverflowPolicy = OverflowPolicy.BLOCK,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.policy = policy
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queues: Dict[str, BoundedQueue] = {}
+        self._lock = threading.Lock()
+
+    def queue_for(self, node_id: str) -> BoundedQueue:
+        """The node's queue, created on first use."""
+        with self._lock:
+            queue = self._queues.get(node_id)
+            if queue is None:
+                queue = BoundedQueue(self.capacity, self.policy)
+                self._queues[node_id] = queue
+            return queue
+
+    def publish(
+        self,
+        node_id: str,
+        record: StreamRecord,
+        timeout_s: Optional[float] = None,
+    ) -> PutResult:
+        """Publish one record to a node's queue."""
+        result = self.queue_for(node_id).put(record, timeout_s=timeout_s)
+        if result is PutResult.DROPPED_OLDEST:
+            self.metrics.incr("broker_dropped_oldest")
+        elif result is PutResult.REJECTED:
+            self.metrics.incr("broker_rejected")
+        elif result is PutResult.TIMEOUT:
+            self.metrics.incr("broker_put_timeouts")
+        if result.accepted:
+            self.metrics.incr("broker_enqueued")
+        return result
+
+    def node_ids(self) -> List[str]:
+        """Nodes that have (or had) a queue, sorted."""
+        with self._lock:
+            return sorted(self._queues)
+
+    def depth(self, node_id: str) -> int:
+        """Records currently queued for one node."""
+        with self._lock:
+            queue = self._queues.get(node_id)
+        return len(queue) if queue is not None else 0
+
+    def total_dropped(self) -> int:
+        """Drops + rejections + timeouts across all queues."""
+        with self._lock:
+            queues = list(self._queues.values())
+        return sum(
+            q.stats.dropped_oldest + q.stats.rejected + q.stats.timeouts
+            for q in queues
+        )
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-node counter snapshot."""
+        with self._lock:
+            return {
+                node_id: queue.stats.as_dict()
+                for node_id, queue in sorted(self._queues.items())
+            }

@@ -1,0 +1,145 @@
+"""Field-of-view drift detection and re-calibration requests.
+
+A node's accepted calibration profile goes stale the moment the
+operator moves the antenna indoors, swaps hardware, or starts
+fabricating: the paper's one-shot calibration (§3.1) has no way to
+notice. The drift detector compares each completed window's sector
+decisions against the node's *accepted* profile and, when the
+divergence crosses a threshold, emits a :class:`DriftEvent` carrying
+a re-calibration request scheduled through the existing
+:class:`~repro.core.scheduler.MeasurementScheduler` — the service
+asks the node for fresh measurements at the most informative hours
+instead of blindly distrusting it.
+
+Divergence is the disagreement fraction over bearing bins, and a
+window must carry a minimum amount of informative evidence before it
+is allowed to accuse anyone — a quiet half hour of airspace is not
+an antenna change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.fov import FieldOfViewEstimate
+from repro.core.scheduler import MeasurementScheduler, Schedule
+
+
+@dataclass(frozen=True)
+class RecalibrationRequest:
+    """What the service asks of a drifting node."""
+
+    node_id: str
+    requested_at_s: float
+    reason: str
+    schedule: Schedule
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One detected divergence between recent and accepted profiles."""
+
+    node_id: str
+    detected_at_s: float
+    divergence: float
+    changed_bins: int
+    n_bins: int
+    request: RecalibrationRequest
+
+
+def profile_divergence(
+    accepted: FieldOfViewEstimate, current: FieldOfViewEstimate
+) -> float:
+    """Fraction of bearing bins whose open/closed verdict flipped."""
+    if accepted.n_bins != current.n_bins:
+        raise ValueError(
+            f"profiles disagree on binning: {accepted.n_bins} vs "
+            f"{current.n_bins}"
+        )
+    changed = sum(
+        1
+        for a, c in zip(accepted.open_flags, current.open_flags)
+        if a != c
+    )
+    return changed / accepted.n_bins
+
+
+@dataclass
+class DriftDetector:
+    """Flags windows that diverge from the accepted profile.
+
+    Attributes:
+        node_id: the monitored node.
+        threshold: divergence fraction above which drift fires.
+        min_evidence: informative observations a window needs before
+            its estimate is trusted enough to accuse the node.
+        recalibration_windows: measurement windows the scheduler
+            requests when drift fires.
+        accepted: the accepted profile; seeded from the first
+            evidence-bearing window when not set explicitly.
+    """
+
+    node_id: str
+    threshold: float = 0.30
+    min_evidence: int = 20
+    recalibration_windows: int = 3
+    scheduler: MeasurementScheduler = field(
+        default_factory=MeasurementScheduler
+    )
+    accepted: Optional[FieldOfViewEstimate] = None
+    events: List[DriftEvent] = field(default_factory=list)
+    windows_checked: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1]: {self.threshold}"
+            )
+
+    def accept(self, profile: FieldOfViewEstimate) -> None:
+        """Adopt a profile as the node's accepted calibration."""
+        self.accepted = profile
+
+    def check(
+        self,
+        now_s: float,
+        current: FieldOfViewEstimate,
+        evidence: int,
+    ) -> Optional[DriftEvent]:
+        """Judge one completed window against the accepted profile.
+
+        The first evidence-bearing window becomes the accepted
+        profile (bootstrapping); later windows return a
+        :class:`DriftEvent` when they diverge past the threshold.
+        """
+        if evidence < self.min_evidence:
+            return None
+        self.windows_checked += 1
+        if self.accepted is None:
+            self.accepted = current
+            return None
+        divergence = profile_divergence(self.accepted, current)
+        if divergence < self.threshold:
+            return None
+        changed = round(divergence * current.n_bins)
+        request = RecalibrationRequest(
+            node_id=self.node_id,
+            requested_at_s=now_s,
+            reason=(
+                f"sector profile diverged {divergence:.0%} from the "
+                f"accepted calibration ({changed}/{current.n_bins} "
+                "bins flipped)"
+            ),
+            schedule=self.scheduler.schedule(self.recalibration_windows),
+        )
+        event = DriftEvent(
+            node_id=self.node_id,
+            detected_at_s=now_s,
+            divergence=divergence,
+            changed_bins=changed,
+            n_bins=current.n_bins,
+            request=request,
+        )
+        self.events.append(event)
+        return event

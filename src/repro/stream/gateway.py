@@ -1,0 +1,208 @@
+"""The live ingest gateway: broker + sessions + online engines.
+
+`StreamGateway` is the deployable front door of the streaming
+service: publishers push records through the bounded broker, node
+sessions consume them into per-node online calibration engines, idle
+senders are reaped, and the whole thing surfaces the same
+counters/latency-percentile observability the fleet runtime's
+campaigns report. Snapshots come out as batch-shaped
+:class:`~repro.core.network.NodeAssessment` objects, so streaming
+results drop into every existing consumer (serialization, result
+cache, marketplace rendering) unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.metrics import MetricsRegistry
+from repro.core.network import NodeAssessment
+from repro.geo.coords import GeoPoint
+from repro.stream.broker import OverflowPolicy, PutResult, StreamBroker
+from repro.stream.drift import DriftEvent
+from repro.stream.engine import EngineConfig
+from repro.stream.records import StreamRecord
+from repro.stream.session import NodeSession
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables for the whole gateway.
+
+    Attributes:
+        engine: per-node online-calibration settings (window length,
+            sector binning, drift threshold).
+        queue_capacity / policy: broker bound and overflow behaviour.
+        idle_timeout_s: stream seconds without any record before a
+            session is evicted by :meth:`StreamGateway.evict_idle`.
+        quarantine_cap: malformed lines kept per session.
+    """
+
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    queue_capacity: int = 1024
+    policy: OverflowPolicy = OverflowPolicy.BLOCK
+    idle_timeout_s: float = 120.0
+    quarantine_cap: int = 64
+
+    def __post_init__(self) -> None:
+        if self.idle_timeout_s <= 0.0:
+            raise ValueError(
+                f"idle timeout must be positive: {self.idle_timeout_s}"
+            )
+
+
+class StreamGateway:
+    """Publishes, consumes, and exports a fleet of live node streams."""
+
+    def __init__(
+        self,
+        config: Optional[GatewayConfig] = None,
+        positions: Optional[Dict[str, GeoPoint]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.broker = StreamBroker(
+            capacity=self.config.queue_capacity,
+            policy=self.config.policy,
+            metrics=self.metrics,
+        )
+        #: Claimed receiver positions, needed only for live SBS joins.
+        self.positions = dict(positions or {})
+        self.sessions: Dict[str, NodeSession] = {}
+        self.evicted_sessions: List[str] = []
+
+    # ------------------------------------------------------------------
+    # publish side
+
+    def publish(
+        self,
+        node_id: str,
+        record: StreamRecord,
+        timeout_s: Optional[float] = None,
+    ) -> PutResult:
+        """Publish one record to a node's queue (policy applies)."""
+        return self.broker.publish(node_id, record, timeout_s=timeout_s)
+
+    # ------------------------------------------------------------------
+    # consume side
+
+    def session_for(self, node_id: str) -> NodeSession:
+        """The node's session, created on first use."""
+        session = self.sessions.get(node_id)
+        if session is None:
+            session = NodeSession(
+                node_id,
+                config=self.config.engine,
+                receiver_position=self.positions.get(node_id),
+                quarantine_cap=self.config.quarantine_cap,
+            )
+            self.sessions[node_id] = session
+        return session
+
+    def drain_node(self, node_id: str) -> int:
+        """Consume everything queued for one node; returns the count."""
+        started = time.perf_counter()
+        session = self.session_for(node_id)
+        consumed = 0
+        for record in self.broker.queue_for(node_id).drain():
+            session.handle(record)
+            consumed += 1
+        if consumed:
+            self.metrics.incr("stream_records_consumed", consumed)
+            self.metrics.observe(
+                "stream_drain", time.perf_counter() - started
+            )
+        return consumed
+
+    def drain(self) -> int:
+        """Consume every queued record across all nodes."""
+        return sum(
+            self.drain_node(node_id)
+            for node_id in self.broker.node_ids()
+        )
+
+    def flush(self) -> None:
+        """Drain, then finalize every session's in-progress window."""
+        self.drain()
+        for session in self.sessions.values():
+            if session.engine.flush():
+                self.metrics.incr("stream_windows_finalized")
+
+    def evict_idle(self, now_s: float) -> List[str]:
+        """Drop sessions idle past the timeout; returns evicted ids."""
+        evicted = [
+            node_id
+            for node_id, session in self.sessions.items()
+            if session.idle_for(now_s) > self.config.idle_timeout_s
+        ]
+        for node_id in evicted:
+            del self.sessions[node_id]
+            self.evicted_sessions.append(node_id)
+            self.metrics.incr("stream_sessions_evicted")
+        return evicted
+
+    # ------------------------------------------------------------------
+    # export side
+
+    def snapshot(self, node_id: str) -> NodeAssessment:
+        """One node's online state as a batch-shaped assessment."""
+        if node_id not in self.sessions:
+            raise KeyError(f"no live session for node {node_id!r}")
+        return self.sessions[node_id].engine.snapshot()
+
+    def snapshots(self) -> Dict[str, NodeAssessment]:
+        """Assessments for every live session."""
+        return {
+            node_id: session.engine.snapshot()
+            for node_id, session in sorted(self.sessions.items())
+        }
+
+    def drift_events(self) -> List[DriftEvent]:
+        """All drift events across sessions, in detection order."""
+        events = [
+            event
+            for session in self.sessions.values()
+            for event in session.engine.drift.events
+        ]
+        return sorted(events, key=lambda e: e.detected_at_s)
+
+    def summary_text(self) -> str:
+        """Human-readable gateway state for the CLI."""
+        lines = ["stream gateway:"]
+        for node_id, session in sorted(self.sessions.items()):
+            engine = session.engine
+            counters = session.counters
+            drift_count = len(engine.drift.events)
+            lines.append(
+                f"  {node_id}: {counters.records} records, "
+                f"{len(engine.summaries)} windows, "
+                f"{counters.malformed_lines} quarantined, "
+                f"{drift_count} drift event(s)"
+            )
+        summary = self.metrics.summary()
+        interesting = [
+            "broker_enqueued",
+            "broker_dropped_oldest",
+            "broker_rejected",
+            "broker_put_timeouts",
+            "stream_records_consumed",
+            "stream_windows_finalized",
+            "stream_sessions_evicted",
+        ]
+        parts = [
+            f"{name}={summary[name]}"
+            for name in interesting
+            if name in summary
+        ]
+        if "stream_drain_p50_s" in summary:
+            parts.append(
+                f"drain p50 {summary['stream_drain_p50_s'] * 1e3:.2f} ms"
+            )
+            parts.append(
+                f"p95 {summary['stream_drain_p95_s'] * 1e3:.2f} ms"
+            )
+        lines.append("  metrics: " + ", ".join(parts))
+        return "\n".join(lines)

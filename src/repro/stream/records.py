@@ -1,0 +1,98 @@
+"""Stream record types and the deterministic virtual clock.
+
+Everything that flows through the ingest gateway is one of these
+records. A live deployment produces :class:`SbsLineRecord` (raw
+dump1090 port-30003 lines) and :class:`TruthBatchRecord` (periodic
+flight-tracker queries); the replay source produces
+:class:`ObservationRecord`/:class:`GhostRecord` (the §3.1 join of a
+recorded scan, re-timed onto a virtual clock); every sender emits
+:class:`HeartbeatRecord` so idle sessions can be told apart from dead
+ones.
+
+All records carry ``time_s`` on the *stream clock* — simulation or
+replay time, never wall time — which keeps every downstream decision
+(window boundaries, eviction, drift checks) deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.adsb.icao import IcaoAddress
+from repro.airspace.flightradar import FlightReport
+from repro.core.observations import AircraftObservation
+
+
+@dataclass
+class VirtualClock:
+    """A deterministic, monotonically advancing stream clock.
+
+    Replay and simulated sources stamp records from this clock instead
+    of wall time, so a replayed campaign is bit-reproducible and tests
+    never sleep.
+    """
+
+    now_s: float = 0.0
+
+    def advance(self, dt_s: float) -> float:
+        """Move time forward by ``dt_s`` (never backwards)."""
+        if dt_s < 0.0:
+            raise ValueError(f"clock cannot run backwards: {dt_s}")
+        self.now_s += dt_s
+        return self.now_s
+
+    def advance_to(self, t_s: float) -> float:
+        """Jump to ``t_s`` if it is ahead of now (no-op otherwise)."""
+        self.now_s = max(self.now_s, t_s)
+        return self.now_s
+
+
+@dataclass(frozen=True)
+class SbsLineRecord:
+    """One raw SBS-1 (BaseStation) line from a node's dump1090."""
+
+    time_s: float
+    line: str
+
+
+@dataclass(frozen=True)
+class TruthBatchRecord:
+    """One flight-tracker query snapshot (the §3.1 ground truth)."""
+
+    time_s: float
+    reports: List[FlightReport]
+
+
+@dataclass(frozen=True)
+class ObservationRecord:
+    """A pre-joined ground-truth observation (replay path)."""
+
+    time_s: float
+    observation: AircraftObservation
+
+
+@dataclass(frozen=True)
+class GhostRecord:
+    """A locally-decoded ICAO absent from ground truth (replay path)."""
+
+    time_s: float
+    icao: IcaoAddress
+    n_messages: int = 1
+
+
+@dataclass(frozen=True)
+class HeartbeatRecord:
+    """Sender liveness marker; advances the session clock."""
+
+    time_s: float
+
+
+#: Everything a node session knows how to consume.
+StreamRecord = Union[
+    SbsLineRecord,
+    TruthBatchRecord,
+    ObservationRecord,
+    GhostRecord,
+    HeartbeatRecord,
+]

@@ -1,0 +1,216 @@
+"""Node sessions: one consumer-side state machine per live sender.
+
+A session owns a node's :class:`~repro.stream.engine.OnlineCalibrationEngine`
+and knows how to turn raw stream records into engine updates:
+
+- **SBS lines** are parsed with the hardened
+  :func:`~repro.adsb.sbs.parse_sbs`; malformed lines go to a capped
+  quarantine buffer (and a counter) instead of crashing the consumer —
+  a flaky sender degrades its own data, not the service.
+- **Truth batches** (flight-tracker snapshots) are joined online
+  against the window's decoded-ICAO tallies, exactly the §3.1 join
+  ``scan_from_sbs`` performs in batch.
+- **Ghost flushing**: when a calibration window closes, decoded ICAOs
+  never matched by any truth batch in that window are folded into the
+  trust state as ghosts.
+- **Heartbeats** advance the clock and refresh liveness;
+  sessions that stop heartbeating are evicted by the gateway's idle
+  reaper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.sbs import parse_sbs
+from repro.core.observations import AircraftObservation
+from repro.environment.links import ray_geometry
+from repro.geo.coords import GeoPoint
+from repro.stream.engine import EngineConfig, OnlineCalibrationEngine
+from repro.stream.records import (
+    GhostRecord,
+    HeartbeatRecord,
+    ObservationRecord,
+    SbsLineRecord,
+    StreamRecord,
+    TruthBatchRecord,
+)
+
+#: Quarantined lines kept per session — enough to debug a bad sender,
+#: bounded so one cannot leak memory by streaming garbage.
+DEFAULT_QUARANTINE_CAP = 64
+
+
+@dataclass
+class _LiveTally:
+    """Per-window decoded-message state for one ICAO (live join)."""
+
+    n_messages: int = 0
+    last_time_s: float = 0.0
+    matched: bool = False
+
+
+@dataclass
+class SessionCounters:
+    """Everything a session has seen, by disposition."""
+
+    records: int = 0
+    sbs_lines: int = 0
+    malformed_lines: int = 0
+    blank_lines: int = 0
+    truth_reports: int = 0
+    observations: int = 0
+    ghosts: int = 0
+    heartbeats: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "records": self.records,
+            "sbs_lines": self.sbs_lines,
+            "malformed_lines": self.malformed_lines,
+            "blank_lines": self.blank_lines,
+            "truth_reports": self.truth_reports,
+            "observations": self.observations,
+            "ghosts": self.ghosts,
+            "heartbeats": self.heartbeats,
+        }
+
+
+class NodeSession:
+    """Consumes one node's record stream into its online engine.
+
+    Attributes:
+        node_id: the sending node.
+        receiver_position: the node's (claimed) location — required to
+            join live SBS traffic against truth batches; replay
+            records arrive pre-joined and do not need it.
+        quarantine: the most recent malformed lines as
+            ``(time_s, line, error)`` tuples, capped.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        config: Optional[EngineConfig] = None,
+        receiver_position: Optional[GeoPoint] = None,
+        quarantine_cap: int = DEFAULT_QUARANTINE_CAP,
+    ) -> None:
+        self.node_id = node_id
+        self.receiver_position = receiver_position
+        self.engine = OnlineCalibrationEngine(
+            node_id, config, on_window_end=self._flush_window_tallies
+        )
+        self.counters = SessionCounters()
+        self.quarantine: Deque[Tuple[float, str, str]] = deque(
+            maxlen=max(1, quarantine_cap)
+        )
+        self.last_seen_s = 0.0
+        self._tallies: Dict[IcaoAddress, _LiveTally] = {}
+
+    def handle(self, record: StreamRecord) -> None:
+        """Consume one record; malformed input never raises."""
+        if not isinstance(
+            record,
+            (
+                SbsLineRecord,
+                TruthBatchRecord,
+                ObservationRecord,
+                GhostRecord,
+                HeartbeatRecord,
+            ),
+        ):
+            raise TypeError(f"unknown stream record: {type(record)!r}")
+        self.counters.records += 1
+        self.last_seen_s = max(self.last_seen_s, record.time_s)
+        if isinstance(record, SbsLineRecord):
+            self._handle_sbs(record)
+        elif isinstance(record, TruthBatchRecord):
+            self._handle_truth(record)
+        elif isinstance(record, ObservationRecord):
+            self.counters.observations += 1
+            self.engine.add_observation(record.time_s, record.observation)
+        elif isinstance(record, GhostRecord):
+            self.counters.ghosts += 1
+            self.engine.add_ghost(
+                record.time_s, record.icao, record.n_messages
+            )
+        else:
+            self.counters.heartbeats += 1
+            self.engine.advance(record.time_s)
+
+    # ------------------------------------------------------------------
+    # live SBS path
+
+    def _handle_sbs(self, record: SbsLineRecord) -> None:
+        line = record.line.strip()
+        if not line:
+            self.counters.blank_lines += 1
+            self.engine.advance(record.time_s)
+            return
+        try:
+            parsed = parse_sbs(line)
+        except ValueError as exc:
+            self.counters.malformed_lines += 1
+            self.quarantine.append((record.time_s, line, str(exc)))
+            self.engine.advance(record.time_s)
+            return
+        self.counters.sbs_lines += 1
+        self.engine.advance(record.time_s)
+        tally = self._tallies.setdefault(parsed.icao, _LiveTally())
+        tally.n_messages += 1
+        tally.last_time_s = record.time_s
+
+    def _handle_truth(self, record: TruthBatchRecord) -> None:
+        """Join one tracker snapshot against the window's tallies."""
+        if self.receiver_position is None:
+            raise ValueError(
+                f"session {self.node_id!r} needs a receiver position "
+                "to join live truth batches"
+            )
+        self.engine.advance(record.time_s)
+        for report in record.reports:
+            self.counters.truth_reports += 1
+            geom = ray_geometry(self.receiver_position, report.position)
+            tally = self._tallies.get(report.icao)
+            received = tally is not None and tally.n_messages > 0
+            if tally is not None:
+                tally.matched = True
+            self.counters.observations += 1
+            self.engine.add_observation(
+                record.time_s,
+                AircraftObservation(
+                    icao=report.icao,
+                    callsign=report.callsign,
+                    bearing_deg=geom.azimuth_deg,
+                    ground_range_m=geom.ground_m,
+                    elevation_deg=geom.elevation_deg,
+                    position=report.position,
+                    received=received,
+                    n_messages=tally.n_messages if received else 0,
+                    # live SBS lines carry no RSSI
+                    mean_rssi_dbfs=None,
+                ),
+            )
+
+    def _flush_window_tallies(self, boundary_s: float) -> None:
+        """Window close: unmatched decoded ICAOs become ghosts."""
+        if not self._tallies:
+            return
+        ghost_time = self.engine.ghost_time_for_boundary(boundary_s)
+        for icao in sorted(self._tallies):
+            tally = self._tallies[icao]
+            if not tally.matched:
+                self.counters.ghosts += 1
+                self.engine.window.add_ghost(
+                    ghost_time, icao, tally.n_messages
+                )
+        self._tallies.clear()
+
+    # ------------------------------------------------------------------
+
+    def idle_for(self, now_s: float) -> float:
+        """Stream seconds since this sender was last heard."""
+        return max(0.0, now_s - self.last_seen_s)

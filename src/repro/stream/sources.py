@@ -1,0 +1,150 @@
+"""Record sources: replaying recorded scans and simulating live nodes.
+
+Two ways to feed the gateway without real hardware:
+
+- :class:`ReplaySource` streams any recorded
+  :class:`~repro.core.observations.DirectionalScan` as pre-joined
+  observation/ghost records on a deterministic virtual clock — the
+  bridge between the batch pipeline's artifacts and the streaming
+  engine, and the basis of the streaming-vs-batch equivalence tests.
+- :class:`SimulatedNodeSource` runs the §3.1 measurement procedure
+  window after window against the simulated world and replays each
+  resulting scan into its window slot; an optional mid-stream site
+  swap (the node "moves indoors") exercises the drift detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.directional import DirectionalEvaluator
+from repro.core.observations import DirectionalScan
+from repro.stream.records import (
+    GhostRecord,
+    HeartbeatRecord,
+    ObservationRecord,
+    StreamRecord,
+    VirtualClock,
+)
+
+
+@dataclass
+class ReplaySource:
+    """Streams one recorded scan over a virtual-clock window.
+
+    Observations and ghosts are spread evenly across the scan's
+    duration starting at ``start_s`` — deterministic timestamps, no
+    wall clock, bit-reproducible replays. A trailing heartbeat pins
+    the end of the capture so idle detection and window bookkeeping
+    see the full duration even for sparse scans.
+    """
+
+    scan: DirectionalScan
+    start_s: float = 0.0
+
+    def records(self) -> Iterator[StreamRecord]:
+        # Timestamps are exact fractions of the duration, never an
+        # accumulated sum of steps: repeated float addition can
+        # overshoot the window end, and a heartbeat even one ulp past
+        # the boundary would open (and later flush) a phantom window.
+        clock = VirtualClock(now_s=self.start_s)
+        events = max(
+            len(self.scan.observations) + len(self.scan.ghost_icaos), 1
+        )
+        j = 0
+        for obs in self.scan.observations:
+            clock.advance_to(
+                self.start_s + self.scan.duration_s * (j / events)
+            )
+            yield ObservationRecord(time_s=clock.now_s, observation=obs)
+            j += 1
+        ghost_messages = self._ghost_message_counts()
+        for icao, n_messages in zip(self.scan.ghost_icaos, ghost_messages):
+            clock.advance_to(
+                self.start_s + self.scan.duration_s * (j / events)
+            )
+            yield GhostRecord(
+                time_s=clock.now_s, icao=icao, n_messages=n_messages
+            )
+            j += 1
+        yield HeartbeatRecord(
+            time_s=clock.advance_to(self.start_s + self.scan.duration_s)
+        )
+
+    def _ghost_message_counts(self) -> List[int]:
+        """Split the scan's unattributed decodes across its ghosts.
+
+        A recorded scan only keeps the total decoded count; whatever
+        its received observations don't account for is spread over
+        the ghosts so the replayed window's message totals match.
+        """
+        n_ghosts = len(self.scan.ghost_icaos)
+        if n_ghosts == 0:
+            return []
+        attributed = sum(o.n_messages for o in self.scan.observations)
+        leftover = max(self.scan.decoded_message_count - attributed, 0)
+        base, extra = divmod(leftover, n_ghosts)
+        return [
+            max(base + (1 if i < extra else 0), 1)
+            for i in range(n_ghosts)
+        ]
+
+
+@dataclass
+class SimulatedNodeSource:
+    """A live node simulated window-by-window.
+
+    Each window runs the full §3.1 physical simulation (squitters,
+    link budget, decoder, ground-truth join) with an independent seed
+    and replays the resulting scan into its window slot. ``swap_at``
+    switches to ``swap_evaluator`` from that window index on — the
+    canonical drift scenario (antenna moved, operator cheating).
+    """
+
+    evaluator: DirectionalEvaluator
+    n_windows: int = 1
+    seed: int = 0
+    swap_at: Optional[int] = None
+    swap_evaluator: Optional[DirectionalEvaluator] = None
+
+    def __post_init__(self) -> None:
+        if self.n_windows <= 0:
+            raise ValueError(
+                f"n_windows must be positive: {self.n_windows}"
+            )
+        if (self.swap_at is None) != (self.swap_evaluator is None):
+            raise ValueError(
+                "swap_at and swap_evaluator must be set together"
+            )
+
+    def scans(self) -> List[DirectionalScan]:
+        """The per-window scans, in window order."""
+        out: List[DirectionalScan] = []
+        for k in range(self.n_windows):
+            evaluator = self.evaluator
+            if self.swap_at is not None and k >= self.swap_at:
+                evaluator = self.swap_evaluator
+            rng = np.random.default_rng(self.seed + k)
+            scan = evaluator.run(rng)
+            out.append(scan)
+        return out
+
+    def records(self) -> Iterator[StreamRecord]:
+        for k, scan in enumerate(self.scans()):
+            replay = ReplaySource(
+                scan=scan, start_s=k * scan.duration_s
+            )
+            yield from replay.records()
+
+
+def replay_scans(
+    scans: Sequence[DirectionalScan], window_s: Optional[float] = None
+) -> Iterator[StreamRecord]:
+    """Replay several recorded scans back-to-back, one per window."""
+    offset = 0.0
+    for scan in scans:
+        yield from ReplaySource(scan=scan, start_s=offset).records()
+        offset += window_s if window_s is not None else scan.duration_s

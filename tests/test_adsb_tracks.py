@@ -103,13 +103,41 @@ class TestLifecycle:
         assert [t.icao for t in active] == [B]
 
     def test_prune(self):
-        tracker = AircraftTracker(track_ttl_s=30.0)
+        tracker = AircraftTracker(track_ttl_s=30.0, auto_prune=False)
         tracker.update(_msg(A, "acquisition", 0.0))
         tracker.update(_msg(B, "acquisition", 100.0))
         removed = tracker.prune(now_s=110.0)
         assert removed == 1
         assert tracker.get(A) is None
         assert tracker.get(B) is not None
+
+    def test_auto_prune_drops_stale_tracks(self):
+        tracker = AircraftTracker(track_ttl_s=30.0)
+        tracker.update(_msg(A, "acquisition", 0.0))
+        # B's update advances stream time past the TTL: A goes away
+        # without anyone calling prune().
+        tracker.update(_msg(B, "acquisition", 100.0))
+        assert tracker.get(A) is None
+        assert tracker.get(B) is not None
+
+    def test_auto_prune_bounds_long_running_stream(self):
+        tracker = AircraftTracker(track_ttl_s=30.0)
+        # A year-long feed of transient aircraft: one message each,
+        # never seen again. Without auto-pruning this grows forever.
+        for i in range(2000):
+            tracker.update(
+                _msg(IcaoAddress(1 + i), "acquisition", i * 10.0)
+            )
+        # Bounded by aircraft heard within ~2x TTL of the latest
+        # message, not by the 2000 ever seen.
+        assert len(tracker) <= 8
+
+    def test_auto_prune_never_drops_fresh_track(self):
+        tracker = AircraftTracker(track_ttl_s=30.0)
+        for i in range(100):
+            track = tracker.update(_msg(A, "acquisition", i * 45.0))
+        assert track is tracker.get(A)
+        assert tracker.get(A).message_count == 100
 
     def test_validation(self):
         with pytest.raises(ValueError):

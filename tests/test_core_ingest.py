@@ -2,12 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.adsb.decoder import Dump1090Decoder
-from repro.adsb.sbs import stream_to_sbs
+from repro.adsb.decoder import DecodedMessage, Dump1090Decoder
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.sbs import stream_to_sbs, to_sbs
 from repro.core.directional import DirectionalEvaluator
 from repro.core.fov import KnnFovEstimator
-from repro.core.ingest import parse_sbs_stream, scan_from_sbs
+from repro.core.ingest import IngestStats, parse_sbs_stream, scan_from_sbs
 from repro.environment.links import AdsbLinkModel
 from repro.geo.coords import GeoPoint
 from repro.node.sensor import SensorNode
@@ -71,6 +74,111 @@ class TestParseStream:
         )
         records = parse_sbs_stream(noisy.splitlines())
         assert len(records) == len(messages)
+
+
+def _valid_line() -> str:
+    return to_sbs(
+        DecodedMessage(
+            time_s=1.0,
+            icao=IcaoAddress(0xABC123),
+            kind="position",
+            rssi_dbfs=-40.0,
+            position=GeoPoint(37.9, -122.1, 9000.0),
+        )
+    )
+
+
+class TestIngestStats:
+    def test_every_line_is_counted_once(self, sbs_world):
+        _node, sbs_text, _reports, messages = sbs_world
+        noisy = (
+            "STATUS,ok\n\n"
+            + sbs_text
+            + "\nMSG,3,truncated\n# comment\n"
+        )
+        stats = IngestStats()
+        records = parse_sbs_stream(noisy.splitlines(), stats=stats)
+        assert stats.parsed == len(records) == len(messages)
+        assert stats.malformed == 3
+        assert stats.blank == 1
+        assert stats.lines == (
+            stats.blank + stats.parsed + stats.malformed
+        )
+        assert stats.last_error is not None
+
+    def test_stats_flow_through_scan_from_sbs(self, sbs_world):
+        node, sbs_text, reports, _messages = sbs_world
+        stats = IngestStats()
+        scan_from_sbs(
+            ["garbage"] + sbs_text.splitlines(),
+            reports,
+            node_id="sbs-node",
+            receiver_position=node.position,
+            stats=stats,
+        )
+        assert stats.malformed == 1
+        assert stats.parsed > 0
+
+    def test_as_dict_round_trips_counts(self):
+        stats = IngestStats()
+        parse_sbs_stream(["", "nope", _valid_line()], stats=stats)
+        assert stats.as_dict() == {
+            "lines": 3,
+            "blank": 1,
+            "parsed": 1,
+            "malformed": 1,
+        }
+
+
+class TestIngestFuzz:
+    """Hostile feeds must be skipped and counted, never raised."""
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_categories=("Cs",),
+                    blacklist_characters="\n\r",
+                ),
+                max_size=80,
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=200)
+    def test_arbitrary_text_never_crashes(self, lines):
+        stats = IngestStats()
+        records = parse_sbs_stream(lines, stats=stats)
+        assert stats.lines == len(lines)
+        assert stats.lines == (
+            stats.blank + stats.parsed + stats.malformed
+        )
+        assert len(records) == stats.parsed
+
+    @given(
+        position=st.integers(min_value=0, max_value=21),
+        junk=st.text(
+            alphabet="0123456789abcdefXYZ-+.,e ",
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=200)
+    def test_field_corruption_never_crashes(self, position, junk):
+        parts = _valid_line().split(",")
+        parts[position] = junk
+        parse_sbs_stream([",".join(parts)])
+
+    @given(garbage=st.lists(st.text(max_size=40), max_size=10))
+    @settings(max_examples=100)
+    def test_valid_lines_survive_surrounding_garbage(self, garbage):
+        clean = [line.replace("\n", " ").replace("\r", " ")
+                 for line in garbage]
+        stats = IngestStats()
+        records = parse_sbs_stream(
+            clean + [_valid_line()] + clean, stats=stats
+        )
+        assert stats.parsed >= 1
+        assert records[-1].icao == IcaoAddress(0xABC123)
 
 
 class TestScanFromSbs:

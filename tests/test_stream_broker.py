@@ -1,0 +1,143 @@
+"""Tests for the bounded stream broker and its overflow policies."""
+
+import threading
+
+import pytest
+
+from repro.core.metrics import MetricsRegistry
+from repro.stream import (
+    BoundedQueue,
+    HeartbeatRecord,
+    OverflowPolicy,
+    PutResult,
+    StreamBroker,
+)
+
+
+def _hb(t: float = 0.0) -> HeartbeatRecord:
+    return HeartbeatRecord(time_s=t)
+
+
+class TestBoundedQueue:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(capacity=0)
+
+    def test_fifo_order(self):
+        queue = BoundedQueue(capacity=8)
+        for t in (1.0, 2.0, 3.0):
+            assert queue.put(_hb(t)) is PutResult.OK
+        assert [r.time_s for r in queue.drain()] == [1.0, 2.0, 3.0]
+
+    def test_empty_poll_returns_none(self):
+        queue = BoundedQueue(capacity=1)
+        assert queue.get(timeout_s=0) is None
+
+    def test_drop_oldest_sheds_head(self):
+        queue = BoundedQueue(
+            capacity=2, policy=OverflowPolicy.DROP_OLDEST
+        )
+        queue.put(_hb(1.0))
+        queue.put(_hb(2.0))
+        result = queue.put(_hb(3.0))
+        assert result is PutResult.DROPPED_OLDEST
+        assert result.accepted
+        assert queue.stats.dropped_oldest == 1
+        assert [r.time_s for r in queue.drain()] == [2.0, 3.0]
+
+    def test_reject_refuses_new_record(self):
+        queue = BoundedQueue(capacity=1, policy=OverflowPolicy.REJECT)
+        queue.put(_hb(1.0))
+        result = queue.put(_hb(2.0))
+        assert result is PutResult.REJECTED
+        assert not result.accepted
+        assert queue.stats.rejected == 1
+        assert [r.time_s for r in queue.drain()] == [1.0]
+
+    def test_block_times_out_and_counts(self):
+        queue = BoundedQueue(capacity=1, policy=OverflowPolicy.BLOCK)
+        queue.put(_hb(1.0))
+        result = queue.put(_hb(2.0), timeout_s=0.01)
+        assert result is PutResult.TIMEOUT
+        assert queue.stats.timeouts == 1
+
+    def test_block_unblocks_when_consumer_frees_space(self):
+        queue = BoundedQueue(capacity=1, policy=OverflowPolicy.BLOCK)
+        queue.put(_hb(1.0))
+        consumed = []
+
+        def consume():
+            consumed.append(queue.get(timeout_s=5.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        result = queue.put(_hb(2.0), timeout_s=5.0)
+        thread.join(timeout=5.0)
+        assert result is PutResult.OK
+        assert consumed[0].time_s == 1.0
+        assert [r.time_s for r in queue.drain()] == [2.0]
+
+    def test_get_waits_for_producer(self):
+        queue = BoundedQueue(capacity=4)
+        timer = threading.Timer(0.02, lambda: queue.put(_hb(7.0)))
+        timer.start()
+        record = queue.get(timeout_s=5.0)
+        timer.join()
+        assert record.time_s == 7.0
+
+    def test_high_watermark_tracks_peak_depth(self):
+        queue = BoundedQueue(capacity=8)
+        for t in range(5):
+            queue.put(_hb(float(t)))
+        queue.drain()
+        queue.put(_hb(99.0))
+        assert queue.stats.high_watermark == 5
+        assert queue.stats.enqueued == 6
+        assert queue.stats.consumed == 5
+
+    def test_stats_as_dict_buckets_every_outcome(self):
+        queue = BoundedQueue(capacity=1, policy=OverflowPolicy.REJECT)
+        queue.put(_hb(1.0))
+        queue.put(_hb(2.0))
+        stats = queue.stats.as_dict()
+        assert stats["enqueued"] == 1
+        assert stats["rejected"] == 1
+        assert stats["dropped_oldest"] == 0
+
+
+class TestStreamBroker:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StreamBroker(capacity=0)
+
+    def test_per_node_isolation(self):
+        broker = StreamBroker(capacity=4)
+        broker.publish("a", _hb(1.0))
+        broker.publish("b", _hb(2.0))
+        broker.publish("b", _hb(3.0))
+        assert broker.node_ids() == ["a", "b"]
+        assert broker.depth("a") == 1
+        assert broker.depth("b") == 2
+        assert broker.depth("never-seen") == 0
+
+    def test_metrics_mirror_queue_outcomes(self):
+        metrics = MetricsRegistry()
+        broker = StreamBroker(
+            capacity=1,
+            policy=OverflowPolicy.DROP_OLDEST,
+            metrics=metrics,
+        )
+        broker.publish("a", _hb(1.0))
+        broker.publish("a", _hb(2.0))
+        summary = metrics.summary()
+        assert summary["broker_enqueued"] == 2
+        assert summary["broker_dropped_oldest"] == 1
+        assert broker.total_dropped() == 1
+
+    def test_rejections_counted_globally_and_per_node(self):
+        broker = StreamBroker(capacity=1, policy=OverflowPolicy.REJECT)
+        broker.publish("a", _hb(1.0))
+        assert broker.publish("a", _hb(2.0)) is PutResult.REJECTED
+        assert broker.metrics.summary()["broker_rejected"] == 1
+        assert broker.stats()["a"]["rejected"] == 1
+        assert broker.total_dropped() == 1

@@ -1,0 +1,226 @@
+"""Tests for the incremental sliding-window calibration state.
+
+The load-bearing property: on any window contents, the online
+structures must agree *bit-identically* with the batch estimators the
+rest of the pipeline trusts — including after arbitrary interleavings
+of additions and evictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adsb.icao import IcaoAddress
+from repro.core.fov import SectorHistogramEstimator
+from repro.core.network import TrustEvaluator
+from repro.core.observations import AircraftObservation, DirectionalScan
+from repro.geo.coords import GeoPoint
+from repro.stream.online import (
+    OnlineSectorStats,
+    OnlineTrustStats,
+    SlidingWindow,
+    _LazyMaxHeap,
+)
+
+
+def _obs(
+    i: int,
+    bearing_deg: float,
+    range_km: float,
+    received: bool,
+    rssi: float = None,
+) -> AircraftObservation:
+    return AircraftObservation(
+        icao=IcaoAddress(i + 1),
+        callsign=f"OBS{i}",
+        bearing_deg=bearing_deg,
+        ground_range_m=range_km * 1000.0,
+        elevation_deg=2.0,
+        position=GeoPoint(37.9, -122.1, 9000.0),
+        received=received,
+        n_messages=3 if received else 0,
+        mean_rssi_dbfs=rssi if received else None,
+    )
+
+
+def _random_obs(rng: np.random.Generator, i: int) -> AircraftObservation:
+    return _obs(
+        i,
+        bearing_deg=float(rng.uniform(0.0, 360.0)),
+        range_km=float(rng.uniform(0.0, 120.0)),
+        received=bool(rng.random() < 0.6),
+        rssi=float(rng.uniform(-60.0, -20.0)),
+    )
+
+
+def _batch_estimate(observations):
+    scan = DirectionalScan(
+        node_id="n",
+        duration_s=30.0,
+        radius_m=100_000.0,
+        observations=list(observations),
+    )
+    return SectorHistogramEstimator().estimate(scan)
+
+
+class TestLazyMaxHeap:
+    def test_empty_max_is_zero(self):
+        assert _LazyMaxHeap().max() == 0.0
+
+    def test_discard_reverses_push(self):
+        heap = _LazyMaxHeap()
+        for v in (5.0, 9.0, 7.0):
+            heap.push(v)
+        assert heap.max() == 9.0
+        heap.discard(9.0)
+        assert heap.max() == 7.0
+        heap.discard(7.0)
+        heap.discard(5.0)
+        assert heap.max() == 0.0
+
+    def test_duplicate_values_discarded_one_at_a_time(self):
+        heap = _LazyMaxHeap()
+        heap.push(4.0)
+        heap.push(4.0)
+        heap.discard(4.0)
+        assert heap.max() == 4.0
+        heap.discard(4.0)
+        assert heap.max() == 0.0
+
+
+class TestOnlineSectorStats:
+    def test_matches_batch_on_static_set(self, rng):
+        observations = [_random_obs(rng, i) for i in range(120)]
+        online = OnlineSectorStats()
+        for obs in observations:
+            online.add(obs)
+        batch = _batch_estimate(observations)
+        estimate = online.estimate()
+        assert estimate.open_flags == batch.open_flags
+        assert estimate.max_range_km == batch.max_range_km
+
+    def test_matches_batch_under_sliding_eviction(self, rng):
+        """Slide a 50-element window over 300 observations; at every
+        step the incremental estimate must equal a from-scratch batch
+        run over the window's survivors."""
+        observations = [_random_obs(rng, i) for i in range(300)]
+        online = OnlineSectorStats()
+        window = []
+        checkpoints = 0
+        for step, obs in enumerate(observations):
+            online.add(obs)
+            window.append(obs)
+            if len(window) > 50:
+                online.remove(window.pop(0))
+            if step % 37 == 0:
+                batch = _batch_estimate(window)
+                estimate = online.estimate()
+                assert estimate.open_flags == batch.open_flags
+                assert estimate.max_range_km == batch.max_range_km
+                checkpoints += 1
+        assert checkpoints > 5
+
+    def test_multipath_floor_excluded_from_evidence(self):
+        online = OnlineSectorStats()
+        online.add(_obs(0, 10.0, 5.0, True, rssi=-40.0))
+        assert online.evidence_count() == 0
+        online.add(_obs(1, 10.0, 50.0, True, rssi=-40.0))
+        assert online.evidence_count() == 1
+
+    def test_remove_is_exact_inverse(self, rng):
+        observations = [_random_obs(rng, i) for i in range(60)]
+        online = OnlineSectorStats()
+        baseline = online.estimate()
+        for obs in observations:
+            online.add(obs)
+        for obs in observations:
+            online.remove(obs)
+        restored = online.estimate()
+        assert restored.open_flags == baseline.open_flags
+        assert restored.max_range_km == baseline.max_range_km
+        assert online.evidence_count() == 0
+
+
+class TestOnlineTrustStats:
+    def _batch_checks(self, observations, ghosts=()):
+        scan = DirectionalScan(
+            node_id="n",
+            duration_s=30.0,
+            radius_m=100_000.0,
+            observations=list(observations),
+            decoded_message_count=sum(
+                o.n_messages for o in observations
+            )
+            + len(ghosts),
+            ghost_icaos=sorted(ghosts),
+        )
+        return TrustEvaluator().assess(scan).checks
+
+    def test_matches_batch_trust_evaluator(self, rng):
+        observations = [_random_obs(rng, i) for i in range(80)]
+        ghosts = [IcaoAddress(0xF000 + i) for i in range(4)]
+        online = OnlineTrustStats()
+        for obs in observations:
+            online.add(obs)
+        for _ in ghosts:
+            online.add_ghost(1)
+        for ours, batch in zip(
+            online.checks(), self._batch_checks(observations, ghosts)
+        ):
+            assert ours.name == batch.name
+            assert ours.passed == batch.passed
+            assert ours.score == pytest.approx(batch.score)
+            assert ours.detail == batch.detail
+
+    def test_ghost_eviction_reverses_fraction(self):
+        online = OnlineTrustStats()
+        for i in range(9):
+            online.add(_obs(i, 10.0, 60.0, True, rssi=-40.0))
+        for _ in range(6):
+            online.add_ghost(2)
+        assert not online.checks()[0].passed
+        for _ in range(6):
+            online.remove_ghost(2)
+        assert online.checks()[0].passed
+        assert online.ghost_messages == 0
+
+    def test_empty_window_is_benign(self):
+        checks = OnlineTrustStats().checks()
+        assert [c.name for c in checks] == [
+            "ghost",
+            "too_perfect",
+            "rssi",
+        ]
+        assert all(c.passed for c in checks)
+
+
+class TestSlidingWindow:
+    def _window(self, window_s=30.0):
+        return SlidingWindow(
+            window_s=window_s,
+            sector=OnlineSectorStats(),
+            trust=OnlineTrustStats(),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._window(window_s=0.0)
+
+    def test_eviction_expires_old_entries_only(self):
+        window = self._window(window_s=30.0)
+        window.add_observation(0.0, _obs(0, 10.0, 60.0, True, -40.0))
+        window.add_ghost(5.0, IcaoAddress(0xBEEF))
+        window.add_observation(20.0, _obs(1, 20.0, 60.0, True, -40.0))
+        assert window.evict_until(40.0) == 2
+        assert len(window) == 1
+        assert window.ghost_icaos() == []
+        assert window.sector.evidence_count() == 1
+
+    def test_to_scan_shapes_batch_fields(self):
+        window = self._window()
+        window.add_observation(1.0, _obs(0, 10.0, 60.0, True, -40.0))
+        window.add_ghost(2.0, IcaoAddress(0xBEEF), n_messages=4)
+        scan = window.to_scan("node-1", 100_000.0)
+        assert scan.node_id == "node-1"
+        assert scan.decoded_message_count == 3 + 4
+        assert scan.ghost_icaos == [IcaoAddress(0xBEEF)]
+        assert len(scan.observations) == 1

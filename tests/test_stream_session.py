@@ -1,0 +1,258 @@
+"""Tests for node sessions and the stream gateway."""
+
+import pytest
+
+from repro.adsb.decoder import DecodedMessage
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.sbs import to_sbs
+from repro.airspace.flightradar import FlightReport
+from repro.core.network import NodeAssessment
+from repro.geo.coords import GeoPoint
+from repro.stream import (
+    EngineConfig,
+    GatewayConfig,
+    HeartbeatRecord,
+    NodeSession,
+    ObservationRecord,
+    SbsLineRecord,
+    StreamGateway,
+    TruthBatchRecord,
+)
+from tests.test_stream_online import _obs
+
+RECEIVER = GeoPoint(37.8715, -122.2730, 20.0)
+A = IcaoAddress(0xA00001)
+B = IcaoAddress(0xB00002)
+C = IcaoAddress(0xC00003)
+
+
+def _sbs_line(icao: IcaoAddress, time_s: float) -> str:
+    return to_sbs(
+        DecodedMessage(
+            time_s=time_s,
+            icao=icao,
+            kind="acquisition",
+            rssi_dbfs=-40.0,
+        )
+    )
+
+
+def _report(icao: IcaoAddress, lat_deg: float = 38.2) -> FlightReport:
+    return FlightReport(
+        icao=icao,
+        callsign=f"FL{icao.value:04X}",
+        position=GeoPoint(lat_deg, -122.2730, 9000.0),
+        ground_speed_ms=220.0,
+        track_deg=90.0,
+    )
+
+
+class TestSbsPath:
+    def test_valid_lines_are_tallied(self):
+        session = NodeSession("n", receiver_position=RECEIVER)
+        session.handle(SbsLineRecord(1.0, _sbs_line(A, 1.0)))
+        session.handle(SbsLineRecord(2.0, _sbs_line(A, 2.0)))
+        assert session.counters.sbs_lines == 2
+        assert session.counters.malformed_lines == 0
+
+    def test_malformed_lines_quarantined_not_raised(self):
+        session = NodeSession("n", receiver_position=RECEIVER)
+        session.handle(SbsLineRecord(1.0, "MSG,99,garbage"))
+        session.handle(SbsLineRecord(2.0, "not,a,message"))
+        session.handle(SbsLineRecord(3.0, "   "))
+        assert session.counters.malformed_lines == 2
+        assert session.counters.blank_lines == 1
+        assert len(session.quarantine) == 2
+        time_s, line, error = session.quarantine[0]
+        assert time_s == 1.0
+        assert line == "MSG,99,garbage"
+        assert error
+
+    def test_quarantine_is_bounded(self):
+        session = NodeSession(
+            "n", receiver_position=RECEIVER, quarantine_cap=5
+        )
+        for i in range(50):
+            session.handle(SbsLineRecord(float(i), f"junk-{i}"))
+        assert session.counters.malformed_lines == 50
+        assert len(session.quarantine) == 5
+        assert session.quarantine[-1][1] == "junk-49"
+
+
+class TestLiveTruthJoin:
+    def test_join_marks_received_and_ghosts(self):
+        config = EngineConfig(window_s=30.0)
+        session = NodeSession(
+            "n", config=config, receiver_position=RECEIVER
+        )
+        # Decodes for A (tracked) and C (not in ground truth).
+        session.handle(SbsLineRecord(5.0, _sbs_line(A, 5.0)))
+        session.handle(SbsLineRecord(6.0, _sbs_line(C, 6.0)))
+        # Tracker snapshot knows about A and B.
+        session.handle(
+            TruthBatchRecord(15.0, [_report(A), _report(B, lat_deg=38.4)])
+        )
+        # Window boundary: unmatched decodes (C) become ghosts.
+        session.handle(HeartbeatRecord(30.0))
+        scan = session.engine.window.to_scan("n", 100_000.0)
+        by_icao = {o.icao: o for o in scan.observations}
+        assert by_icao[A].received
+        assert by_icao[A].n_messages == 1
+        assert not by_icao[B].received
+        assert scan.ghost_icaos == [C]
+        assert session.counters.ghosts == 1
+        assert session.counters.truth_reports == 2
+
+    def test_truth_requires_receiver_position(self):
+        session = NodeSession("n")
+        with pytest.raises(ValueError):
+            session.handle(TruthBatchRecord(1.0, [_report(A)]))
+
+    def test_tallies_reset_each_window(self):
+        session = NodeSession("n", receiver_position=RECEIVER)
+        session.handle(SbsLineRecord(5.0, _sbs_line(C, 5.0)))
+        session.handle(HeartbeatRecord(30.0))
+        session.handle(HeartbeatRecord(31.0))
+        # C was flushed as a window-0 ghost; a new window starts clean.
+        session.handle(TruthBatchRecord(45.0, [_report(A)]))
+        obs = session.engine.window.to_scan("n", 1e5).observations
+        assert [o.received for o in obs if o.icao == A] == [False]
+        assert session.counters.ghosts == 1
+
+
+class TestSessionLifecycle:
+    def test_heartbeat_advances_clock_and_liveness(self):
+        session = NodeSession("n")
+        session.handle(HeartbeatRecord(42.0))
+        assert session.engine.now_s == 42.0
+        assert session.last_seen_s == 42.0
+        assert session.idle_for(100.0) == pytest.approx(58.0)
+        assert session.counters.heartbeats == 1
+
+    def test_unknown_record_type_raises(self):
+        session = NodeSession("n")
+        with pytest.raises(TypeError):
+            session.handle(object())
+
+
+class TestReplayClock:
+    def _scan(self, n_obs, ghost):
+        from repro.core.observations import DirectionalScan
+
+        ghosts = [C] if ghost else []
+        return DirectionalScan(
+            node_id="n",
+            duration_s=30.0,
+            radius_m=100_000.0,
+            observations=[
+                _obs(i, (10.0 * i) % 360.0, 60.0, True, -40.0)
+                for i in range(n_obs)
+            ],
+            decoded_message_count=3 * n_obs + len(ghosts),
+            ghost_icaos=ghosts,
+        )
+
+    def test_replay_never_overshoots_window_end(self):
+        """Regression: 31 events stepping by 30/31 used to accumulate
+        past t=30.0, so the trailing heartbeat opened (and a flush
+        finalized) a phantom empty window."""
+        from repro.stream import ReplaySource
+
+        for start_s in (0.0, 30.0, 90.0):
+            scan = self._scan(30, ghost=True)  # 31 events
+            records = list(
+                ReplaySource(scan=scan, start_s=start_s).records()
+            )
+            assert records[-1].time_s == start_s + 30.0
+            assert max(r.time_s for r in records) == start_s + 30.0
+            times = [r.time_s for r in records]
+            assert times == sorted(times)
+
+    def test_back_to_back_replay_finalizes_one_window_each(self):
+        from repro.stream import ReplaySource, StreamGateway
+
+        gateway = StreamGateway()
+        for k in range(4):
+            replay = ReplaySource(
+                scan=self._scan(30, ghost=True), start_s=k * 30.0
+            )
+            for record in replay.records():
+                gateway.publish("n", record)
+        gateway.flush()
+        engine = gateway.sessions["n"].engine
+        assert len(engine.summaries) == 4
+        assert [s.end_s for s in engine.summaries] == [
+            30.0,
+            60.0,
+            90.0,
+            120.0,
+        ]
+        assert all(s.evidence == 30 for s in engine.summaries)
+
+
+class TestStreamGateway:
+    def _gateway(self, **kwargs) -> StreamGateway:
+        return StreamGateway(config=GatewayConfig(**kwargs))
+
+    def test_publish_drain_flush_snapshot(self):
+        gateway = self._gateway()
+        for t in range(5):
+            gateway.publish(
+                "node-a",
+                ObservationRecord(
+                    float(t), _obs(t, 40.0, 60.0, True, -40.0)
+                ),
+            )
+        gateway.publish("node-a", HeartbeatRecord(29.0))
+        assert gateway.broker.depth("node-a") == 6
+        gateway.flush()
+        assert gateway.broker.depth("node-a") == 0
+        snapshot = gateway.snapshot("node-a")
+        assert isinstance(snapshot, NodeAssessment)
+        assert snapshot.node_id == "node-a"
+        assert len(snapshot.report.scan.observations) == 5
+        summary = gateway.metrics.summary()
+        assert summary["stream_records_consumed"] == 6
+        assert summary["broker_enqueued"] == 6
+        assert summary["stream_windows_finalized"] == 1
+
+    def test_snapshot_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            self._gateway().snapshot("nobody")
+
+    def test_snapshots_cover_all_sessions(self):
+        gateway = self._gateway()
+        gateway.publish("b", HeartbeatRecord(1.0))
+        gateway.publish("a", HeartbeatRecord(1.0))
+        gateway.drain()
+        assert list(gateway.snapshots()) == ["a", "b"]
+
+    def test_idle_sessions_evicted(self):
+        gateway = self._gateway(idle_timeout_s=60.0)
+        gateway.publish("slow", HeartbeatRecord(0.0))
+        gateway.publish("live", HeartbeatRecord(100.0))
+        gateway.drain()
+        assert gateway.evict_idle(now_s=120.0) == ["slow"]
+        assert "slow" not in gateway.sessions
+        assert gateway.evicted_sessions == ["slow"]
+        assert (
+            gateway.metrics.summary()["stream_sessions_evicted"] == 1
+        )
+
+    def test_sessions_use_claimed_positions(self):
+        gateway = StreamGateway(positions={"n": RECEIVER})
+        gateway.publish("n", SbsLineRecord(5.0, _sbs_line(A, 5.0)))
+        gateway.publish("n", TruthBatchRecord(15.0, [_report(A)]))
+        gateway.drain()
+        assert gateway.sessions["n"].counters.observations == 1
+
+    def test_summary_text_reports_sessions_and_counters(self):
+        gateway = self._gateway()
+        gateway.publish("node-a", HeartbeatRecord(1.0))
+        gateway.publish("node-a", SbsLineRecord(2.0, "garbage"))
+        gateway.flush()
+        text = gateway.summary_text()
+        assert "node-a" in text
+        assert "2 records" in text
+        assert "1 quarantined" in text
+        assert "broker_enqueued=2" in text

@@ -20,6 +20,9 @@ Commands:
   stream, with drift detection and re-calibration requests
   (``--window``, ``--drift-threshold``, ``--swap-to`` for the drift
   scenario).
+- ``lint [PATH ...]`` — the domain-aware static analyzer (unit
+  suffixes, determinism, lock hygiene, interface hygiene); all
+  arguments are forwarded to :mod:`repro.lint`.
 """
 
 from __future__ import annotations
@@ -213,6 +216,18 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--seed", type=int, default=11, help="simulation seed"
     )
+
+    # The lint tool owns its own argparse; forward everything so
+    # `repro lint --help` shows the analyzer's options, not ours.
+    lint = sub.add_parser(
+        "lint",
+        add_help=False,
+        help=(
+            "run the domain-aware static analyzer (units, "
+            "determinism, concurrency, interfaces)"
+        ),
+    )
+    lint.add_argument("rest", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -510,6 +525,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Hand the full tail to the analyzer's own parser:
+        # argparse.REMAINDER drops leading options (`lint
+        # --list-rules`), so the dispatch happens before argparse.
+        from repro.lint import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     handlers = {
         "calibrate": _cmd_calibrate,

@@ -1,0 +1,46 @@
+"""Domain-aware static analysis for the repro codebase.
+
+Four rule families, grounded in what actually corrupts calibration
+results in this repo:
+
+- **RL1 unit discipline** — a ``freq_mhz`` bound to a ``freq_hz``
+  parameter, or ``x_dbm + y_dbm`` arithmetic, is a silent factor of
+  a million (or a nonsense power) in the RF math.
+- **RL2 determinism** — wall-clock reads and global/unseeded RNGs
+  inside the simulation and stream packages break the
+  reproducibility the whole evaluation rests on.
+- **RL3 concurrency hygiene** — shared state mutated outside the
+  owning lock, or callbacks/logging invoked while holding it, in
+  the threaded runtime/stream layers.
+- **RL4 interface hygiene** — unannotated public ``core``/
+  ``stream`` surfaces and swallowed exceptions.
+
+Run it as ``repro lint`` or ``python -m repro.lint``; see
+``docs/linting.md`` for the rule catalogue and suppression syntax
+(``# repro-lint: disable=RL101``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.cli import main
+from repro.lint.engine import LintResult, collect_files, run_lint
+from repro.lint.findings import (
+    REGISTRY,
+    Finding,
+    Rule,
+    Severity,
+)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "collect_files",
+    "main",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,42 @@
+"""Rule-family checkers. Importing this package registers every
+rule in :data:`repro.lint.findings.REGISTRY`."""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+from repro.lint.checkers.concurrency import ConcurrencyChecker
+from repro.lint.checkers.determinism import DeterminismChecker
+from repro.lint.checkers.interface import InterfaceChecker
+from repro.lint.checkers.units import UnitsChecker
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.signatures import SignatureIndex
+
+
+class Checker(Protocol):
+    """One rule family's entry point."""
+
+    def check(
+        self, ctx: FileContext, index: SignatureIndex
+    ) -> List[Finding]: ...
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every rule family, in rule-id order."""
+    return [
+        UnitsChecker(),
+        DeterminismChecker(),
+        ConcurrencyChecker(),
+        InterfaceChecker(),
+    ]
+
+
+__all__ = [
+    "Checker",
+    "ConcurrencyChecker",
+    "DeterminismChecker",
+    "InterfaceChecker",
+    "UnitsChecker",
+    "all_checkers",
+]

@@ -1,0 +1,381 @@
+"""RL3 — lock hygiene in the threaded runtime and stream layers.
+
+For classes in ``runtime``/``stream`` modules that own a
+``threading.Lock``/``RLock``:
+
+- RL301 flags mutation of ``self`` state in a *public* method
+  outside a ``with self._lock:`` block — direct assignment,
+  augmented assignment, subscript stores, and mutating container
+  calls (``self._items.append(...)``). Private helpers (leading
+  underscore) are exempt by repo convention: they document that the
+  caller already holds the lock (e.g. ``BoundedQueue._append``).
+- RL302 flags calls that run user code or I/O while the lock is
+  held — ``print``, ``logging``/``logger`` calls, and
+  callback/hook/listener invocations — a classic deadlock and
+  latency trap. Condition-variable ``notify``/``notify_all`` are of
+  course legal under the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from repro.lint.context import FileContext
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    finding,
+    register_rule,
+)
+from repro.lint.resolve import (
+    ImportMap,
+    build_import_map,
+    canonical_call,
+    dotted,
+)
+from repro.lint.signatures import SignatureIndex
+
+RL301 = register_rule(
+    "RL301",
+    "unlocked-shared-mutation",
+    Severity.ERROR,
+    "shared state mutated outside the owning lock in a "
+    "lock-owning class",
+)
+
+RL302 = register_rule(
+    "RL302",
+    "call-while-holding-lock",
+    Severity.WARNING,
+    "callback/logging invoked while holding a lock",
+)
+
+#: Only the threaded layers are in scope.
+LOCK_SCOPES: FrozenSet[str] = frozenset({"runtime", "stream"})
+
+_LOCK_FACTORIES = frozenset({"threading.Lock", "threading.RLock"})
+_GUARD_FACTORIES = _LOCK_FACTORIES | {"threading.Condition"}
+
+_MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "extendleft",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "rotate",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+_CALLBACK_RE = re.compile(
+    r"^on_|_on_|callback|hook|listener|subscriber"
+)
+_LOGGING_BASES = frozenset({"logging", "logger", "log"})
+_INIT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _root_is_self(node: ast.expr) -> bool:
+    """Whether an attribute/subscript chain is rooted at ``self``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not (
+        name.startswith("__") and name.endswith("__")
+    )
+
+
+class ConcurrencyChecker:
+    """RL301/RL302 over one file."""
+
+    def check(
+        self, ctx: FileContext, index: SignatureIndex
+    ) -> List[Finding]:
+        if not (LOCK_SCOPES & ctx.scope_parts):
+            return []
+        imports = build_import_map(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                self._check_class(ctx, imports, node, findings)
+        return findings
+
+    # -- per-class ----------------------------------------------------
+
+    def _check_class(
+        self,
+        ctx: FileContext,
+        imports: ImportMap,
+        cls: ast.ClassDef,
+        findings: List[Finding],
+    ) -> None:
+        locks, guards = self._guard_attrs(imports, cls)
+        if not locks:
+            return
+        for stmt in cls.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if stmt.name in _INIT_METHODS:
+                continue
+            check_mutations = not _is_private(stmt.name)
+            self._walk_method(
+                ctx,
+                cls.name,
+                stmt.name,
+                stmt.body,
+                guards,
+                locked=False,
+                check_mutations=check_mutations,
+                findings=findings,
+            )
+
+    def _guard_attrs(
+        self, imports: ImportMap, cls: ast.ClassDef
+    ) -> "tuple[Set[str], Set[str]]":
+        """Names of ``self`` attributes holding locks/conditions."""
+        locks: Set[str] = set()
+        guards: Set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            canon = canonical_call(imports, node.value.func)
+            if canon not in _GUARD_FACTORIES:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    guards.add(target.attr)
+                    if canon in _LOCK_FACTORIES:
+                        locks.add(target.attr)
+        return locks, guards
+
+    # -- per-method traversal ----------------------------------------
+
+    def _walk_method(
+        self,
+        ctx: FileContext,
+        class_name: str,
+        method: str,
+        body: Sequence[ast.stmt],
+        guards: Set[str],
+        locked: bool,
+        check_mutations: bool,
+        findings: List[Finding],
+    ) -> None:
+        for stmt in body:
+            self._visit_stmt(
+                ctx,
+                class_name,
+                method,
+                stmt,
+                guards,
+                locked,
+                check_mutations,
+                findings,
+            )
+
+    def _visit_stmt(
+        self,
+        ctx: FileContext,
+        class_name: str,
+        method: str,
+        stmt: ast.stmt,
+        guards: Set[str],
+        locked: bool,
+        check_mutations: bool,
+        findings: List[Finding],
+    ) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return  # nested defs run later, under unknown locking
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            takes_lock = any(
+                self._is_guard_expr(item.context_expr, guards)
+                for item in stmt.items
+            )
+            self._walk_method(
+                ctx,
+                class_name,
+                method,
+                stmt.body,
+                guards,
+                locked or takes_lock,
+                check_mutations,
+                findings,
+            )
+            return
+        if not locked and check_mutations:
+            self._check_mutation(
+                ctx, class_name, method, stmt, findings
+            )
+        if locked:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._check_locked_call(
+                        ctx, class_name, method, node, findings
+                    )
+        for child_body in self._nested_bodies(stmt):
+            self._walk_method(
+                ctx,
+                class_name,
+                method,
+                child_body,
+                guards,
+                locked,
+                check_mutations,
+                findings,
+            )
+
+    @staticmethod
+    def _nested_bodies(
+        stmt: ast.stmt,
+    ) -> List[Sequence[ast.stmt]]:
+        bodies: List[Sequence[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if block and not isinstance(
+                stmt, (ast.With, ast.AsyncWith)
+            ):
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", []) or []:
+            bodies.append(handler.body)
+        return bodies
+
+    @staticmethod
+    def _is_guard_expr(
+        node: ast.expr, guards: Set[str]
+    ) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in guards
+        )
+
+    # -- RL301 --------------------------------------------------------
+
+    def _check_mutation(
+        self,
+        ctx: FileContext,
+        class_name: str,
+        method: str,
+        stmt: ast.stmt,
+        findings: List[Finding],
+    ) -> None:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value:
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            if isinstance(
+                target, (ast.Attribute, ast.Subscript)
+            ) and _root_is_self(target):
+                findings.append(
+                    finding(
+                        RL301,
+                        str(ctx.path),
+                        stmt.lineno,
+                        stmt.col_offset + 1,
+                        f"{class_name}.{method} mutates "
+                        f"`{ast.unparse(target)}` outside "
+                        "`with self._lock:` in a lock-owning "
+                        "class",
+                    )
+                )
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Call
+        ):
+            func = stmt.value.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and _root_is_self(func.value)
+            ):
+                findings.append(
+                    finding(
+                        RL301,
+                        str(ctx.path),
+                        stmt.lineno,
+                        stmt.col_offset + 1,
+                        f"{class_name}.{method} calls "
+                        f"`{ast.unparse(func)}(...)` outside "
+                        "`with self._lock:` in a lock-owning "
+                        "class",
+                    )
+                )
+
+    # -- RL302 --------------------------------------------------------
+
+    def _check_locked_call(
+        self,
+        ctx: FileContext,
+        class_name: str,
+        method: str,
+        node: ast.Call,
+        findings: List[Finding],
+    ) -> None:
+        reason = self._locked_call_reason(node.func)
+        if reason is None:
+            return
+        findings.append(
+            finding(
+                RL302,
+                str(ctx.path),
+                node.lineno,
+                node.col_offset + 1,
+                f"{class_name}.{method} invokes {reason} while "
+                "holding the lock; move it outside the critical "
+                "section",
+            )
+        )
+
+    @staticmethod
+    def _locked_call_reason(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            if func.id == "print":
+                return "`print` (blocking I/O)"
+            if _CALLBACK_RE.search(func.id):
+                return f"callback `{func.id}`"
+            return None
+        if isinstance(func, ast.Attribute):
+            path = dotted(func)
+            if path is not None:
+                first = path.split(".", 1)[0]
+                base = path.rsplit(".", 2)
+                owner = base[-2] if len(base) >= 2 else ""
+                if (
+                    first in _LOGGING_BASES
+                    or owner.lstrip("_") in _LOGGING_BASES
+                ):
+                    return f"logging call `{path}`"
+            if _CALLBACK_RE.search(func.attr):
+                return f"callback `{func.attr}`"
+        return None

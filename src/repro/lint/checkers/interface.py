@@ -1,0 +1,199 @@
+"""RL4 — interface hygiene.
+
+- RL401: public functions and methods in the ``core``/``stream``
+  packages — the surfaces every other subsystem builds on — must be
+  fully annotated (every named parameter and the return type).
+- RL402: bare ``except:`` anywhere catches ``KeyboardInterrupt``
+  and ``SystemExit`` and is always wrong; name the exception.
+- RL403: an ``except Exception:`` whose body is only
+  ``pass``/``continue`` swallows failures invisibly — deadly in
+  worker loops, where a job dies and the campaign reports success.
+  Log, count, or re-raise instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Union
+
+from repro.lint.context import FileContext
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    finding,
+    register_rule,
+)
+from repro.lint.signatures import SignatureIndex
+
+RL401 = register_rule(
+    "RL401",
+    "missing-annotations",
+    Severity.WARNING,
+    "public core/stream function missing parameter or return "
+    "annotations",
+)
+
+RL402 = register_rule(
+    "RL402",
+    "bare-except",
+    Severity.ERROR,
+    "bare `except:` catches KeyboardInterrupt/SystemExit",
+)
+
+RL403 = register_rule(
+    "RL403",
+    "swallowed-exception",
+    Severity.WARNING,
+    "`except Exception:` with a pass-only body hides failures",
+)
+
+#: Packages whose public surface must be annotated.
+ANNOTATION_SCOPES: FrozenSet[str] = frozenset({"core", "stream"})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_") or name == "__init__"
+
+
+def _decorator_names(node: _FunctionNode) -> List[str]:
+    names: List[str] = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.append(target.attr)
+    return names
+
+
+class InterfaceChecker:
+    """RL401/RL402/RL403 over one file."""
+
+    def check(
+        self, ctx: FileContext, index: SignatureIndex
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        if ANNOTATION_SCOPES & ctx.scope_parts:
+            self._check_annotations(
+                ctx, ctx.tree.body, None, findings
+            )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                result = self._check_handler(ctx, node)
+                if result is not None:
+                    findings.append(result)
+        return findings
+
+    # -- RL401 --------------------------------------------------------
+
+    def _check_annotations(
+        self,
+        ctx: FileContext,
+        body: List[ast.stmt],
+        class_name: Optional[str],
+        findings: List[Finding],
+    ) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not node.name.startswith("_"):
+                    self._check_annotations(
+                        ctx, node.body, node.name, findings
+                    )
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self._check_function(
+                    ctx, node, class_name, findings
+                )
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        node: _FunctionNode,
+        class_name: Optional[str],
+        findings: List[Finding],
+    ) -> None:
+        if not _is_public(node.name):
+            return
+        if "overload" in _decorator_names(node):
+            return
+        missing: List[str] = []
+        named = [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]
+        for arg in named:
+            if arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(f"parameter `{arg.arg}`")
+        if node.returns is None:
+            missing.append("return type")
+        if not missing:
+            return
+        qualname = (
+            f"{class_name}.{node.name}" if class_name else node.name
+        )
+        findings.append(
+            finding(
+                RL401,
+                str(ctx.path),
+                node.lineno,
+                node.col_offset + 1,
+                f"public function {qualname} is missing "
+                f"annotations: {', '.join(missing)}",
+            )
+        )
+
+    # -- RL402 / RL403 ------------------------------------------------
+
+    def _check_handler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> Optional[Finding]:
+        where = (str(ctx.path), node.lineno, node.col_offset + 1)
+        if node.type is None:
+            return finding(
+                RL402,
+                *where,
+                "bare `except:` also catches KeyboardInterrupt "
+                "and SystemExit; catch `Exception` (or narrower) "
+                "instead",
+            )
+        if self._is_broad(node.type) and self._swallows(node.body):
+            return finding(
+                RL403,
+                *where,
+                "`except Exception:` with a pass-only body "
+                "swallows failures; log, count, or re-raise",
+            )
+        return None
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr) -> bool:
+        names: List[str] = []
+        candidates = (
+            type_node.elts
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name):
+                names.append(candidate.id)
+        return any(
+            n in ("Exception", "BaseException") for n in names
+        )
+
+    @staticmethod
+    def _swallows(body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring or `...`
+            return False
+        return True

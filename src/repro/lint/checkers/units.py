@@ -1,0 +1,301 @@
+"""RL1 — unit discipline.
+
+RL101 flags a call argument whose name carries one unit suffix
+binding to a parameter that carries a different one (``freq_mhz``
+passed to ``freq_hz``). Signatures are resolved syntactically across
+the ``repro`` package: module functions, ``self.`` methods, class
+constructors (including dataclasses), and imported names.
+
+RL102 flags log-domain arithmetic that is dimensionally wrong by
+construction: adding two absolute dBm powers (power does not add in
+the log domain), and ``+``/``-`` between two different scales of the
+same dimension (``_hz`` with ``_mhz``, ``_m`` with ``_km``, ``_s``
+with ``_ms``, ``_deg`` with ``_rad``). Mixing relative dB with
+absolute dBm is legitimate gain math and is not flagged; likewise
+dBFS with dBm (the full-scale conversion idiom).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    finding,
+    register_rule,
+)
+from repro.lint.resolve import (
+    ImportMap,
+    build_import_map,
+    dotted,
+)
+from repro.lint.signatures import FunctionSig, SignatureIndex
+from repro.lint.units import (
+    dimension,
+    expr_unit,
+    label,
+    unit_suffix,
+)
+
+RL101 = register_rule(
+    "RL101",
+    "unit-mismatch-arg",
+    Severity.ERROR,
+    "argument with one unit suffix bound to a parameter with "
+    "another",
+)
+
+RL102 = register_rule(
+    "RL102",
+    "unit-mismatch-arith",
+    Severity.ERROR,
+    "arithmetic mixing incompatible unit suffixes (dBm+dBm, "
+    "Hz with MHz, ...)",
+)
+
+
+def _display(sigs: List[FunctionSig]) -> str:
+    if len(sigs) == 1:
+        return sigs[0].display
+    return (
+        f"{sigs[0].qualname.rsplit('.', 1)[-1]} "
+        f"({len(sigs)} known implementations)"
+    )
+
+
+def _describe(node: ast.expr) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+class UnitsChecker:
+    """RL101/RL102 over one file."""
+
+    def check(
+        self, ctx: FileContext, index: SignatureIndex
+    ) -> List[Finding]:
+        imports = build_import_map(ctx.tree)
+        findings: List[Finding] = []
+        self._walk(ctx, index, imports, ctx.tree, None, findings)
+        return findings
+
+    # -- traversal ----------------------------------------------------
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        index: SignatureIndex,
+        imports: ImportMap,
+        node: ast.AST,
+        current_class: Optional[str],
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                self._walk(
+                    ctx, index, imports, child, child.name, findings
+                )
+                continue
+            if isinstance(child, ast.Call):
+                sigs = self._resolve(
+                    ctx, index, imports, child.func, current_class
+                )
+                if sigs:
+                    findings.extend(
+                        self._check_binding(ctx, child, sigs)
+                    )
+            elif isinstance(child, ast.BinOp):
+                result = self._check_arith(ctx, child)
+                if result is not None:
+                    findings.append(result)
+            self._walk(
+                ctx, index, imports, child, current_class, findings
+            )
+
+    # -- RL101 --------------------------------------------------------
+
+    def _resolve(
+        self,
+        ctx: FileContext,
+        index: SignatureIndex,
+        imports: ImportMap,
+        func: ast.expr,
+        current_class: Optional[str],
+    ) -> List[FunctionSig]:
+        """Candidate signatures for a call target.
+
+        Exactly one candidate when the target resolves statically
+        (same-module function, import, ``self.`` method,
+        constructor). For instance-method calls on receivers whose
+        type we cannot know (``tower.power_at(...)``) every known
+        method of that name is a candidate, and the binding check
+        only fires where all candidates agree on a parameter's
+        unit.
+        """
+        module = ctx.module
+        if isinstance(func, ast.Name):
+            name = func.id
+            sig = index.functions.get(
+                (module, name)
+            ) or index.constructors.get((module, name))
+            if sig is not None:
+                return [sig]
+            if name in imports.from_names:
+                src, original = imports.from_names[name]
+                sig = index.functions.get(
+                    (src, original)
+                ) or index.constructors.get((src, original))
+                return [sig] if sig is not None else []
+            return []
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and current_class is not None
+            ):
+                sig = index.methods.get(
+                    (module, current_class, func.attr)
+                )
+                if sig is not None:
+                    return [sig]
+            base = dotted(func.value)
+            if base is not None:
+                if base in imports.module_aliases:
+                    src = imports.module_aliases[base]
+                    sig = index.functions.get(
+                        (src, func.attr)
+                    ) or index.constructors.get((src, func.attr))
+                    if sig is not None:
+                        return [sig]
+                if base in imports.from_names:
+                    parent, original = imports.from_names[base]
+                    src = f"{parent}.{original}"
+                    sig = index.functions.get(
+                        (src, func.attr)
+                    ) or index.constructors.get((src, func.attr))
+                    if sig is not None:
+                        return [sig]
+            return list(
+                index.by_method_name.get(func.attr, [])
+            )
+        return []
+
+    def _check_binding(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        sigs: List[FunctionSig],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        if not any(isinstance(a, ast.Starred) for a in call.args):
+            for position, arg in enumerate(call.args):
+                if any(
+                    position >= len(sig.params) for sig in sigs
+                ):
+                    break  # ambiguous arity across candidates
+                units = {
+                    unit_suffix(sig.params[position])
+                    for sig in sigs
+                }
+                if len(units) != 1 or None in units:
+                    continue  # candidates disagree: stay silent
+                self._compare(
+                    ctx,
+                    call,
+                    _display(sigs),
+                    sigs[0].params[position],
+                    arg,
+                    findings,
+                )
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue  # **kwargs forwarding: unreadable
+            accepted = any(
+                keyword.arg in sig.params
+                or keyword.arg in sig.kwonly
+                or sig.has_kwarg
+                for sig in sigs
+            )
+            if not accepted:
+                continue  # would be a TypeError, not a unit bug
+            self._compare(
+                ctx, call, _display(sigs), keyword.arg,
+                keyword.value, findings,
+            )
+        return findings
+
+    def _compare(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        target: str,
+        param: str,
+        arg: ast.expr,
+        findings: List[Finding],
+    ) -> None:
+        param_unit = unit_suffix(param)
+        arg_unit = expr_unit(arg)
+        if param_unit is None or arg_unit is None:
+            return
+        if param_unit == arg_unit:
+            return
+        findings.append(
+            finding(
+                RL101,
+                str(ctx.path),
+                call.lineno,
+                call.col_offset + 1,
+                f"`{_describe(arg)}` ({label(arg_unit)}) is bound "
+                f"to parameter `{param}` ({label(param_unit)}) of "
+                f"{target}",
+            )
+        )
+
+    # -- RL102 --------------------------------------------------------
+
+    def _check_arith(
+        self, ctx: FileContext, node: ast.BinOp
+    ) -> Optional[Finding]:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return None
+        left = expr_unit(node.left)
+        right = expr_unit(node.right)
+        if left is None or right is None:
+            return None
+        operator = "+" if isinstance(node.op, ast.Add) else "-"
+        where = (str(ctx.path), node.lineno, node.col_offset + 1)
+        if left == right:
+            if left == "dbm" and operator == "+":
+                return finding(
+                    RL102,
+                    *where,
+                    "adding two absolute dBm powers "
+                    f"(`{_describe(node.left)} + "
+                    f"{_describe(node.right)}`); power sums in "
+                    "watts — convert with dbm_to_watts first",
+                )
+            return None
+        if dimension(left) != dimension(right):
+            return finding(
+                RL102,
+                *where,
+                f"`{operator}` between {label(left)} "
+                f"(`{_describe(node.left)}`) and {label(right)} "
+                f"(`{_describe(node.right)}`) mixes dimensions",
+            )
+        if dimension(left) == "level":
+            return None  # dB vs dBm / dBFS: legitimate gain math
+        return finding(
+            RL102,
+            *where,
+            f"`{operator}` between {label(left)} "
+            f"(`{_describe(node.left)}`) and {label(right)} "
+            f"(`{_describe(node.right)}`) mixes scales; convert "
+            "one side first",
+        )

@@ -1,0 +1,174 @@
+"""Orchestration: collect files, build the index, run checkers.
+
+Two passes. Pass one parses every target file *plus* the whole
+installed ``repro`` package and records callable signatures, so unit
+binding resolves across module boundaries even when only a subset is
+being linted. Pass two runs every rule family over each target and
+filters the results through suppressions and ``--select``/
+``--ignore``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.checkers import all_checkers
+from repro.lint.context import FileContext, parse_file
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    finding,
+    register_rule,
+)
+from repro.lint.signatures import SignatureIndex, build_index
+
+RL000 = register_rule(
+    "RL000",
+    "parse-error",
+    Severity.ERROR,
+    "file could not be parsed",
+)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files: List[str]
+    suppressed: int = 0
+    per_rule: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def error_count(self) -> int:
+        return sum(
+            1
+            for f in self.findings
+            if f.severity is Severity.ERROR
+        )
+
+    @property
+    def warning_count(self) -> int:
+        return sum(
+            1
+            for f in self.findings
+            if f.severity is Severity.WARNING
+        )
+
+    def worst_at_or_above(
+        self, threshold: Severity
+    ) -> bool:
+        return any(
+            f.severity >= threshold for f in self.findings
+        )
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises ``FileNotFoundError`` for a path that does not exist.
+    """
+    out: List[Path] = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: List[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"no such file: {raw}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def _package_files() -> List[Path]:
+    """Every source file of the installed ``repro`` package."""
+    package_root = Path(__file__).resolve().parents[1]
+    return sorted(package_root.rglob("*.py"))
+
+
+def _matches(rule_id: str, prefixes: Sequence[str]) -> bool:
+    rule_id = rule_id.upper()
+    return any(rule_id.startswith(p.upper()) for p in prefixes)
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    index_package: bool = True,
+) -> LintResult:
+    """Lint ``paths`` and return the filtered findings.
+
+    ``select``/``ignore`` are rule-id prefixes (``RL1`` covers the
+    whole unit family). ``index_package=False`` restricts signature
+    resolution to the target files themselves — used by fixture
+    tests to stay hermetic.
+    """
+    targets = collect_files(paths)
+
+    contexts: List[FileContext] = []
+    parse_failures: List[Finding] = []
+    parsed: Dict[Path, FileContext] = {}
+    for path in targets:
+        try:
+            ctx = parse_file(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            parse_failures.append(
+                finding(
+                    RL000, str(path), int(line), 1, str(exc)
+                )
+            )
+            continue
+        contexts.append(ctx)
+        parsed[path.resolve()] = ctx
+
+    index_contexts = list(contexts)
+    if index_package:
+        for path in _package_files():
+            if path.resolve() in parsed:
+                continue
+            try:
+                index_contexts.append(parse_file(path))
+            except (SyntaxError, UnicodeDecodeError):
+                continue  # target files already reported above
+    index: SignatureIndex = build_index(index_contexts)
+
+    raw: List[Finding] = list(parse_failures)
+    suppressed = 0
+    checkers = all_checkers()
+    for ctx in contexts:
+        for checker in checkers:
+            for result in checker.check(ctx, index):
+                if ctx.is_suppressed(
+                    result.rule_id, result.line
+                ):
+                    suppressed += 1
+                else:
+                    raw.append(result)
+
+    if select:
+        raw = [f for f in raw if _matches(f.rule_id, select)]
+    if ignore:
+        raw = [
+            f for f in raw if not _matches(f.rule_id, ignore)
+        ]
+
+    raw.sort(key=lambda f: f.sort_key)
+    per_rule: Dict[str, int] = {}
+    for f in raw:
+        per_rule[f.rule_id] = per_rule.get(f.rule_id, 0) + 1
+    return LintResult(
+        findings=raw,
+        files=[str(p) for p in targets],
+        suppressed=suppressed,
+        per_rule=per_rule,
+    )

@@ -1,0 +1,103 @@
+"""Rule and finding primitives for the ``repro.lint`` analyzer.
+
+A *rule* is a registered, documented check with a stable identifier
+(``RL101``…); a *finding* is one concrete violation of a rule at a
+source location. Rules register themselves at import time via
+:func:`register_rule`, so the registry is complete as soon as
+:mod:`repro.lint.checkers` has been imported.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+
+class Severity(enum.IntEnum):
+    """Finding severities, ordered so ``--fail-on`` can compare them."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse ``"error"``/``"warning"`` (case-insensitive)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity: {text!r}") from None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    summary: str
+
+
+#: All registered rules, keyed by rule id. Populated at import time.
+REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(
+    rule_id: str, name: str, severity: Severity, summary: str
+) -> Rule:
+    """Register a rule; duplicate ids are a programming error."""
+    if rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule_id}")
+    rule = Rule(rule_id, name, severity, summary)
+    REGISTRY[rule_id] = rule
+    return rule
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One concrete rule violation at a source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity}: {self.message}"
+        )
+
+
+def finding(
+    rule: Rule, path: str, line: int, col: int, message: str
+) -> Finding:
+    """Build a :class:`Finding` carrying its rule's severity."""
+    return Finding(
+        rule_id=rule.rule_id,
+        severity=rule.severity,
+        path=path,
+        line=line,
+        col=col,
+        message=message,
+    )

@@ -1,0 +1,50 @@
+"""Text and JSON rendering of a lint run."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+
+def _plural(count: int, noun: str) -> str:
+    return f"{count} {noun}{'' if count == 1 else 's'}"
+
+
+def summary_line(result: LintResult) -> str:
+    parts = [
+        _plural(result.error_count, "error"),
+        _plural(result.warning_count, "warning"),
+    ]
+    text = ", ".join(parts)
+    if result.suppressed:
+        text += f" ({result.suppressed} suppressed)"
+    return f"{text} across {_plural(len(result.files), 'file')}"
+
+
+def render_text(
+    result: LintResult, statistics: bool = False
+) -> str:
+    lines = [f.render() for f in result.findings]
+    if statistics and result.per_rule:
+        lines.append("")
+        for rule_id in sorted(result.per_rule):
+            lines.append(
+                f"{rule_id}: {result.per_rule[rule_id]}"
+            )
+    lines.append(summary_line(result))
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "findings": [f.as_dict() for f in result.findings],
+        "summary": {
+            "errors": result.error_count,
+            "warnings": result.warning_count,
+            "suppressed": result.suppressed,
+            "files": len(result.files),
+            "per_rule": dict(sorted(result.per_rule.items())),
+        },
+    }
+    return json.dumps(payload, indent=2)

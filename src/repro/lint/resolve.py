@@ -1,0 +1,85 @@
+"""Lightweight, purely syntactic name resolution for checkers.
+
+Nothing here imports the code under analysis. We track what a file's
+``import`` statements bind each local name to, and canonicalise
+dotted call paths (``np.random.rand`` -> ``numpy.random.rand``) so
+checkers can pattern-match against stable fully-qualified names.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class ImportMap:
+    """What each local name was bound to by import statements.
+
+    Attributes:
+        module_aliases: local dotted prefix -> imported module, e.g.
+            ``{"np": "numpy", "repro.rf.pathloss":
+            "repro.rf.pathloss"}``.
+        from_names: local name -> (source module, original name) for
+            ``from m import x [as y]``.
+    """
+
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    from_names: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+def build_import_map(tree: ast.AST) -> ImportMap:
+    """Collect import bindings anywhere in the file."""
+    imports = ImportMap()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports.module_aliases[local] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports: out of scope
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports.from_names[local] = (node.module, alias.name)
+    return imports
+
+
+def dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as a string for pure Name/Attribute chains."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def canonical(imports: ImportMap, path: str) -> Optional[str]:
+    """Rewrite a local dotted path onto its imported module path.
+
+    ``np.random.rand`` with ``import numpy as np`` becomes
+    ``numpy.random.rand``; ``datetime.now`` with ``from datetime
+    import datetime`` becomes ``datetime.datetime.now``. Returns
+    ``None`` when the leading name is not an import binding.
+    """
+    first, _, rest = path.partition(".")
+    if first in imports.module_aliases:
+        root = imports.module_aliases[first]
+    elif first in imports.from_names:
+        module, original = imports.from_names[first]
+        root = f"{module}.{original}"
+    else:
+        return None
+    return f"{root}.{rest}" if rest else root
+
+
+def canonical_call(
+    imports: ImportMap, func: ast.expr
+) -> Optional[str]:
+    """Canonical dotted path of a call target, if resolvable."""
+    path = dotted(func)
+    return None if path is None else canonical(imports, path)

@@ -1,0 +1,158 @@
+"""Cross-module signature index for the unit-discipline checker.
+
+Pass one of the analyzer walks every file (the lint targets plus the
+installed ``repro`` package) and records, without importing
+anything, the parameter names of every function, method, and
+constructor — including synthesised dataclass constructors. Pass two
+uses the index to bind call arguments to parameter names so the unit
+checker can compare suffixes across module boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.context import FileContext
+
+
+@dataclass(frozen=True)
+class FunctionSig:
+    """Parameter names of one callable, in binding order."""
+
+    module: str
+    qualname: str
+    params: Tuple[str, ...]
+    kwonly: Tuple[str, ...]
+    has_vararg: bool
+    has_kwarg: bool
+
+    @property
+    def display(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+
+def _sig_from_args(
+    module: str,
+    qualname: str,
+    args: ast.arguments,
+    drop_first: bool,
+) -> FunctionSig:
+    params: List[str] = [
+        a.arg for a in (*args.posonlyargs, *args.args)
+    ]
+    if drop_first and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    return FunctionSig(
+        module=module,
+        qualname=qualname,
+        params=tuple(params),
+        kwonly=tuple(a.arg for a in args.kwonlyargs),
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+    )
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name: Optional[str] = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_ctor(
+    module: str, node: ast.ClassDef
+) -> FunctionSig:
+    """Synthesise ``__init__`` params from annotated class fields."""
+    params: List[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        params.append(stmt.target.id)
+    return FunctionSig(
+        module=module,
+        qualname=node.name,
+        params=tuple(params),
+        kwonly=(),
+        has_vararg=False,
+        has_kwarg=False,
+    )
+
+
+@dataclass
+class SignatureIndex:
+    """All known callables, keyed for the resolutions we support."""
+
+    #: (module, function name) -> sig, for module-level functions.
+    functions: Dict[Tuple[str, str], FunctionSig] = field(
+        default_factory=dict
+    )
+    #: (module, class, method) -> sig (``self`` stripped).
+    methods: Dict[Tuple[str, str, str], FunctionSig] = field(
+        default_factory=dict
+    )
+    #: (module, class) -> constructor sig (``self`` stripped).
+    constructors: Dict[Tuple[str, str], FunctionSig] = field(
+        default_factory=dict
+    )
+    #: method name -> every signature carrying it, for by-name
+    #: resolution of instance-method calls (``tower.power_at(...)``)
+    #: whose receiver type is not statically known.
+    by_method_name: Dict[str, List[FunctionSig]] = field(
+        default_factory=dict
+    )
+
+    def add_module(self, ctx: FileContext) -> None:
+        module = ctx.module
+        for node in ctx.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                self.functions[(module, node.name)] = _sig_from_args(
+                    module, node.name, node.args, drop_first=False
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node)
+
+    def _add_class(self, module: str, node: ast.ClassDef) -> None:
+        saw_init = False
+        for stmt in node.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            qualname = f"{node.name}.{stmt.name}"
+            sig = _sig_from_args(
+                module, qualname, stmt.args, drop_first=True
+            )
+            self.methods[(module, node.name, stmt.name)] = sig
+            if not stmt.name.startswith("_"):
+                self.by_method_name.setdefault(
+                    stmt.name, []
+                ).append(sig)
+            if stmt.name == "__init__":
+                saw_init = True
+                self.constructors[(module, node.name)] = sig
+        if not saw_init and _is_dataclass_decorated(node):
+            self.constructors[(module, node.name)] = _dataclass_ctor(
+                module, node
+            )
+
+
+def build_index(contexts: List[FileContext]) -> SignatureIndex:
+    index = SignatureIndex()
+    for ctx in contexts:
+        index.add_module(ctx)
+    return index

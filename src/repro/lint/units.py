@@ -1,0 +1,90 @@
+"""The unit vocabulary: suffix conventions the RF code lives by.
+
+Across this repo a trailing ``_<unit>`` token on an identifier is a
+load-bearing promise — ``freq_hz`` is in hertz, ``power_dbm`` is an
+absolute power referenced to a milliwatt, ``bearing_deg`` is in
+degrees. The unit checker reads those promises off names; this
+module is the shared vocabulary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+#: unit suffix -> physical dimension.
+UNIT_DIMENSIONS: Dict[str, str] = {
+    "db": "level",
+    "dbm": "level",
+    "dbfs": "level",
+    "hz": "frequency",
+    "khz": "frequency",
+    "mhz": "frequency",
+    "ghz": "frequency",
+    "m": "length",
+    "km": "length",
+    "deg": "angle",
+    "rad": "angle",
+    "s": "time",
+    "ms": "time",
+}
+
+#: Pretty names for messages.
+UNIT_LABELS: Dict[str, str] = {
+    "db": "dB",
+    "dbm": "dBm",
+    "dbfs": "dBFS",
+    "hz": "Hz",
+    "khz": "kHz",
+    "mhz": "MHz",
+    "ghz": "GHz",
+    "m": "m",
+    "km": "km",
+    "deg": "deg",
+    "rad": "rad",
+    "s": "s",
+    "ms": "ms",
+}
+
+
+def unit_suffix(name: Optional[str]) -> Optional[str]:
+    """The unit suffix carried by an identifier, if any.
+
+    Only a trailing ``_``-separated token counts: ``freq_hz`` is Hz,
+    but ``hz`` alone and ``mhzfoo`` carry nothing.
+    """
+    if not name or "_" not in name:
+        return None
+    tail = name.rsplit("_", 1)[1].lower()
+    return tail if tail in UNIT_DIMENSIONS else None
+
+
+def dimension(unit: str) -> str:
+    """The physical dimension of a unit suffix."""
+    return UNIT_DIMENSIONS[unit]
+
+
+def label(unit: str) -> str:
+    """Human-readable unit name for messages."""
+    return UNIT_LABELS.get(unit, unit)
+
+
+def expr_unit(node: ast.expr) -> Optional[str]:
+    """The unit an expression's name says it carries, if readable.
+
+    Reads through attribute access (``self.center_hz``), calls
+    (``haversine_m(...)`` returns meters), unary sign, and
+    subscripts (``times_s[0]``). Anything else — literals,
+    arithmetic, comprehensions — is opaque and returns ``None``.
+    """
+    if isinstance(node, ast.Name):
+        return unit_suffix(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_suffix(node.attr)
+    if isinstance(node, ast.Call):
+        return expr_unit(node.func)
+    if isinstance(node, ast.UnaryOp):
+        return expr_unit(node.operand)
+    if isinstance(node, ast.Subscript):
+        return expr_unit(node.value)
+    return None

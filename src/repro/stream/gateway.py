@@ -13,6 +13,7 @@ cache, marketplace rendering) unchanged.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -73,6 +74,14 @@ class StreamGateway:
         self.positions = dict(positions or {})
         self.sessions: Dict[str, NodeSession] = {}
         self.evicted_sessions: List[str] = []
+        # Guards the session/eviction maps: the benchmark drives one
+        # gateway from several producer and consumer threads at once,
+        # and get-or-create on a bare dict is a lost-session race.
+        self._lock = threading.Lock()
+        # Per-node consume locks: NodeSession.handle is stateful and
+        # single-consumer; concurrent drains of the *same* node must
+        # serialize even though different nodes drain in parallel.
+        self._drain_locks: Dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------
     # publish side
@@ -90,26 +99,35 @@ class StreamGateway:
     # consume side
 
     def session_for(self, node_id: str) -> NodeSession:
-        """The node's session, created on first use."""
-        session = self.sessions.get(node_id)
-        if session is None:
-            session = NodeSession(
-                node_id,
-                config=self.config.engine,
-                receiver_position=self.positions.get(node_id),
-                quarantine_cap=self.config.quarantine_cap,
-            )
-            self.sessions[node_id] = session
-        return session
+        """The node's session, created (atomically) on first use."""
+        with self._lock:
+            session = self.sessions.get(node_id)
+            if session is None:
+                session = NodeSession(
+                    node_id,
+                    config=self.config.engine,
+                    receiver_position=self.positions.get(node_id),
+                    quarantine_cap=self.config.quarantine_cap,
+                )
+                self.sessions[node_id] = session
+                self._drain_locks[node_id] = threading.Lock()
+            return session
 
     def drain_node(self, node_id: str) -> int:
         """Consume everything queued for one node; returns the count."""
         started = time.perf_counter()
         session = self.session_for(node_id)
+        with self._lock:
+            drain_lock = self._drain_locks.get(node_id)
+        if drain_lock is None:
+            # Evicted between session_for and here; the fresh call
+            # re-created the maps, so retry once.
+            return self.drain_node(node_id)
         consumed = 0
-        for record in self.broker.queue_for(node_id).drain():
-            session.handle(record)
-            consumed += 1
+        with drain_lock:
+            for record in self.broker.queue_for(node_id).drain():
+                session.handle(record)
+                consumed += 1
         if consumed:
             self.metrics.incr("stream_records_consumed", consumed)
             self.metrics.observe(
@@ -127,20 +145,26 @@ class StreamGateway:
     def flush(self) -> None:
         """Drain, then finalize every session's in-progress window."""
         self.drain()
-        for session in self.sessions.values():
+        with self._lock:
+            sessions = list(self.sessions.values())
+        for session in sessions:
             if session.engine.flush():
                 self.metrics.incr("stream_windows_finalized")
 
     def evict_idle(self, now_s: float) -> List[str]:
         """Drop sessions idle past the timeout; returns evicted ids."""
-        evicted = [
-            node_id
-            for node_id, session in self.sessions.items()
-            if session.idle_for(now_s) > self.config.idle_timeout_s
-        ]
-        for node_id in evicted:
-            del self.sessions[node_id]
-            self.evicted_sessions.append(node_id)
+        with self._lock:
+            evicted = [
+                node_id
+                for node_id, session in self.sessions.items()
+                if session.idle_for(now_s)
+                > self.config.idle_timeout_s
+            ]
+            for node_id in evicted:
+                del self.sessions[node_id]
+                del self._drain_locks[node_id]
+                self.evicted_sessions.append(node_id)
+        for _ in evicted:
             self.metrics.incr("stream_sessions_evicted")
         return evicted
 
@@ -149,22 +173,28 @@ class StreamGateway:
 
     def snapshot(self, node_id: str) -> NodeAssessment:
         """One node's online state as a batch-shaped assessment."""
-        if node_id not in self.sessions:
+        with self._lock:
+            session = self.sessions.get(node_id)
+        if session is None:
             raise KeyError(f"no live session for node {node_id!r}")
-        return self.sessions[node_id].engine.snapshot()
+        return session.engine.snapshot()
 
     def snapshots(self) -> Dict[str, NodeAssessment]:
         """Assessments for every live session."""
+        with self._lock:
+            sessions = sorted(self.sessions.items())
         return {
             node_id: session.engine.snapshot()
-            for node_id, session in sorted(self.sessions.items())
+            for node_id, session in sessions
         }
 
     def drift_events(self) -> List[DriftEvent]:
         """All drift events across sessions, in detection order."""
+        with self._lock:
+            sessions = list(self.sessions.values())
         events = [
             event
-            for session in self.sessions.values()
+            for session in sessions
             for event in session.engine.drift.events
         ]
         return sorted(events, key=lambda e: e.detected_at_s)
@@ -172,7 +202,9 @@ class StreamGateway:
     def summary_text(self) -> str:
         """Human-readable gateway state for the CLI."""
         lines = ["stream gateway:"]
-        for node_id, session in sorted(self.sessions.items()):
+        with self._lock:
+            live = sorted(self.sessions.items())
+        for node_id, session in live:
             engine = session.engine
             counters = session.counters
             drift_count = len(engine.drift.events)

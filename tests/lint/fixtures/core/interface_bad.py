@@ -1,0 +1,27 @@
+"""RL4 positives inside a ``core``-scoped path."""
+
+
+def unannotated(value, scale):
+    # RL401: public API with no annotations at all.
+    return value * scale
+
+
+def half_annotated(value: float, scale) -> float:
+    # RL401: one parameter slipped through unannotated.
+    return value * scale
+
+
+def swallow(path: str) -> str:
+    try:
+        with open(path) as f:
+            return f.read()
+    except:  # noqa: E722 — RL402: bare except
+        return ""
+
+
+def silent(path: str) -> None:
+    try:
+        open(path).close()
+    except Exception:
+        # RL403: swallowed without a trace.
+        pass

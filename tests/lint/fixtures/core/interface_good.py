@@ -1,0 +1,29 @@
+"""RL4 negatives: annotated API, honest exception handling."""
+
+from typing import Optional
+
+
+def annotated(value: float, scale: float) -> float:
+    return value * scale
+
+
+def _private_helper(value, scale):
+    # Private functions may stay unannotated.
+    return value * scale
+
+
+def read_or_none(path: str) -> Optional[str]:
+    try:
+        with open(path) as f:
+            return f.read()
+    except OSError:
+        return None
+
+
+def tolerant(path: str) -> str:
+    try:
+        with open(path) as f:
+            return f.read()
+    except Exception as exc:
+        # Not swallowed: the failure is surfaced to the caller.
+        raise RuntimeError(f"unreadable: {path}") from exc

@@ -1,0 +1,34 @@
+"""RL3 positives: a lock-owning class with sloppy discipline."""
+
+import threading
+
+
+class LeakyRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}
+        self.on_change = None
+
+    def put(self, key, value):
+        # RL301: bare dict write, no lock held.
+        self.items[key] = value
+
+    def bump(self, key):
+        # RL301: augmented assignment outside the lock.
+        self.items[key] += 1
+
+    def drop(self, key):
+        # RL301: delete outside the lock.
+        del self.items[key]
+
+    def reset(self):
+        # RL301: mutating container call outside the lock.
+        self.items.clear()
+
+    def put_and_notify(self, key, value):
+        with self._lock:
+            self.items[key] = value
+            # RL302: user callback while the lock is held.
+            self.on_change(key)
+            # RL302: blocking I/O inside the critical section.
+            print("stored", key)

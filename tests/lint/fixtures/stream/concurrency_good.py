@@ -1,0 +1,37 @@
+"""RL3 negatives: correct lock discipline in a threaded class."""
+
+import threading
+
+
+class TidyRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.items = {}
+        self.on_change = None
+
+    def put(self, key, value):
+        with self._lock:
+            self.items[key] = value
+            self._cond.notify_all()
+        # Callback fires after the critical section.
+        if self.on_change is not None:
+            self.on_change(key)
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self.items)
+
+    def _append_locked(self, key, value):
+        # Private helper: by convention the caller holds the lock.
+        self.items[key] = value
+
+
+class UnlockedBag:
+    """No lock attribute at all: RL3 does not apply."""
+
+    def __init__(self):
+        self.items = []
+
+    def add(self, value):
+        self.items.append(value)

@@ -1,0 +1,26 @@
+"""RL2 positives inside a ``stream``-scoped path."""
+
+import datetime
+import random
+import time
+
+import numpy as np
+
+
+def stamp_record(record):
+    # RL201: wall clock in a simulated/streamed domain.
+    record.time_s = time.time()
+    record.deadline = time.monotonic() + 5.0
+    record.created = datetime.datetime.now()
+    return record
+
+
+def jitter():
+    # RL202: process-global RNG is unseeded and order-dependent.
+    a = random.random()
+    b = random.uniform(0.0, 1.0)
+    # RL202: legacy global numpy RNG.
+    c = np.random.rand()
+    # RL202: a Random() with no seed is just as unreproducible.
+    rng = random.Random()
+    return a, b, c, rng

@@ -1,0 +1,19 @@
+"""RL2 negatives: observability timing and seeded randomness."""
+
+import random
+import time
+
+import numpy as np
+
+
+def timed_drain(queue):
+    # perf_counter measures *our* latency, never simulated state.
+    started = time.perf_counter()
+    count = queue.drain()
+    return count, time.perf_counter() - started
+
+
+def seeded(seed):
+    rng = np.random.default_rng(seed)
+    legacy = random.Random(seed)
+    return rng.normal(), legacy.random()

@@ -1,0 +1,8 @@
+"""RL2 violation with an inline waiver (e.g. a log timestamp)."""
+
+import time
+
+
+def log_line(text):
+    now = time.time()  # repro-lint: disable=RL201
+    return f"{now:.3f} {text}"

@@ -1,0 +1,38 @@
+"""RL1 positives: every statement here should fire a unit rule."""
+
+
+def path_loss(freq_hz, distance_m):
+    return freq_hz * distance_m
+
+
+class Tower:
+    def power_at(self, freq_mhz, range_km):
+        return freq_mhz * range_km
+
+
+def caller(freq_mhz, range_m, tower):
+    # RL101: MHz variable bound to the Hz positional slot.
+    a = path_loss(freq_mhz, range_m)
+    # RL101: keyword binding with the wrong length scale.
+    b = path_loss(freq_mhz * 1e6, distance_m=total_range_km())
+    # RL101: by-name instance-method resolution.
+    c = tower.power_at(current_freq_hz(), range_m)
+    return a, b, c
+
+
+def current_freq_hz():
+    return 1.0e8
+
+
+def total_range_km():
+    return 12.0
+
+
+def bad_arith(noise_dbm, signal_dbm, span_hz, span_mhz, delay_s, delay_ms):
+    # RL102: absolute powers do not add in the log domain.
+    total = noise_dbm + signal_dbm
+    # RL102: same dimension, different scale.
+    width = span_hz + span_mhz
+    # RL102: seconds with milliseconds.
+    wait = delay_s - delay_ms
+    return total, width, wait

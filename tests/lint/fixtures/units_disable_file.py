@@ -1,0 +1,14 @@
+"""A file-wide suppression silences the whole rule family."""
+# repro-lint: disable-file=RL101
+
+
+def path_loss(freq_hz, distance_m):
+    return freq_hz * distance_m
+
+
+def caller(freq_mhz, range_m):
+    return path_loss(freq_mhz, range_m)
+
+
+def caller_again(freq_mhz, range_m):
+    return path_loss(freq_mhz, range_m)

@@ -1,0 +1,27 @@
+"""RL1 negatives: all of this is legitimate and must stay silent."""
+
+
+def path_loss(freq_hz, distance_m):
+    return freq_hz * distance_m
+
+
+def caller(freq_hz, freq_mhz, distance_m):
+    # Matching suffixes bind cleanly.
+    a = path_loss(freq_hz, distance_m)
+    # A converted expression has no suffix of its own to object to.
+    b = path_loss(freq_mhz * 1e6, distance_m)
+    return a, b
+
+
+def gain_math(power_dbm, gain_db, power_dbfs, full_scale_dbm):
+    # Relative dB against absolute dBm is how gain works.
+    received_dbm = power_dbm + gain_db
+    # dBFS + the full-scale reference is the conversion idiom.
+    absolute_dbm = power_dbfs + full_scale_dbm
+    # Subtracting two absolute powers yields a relative dB: fine.
+    margin_db = received_dbm - full_scale_dbm
+    return received_dbm, absolute_dbm, margin_db
+
+
+def same_scale(span_hz, other_hz, near_m, far_m):
+    return span_hz + other_hz, far_m - near_m

@@ -1,0 +1,13 @@
+"""RL1 violations, each silenced by an inline suppression."""
+
+
+def path_loss(freq_hz, distance_m):
+    return freq_hz * distance_m
+
+
+def caller(freq_mhz, range_m):
+    return path_loss(freq_mhz, range_m)  # repro-lint: disable=RL101
+
+
+def bad_arith(noise_dbm, signal_dbm):
+    return noise_dbm + signal_dbm  # repro-lint: disable=RL1

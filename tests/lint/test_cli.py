@@ -1,0 +1,85 @@
+"""The analyzer CLI: formats, gates, exit codes, dispatch."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.lint import REGISTRY, main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "units_bad.py")
+GOOD = str(FIXTURES / "units_good.py")
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert lint_main([GOOD, "--select", "RL1"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_findings_at_gate_exit_one(self, capsys):
+        assert lint_main([BAD]) == 1
+        out = capsys.readouterr().out
+        assert "RL101" in out and "RL102" in out
+
+    def test_fail_on_never_reports_but_exits_zero(self, capsys):
+        assert lint_main([BAD, "--fail-on", "never"]) == 0
+        assert "RL101" in capsys.readouterr().out
+
+    def test_fail_on_error_ignores_pure_warnings(self, capsys):
+        # The interface fixture's RL401/RL403 are warnings; keep
+        # only those and the default error gate stays green.
+        path = str(FIXTURES / "core" / "interface_bad.py")
+        assert lint_main([path, "--select", "RL401,RL403"]) == 0
+        assert (
+            lint_main(
+                [
+                    path,
+                    "--select",
+                    "RL401,RL403",
+                    "--fail-on",
+                    "warning",
+                ]
+            )
+            == 1
+        )
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert lint_main(["no/such/dir"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_json_format_is_machine_readable(self, capsys):
+        assert lint_main([BAD, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 7
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"RL101", "RL102"}
+        first = payload["findings"][0]
+        assert {"rule", "severity", "path", "line", "col", "message"} \
+            <= set(first)
+
+    def test_statistics_appends_per_rule_counts(self, capsys):
+        lint_main([BAD, "--statistics"])
+        out = capsys.readouterr().out
+        assert "RL101: 4" in out
+        assert "RL102: 3" in out
+
+    def test_list_rules_covers_registry(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in REGISTRY:
+            assert rule_id in out
+
+    def test_ignore_drops_family(self, capsys):
+        assert lint_main([BAD, "--ignore", "RL101,RL102"]) == 0
+
+
+class TestMainCliDispatch:
+    def test_repro_lint_forwards_arguments(self, capsys):
+        assert repro_main(["lint", GOOD, "--select", "RL1"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_repro_lint_forwards_leading_options(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+        assert "RL101" in capsys.readouterr().out

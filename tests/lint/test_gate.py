@@ -1,0 +1,106 @@
+"""The CI gate: the shipped tree is lint-clean at the error level,
+and reintroducing a violation flips the exit code — the exact
+contract the workflow's ``repro lint src/repro --fail-on error``
+step enforces."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import main as lint_main, run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+
+class TestCleanTree:
+    def test_shipped_tree_passes_the_error_gate(self, capsys):
+        assert lint_main([str(SRC), "--fail-on", "error"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_shipped_tree_has_no_warnings_either(self):
+        result = run_lint([str(SRC)])
+        assert [f.render() for f in result.findings] == []
+
+    def test_gate_via_subprocess_like_ci(self):
+        # CI runs the console entry; exercise the same surface.
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint",
+                str(SRC),
+                "--fail-on",
+                "error",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestReintroducedViolation:
+    def _copy_module(self, tmp_path, scoped_dir):
+        # A real shipped module, moved under a scoped directory so
+        # the determinism/concurrency families apply to it.
+        target_dir = tmp_path / scoped_dir
+        target_dir.mkdir(parents=True)
+        target = target_dir / "gateway.py"
+        shutil.copyfile(SRC / "stream" / "gateway.py", target)
+        return target
+
+    def test_wall_clock_leak_fails_the_gate(self, tmp_path):
+        target = self._copy_module(tmp_path, "stream")
+        source = target.read_text()
+        assert "started = time.perf_counter()" in source
+        target.write_text(
+            source.replace(
+                "started = time.perf_counter()",
+                "started = time.time()",
+                1,
+            )
+        )
+        result = run_lint([str(target)])
+        assert any(
+            f.rule_id == "RL201" for f in result.findings
+        )
+        assert lint_main([str(target), "--fail-on", "error"]) == 1
+
+    def test_unlocked_mutation_fails_the_gate(self, tmp_path):
+        target = self._copy_module(tmp_path, "runtime")
+        source = target.read_text()
+        # Strip one `with self._lock:` block down to its body —
+        # exactly the pre-fix StreamGateway.evict_idle shape.
+        assert "with self._lock:" in source
+        target.write_text(
+            source.replace(
+                "        with self._lock:\n"
+                "            session = self.sessions.get(node_id)\n"
+                "            if session is None:",
+                "        if True:\n"
+                "            session = self.sessions.get(node_id)\n"
+                "            if session is None:",
+                1,
+            )
+        )
+        result = run_lint([str(target)])
+        assert any(
+            f.rule_id == "RL301" for f in result.findings
+        )
+
+    def test_unit_mismatch_fails_the_gate(self, tmp_path):
+        # A fresh file calling a real repro API with the wrong
+        # scale: cross-module resolution must catch it.
+        target = tmp_path / "consumer.py"
+        target.write_text(
+            "from repro.rf.noise import thermal_noise_dbm\n"
+            "\n"
+            "\n"
+            "def noise(bandwidth_mhz):\n"
+            "    return thermal_noise_dbm(bandwidth_mhz)\n"
+        )
+        result = run_lint([str(target)])
+        assert [f.rule_id for f in result.findings] == ["RL101"]
+        assert lint_main([str(target), "--fail-on", "error"]) == 1

@@ -1,0 +1,151 @@
+"""Fixture-driven tests: one positive/negative/suppressed trio per
+rule family, linted hermetically (``index_package=False``) so the
+expected findings depend only on the fixture files themselves."""
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint(*relative, select=None):
+    return run_lint(
+        [str(FIXTURES / r) for r in relative],
+        select=select,
+        index_package=False,
+    )
+
+
+def rule_ids(result):
+    return [f.rule_id for f in result.findings]
+
+
+class TestUnitsFamily:
+    def test_positive_fixture_fires_every_case(self):
+        result = lint("units_bad.py")
+        ids = rule_ids(result)
+        # Two direct bindings plus both slots of the by-name
+        # instance-method call.
+        assert ids.count("RL101") == 4
+        # dBm+dBm, Hz+MHz, s-ms.
+        assert ids.count("RL102") == 3
+        assert result.error_count == 7
+        messages = [f.message for f in result.findings]
+        assert any("MHz" in m and "freq_hz" in m for m in messages)
+        assert any("dBm" in m and "watts" in m for m in messages)
+
+    def test_negative_fixture_is_silent(self):
+        result = lint("units_good.py")
+        assert result.findings == []
+
+    def test_line_suppressions_are_counted_not_reported(self):
+        result = lint("units_suppressed.py")
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_file_wide_suppression(self):
+        result = lint("units_disable_file.py")
+        assert result.findings == []
+        assert result.suppressed == 2
+
+
+class TestDeterminismFamily:
+    def test_positive_fixture_fires_every_case(self):
+        result = lint("stream/determinism_bad.py")
+        ids = rule_ids(result)
+        assert ids.count("RL201") == 3
+        assert ids.count("RL202") == 4
+
+    def test_negative_fixture_is_silent(self):
+        result = lint(
+            "stream/determinism_good.py", select=["RL2"]
+        )
+        assert result.findings == []
+
+    def test_suppressed(self):
+        result = lint(
+            "stream/determinism_suppressed.py", select=["RL2"]
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_same_code_outside_sim_scope_is_silent(self, tmp_path):
+        # Scope is part of the rule: wall clocks are fine in, say,
+        # a tools/ module.
+        source = (
+            FIXTURES / "stream" / "determinism_bad.py"
+        ).read_text()
+        target = tmp_path / "tools" / "wallclock.py"
+        target.parent.mkdir()
+        target.write_text(source)
+        result = run_lint([str(target)], index_package=False)
+        assert result.findings == []
+
+
+class TestConcurrencyFamily:
+    def test_positive_fixture_fires_every_case(self):
+        result = lint("stream/concurrency_bad.py")
+        ids = rule_ids(result)
+        # put, bump, drop, reset.
+        assert ids.count("RL301") == 4
+        # callback + print under the lock.
+        assert ids.count("RL302") == 2
+
+    def test_negative_fixture_is_silent(self):
+        result = lint(
+            "stream/concurrency_good.py", select=["RL3"]
+        )
+        assert result.findings == []
+
+    def test_suppressed(self):
+        result = lint(
+            "stream/concurrency_suppressed.py", select=["RL3"]
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestInterfaceFamily:
+    def test_positive_fixture_fires_every_case(self):
+        result = lint("core/interface_bad.py")
+        ids = rule_ids(result)
+        # unannotated (all params + return) and half_annotated
+        # (one param).
+        assert ids.count("RL401") == 2
+        assert ids.count("RL402") == 1
+        assert ids.count("RL403") == 1
+
+    def test_negative_fixture_is_silent(self):
+        result = lint("core/interface_good.py")
+        assert result.findings == []
+
+
+class TestEngineBehaviour:
+    def test_select_filters_to_one_family(self):
+        result = lint(
+            "units_bad.py",
+            "stream/determinism_bad.py",
+            select=["RL1"],
+        )
+        assert set(rule_ids(result)) == {"RL101", "RL102"}
+
+    def test_parse_error_is_a_finding(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def nope(:\n")
+        result = run_lint([str(broken)], index_package=False)
+        assert rule_ids(result) == ["RL000"]
+        assert result.error_count == 1
+
+    def test_findings_sorted_by_location(self):
+        result = lint("units_bad.py")
+        keys = [(f.path, f.line, f.col) for f in result.findings]
+        assert keys == sorted(keys)
+
+    def test_missing_path_raises(self):
+        try:
+            run_lint(["definitely/not/here.py"])
+        except FileNotFoundError:
+            pass
+        else:
+            raise AssertionError("expected FileNotFoundError")

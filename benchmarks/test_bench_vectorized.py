@@ -1,0 +1,149 @@
+"""Scalar vs. vectorized: the ISSUE-4 speedup proof.
+
+Times the same workload through both paths and asserts the tentpole
+targets: >= 5x on the Figure-1 directional scan and >= 10x on
+preamble detection over a 1-second capture buffer. Each comparison
+first checks the two paths agree (the speedup claim is only
+meaningful over equivalent outputs), then records both timings and
+the ratio into ``BENCH_vectorized.json`` via ``bench_record``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import build_airborne_position
+from repro.adsb.modem import (
+    FRAME_SAMPLES,
+    SAMPLE_RATE_HZ,
+    PpmDemodulator,
+    modulate_frame,
+)
+from repro.adsb.modem_ref import ScalarPpmDemodulator
+from repro.core.directional import DirectionalEvaluator
+
+#: Tentpole targets (ISSUE 4 acceptance criteria).
+DIRECTIONAL_TARGET_X = 5.0
+PREAMBLE_TARGET_X = 10.0
+
+
+def _best_of(fn, rounds):
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _evaluator(world, use_batch):
+    return DirectionalEvaluator(
+        node=world.node_at("rooftop"),
+        traffic=world.traffic,
+        ground_truth=world.ground_truth,
+        use_batch=use_batch,
+    )
+
+
+def test_bench_directional_scan_speedup(world, bench_record):
+    ev_scalar = _evaluator(world, use_batch=False)
+    ev_batch = _evaluator(world, use_batch=True)
+
+    # Equivalence first: the timings compare identical work.
+    scan_s = ev_scalar.run(np.random.default_rng(1))
+    scan_b = ev_batch.run(np.random.default_rng(1))
+    assert (
+        scan_b.decoded_message_count == scan_s.decoded_message_count
+    )
+    assert scan_b.ghost_icaos == scan_s.ghost_icaos
+
+    t_scalar = _best_of(
+        lambda: ev_scalar.run(np.random.default_rng(1)), rounds=3
+    )
+    t_batch = _best_of(
+        lambda: ev_batch.run(np.random.default_rng(1)), rounds=5
+    )
+    speedup = t_scalar / t_batch
+    bench_record(
+        workload="figure1 directional scan, rooftop, seed 1",
+        scalar_min_s=t_scalar,
+        vectorized_min_s=t_batch,
+        speedup_x=speedup,
+        target_x=DIRECTIONAL_TARGET_X,
+        decoded_messages=scan_s.decoded_message_count,
+    )
+    print(
+        f"\ndirectional scan: scalar {t_scalar * 1e3:.1f} ms, "
+        f"batch {t_batch * 1e3:.1f} ms, {speedup:.1f}x"
+    )
+    assert speedup >= DIRECTIONAL_TARGET_X
+
+
+def _one_second_buffer():
+    """1 s of envelope magnitude with ~60 real frames in noise."""
+    rng = np.random.default_rng(0)
+    n = SAMPLE_RATE_HZ  # 1 second at 2 Msps
+    magnitude = 0.01 * np.abs(rng.standard_normal(n))
+    frame = build_airborne_position(
+        IcaoAddress(0x40621D), 37.9, -122.1, 30_000.0, odd=False
+    )
+    wave = np.abs(modulate_frame(frame.data))
+    for start in range(5_000, n - FRAME_SAMPLES, 33_333):
+        magnitude[start : start + len(wave)] += wave
+    return magnitude
+
+
+def test_bench_preamble_detection_speedup(bench_record):
+    magnitude = _one_second_buffer()
+    fast = PpmDemodulator()
+    ref = ScalarPpmDemodulator()
+
+    starts_fast = fast.detect_preambles(magnitude)
+    starts_ref = ref.detect_preambles(magnitude)
+    assert starts_fast == starts_ref
+    assert len(starts_fast) >= 50
+
+    t_scalar = _best_of(
+        lambda: ref.detect_preambles(magnitude), rounds=1
+    )
+    t_fast = _best_of(
+        lambda: fast.detect_preambles(magnitude), rounds=5
+    )
+    speedup = t_scalar / t_fast
+    bench_record(
+        workload="preamble detection, 1 s buffer (2M samples)",
+        scalar_min_s=t_scalar,
+        vectorized_min_s=t_fast,
+        speedup_x=speedup,
+        target_x=PREAMBLE_TARGET_X,
+        detections=len(starts_fast),
+    )
+    print(
+        f"\npreamble detection: scalar {t_scalar * 1e3:.0f} ms, "
+        f"vectorized {t_fast * 1e3:.1f} ms, {speedup:.0f}x"
+    )
+    assert speedup >= PREAMBLE_TARGET_X
+
+
+def test_bench_batch_scan(benchmark, world):
+    """Absolute timing of the batch engine (for the perf trajectory)."""
+    ev = _evaluator(world, use_batch=True)
+    scan = benchmark.pedantic(
+        lambda: ev.run(np.random.default_rng(1)),
+        rounds=5,
+        iterations=1,
+    )
+    assert scan.decoded_message_count > 0
+
+
+def test_bench_vectorized_preamble_detection(benchmark):
+    """Absolute timing of vectorized detection on the 1 s buffer."""
+    magnitude = _one_second_buffer()
+    demod = PpmDemodulator()
+    starts = benchmark.pedantic(
+        lambda: demod.detect_preambles(magnitude),
+        rounds=5,
+        iterations=1,
+    )
+    assert len(starts) >= 50

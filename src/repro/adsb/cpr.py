@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from typing import Optional, Tuple
 
+import numpy as np
+
 #: Number of latitude zones between equator and a pole.
 NZ = 15
 
@@ -55,6 +57,46 @@ def cpr_encode(lat_deg: float, lon_deg: float, odd: bool) -> Tuple[int, int]:
     dlon = 360.0 / n_lon
     xz = math.floor(_SCALE * _mod(lon_deg, dlon) / dlon + 0.5)
     return int(yz) % _SCALE, int(xz) % _SCALE
+
+
+def cpr_nl_array(lat_deg: np.ndarray) -> np.ndarray:
+    """Batch :func:`cpr_nl`: longitude zone counts per latitude."""
+    lat = np.asarray(lat_deg, dtype=np.float64)
+    abs_lat = np.abs(lat)
+    polar = abs_lat >= 87.0
+    a = 1.0 - math.cos(math.pi / (2.0 * NZ))
+    # Evaluate the DO-260B formula only where it is defined; the polar
+    # clamp overwrites the placeholder values afterwards.
+    b = np.cos(np.pi / 180.0 * np.where(polar, 0.0, abs_lat)) ** 2
+    nl = np.floor(2.0 * np.pi / np.arccos(1.0 - a / b))
+    nl = np.where(polar, np.where(abs_lat > 87.0, 1.0, 2.0), nl)
+    nl = np.where(lat == 0.0, 59.0, nl)
+    return nl.astype(np.int64)
+
+
+def cpr_encode_arrays(
+    lat_deg: np.ndarray, lon_deg: np.ndarray, odd: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch :func:`cpr_encode`: 17-bit (YZ, XZ) counts per position.
+
+    ``odd`` is a boolean array selecting the odd grid per element.
+    """
+    lat = np.asarray(lat_deg, dtype=np.float64)
+    lon = np.asarray(lon_deg, dtype=np.float64)
+    odd_b = np.asarray(odd, dtype=bool)
+    if np.any((lat < -90.0) | (lat > 90.0)):
+        raise ValueError("latitude out of range")
+    dlat = np.where(odd_b, _DLAT_ODD, _DLAT_EVEN)
+    yz = np.floor(_SCALE * _mod_array(lat, dlat) / dlat + 0.5)
+    rlat = dlat * (yz / _SCALE + np.floor(lat / dlat))
+    nl = cpr_nl_array(rlat)
+    n_lon = np.maximum(nl - odd_b.astype(np.int64), 1)
+    dlon = 360.0 / n_lon
+    xz = np.floor(_SCALE * _mod_array(lon, dlon) / dlon + 0.5)
+    return (
+        yz.astype(np.int64) % _SCALE,
+        xz.astype(np.int64) % _SCALE,
+    )
 
 
 def cpr_decode_global(
@@ -141,3 +183,8 @@ def cpr_decode_local(
 def _mod(a: float, b: float) -> float:
     """Mathematical modulo (result has the sign of ``b``)."""
     return a - b * math.floor(a / b)
+
+
+def _mod_array(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`_mod` with the scalar's exact op order."""
+    return a - b * np.floor(a / b)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 #: Mode S generator polynomial, 25 bits (implicit leading 1 included).
 GENERATOR = 0x1FFF409
 _GENERATOR_BITS = 25
@@ -31,6 +33,26 @@ def _build_table() -> None:
 
 
 _build_table()
+
+#: The same table as a numpy array, for the batch kernel.
+_TABLE_NP = np.asarray(_TABLE, dtype=np.uint32)
+
+
+def crc24_matrix(data: np.ndarray) -> np.ndarray:
+    """CRC-24 remainder of every row of an (n, k) uint8 matrix.
+
+    Row ``i`` equals ``crc24_bytes(bytes(data[i]))``: the same
+    byte-table long division, advanced one column (= one byte of every
+    frame) per step instead of one byte of one frame.
+    """
+    d = np.asarray(data, dtype=np.uint8)
+    if d.ndim != 2:
+        raise ValueError(f"expected an (n, k) matrix, got shape {d.shape}")
+    crc = np.zeros(d.shape[0], dtype=np.uint32)
+    for col in range(d.shape[1]):
+        idx = ((crc >> 16) ^ d[:, col]) & 0xFF
+        crc = ((crc << 8) & 0xFFFFFF) ^ _TABLE_NP[idx]
+    return crc
 
 
 def crc24_bytes(data: bytes) -> int:

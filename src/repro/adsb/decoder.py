@@ -17,9 +17,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.adsb.cpr import cpr_decode_global, cpr_decode_local
-from repro.adsb.crc import fix_single_bit_error
+from repro.adsb.crc import crc24_matrix, fix_single_bit_error
 from repro.adsb.icao import IcaoAddress
 from repro.adsb.messages import (
+    DF11_BYTES,
+    DF17_BYTES,
     AcquisitionSquitter,
     AdsbFrame,
     AirbornePosition,
@@ -54,6 +56,33 @@ class DecodedMessage:
     velocity_kt: Optional[Tuple[float, float]] = None
     callsign: Optional[str] = None
     rssi_dbfs: float = -50.0
+
+
+#: ``BatchDecodeResult.kind_code`` values.
+KIND_CODE_POSITION = 0
+KIND_CODE_VELOCITY = 1
+KIND_CODE_IDENTIFICATION = 2
+KIND_CODE_ACQUISITION = 3
+KIND_CODE_NONE = -1
+
+
+@dataclass(frozen=True)
+class BatchDecodeResult:
+    """Outcome of a batch decode, one entry per input frame.
+
+    Attributes:
+        decoded: True where the frame passed parity and parsed into a
+            modeled message type — exactly where the scalar
+            ``decode_frame_bytes`` would return a message.
+        icao24: the transmitted 24-bit address per frame (meaningful
+            where ``decoded``).
+        kind_code: ``KIND_CODE_*`` per frame; ``KIND_CODE_NONE`` where
+            not decoded.
+    """
+
+    decoded: np.ndarray
+    icao24: np.ndarray
+    kind_code: np.ndarray
 
 
 @dataclass
@@ -138,6 +167,148 @@ class Dump1090Decoder:
         if decoded is not None:
             self.messages_decoded += 1
         return decoded
+
+    def decode_frame_matrix(
+        self,
+        data: np.ndarray,
+        lengths: np.ndarray,
+        times_s: np.ndarray,
+    ) -> BatchDecodeResult:
+        """Decode a whole capture's frames in one vectorized pass.
+
+        ``data`` is an (n, 14) uint8 matrix of frames, zero-padded on
+        the right for 7-byte short frames; ``lengths`` gives each
+        row's true byte count. Runs the same pipeline as
+        ``decode_frame_bytes`` row-for-row — CRC syndrome, single-bit
+        repair when ``fix_errors`` is set, DF/TC classification, the
+        TC 19 "no information" velocity rule — with identical counter
+        updates, and returns which rows decoded instead of message
+        objects.
+
+        Position rows advance the per-aircraft CPR pair state (so a
+        later scalar decode sees the same history) but are not
+        resolved to lat/lon: batch consumers — the directional scan —
+        use only the decode tally, never per-message positions.
+        """
+        d = np.asarray(data, dtype=np.uint8)
+        lens = np.asarray(lengths, dtype=np.int64)
+        n = d.shape[0]
+        self.frames_seen += n
+        if n == 0:
+            return BatchDecodeResult(
+                decoded=np.zeros(0, dtype=bool),
+                icao24=np.zeros(0, dtype=np.int64),
+                kind_code=np.full(0, KIND_CODE_NONE, dtype=np.int64),
+            )
+        long_m = lens == DF17_BYTES
+        short_m = lens == DF11_BYTES
+        if not bool(np.all(long_m | short_m)):
+            raise FrameError(
+                f"Mode S frames must be {DF11_BYTES} or {DF17_BYTES} "
+                "bytes"
+            )
+
+        syndrome = np.zeros(n, dtype=np.uint32)
+        for mask, body_len in ((long_m, 11), (short_m, 4)):
+            if not mask.any():
+                continue
+            sub = d[mask]
+            parity = (
+                (sub[:, body_len].astype(np.uint32) << 16)
+                | (sub[:, body_len + 1].astype(np.uint32) << 8)
+                | sub[:, body_len + 2]
+            )
+            syndrome[mask] = crc24_matrix(sub[:, :body_len]) ^ parity
+        valid = syndrome == 0
+        if self.fix_errors and not bool(valid.all()):
+            d = d.copy()
+            for i in np.flatnonzero(~valid).tolist():
+                row = bytes(d[i, : int(lens[i])])
+                repaired = fix_single_bit_error(row)
+                if repaired is None:
+                    continue
+                self.frames_fixed += 1
+                d[i, : int(lens[i])] = np.frombuffer(
+                    repaired, dtype=np.uint8
+                )
+                valid[i] = True
+        self.frames_bad_crc += int((~valid).sum())
+
+        df = d[:, 0] >> 3
+        icao24 = (
+            (d[:, 1].astype(np.int64) << 16)
+            | (d[:, 2].astype(np.int64) << 8)
+            | d[:, 3]
+        )
+        me = np.zeros(n, dtype=np.uint64)
+        for k in range(7):
+            me |= d[:, 4 + k].astype(np.uint64) << np.uint64(
+                8 * (6 - k)
+            )
+        tc = d[:, 4] >> 3
+        df17 = valid & long_m & (df == 17)
+        position = df17 & (tc >= 9) & (tc <= 18)
+        ident = df17 & (tc >= 1) & (tc <= 4)
+        v_ew = (me >> np.uint64(32)) & np.uint64(0x3FF)
+        v_ns = (me >> np.uint64(21)) & np.uint64(0x3FF)
+        velocity = (
+            df17
+            & (tc == 19)
+            & ((d[:, 4] & 0x7) == 1)
+            & (v_ew != 0)
+            & (v_ns != 0)
+        )
+        acquisition = valid & short_m & (df == 11)
+
+        kind_code = np.full(n, KIND_CODE_NONE, dtype=np.int64)
+        kind_code[position] = KIND_CODE_POSITION
+        kind_code[velocity] = KIND_CODE_VELOCITY
+        kind_code[ident] = KIND_CODE_IDENTIFICATION
+        kind_code[acquisition] = KIND_CODE_ACQUISITION
+        decoded = kind_code != KIND_CODE_NONE
+        self.messages_decoded += int(decoded.sum())
+
+        if position.any():
+            self._advance_cpr_state(
+                np.flatnonzero(position),
+                icao24,
+                me,
+                np.asarray(times_s, dtype=np.float64),
+            )
+        return BatchDecodeResult(
+            decoded=decoded, icao24=icao24, kind_code=kind_code
+        )
+
+    def _advance_cpr_state(
+        self,
+        pos_idx: np.ndarray,
+        icao24: np.ndarray,
+        me: np.ndarray,
+        times_s: np.ndarray,
+    ) -> None:
+        """Apply a batch's position updates to the CPR pair state.
+
+        Only each (aircraft, parity) key's LAST update matters —
+        ``_CprState`` keeps the most recent pair — so one state write
+        per key reproduces the scalar path's end state.
+        """
+        odd_bit = (me[pos_idx] >> np.uint64(34)) & np.uint64(1)
+        key = icao24[pos_idx] * 2 + odd_bit.astype(np.int64)
+        uniq, last_rev = np.unique(key[::-1], return_index=True)
+        last = pos_idx.size - 1 - last_rev
+        for k, j in zip(uniq.tolist(), last.tolist()):
+            row = int(pos_idx[j])
+            state = self._cpr.setdefault(
+                IcaoAddress(int(k) // 2), _CprState()
+            )
+            state.update(
+                bool(k % 2),
+                (
+                    int((me[row] >> np.uint64(17)) & np.uint64(0x1FFFF)),
+                    int(me[row] & np.uint64(0x1FFFF)),
+                ),
+                float(times_s[row]),
+            )
 
     def decode_iq(
         self, samples: np.ndarray, block_start_s: float = 0.0

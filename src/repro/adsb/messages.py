@@ -244,10 +244,12 @@ def build_airborne_velocity(
     return _assemble(icao, bits.to_bytes(7, "big"))
 
 
-def build_identification(
-    icao: IcaoAddress, callsign: str, type_code: int = 4
-) -> AdsbFrame:
-    """Build an aircraft identification squitter (TC 1-4)."""
+def identification_me_bits(callsign: str, type_code: int = 4) -> int:
+    """56-bit ME field of an identification squitter (TC 1-4).
+
+    Shared by the scalar builder and the batch frame synthesizer,
+    which caches one ME value per aircraft.
+    """
     if not 1 <= type_code <= 4:
         raise FrameError(f"type code must be 1-4: {type_code}")
     callsign = callsign.upper().ljust(8)
@@ -263,6 +265,14 @@ def build_identification(
             raise FrameError(f"character not encodable: {ch!r}")
         bits |= code << shift
         shift -= 6
+    return bits
+
+
+def build_identification(
+    icao: IcaoAddress, callsign: str, type_code: int = 4
+) -> AdsbFrame:
+    """Build an aircraft identification squitter (TC 1-4)."""
+    bits = identification_me_bits(callsign, type_code)
     return _assemble(icao, bits.to_bytes(7, "big"))
 
 

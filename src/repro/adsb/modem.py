@@ -5,12 +5,30 @@ The 1090 MHz downlink sends an 8 µs preamble (pulses at 0, 1, 3.5 and
 first (bit 1) or second (bit 0) half of its microsecond. dump1090
 samples the envelope at 2 MHz — exactly two samples per half-bit slot —
 and that is the rate this modem uses.
+
+The hot paths here are numpy batch kernels: preamble detection
+evaluates every window of the magnitude buffer with shifted-view
+min/max reductions instead of a per-sample ``while`` loop, bit slicing
+compares half-bit slots via one reshape, and the bit/byte converters
+ride on :func:`np.unpackbits` / :func:`np.packbits`. The original
+interpreter-style implementation survives in
+:mod:`repro.adsb.modem_ref` as the oracle for the equivalence suite;
+the two must produce identical detections, bits and RSSI on any
+magnitude buffer.
+
+``detect_preambles`` scans up to the last index where a full preamble
+window fits (``n - PREAMBLE_SAMPLES``). Historically it stopped a full
+short frame early (``n - SHORT_FRAME_SAMPLES``), silently hiding
+buffer-tail candidates from streaming callers; the equivalence suite
+surfaced the gap and both implementations now agree on the fixed
+behaviour (decoded output is unchanged — frames that do not fully fit
+still fail ``slice_bits``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,24 +64,19 @@ PREAMBLE_QUIET = (1, 3, 4, 5, 6, 8, 10, 11, 12, 13, 14, 15)
 
 def frame_to_bits(frame_bytes: bytes) -> List[int]:
     """Expand frame bytes into a MSB-first bit list."""
-    bits: List[int] = []
-    for byte in frame_bytes:
-        for shift in range(7, -1, -1):
-            bits.append((byte >> shift) & 1)
-    return bits
+    return np.unpackbits(
+        np.frombuffer(bytes(frame_bytes), dtype=np.uint8)
+    ).tolist()
 
 
-def bits_to_frame(bits: List[int]) -> bytes:
+def bits_to_frame(bits: Sequence[int]) -> bytes:
     """Pack an MSB-first bit list back into bytes."""
     if len(bits) % 8 != 0:
         raise ValueError(f"bit count not a byte multiple: {len(bits)}")
-    out = bytearray()
-    for i in range(0, len(bits), 8):
-        byte = 0
-        for bit in bits[i : i + 8]:
-            byte = (byte << 1) | (bit & 1)
-        out.append(byte)
-    return bytes(out)
+    if len(bits) == 0:
+        return b""
+    packed = np.asarray(bits, dtype=np.int64) & 1
+    return np.packbits(packed.astype(np.uint8)).tobytes()
 
 
 def modulate_frame(
@@ -82,16 +95,14 @@ def modulate_frame(
         )
     if amplitude <= 0.0:
         raise ValueError(f"amplitude must be positive: {amplitude}")
-    n_samples = PREAMBLE_SAMPLES + 16 * len(frame_bytes)
+    n_bits = 8 * len(frame_bytes)
+    n_samples = PREAMBLE_SAMPLES + 2 * n_bits
     envelope = np.zeros(n_samples, dtype=np.float64)
-    for idx in PREAMBLE_PULSES:
-        envelope[idx] = 1.0
-    for i, bit in enumerate(frame_to_bits(frame_bytes)):
-        base = PREAMBLE_SAMPLES + 2 * i
-        if bit:
-            envelope[base] = 1.0
-        else:
-            envelope[base + 1] = 1.0
+    envelope[list(PREAMBLE_PULSES)] = 1.0
+    bits = np.unpackbits(np.frombuffer(bytes(frame_bytes), dtype=np.uint8))
+    # Bit 1 pulses the first half-slot, bit 0 the second.
+    offsets = PREAMBLE_SAMPLES + 2 * np.arange(n_bits) + (1 - bits)
+    envelope[offsets] = 1.0
     return (amplitude * envelope).astype(np.complex128)
 
 
@@ -111,30 +122,36 @@ class PpmDemodulator:
         """Candidate frame start indices in an envelope-magnitude array.
 
         Skips past each detection by a short-frame length; the caller
-        decides the actual message length from the DF bits.
+        decides the actual message length from the DF bits. The window
+        test runs as one vectorized pass (per-offset min over pulse
+        slots vs max over quiet slots); only the sparse surviving
+        candidates go through the sequential skip rule.
         """
-        n = len(magnitude)
+        m = np.asarray(magnitude, dtype=np.float64)
+        n = m.shape[0]
+        if n < PREAMBLE_SAMPLES:
+            return []
+        n_windows = n - PREAMBLE_SAMPLES + 1
+        lo_pulse = m[: n_windows].copy()
+        for k in PREAMBLE_PULSES[1:]:
+            np.minimum(lo_pulse, m[k : k + n_windows], out=lo_pulse)
+        k0 = PREAMBLE_QUIET[0]
+        hi_quiet = m[k0 : k0 + n_windows].copy()
+        for k in PREAMBLE_QUIET[1:]:
+            np.maximum(hi_quiet, m[k : k + n_windows], out=hi_quiet)
+        valid = (lo_pulse > 0.0) & (
+            lo_pulse > self.preamble_snr_ratio * hi_quiet
+        )
         starts: List[int] = []
-        last = n - SHORT_FRAME_SAMPLES
-        i = 0
-        while i <= last:
-            if self._preamble_at(magnitude, i):
+        next_free = 0
+        for idx in np.flatnonzero(valid):
+            i = int(idx)
+            if i >= next_free:
                 starts.append(i)
                 # Skip ahead past this frame; overlapping Mode S frames
                 # garble each other in reality too.
-                i += SHORT_FRAME_SAMPLES
-            else:
-                i += 1
+                next_free = i + SHORT_FRAME_SAMPLES
         return starts
-
-    def _preamble_at(self, magnitude: np.ndarray, i: int) -> bool:
-        pulses = [magnitude[i + k] for k in PREAMBLE_PULSES]
-        quiet = [magnitude[i + k] for k in PREAMBLE_QUIET]
-        lo_pulse = min(pulses)
-        hi_quiet = max(quiet) if quiet else 0.0
-        if lo_pulse <= 0.0:
-            return False
-        return lo_pulse > self.preamble_snr_ratio * hi_quiet
 
     def slice_bits(
         self, magnitude: np.ndarray, start: int, n_bits: int = DF17_BITS
@@ -142,19 +159,20 @@ class PpmDemodulator:
         """Slice ``n_bits`` data bits following a preamble at ``start``.
 
         Each bit compares the energy in its two half-slots; ties (both
-        halves equally quiet) fail the slice.
+        halves equally quiet) fail the slice. The comparison runs over
+        all bits at once on a (n_bits, 2) view of the buffer.
         """
         base = start + PREAMBLE_SAMPLES
         if base + 2 * n_bits > len(magnitude):
             return None
-        bits: List[int] = []
-        for i in range(n_bits):
-            first = magnitude[base + 2 * i]
-            second = magnitude[base + 2 * i + 1]
-            if first == second:
-                return None
-            bits.append(1 if first > second else 0)
-        return bits
+        seg = np.asarray(
+            magnitude[base : base + 2 * n_bits], dtype=np.float64
+        ).reshape(n_bits, 2)
+        first = seg[:, 0]
+        second = seg[:, 1]
+        if np.any(first == second):
+            return None
+        return (first > second).astype(np.uint8).tolist()
 
     def demodulate(
         self, samples: np.ndarray
@@ -166,7 +184,7 @@ class PpmDemodulator:
         below are short (56-bit). Returns (start_index, frame_bytes,
         rssi_power) triples; CRC validation is the decoder's job.
         """
-        magnitude = np.abs(samples)
+        magnitude = np.abs(np.asarray(samples))
         results: List[Tuple[int, bytes, float]] = []
         for start in self.detect_preambles(magnitude):
             head = self.slice_bits(magnitude, start, 5)

@@ -1,0 +1,157 @@
+"""Scalar (per-sample) reference implementation of the Mode S modem.
+
+:mod:`repro.adsb.modem` is the production modem; its hot paths run as
+numpy batch kernels over whole magnitude buffers. This module keeps
+the original interpreter-style implementation — one sample, one bit,
+one byte at a time — importable as the *oracle* for the equivalence
+suite (``tests/test_modem_equivalence.py``) and as the scalar baseline
+for the ``benchmarks/test_bench_vectorized.py`` comparisons.
+
+Both implementations must stay behaviourally identical; the
+equivalence tests assert detected starts, sliced bits, frame bytes and
+RSSI match on arbitrary magnitude buffers.
+
+One historical bug is fixed here *and* in the vectorized modem rather
+than preserved: the original ``detect_preambles`` stopped scanning at
+``n - SHORT_FRAME_SAMPLES``, so a preamble whose 16 samples (and even
+its 5 DF bits) were fully present inside the last 128 samples of a
+buffer was silently never reported, even though the method's contract
+is "candidate starts; the caller decides the message length". Block
+streaming callers that carry tail context rely on those candidates.
+Scanning now runs to the last full preamble window; decoded output is
+provably unchanged (a frame that does not fully fit still fails
+``slice_bits``). See ``TestBufferEdgeRegression`` in
+``tests/test_modem_equivalence.py`` for the pinned regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.adsb.messages import DF11_BITS, DF17_BITS
+from repro.adsb.modem import (
+    PREAMBLE_PULSES,
+    PREAMBLE_QUIET,
+    PREAMBLE_SAMPLES,
+    SHORT_FRAME_SAMPLES,
+)
+
+
+def frame_to_bits_ref(frame_bytes: bytes) -> List[int]:
+    """Expand frame bytes into an MSB-first bit list (scalar loop)."""
+    bits: List[int] = []
+    for byte in frame_bytes:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bits_to_frame_ref(bits: List[int]) -> bytes:
+    """Pack an MSB-first bit list back into bytes (scalar loop)."""
+    if len(bits) % 8 != 0:
+        raise ValueError(f"bit count not a byte multiple: {len(bits)}")
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i : i + 8]:
+            byte = (byte << 1) | (bit & 1)
+        out.append(byte)
+    return bytes(out)
+
+
+@dataclass
+class ScalarPpmDemodulator:
+    """The per-sample ``while``-loop demodulator (reference oracle).
+
+    Attributes:
+        preamble_snr_ratio: how much stronger (linear magnitude) the
+            preamble pulses must be than the quiet slots to declare a
+            detection; dump1090 uses a comparable heuristic.
+    """
+
+    preamble_snr_ratio: float = 2.0
+
+    def detect_preambles(self, magnitude: np.ndarray) -> List[int]:
+        """Candidate frame start indices in an envelope-magnitude array.
+
+        Skips past each detection by a short-frame length; the caller
+        decides the actual message length from the DF bits. Scans up
+        to the last index where a full 16-sample preamble fits (see
+        the module docstring for the buffer-edge fix).
+        """
+        n = len(magnitude)
+        starts: List[int] = []
+        last = n - PREAMBLE_SAMPLES
+        i = 0
+        while i <= last:
+            if self._preamble_at(magnitude, i):
+                starts.append(i)
+                # Skip ahead past this frame; overlapping Mode S frames
+                # garble each other in reality too.
+                i += SHORT_FRAME_SAMPLES
+            else:
+                i += 1
+        return starts
+
+    def _preamble_at(self, magnitude: np.ndarray, i: int) -> bool:
+        pulses = [magnitude[i + k] for k in PREAMBLE_PULSES]
+        quiet = [magnitude[i + k] for k in PREAMBLE_QUIET]
+        lo_pulse = min(pulses)
+        hi_quiet = max(quiet) if quiet else 0.0
+        if lo_pulse <= 0.0:
+            return False
+        return lo_pulse > self.preamble_snr_ratio * hi_quiet
+
+    def slice_bits(
+        self, magnitude: np.ndarray, start: int, n_bits: int = DF17_BITS
+    ) -> Optional[List[int]]:
+        """Slice ``n_bits`` data bits following a preamble at ``start``.
+
+        Each bit compares the energy in its two half-slots; ties (both
+        halves equally quiet) fail the slice.
+        """
+        base = start + PREAMBLE_SAMPLES
+        if base + 2 * n_bits > len(magnitude):
+            return None
+        bits: List[int] = []
+        for i in range(n_bits):
+            first = magnitude[base + 2 * i]
+            second = magnitude[base + 2 * i + 1]
+            if first == second:
+                return None
+            bits.append(1 if first > second else 0)
+        return bits
+
+    def demodulate(
+        self, samples: np.ndarray
+    ) -> List[Tuple[int, bytes, float]]:
+        """Find and slice every frame in a block of IQ samples.
+
+        Like dump1090, the downlink format (first 5 bits) selects the
+        message length: DF 16 and above are long (112-bit) frames,
+        below are short (56-bit). Returns (start_index, frame_bytes,
+        rssi_power) triples; CRC validation is the decoder's job.
+        """
+        magnitude = np.abs(samples)
+        results: List[Tuple[int, bytes, float]] = []
+        for start in self.detect_preambles(magnitude):
+            head = self.slice_bits(magnitude, start, 5)
+            if head is None:
+                continue
+            df = 0
+            for bit in head:
+                df = (df << 1) | bit
+            n_bits = DF17_BITS if df >= 16 else DF11_BITS
+            bits = self.slice_bits(magnitude, start, n_bits)
+            if bits is None:
+                continue
+            frame = bits_to_frame_ref(bits)
+            frame_samples = PREAMBLE_SAMPLES + 2 * n_bits
+            seg = magnitude[start : start + frame_samples]
+            # RSSI over pulse samples only (half the slots carry energy).
+            rssi = float(np.mean(np.sort(seg)[len(seg) // 2 :] ** 2))
+            results.append((start, frame, rssi))
+        return results

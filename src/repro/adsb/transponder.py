@@ -132,6 +132,37 @@ class Transponder:
         events.sort(key=lambda e: e.time_s)
         return events
 
+    def schedule_times(
+        self,
+        t0_s: float,
+        t1_s: float,
+        interval_s: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Jittered transmission times for one squitter kind, batched.
+
+        Produces exactly the times :meth:`_periodic` would, drawing
+        the per-event jitter as ONE ``rng.uniform`` call — numpy
+        Generators fill batched draws in sequence order, so a batch of
+        n draws consumes the bit stream identically to n scalar draws
+        (the draw-order discipline; see docs/performance.md).
+        """
+        if t1_s < t0_s:
+            raise ValueError(f"bad interval [{t0_s}, {t1_s})")
+        phase = (self.icao.value % 997) / 997.0 * interval_s
+        k0 = int(np.ceil((t0_s - phase) / interval_s))
+        n_max = max(
+            0, int(np.ceil((t1_s - phase) / interval_s)) - k0 + 2
+        )
+        ks = k0 + np.arange(n_max, dtype=np.float64)
+        ts = phase + ks * interval_s
+        ts = ts[ts < t1_s]
+        if ts.size == 0:
+            return ts
+        u = rng.uniform(-self.jitter_s, self.jitter_s, size=ts.size)
+        jittered = np.minimum(np.maximum(ts + u, t0_s), t1_s - 1e-9)
+        return jittered
+
     def _periodic(
         self,
         t0_s: float,

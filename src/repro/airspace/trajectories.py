@@ -16,7 +16,13 @@ from typing import Tuple
 import numpy as np
 
 from repro.geo.coords import GeoPoint
-from repro.geo.distance import destination_point, initial_bearing_deg
+from repro.geo.distance import (
+    destination_point,
+    destination_point_arrays,
+    destination_points_fixed_leg,
+    initial_bearing_deg,
+    initial_bearing_deg_arrays,
+)
 
 #: Typical enroute ground speeds, m/s (about 180-500 kt).
 MIN_SPEED_MS = 90.0
@@ -66,6 +72,33 @@ class GreatCircleRoute:
         behind = destination_point(point, backwards, 1000.0)
         track = initial_bearing_deg(behind, point)
         return point, track
+
+    def sample_arrays(
+        self, times_s: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch :meth:`position_and_track` over a time array.
+
+        Returns (lat_deg, lon_deg, track_deg); altitude is the
+        route's constant ``start.alt_m``. Replicates the scalar
+        method's operation sequence — including the degree→radian
+        round-trips the intermediate :class:`GeoPoint` objects
+        introduce — so per-element results match the scalar path.
+        """
+        t = np.asarray(times_s, dtype=np.float64)
+        elapsed = t - self.start_time_s
+        distance = self.speed_ms * np.abs(elapsed)
+        backwards = (self.track_deg + 180.0) % 360.0
+        bearing = np.where(elapsed >= 0, self.track_deg, backwards)
+        lat_deg, lon_deg = destination_point_arrays(
+            self.start, bearing, distance
+        )
+        # Instantaneous track = bearing from a point slightly behind.
+        blat, blon = destination_points_fixed_leg(
+            lat_deg, lon_deg, backwards, 1000.0
+        )
+        track = initial_bearing_deg_arrays(blat, blon, lat_deg, lon_deg)
+        track = np.where(distance < 1.0, self.track_deg, track)
+        return lat_deg, lon_deg, track
 
 
 def random_route_through_disk(

@@ -1,0 +1,129 @@
+"""Per-capture geometry/obstruction cache over track segments.
+
+Ray geometry and obstruction attenuation change slowly along an
+aircraft's track: at 260 m/s, successive squitters 0.1 s apart move
+the transmitter ~26 m — a ~0.03° bearing change at 50 km. With a
+positive ``epsilon_m``, each aircraft's track is cut into along-track
+segments of that length, the geometry + obstruction stack is computed
+once per (aircraft, segment) anchor — the segment's first event — and
+every other event in the segment reuses the anchor's values.
+
+``epsilon_m <= 0`` (the default everywhere) disables the
+approximation: every event is its own anchor and the results are
+exactly the per-event computation. The equivalence suite runs in this
+mode; campaigns that can tolerate a bounded geometry staleness opt in
+via ``DirectionalEvaluator.geometry_epsilon_m``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.batch.schedule import BatchSquitters
+from repro.environment.obstruction import ObstructionMap
+from repro.geo.coords import GeoPoint, geo_to_enu_arrays
+
+
+@dataclass
+class BatchRays:
+    """Per-event arrival geometry + obstruction loss.
+
+    Attributes:
+        azimuth_deg / elevation_deg / slant_m: arrival geometry per
+            event (slant clamped to >= 1 m like ``ray_geometry``).
+        obstruction_db: obstruction-map loss per event.
+        n_anchors: how many (aircraft, segment) anchors were actually
+            computed; equals the event count when the cache is off.
+    """
+
+    azimuth_deg: np.ndarray
+    elevation_deg: np.ndarray
+    slant_m: np.ndarray
+    obstruction_db: np.ndarray
+    n_anchors: int
+
+
+def ray_arrays(
+    origin: GeoPoint,
+    lat_deg: np.ndarray,
+    lon_deg: np.ndarray,
+    alt_m: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch ``ray_geometry``: (azimuth, elevation, clamped slant).
+
+    Mirrors the scalar ENU property chain, including
+    ``atan2(0, 0) = 0`` for the degenerate straight-up ray.
+    """
+    east, north, up = geo_to_enu_arrays(origin, lat_deg, lon_deg, alt_m)
+    azimuth = np.degrees(np.arctan2(east, north)) % 360.0
+    horiz = np.hypot(east, north)
+    elevation = np.degrees(np.arctan2(up, horiz))
+    slant = np.sqrt(east**2 + north**2 + up**2)
+    slant = np.maximum(slant, 1.0)
+    return azimuth, elevation, slant
+
+
+def batch_rays(
+    origin: GeoPoint,
+    obstruction_map: ObstructionMap,
+    freq_hz: float,
+    squitters: BatchSquitters,
+    speeds_ms: np.ndarray,
+    epsilon_m: float = 0.0,
+) -> BatchRays:
+    """Geometry + obstruction for every event, cached per segment.
+
+    ``speeds_ms`` is the per-aircraft ground speed (indexable by
+    ``squitters.aircraft_idx``), used to convert elapsed time into
+    along-track displacement for segment bucketing.
+    """
+    n = squitters.n
+    if n == 0:
+        empty = np.empty(0, dtype=np.float64)
+        return BatchRays(empty, empty, empty, empty, 0)
+    if epsilon_m <= 0.0:
+        az, el, slant = ray_arrays(
+            origin,
+            squitters.lat_deg,
+            squitters.lon_deg,
+            squitters.alt_m,
+        )
+        obstruction = obstruction_map.loss_db_array(
+            az, el, freq_hz, slant
+        )
+        return BatchRays(az, el, slant, obstruction, n)
+
+    ai = squitters.aircraft_idx
+    # Elapsed time since each aircraft's first event (events are
+    # time-sorted, so a running minimum per aircraft is just the first
+    # occurrence).
+    _, first_pos = np.unique(ai, return_index=True)
+    t_first = np.zeros(int(ai.max()) + 1, dtype=np.float64)
+    t_first[ai[first_pos]] = squitters.time_s[first_pos]
+    moved_m = speeds_ms[ai] * (squitters.time_s - t_first[ai])
+    segment = np.floor_divide(moved_m, epsilon_m).astype(np.int64)
+    seg_min = int(segment.min())
+    seg_span = int(segment.max()) - seg_min + 1
+    key = ai * seg_span + (segment - seg_min)
+    _, anchor_idx, inverse = np.unique(
+        key, return_index=True, return_inverse=True
+    )
+    az_a, el_a, slant_a = ray_arrays(
+        origin,
+        squitters.lat_deg[anchor_idx],
+        squitters.lon_deg[anchor_idx],
+        squitters.alt_m[anchor_idx],
+    )
+    obstruction_a = obstruction_map.loss_db_array(
+        az_a, el_a, freq_hz, slant_a
+    )
+    return BatchRays(
+        azimuth_deg=az_a[inverse],
+        elevation_deg=el_a[inverse],
+        slant_m=slant_a[inverse],
+        obstruction_db=obstruction_a[inverse],
+        n_anchors=int(anchor_idx.size),
+    )

@@ -1,0 +1,99 @@
+"""Batch 1090 MHz link engine: every squitter's power in one pass.
+
+Replicates :class:`repro.environment.links.AdsbLinkModel` draw for
+draw. The scalar model consumes, per event in time order:
+
+1. a shadowing candidate ``normal(0, shadow_sigma)`` — ``setdefault``
+   evaluates its argument eagerly, so this is drawn on EVERY event and
+   discarded unless the event is its aircraft's first;
+2. a leakage candidate ``normal(0, leak_sigma)`` — same eager draw;
+3. iff the event opens a new (aircraft, coherence-block) fading key:
+   two normals (Rician I then Q).
+
+``Generator.normal(loc, scale)`` is ``loc + scale*standard_normal()``
+and a batched ``standard_normal(n)`` consumes the bit stream exactly
+like n scalar calls, so the whole capture's randomness is ONE
+``standard_normal(total)`` call indexed by per-event offsets. This is
+the draw-order discipline documented in docs/performance.md; the
+equivalence suite holds it to fixed-seed agreement with the scalar
+path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.batch.geomcache import BatchRays
+from repro.batch.schedule import BatchSquitters
+from repro.environment.links import ADSB_FREQ_HZ
+from repro.environment.site import SiteEnvironment
+from repro.rf.fading import rician_fading_db_from_normals
+from repro.rf.pathloss import free_space_path_loss_db_array
+from repro.sdr.antenna import Antenna
+
+
+def batch_received_power_dbm(
+    env: SiteEnvironment,
+    rx_antenna: Antenna,
+    squitters: BatchSquitters,
+    rays: BatchRays,
+    rng: np.random.Generator,
+    rician_k_db: float,
+    coherence_time_s: float,
+) -> np.ndarray:
+    """Received power at the SDR input for every event, in dBm.
+
+    Events must be time-sorted (as :func:`build_batch_squitters`
+    returns them); the RNG is advanced exactly as the scalar model
+    would advance it over the same events.
+    """
+    n = squitters.n
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+
+    tx_dbm = 10.0 * np.log10(squitters.tx_power_w * 1000.0)
+    path = free_space_path_loss_db_array(rays.slant_m, ADSB_FREQ_HZ)
+    rx_gain = rx_antenna.gain_at_array(ADSB_FREQ_HZ, rays.azimuth_deg)
+    unobstructed_dbm = tx_dbm - path + rx_gain
+
+    ai = squitters.aircraft_idx
+    block = np.floor_divide(
+        squitters.time_s, coherence_time_s
+    ).astype(np.int64)
+    b_min = int(block.min())
+    b_span = int(block.max()) - b_min + 1
+    fade_key = ai * b_span + (block - b_min)
+    _, fade_first, fade_inverse = np.unique(
+        fade_key, return_index=True, return_inverse=True
+    )
+    is_new_fade = np.zeros(n, dtype=bool)
+    is_new_fade[fade_first] = True
+
+    # One batched draw covering the whole capture: 2 candidates per
+    # event + 2 Rician quadratures per new fading key, laid out in
+    # event order.
+    counts = 2 + 2 * is_new_fade.astype(np.int64)
+    ends = np.cumsum(counts)
+    offsets = ends - counts
+    z = rng.standard_normal(int(ends[-1]))
+
+    _, a_first, a_inverse = np.unique(ai, return_index=True, return_inverse=True)
+    shadow = (env.shadowing_sigma_db * z[offsets[a_first]])[a_inverse]
+    leak = (env.leakage_sigma_db * z[offsets[a_first] + 1])[a_inverse]
+    fade = rician_fading_db_from_normals(
+        z[offsets[fade_first] + 2],
+        z[offsets[fade_first] + 3],
+        rician_k_db,
+    )[fade_inverse]
+
+    obstruction = rays.obstruction_db
+    direct_extra = obstruction - shadow
+    leakage_extra = env.leakage_base_db + leak
+    combined = -10.0 * np.log10(
+        10.0 ** (-np.maximum(direct_extra, 0.0) / 10.0)
+        + 10.0 ** (-np.maximum(leakage_extra, 0.0) / 10.0)
+    )
+    effective_extra = np.where(
+        obstruction <= 0.5, direct_extra, combined
+    )
+    return unobstructed_dbm - effective_extra + fade

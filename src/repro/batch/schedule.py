@@ -1,0 +1,163 @@
+"""Batched squitter schedule: the population's transmissions as arrays.
+
+The scalar path (``TrafficSimulator.squitters_between``) materializes a
+``SquitterEvent`` object per transmission — frame included — before the
+link model has said whether the squitter is even receivable. Here the
+schedule is flat arrays (times, positions, velocities, kinds), frames
+are NOT built, and the engine constructs Python frame objects only for
+the thresholded subset.
+
+RNG discipline: the scalar path draws one uniform jitter per event, per
+(aircraft, kind) block, aircraft in construction order, kinds in
+``position, velocity, identification, acquisition`` order.
+``Transponder.schedule_times`` draws each block as one batched
+``rng.uniform`` call — bit-identical to the scalar sequence — and this
+module visits blocks in exactly that order.
+
+Sort discipline: the scalar path stable-sorts each aircraft's events by
+time, then stable-sorts the concatenation. A single stable argsort of
+the (aircraft-major, kind-block-minor) concatenation yields the same
+permutation: ties keep concatenation order either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adsb.transponder import (
+    ACQUISITION_INTERVAL_S,
+    IDENT_INTERVAL_S,
+    POSITION_INTERVAL_S,
+    VELOCITY_INTERVAL_S,
+)
+from repro.airspace.aircraft import MS_TO_KT
+from repro.airspace.traffic import TrafficSimulator
+
+#: Kind indices into :data:`KIND_INTERVALS`.
+KIND_POSITION = 0
+KIND_VELOCITY = 1
+KIND_IDENTIFICATION = 2
+KIND_ACQUISITION = 3
+
+#: Kinds in the scalar path's RNG-draw order.
+KIND_INTERVALS = (
+    POSITION_INTERVAL_S,
+    VELOCITY_INTERVAL_S,
+    IDENT_INTERVAL_S,
+    ACQUISITION_INTERVAL_S,
+)
+
+
+@dataclass
+class BatchSquitters:
+    """Every squitter of a capture, as time-sorted parallel arrays.
+
+    Attributes:
+        time_s: jittered transmission times, ascending.
+        aircraft_idx: index into ``traffic.aircraft`` per event.
+        kind_idx: squitter kind per event (``KIND_*`` constants).
+        pos_seq: for position squitters, the event's index within its
+            aircraft's position block in generation order — this is
+            what determines the CPR even/odd parity; -1 otherwise.
+        lat_deg / lon_deg / alt_m: transmitter position per event
+            (longitudes normalized to [-180, 180)).
+        east_kt / north_kt: ground-velocity components per event.
+        tx_power_w: transponder output power per event.
+    """
+
+    time_s: np.ndarray
+    aircraft_idx: np.ndarray
+    kind_idx: np.ndarray
+    pos_seq: np.ndarray
+    lat_deg: np.ndarray
+    lon_deg: np.ndarray
+    alt_m: np.ndarray
+    east_kt: np.ndarray
+    north_kt: np.ndarray
+    tx_power_w: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.time_s.size)
+
+
+def build_batch_squitters(
+    traffic: TrafficSimulator,
+    t0_s: float,
+    t1_s: float,
+    rng: np.random.Generator,
+) -> BatchSquitters:
+    """The population's schedule in [t0, t1) as sorted arrays.
+
+    Consumes exactly the jitter draws ``traffic.squitters_between``
+    would, in the same order, and returns events in the same sorted
+    order (ties included).
+    """
+    times_parts = []
+    aidx_parts = []
+    kind_parts = []
+    pseq_parts = []
+    power_parts = []
+    lat_parts = []
+    lon_parts = []
+    alt_parts = []
+    ekt_parts = []
+    nkt_parts = []
+    for ai, ac in enumerate(traffic.aircraft):
+        tp = ac.transponder
+        ac_times = []
+        ac_kinds = []
+        ac_pseq = []
+        for kind_idx, interval_s in enumerate(KIND_INTERVALS):
+            ts = tp.schedule_times(t0_s, t1_s, interval_s, rng)
+            ac_times.append(ts)
+            ac_kinds.append(np.full(ts.size, kind_idx, dtype=np.int64))
+            if kind_idx == KIND_POSITION:
+                ac_pseq.append(np.arange(ts.size, dtype=np.int64))
+            else:
+                ac_pseq.append(np.full(ts.size, -1, dtype=np.int64))
+        t = np.concatenate(ac_times)
+        lat, lon, track = ac.route.sample_arrays(t)
+        east_kt = (
+            ac.route.speed_ms * np.sin(np.radians(track)) * MS_TO_KT
+        )
+        north_kt = (
+            ac.route.speed_ms * np.cos(np.radians(track)) * MS_TO_KT
+        )
+        times_parts.append(t)
+        aidx_parts.append(np.full(t.size, ai, dtype=np.int64))
+        kind_parts.append(np.concatenate(ac_kinds))
+        pseq_parts.append(np.concatenate(ac_pseq))
+        power_parts.append(
+            np.full(t.size, tp.tx_power_w, dtype=np.float64)
+        )
+        lat_parts.append(lat)
+        lon_parts.append(lon)
+        alt_parts.append(
+            np.full(t.size, ac.route.start.alt_m, dtype=np.float64)
+        )
+        ekt_parts.append(east_kt)
+        nkt_parts.append(north_kt)
+
+    time_s = np.concatenate(times_parts) if times_parts else np.empty(0)
+    order = np.argsort(time_s, kind="stable")
+    return BatchSquitters(
+        time_s=time_s[order],
+        aircraft_idx=_cat(aidx_parts, np.int64)[order],
+        kind_idx=_cat(kind_parts, np.int64)[order],
+        pos_seq=_cat(pseq_parts, np.int64)[order],
+        lat_deg=_cat(lat_parts, np.float64)[order],
+        lon_deg=_cat(lon_parts, np.float64)[order],
+        alt_m=_cat(alt_parts, np.float64)[order],
+        east_kt=_cat(ekt_parts, np.float64)[order],
+        north_kt=_cat(nkt_parts, np.float64)[order],
+        tx_power_w=_cat(power_parts, np.float64)[order],
+    )
+
+
+def _cat(parts, dtype) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(parts)

@@ -50,6 +50,14 @@ class DirectionalEvaluator:
         ground_truth_query_s: when the ground truth is queried
             (paper: 15 s into the measurement).
         radius_m: ground-truth query radius (paper: 100 km).
+        use_batch: run the capture through the vectorized batch
+            engine (:mod:`repro.batch`). The batch path is
+            equivalence-tested against :meth:`run_scalar`: same seed,
+            same decode set.
+        geometry_epsilon_m: along-track distance an aircraft may move
+            before its ray geometry/obstruction is recomputed (batch
+            path only). 0 disables the cache — exact per-event
+            geometry.
     """
 
     node: SensorNode
@@ -58,6 +66,8 @@ class DirectionalEvaluator:
     duration_s: float = 30.0
     ground_truth_query_s: float = 15.0
     radius_m: float = 100_000.0
+    use_batch: bool = True
+    geometry_epsilon_m: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0.0:
@@ -77,7 +87,25 @@ class DirectionalEvaluator:
         return floor + DECODE_SNR_DB
 
     def run(self, rng: np.random.Generator) -> DirectionalScan:
-        """Execute one full evaluation and return the scan."""
+        """Execute one full evaluation and return the scan.
+
+        Dispatches to the vectorized batch engine unless
+        ``use_batch`` is off; both paths consume the RNG identically
+        and produce the same decode set for the same seed.
+        """
+        if self.use_batch:
+            from repro.batch.engine import run_directional_scan_batch
+
+            return run_directional_scan_batch(self, rng)
+        return self.run_scalar(rng)
+
+    def run_scalar(self, rng: np.random.Generator) -> DirectionalScan:
+        """The per-squitter reference pipeline.
+
+        Kept as the equivalence oracle for the batch engine (and for
+        profiling): one Python object per squitter, one link-model
+        call per event.
+        """
         link = AdsbLinkModel(
             env=self.node.environment, rx_antenna=self.node.antenna
         )
@@ -115,6 +143,20 @@ class DirectionalEvaluator:
             tally.n_messages += 1
             tally.rssi_sum_dbfs += rssi_dbfs
 
+        return self._finalize(per_aircraft, decoded_count, rng)
+
+    def _finalize(
+        self,
+        per_aircraft: Dict[IcaoAddress, "_AircraftTally"],
+        decoded_count: int,
+        rng: np.random.Generator,
+    ) -> DirectionalScan:
+        """Join decode tallies against ground truth into a scan.
+
+        Shared tail of the scalar and batch paths: the ground-truth
+        query (which may consume RNG draws) must happen after every
+        link draw, in both paths, for seed equivalence.
+        """
         reports = self.ground_truth.query(
             self.node.position,
             self.radius_m,

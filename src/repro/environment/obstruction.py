@@ -18,8 +18,15 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.geo.sectors import AzimuthSector
-from repro.rf.diffraction import fresnel_v, knife_edge_loss_db
+from repro.rf.diffraction import (
+    fresnel_v,
+    fresnel_v_array,
+    knife_edge_loss_db,
+    knife_edge_loss_db_array,
+)
 from repro.rf.penetration import material_loss_db
 
 
@@ -107,6 +114,41 @@ class Obstruction:
         v = fresnel_v(h, self.edge_distance_m, d2, freq_hz)
         return knife_edge_loss_db(v)
 
+    def loss_db_array(
+        self,
+        azimuth_deg: np.ndarray,
+        elevation_deg: np.ndarray,
+        freq_hz: float,
+        tx_distance_m: np.ndarray,
+    ) -> np.ndarray:
+        """Batch :meth:`loss_db` over ray arrays (same values).
+
+        The through/over-top combination is evaluated for every ray
+        and masked to zero where the ray clears the structure — the
+        same result the scalar early-returns produce.
+        """
+        el = np.asarray(elevation_deg, dtype=np.float64)
+        blocked = self.sector.contains_array(azimuth_deg) & (
+            el < self.clear_elevation_deg
+        )
+        through = (
+            stack_loss_db(self.materials, freq_hz) + self.extra_loss_db
+        )
+        clear = math.radians(min(self.clear_elevation_deg, 89.0))
+        ray = np.radians(np.clip(el, -89.0, 89.0))
+        h = self.edge_distance_m * (math.tan(clear) - np.tan(ray))
+        d2 = np.maximum(
+            np.asarray(tx_distance_m, dtype=np.float64)
+            - self.edge_distance_m,
+            1.0,
+        )
+        v = fresnel_v_array(h, self.edge_distance_m, d2, freq_hz)
+        over_top = knife_edge_loss_db_array(v)
+        combined = -10.0 * np.log10(
+            10.0 ** (-through / 10.0) + 10.0 ** (-over_top / 10.0)
+        )
+        return np.where(blocked, combined, 0.0)
+
 
 @dataclass(frozen=True)
 class AmbientLayer:
@@ -138,6 +180,17 @@ class AmbientLayer:
             return 0.0
         return stack_loss_db(self.materials, freq_hz) + self.extra_loss_db
 
+    def loss_db_array(
+        self, elevation_deg: np.ndarray, freq_hz: float
+    ) -> np.ndarray:
+        """Batch :meth:`loss_db` over an elevation array."""
+        el = np.asarray(elevation_deg, dtype=np.float64)
+        in_band = (self.min_elevation_deg <= el) & (
+            el < self.max_elevation_deg
+        )
+        loss = stack_loss_db(self.materials, freq_hz) + self.extra_loss_db
+        return np.where(in_band, loss, 0.0)
+
 
 @dataclass
 class ObstructionMap:
@@ -166,6 +219,30 @@ class ObstructionMap:
             )
         for layer in self.ambient:
             total += layer.loss_db(elevation_deg, freq_hz)
+        return total
+
+    def loss_db_array(
+        self,
+        azimuth_deg: np.ndarray,
+        elevation_deg: np.ndarray,
+        freq_hz: float,
+        tx_distance_m: np.ndarray,
+    ) -> np.ndarray:
+        """Batch :meth:`loss_db` over ray arrays.
+
+        Per-element accumulation runs in the same structure/layer order
+        as the scalar sum, so the totals agree term for term.
+        """
+        total = np.zeros(
+            np.asarray(elevation_deg, dtype=np.float64).shape,
+            dtype=np.float64,
+        )
+        for obs in self.obstructions:
+            total += obs.loss_db_array(
+                azimuth_deg, elevation_deg, freq_hz, tx_distance_m
+            )
+        for layer in self.ambient:
+            total += layer.loss_db_array(elevation_deg, freq_hz)
         return total
 
     def is_clear(

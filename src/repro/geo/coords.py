@@ -9,6 +9,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
 
 #: Mean Earth radius in meters (IUGG mean radius R1).
 EARTH_RADIUS_M = 6_371_008.8
@@ -99,6 +102,32 @@ def geo_to_enu(origin: GeoPoint, target: GeoPoint) -> ENU:
     east = dlon * EARTH_RADIUS_M * math.cos(mean_lat)
     up = target.alt_m - origin.alt_m
     return ENU(east, north, up)
+
+
+def geo_to_enu_arrays(
+    origin: GeoPoint,
+    lat_deg: np.ndarray,
+    lon_deg: np.ndarray,
+    alt_m: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch :func:`geo_to_enu`: (east, north, up) arrays in meters.
+
+    Targets arrive as *degree* arrays because that is what the scalar
+    path stores in :class:`GeoPoint` — converting here with
+    ``np.radians`` reproduces the scalar ``lat_rad`` property's
+    degree→radian round-trip exactly, which the equivalence suite
+    depends on. Longitudes must already be normalized to [-180, 180)
+    (the :class:`GeoPoint` constructor invariant).
+    """
+    lat_rad = np.radians(np.asarray(lat_deg, dtype=np.float64))
+    lon_rad = np.radians(np.asarray(lon_deg, dtype=np.float64))
+    dlat = lat_rad - origin.lat_rad
+    dlon = lon_rad - origin.lon_rad
+    mean_lat = 0.5 * (lat_rad + origin.lat_rad)
+    north = dlat * EARTH_RADIUS_M
+    east = dlon * EARTH_RADIUS_M * np.cos(mean_lat)
+    up = np.asarray(alt_m, dtype=np.float64) - origin.alt_m
+    return east, north, up
 
 
 def enu_to_geo(origin: GeoPoint, offset: ENU) -> GeoPoint:

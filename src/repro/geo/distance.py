@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import math
+from typing import Tuple
+
+import numpy as np
 
 from repro.geo.coords import EARTH_RADIUS_M, GeoPoint
 
@@ -58,6 +61,88 @@ def destination_point(
     x = math.cos(ang) - math.sin(start.lat_rad) * sin_lat
     lon2 = start.lon_rad + math.atan2(y, x)
     return GeoPoint(math.degrees(lat2), math.degrees(lon2), start.alt_m)
+
+
+def normalize_lon_deg_array(lon_deg: np.ndarray) -> np.ndarray:
+    """Fold longitudes into [-180, 180) like ``GeoPoint.__post_init__``."""
+    return ((lon_deg + 180.0) % 360.0) - 180.0
+
+
+def destination_point_arrays(
+    start: GeoPoint,
+    bearing_deg: np.ndarray,
+    distance_m: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch :func:`destination_point` from one fixed start point.
+
+    Returns (lat_deg, lon_deg) arrays with longitudes normalized to
+    [-180, 180), matching the :class:`GeoPoint` the scalar function
+    would construct. Scalar-valued subexpressions go through ``math``
+    so each element sees the exact scalar operation sequence.
+    """
+    ang = np.asarray(distance_m, dtype=np.float64) / EARTH_RADIUS_M
+    brg = np.radians(np.asarray(bearing_deg, dtype=np.float64))
+    sin_lat = math.sin(start.lat_rad) * np.cos(ang) + math.cos(
+        start.lat_rad
+    ) * np.sin(ang) * np.cos(brg)
+    sin_lat = np.clip(sin_lat, -1.0, 1.0)
+    lat2 = np.arcsin(sin_lat)
+    y = np.sin(brg) * np.sin(ang) * math.cos(start.lat_rad)
+    x = np.cos(ang) - math.sin(start.lat_rad) * sin_lat
+    lon2 = start.lon_rad + np.arctan2(y, x)
+    return np.degrees(lat2), normalize_lon_deg_array(np.degrees(lon2))
+
+
+def destination_points_fixed_leg(
+    lat_deg: np.ndarray,
+    lon_deg: np.ndarray,
+    bearing_deg: float,
+    distance_m: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batch :func:`destination_point` from many starts, one fixed leg.
+
+    The dual of :func:`destination_point_arrays`: per-element start
+    points (degree arrays, longitudes normalized) with a single
+    bearing and distance. Used to drop a reference point a fixed
+    distance behind each sampled trajectory position.
+    """
+    lat_rad = np.radians(np.asarray(lat_deg, dtype=np.float64))
+    lon_rad = np.radians(np.asarray(lon_deg, dtype=np.float64))
+    ang = distance_m / EARTH_RADIUS_M
+    brg = math.radians(bearing_deg)
+    sin_lat = np.sin(lat_rad) * math.cos(ang) + np.cos(lat_rad) * math.sin(
+        ang
+    ) * math.cos(brg)
+    sin_lat = np.clip(sin_lat, -1.0, 1.0)
+    lat2 = np.arcsin(sin_lat)
+    y = math.sin(brg) * math.sin(ang) * np.cos(lat_rad)
+    x = math.cos(ang) - np.sin(lat_rad) * sin_lat
+    lon2 = lon_rad + np.arctan2(y, x)
+    return np.degrees(lat2), normalize_lon_deg_array(np.degrees(lon2))
+
+
+def initial_bearing_deg_arrays(
+    lat_a_deg: np.ndarray,
+    lon_a_deg: np.ndarray,
+    lat_b_deg: np.ndarray,
+    lon_b_deg: np.ndarray,
+) -> np.ndarray:
+    """Batch :func:`initial_bearing_deg` over degree arrays.
+
+    Degree inputs (normalized longitudes) reproduce the scalar path's
+    GeoPoint degree→radian round-trip, exactly like
+    :func:`repro.geo.coords.geo_to_enu_arrays`.
+    """
+    lat_a = np.radians(np.asarray(lat_a_deg, dtype=np.float64))
+    lon_a = np.radians(np.asarray(lon_a_deg, dtype=np.float64))
+    lat_b = np.radians(np.asarray(lat_b_deg, dtype=np.float64))
+    lon_b = np.radians(np.asarray(lon_b_deg, dtype=np.float64))
+    dlon = lon_b - lon_a
+    x = np.sin(dlon) * np.cos(lat_b)
+    y = np.cos(lat_a) * np.sin(lat_b) - np.sin(lat_a) * np.cos(
+        lat_b
+    ) * np.cos(dlon)
+    return np.degrees(np.arctan2(x, y)) % 360.0
 
 
 def slant_range_m(a: GeoPoint, b: GeoPoint) -> float:

@@ -10,6 +10,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 
 def normalize_bearing(bearing_deg: float) -> float:
     """Fold an angle into [0, 360)."""
@@ -62,6 +64,18 @@ class AzimuthSector:
             return True
         rel = normalize_bearing(bearing_deg - self.start_deg)
         return rel < self.width_deg
+
+    def contains_array(self, bearing_deg: np.ndarray) -> np.ndarray:
+        """Batch :meth:`contains` over a bearing array.
+
+        Bearings must be finite (they come from ``atan2`` in the batch
+        geometry kernels, so they always are); the scalar finiteness
+        guard is skipped.
+        """
+        b = np.asarray(bearing_deg, dtype=np.float64)
+        if self.width_deg >= 360.0:
+            return np.ones(b.shape, dtype=bool)
+        return (b - self.start_deg) % 360.0 < self.width_deg
 
     def overlaps(self, other: "AzimuthSector") -> bool:
         """Whether two sectors share any bearing."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.rf.units import wavelength_m
 
 
@@ -45,3 +47,34 @@ def knife_edge_loss_db(v: float) -> float:
         return 0.0
     term = math.sqrt((v - 0.1) ** 2 + 1.0) + v - 0.1
     return 6.9 + 20.0 * math.log10(term)
+
+
+def fresnel_v_array(
+    obstacle_height_m: np.ndarray,
+    dist_tx_m: float,
+    dist_rx_m: np.ndarray,
+    freq_hz: float,
+) -> np.ndarray:
+    """Batch :func:`fresnel_v` over edge heights and RX distances.
+
+    ``dist_tx_m`` (sensor-to-edge) stays scalar: one obstruction has
+    one edge distance. Operation order matches the scalar function per
+    element.
+    """
+    if dist_tx_m <= 0.0:
+        raise ValueError("edge-to-endpoint distances must be positive")
+    lam = wavelength_m(freq_hz)
+    return obstacle_height_m * np.sqrt(
+        2.0 * (dist_tx_m + dist_rx_m) / (lam * dist_tx_m * dist_rx_m)
+    )
+
+
+def knife_edge_loss_db_array(v: np.ndarray) -> np.ndarray:
+    """Batch :func:`knife_edge_loss_db`.
+
+    ``sqrt((v-0.1)^2 + 1) + v - 0.1`` is positive for every real v, so
+    the log10 is evaluated everywhere and masked afterwards — no
+    warnings, identical values where v > -0.78.
+    """
+    term = np.sqrt((v - 0.1) ** 2 + 1.0) + v - 0.1
+    return np.where(v <= -0.78, 0.0, 6.9 + 20.0 * np.log10(term))

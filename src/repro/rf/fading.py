@@ -51,3 +51,25 @@ def rician_fading_db(rng: np.random.Generator, k_factor_db: float) -> float:
     power = i * i + q * q
     power = max(power, 1e-12)
     return 10.0 * math.log10(power)
+
+
+def rician_fading_db_from_normals(
+    i_z: np.ndarray, q_z: np.ndarray, k_factor_db: float
+) -> np.ndarray:
+    """Batch Rician fading from pre-drawn standard-normal deviates.
+
+    ``Generator.normal(loc, scale)`` is computed as
+    ``loc + scale * standard_normal()``, so feeding this the deviates
+    of one batched ``standard_normal`` call reproduces a sequence of
+    scalar :func:`rician_fading_db` calls draw-for-draw — the
+    draw-order discipline the batch link engine relies on (see
+    docs/performance.md).
+    """
+    k = 10.0 ** (k_factor_db / 10.0)
+    sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
+    los = math.sqrt(k / (k + 1.0))
+    i = los + sigma * np.asarray(i_z, dtype=np.float64)
+    q = sigma * np.asarray(q_z, dtype=np.float64)
+    power = i * i + q * q
+    power = np.maximum(power, 1e-12)
+    return 10.0 * np.log10(power)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.rf.units import wavelength_m
 
 
@@ -19,6 +21,23 @@ def free_space_path_loss_db(distance_m: float, freq_hz: float) -> float:
     lam = wavelength_m(freq_hz)
     d = max(distance_m, lam)
     return 20.0 * math.log10(4.0 * math.pi * d / lam)
+
+
+def free_space_path_loss_db_array(
+    distance_m: np.ndarray, freq_hz: float
+) -> np.ndarray:
+    """Friis free-space path loss over an array of distances.
+
+    Batch form of :func:`free_space_path_loss_db` with the same
+    operation order per element, so results agree with the scalar
+    function to the last ulp of the platform's log10.
+    """
+    d = np.asarray(distance_m, dtype=np.float64)
+    if np.any(d < 0.0):
+        raise ValueError("distances must be non-negative")
+    lam = wavelength_m(freq_hz)
+    d = np.maximum(d, lam)
+    return 20.0 * np.log10(4.0 * math.pi * d / lam)
 
 
 def log_distance_path_loss_db(

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Antenna:
@@ -61,6 +63,33 @@ class Antenna:
         if self.azimuth_pattern is not None:
             gain += self.azimuth_pattern(bearing_deg % 360.0)
         return gain
+
+    def gain_at_array(
+        self, freq_hz: float, bearing_deg: np.ndarray
+    ) -> np.ndarray:
+        """Batch :meth:`gain_at`: one frequency, many bearings.
+
+        The frequency-dependent part is scalar (one carrier per batch);
+        an ``azimuth_pattern`` is an arbitrary Python callable, so it
+        falls back to a per-bearing loop — omni antennas (the common
+        case) stay fully vectorized.
+        """
+        if freq_hz <= 0.0:
+            raise ValueError(f"frequency must be positive: {freq_hz}")
+        gain = self.gain_dbi
+        if freq_hz < self.low_hz:
+            octaves = math.log2(self.low_hz / freq_hz)
+            gain -= self.rolloff_db_per_octave * octaves
+        elif freq_hz > self.high_hz:
+            octaves = math.log2(freq_hz / self.high_hz)
+            gain -= self.rolloff_db_per_octave * octaves
+        b = np.asarray(bearing_deg, dtype=np.float64)
+        if self.azimuth_pattern is None:
+            return np.full(b.shape, gain, dtype=np.float64)
+        return np.array(
+            [gain + self.azimuth_pattern(float(x) % 360.0) for x in b],
+            dtype=np.float64,
+        )
 
 
 #: The 700-2700 MHz wide-band antenna used in the paper's testbed.

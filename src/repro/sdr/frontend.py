@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.rf.noise import noise_floor_dbm
 from repro.rf.units import dbm_to_dbfs
 
@@ -76,6 +78,15 @@ class SdrFrontEnd:
     def input_dbm_to_dbfs(self, power_dbm: float) -> float:
         """Convert an input power into the digital dBFS reading."""
         return dbm_to_dbfs(power_dbm, self.full_scale_dbm)
+
+    def input_dbm_to_dbfs_array(
+        self, power_dbm: np.ndarray
+    ) -> np.ndarray:
+        """Batch :meth:`input_dbm_to_dbfs` (same affine conversion)."""
+        return (
+            np.asarray(power_dbm, dtype=np.float64)
+            - self.full_scale_dbm
+        )
 
     def dynamic_range_db(self) -> float:
         """Theoretical ADC dynamic range (6.02 dB per bit)."""

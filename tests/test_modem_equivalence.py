@@ -1,0 +1,176 @@
+"""Vectorized modem vs. scalar reference: behavioural equivalence.
+
+The production modem (:mod:`repro.adsb.modem`) runs its hot paths as
+numpy batch kernels; :mod:`repro.adsb.modem_ref` keeps the original
+per-sample implementation as the oracle. These property tests hold the
+two to identical detections, bits, frame bytes, and RSSI on arbitrary
+magnitude buffers — including tie-heavy, all-zero, and buffer-edge
+cases the random-waveform tests would rarely hit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adsb.icao import IcaoAddress
+from repro.adsb.messages import build_airborne_position
+from repro.adsb.modem import (
+    PREAMBLE_PULSES,
+    PREAMBLE_SAMPLES,
+    PpmDemodulator,
+    bits_to_frame,
+    frame_to_bits,
+    modulate_frame,
+)
+from repro.adsb.modem_ref import (
+    ScalarPpmDemodulator,
+    bits_to_frame_ref,
+    frame_to_bits_ref,
+)
+
+# Discrete levels make equal-magnitude ties (the slicer's failure
+# mode) and exact threshold comparisons likely under hypothesis.
+_LEVELS = st.sampled_from([0.0, 0.25, 0.5, 1.0, 1.1, 2.0, 3.0])
+
+_BUFFERS = st.lists(_LEVELS, min_size=0, max_size=400).map(
+    lambda xs: np.asarray(xs, dtype=np.float64)
+)
+
+_SMOOTH_BUFFERS = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=10.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=0,
+    max_size=400,
+).map(lambda xs: np.asarray(xs, dtype=np.float64))
+
+
+class TestBitConverters:
+    @given(st.binary(min_size=0, max_size=32))
+    def test_frame_to_bits_matches_ref(self, data):
+        assert frame_to_bits(data) == frame_to_bits_ref(data)
+
+    @given(st.binary(min_size=0, max_size=32))
+    def test_roundtrip_identity(self, data):
+        assert bits_to_frame(frame_to_bits(data)) == data
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=0, max_size=256).filter(
+            lambda b: len(b) % 8 == 0
+        )
+    )
+    def test_bits_to_frame_matches_ref(self, bits):
+        assert bits_to_frame(bits) == bits_to_frame_ref(bits)
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=31).filter(
+            lambda b: len(b) % 8 != 0
+        )
+    )
+    def test_non_byte_multiple_rejected_like_ref(self, bits):
+        with pytest.raises(ValueError):
+            bits_to_frame(bits)
+        with pytest.raises(ValueError):
+            bits_to_frame_ref(bits)
+
+
+class TestDemodulatorEquivalence:
+    @given(_BUFFERS)
+    @settings(max_examples=200)
+    def test_detect_preambles_discrete(self, magnitude):
+        assert PpmDemodulator().detect_preambles(
+            magnitude
+        ) == ScalarPpmDemodulator().detect_preambles(magnitude)
+
+    @given(_SMOOTH_BUFFERS)
+    def test_detect_preambles_smooth(self, magnitude):
+        assert PpmDemodulator().detect_preambles(
+            magnitude
+        ) == ScalarPpmDemodulator().detect_preambles(magnitude)
+
+    @given(
+        _BUFFERS,
+        st.integers(min_value=0, max_value=420),
+        st.sampled_from([5, 56, 112]),
+    )
+    def test_slice_bits(self, magnitude, start, n_bits):
+        assert PpmDemodulator().slice_bits(
+            magnitude, start, n_bits
+        ) == ScalarPpmDemodulator().slice_bits(magnitude, start, n_bits)
+
+    @given(_BUFFERS)
+    @settings(max_examples=100)
+    def test_demodulate_identical(self, magnitude):
+        fast = PpmDemodulator().demodulate(magnitude)
+        ref = ScalarPpmDemodulator().demodulate(magnitude)
+        assert fast == ref
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30)
+    def test_demodulate_real_waveforms(self, seed):
+        rng = np.random.default_rng(seed)
+        frame = build_airborne_position(
+            IcaoAddress(int(rng.integers(1, 1 << 24))),
+            float(rng.uniform(-60.0, 60.0)),
+            float(rng.uniform(-179.0, 179.0)),
+            float(rng.uniform(1_000.0, 40_000.0)),
+            odd=bool(rng.integers(0, 2)),
+        )
+        wave = modulate_frame(frame.data)
+        samples = 0.02 * (
+            rng.standard_normal(4_000) + 1j * rng.standard_normal(4_000)
+        )
+        offset = int(rng.integers(0, 4_000 - len(wave)))
+        samples[offset : offset + len(wave)] += wave
+        fast = PpmDemodulator().demodulate(samples)
+        ref = ScalarPpmDemodulator().demodulate(samples)
+        assert fast == ref
+        assert any(f == frame.data for _, f, _ in fast)
+
+
+class TestBufferEdgeRegression:
+    """Pinned regression for the historical last-window off-by-one.
+
+    ``detect_preambles`` used to stop scanning at
+    ``n - SHORT_FRAME_SAMPLES``, hiding any preamble inside the last
+    128 samples of a buffer from streaming callers. Both
+    implementations now scan to the last full preamble window.
+    """
+
+    def _buffer_with_tail_preamble(self, n: int, start: int):
+        magnitude = np.zeros(n, dtype=np.float64)
+        for k in PREAMBLE_PULSES:
+            magnitude[start + k] = 1.0
+        return magnitude
+
+    def test_preamble_in_final_window_detected(self):
+        n = 300
+        start = n - PREAMBLE_SAMPLES  # the very last valid window
+        magnitude = self._buffer_with_tail_preamble(n, start)
+        assert PpmDemodulator().detect_preambles(magnitude) == [start]
+        assert ScalarPpmDemodulator().detect_preambles(magnitude) == [
+            start
+        ]
+
+    def test_preambles_throughout_old_blind_zone(self):
+        # Every start inside the formerly skipped tail must now be
+        # reported (one at a time; the skip rule would merge them).
+        n = 400
+        for start in range(n - 128, n - PREAMBLE_SAMPLES + 1):
+            magnitude = self._buffer_with_tail_preamble(n, start)
+            assert PpmDemodulator().detect_preambles(magnitude) == [
+                start
+            ], start
+
+    def test_decoded_output_unchanged_by_fix(self):
+        # A tail preamble with no room for its 5 DF bits yields no
+        # frames: the candidate exists but slice_bits rejects it.
+        n = 300
+        start = n - PREAMBLE_SAMPLES
+        magnitude = self._buffer_with_tail_preamble(n, start)
+        assert PpmDemodulator().demodulate(magnitude) == []
+        assert ScalarPpmDemodulator().demodulate(magnitude) == []

@@ -1,0 +1,104 @@
+"""One-capture channelizer vs per-channel capture: the ISSUE-5 proof.
+
+Times the Figure-4 IQ pipeline over the 3-site testbed through both
+paths and asserts the tentpole target: >= 5x with the wideband
+channelizer. Equivalence is checked first (batch IQ within 1 dB of the
+link budget on every channel — the acceptance tolerance), then both
+timings and the ratio land in ``BENCH_channelizer.json`` via
+``bench_record``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.dsp.filters import design_lowpass_fir, fft_fir_filter, fir_filter
+from repro.experiments.figure4 import run_figure4
+
+#: Tentpole target (ISSUE 5 acceptance criterion).
+CHANNELIZER_TARGET_X = 5.0
+
+
+def _best_of(fn, rounds):
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_bench_figure4_iq_channelizer_speedup(world, bench_record):
+    budget = run_figure4(world, iq_mode=False)
+    batch = run_figure4(world, iq_mode=True, use_batch=True)
+
+    # Equivalence first: every channel at every location within the
+    # 1 dB acceptance tolerance of the link budget.
+    worst = 0.0
+    for location, channels in budget.power_dbfs.items():
+        for mhz, expected in channels.items():
+            measured = batch.power_dbfs[location][mhz]
+            assert measured is not None
+            worst = max(worst, abs(measured - expected))
+    assert worst <= 1.0
+
+    t_scalar = _best_of(
+        lambda: run_figure4(world, iq_mode=True, use_batch=False),
+        rounds=3,
+    )
+    t_batch = _best_of(
+        lambda: run_figure4(world, iq_mode=True, use_batch=True),
+        rounds=5,
+    )
+    speedup = t_scalar / t_batch
+    bench_record(
+        workload="figure4 IQ mode, 3 locations x 6 channels, seed 3",
+        scalar_min_s=t_scalar,
+        vectorized_min_s=t_batch,
+        speedup_x=speedup,
+        target_x=CHANNELIZER_TARGET_X,
+        worst_channel_error_db=worst,
+    )
+    print(
+        f"\nfigure4 IQ: per-channel {t_scalar * 1e3:.0f} ms, "
+        f"channelizer {t_batch * 1e3:.1f} ms, {speedup:.1f}x "
+        f"(worst channel error {worst:.2f} dB)"
+    )
+    assert speedup >= CHANNELIZER_TARGET_X
+
+
+def test_bench_fft_fir_long_filter(bench_record):
+    """Overlap-save vs direct convolution at the wideband tap count."""
+    rng = np.random.default_rng(0)
+    rate = 61.44e6
+    taps = design_lowpass_fir(2.69e6, rate, 991)
+    x = rng.standard_normal(1 << 16) + 1j * rng.standard_normal(1 << 16)
+
+    direct = fir_filter(taps, x)
+    fast = fft_fir_filter(taps, x)
+    assert np.allclose(fast, direct, atol=1e-8)
+
+    t_direct = _best_of(lambda: fir_filter(taps, x), rounds=3)
+    t_fft = _best_of(lambda: fft_fir_filter(taps, x), rounds=5)
+    speedup = t_direct / t_fft
+    bench_record(
+        workload="991-tap FIR over 65536 complex samples",
+        scalar_min_s=t_direct,
+        vectorized_min_s=t_fft,
+        speedup_x=speedup,
+    )
+    print(
+        f"\nfft fir: direct {t_direct * 1e3:.1f} ms, "
+        f"overlap-save {t_fft * 1e3:.1f} ms, {speedup:.1f}x"
+    )
+    assert speedup > 1.0
+
+
+def test_bench_channelizer_figure4(benchmark, world):
+    """Absolute timing of the batch IQ path (perf trajectory)."""
+    result = benchmark.pedantic(
+        lambda: run_figure4(world, iq_mode=True, use_batch=True),
+        rounds=5,
+        iterations=1,
+    )
+    assert result.usable_channels("rooftop") == 6

@@ -11,13 +11,16 @@ towers, propagating through the site's obstruction map.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cellular.cellmapper import TowerDatabase
 from repro.cellular.tower import CellTower
-from repro.environment.links import direct_received_power_dbm
+from repro.environment.links import (
+    direct_received_power_dbm,
+    direct_received_power_dbm_multifreq,
+)
 from repro.environment.site import SiteEnvironment
 from repro.sdr.antenna import Antenna
 from repro.sdr.frontend import SdrFrontEnd
@@ -122,12 +125,91 @@ class SrsUeScanner:
                 )
         return out
 
+    def scan_towers_batch(
+        self,
+        towers: Sequence[CellTower],
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[CellMeasurement]:
+        """Scan many towers in one array pass over the link budget.
+
+        Equivalent to calling :meth:`scan_earfcn` tower by tower in
+        the given order, including the shadow-cache behaviour: shadow
+        draws happen only for tunable towers whose ``(tower_id,
+        earfcn)`` key is not cached yet, in first-encounter order, and
+        one batched ``standard_normal`` consumes the generator exactly
+        like the scalar per-tower ``normal`` calls.
+        """
+        if not towers:
+            return []
+        freq = np.array(
+            [t.downlink_freq_hz for t in towers], dtype=np.float64
+        )
+        tunable = (freq >= self.sdr.min_freq_hz) & (
+            freq <= self.sdr.max_freq_hz
+        )
+        median = direct_received_power_dbm_multifreq(
+            self.env,
+            [t.position for t in towers],
+            np.array(
+                [t.eirp_per_re_dbm() for t in towers], dtype=np.float64
+            ),
+            freq,
+            self.antenna,
+        )
+        shadow = np.zeros(len(towers))
+        sigma = self.env.shadowing_sigma_db
+        if rng is not None and sigma > 0.0:
+            pending: List[Tuple[str, int]] = []
+            seen = set()
+            for i, tower in enumerate(towers):
+                key = (tower.tower_id, tower.earfcn)
+                if (
+                    tunable[i]
+                    and key not in self._shadow_cache
+                    and key not in seen
+                ):
+                    pending.append(key)
+                    seen.add(key)
+            if pending:
+                draws = sigma * rng.standard_normal(len(pending))
+                for key, draw in zip(pending, draws):
+                    self._shadow_cache[key] = float(draw)
+            for i, tower in enumerate(towers):
+                shadow[i] = self._shadow_cache.get(
+                    (tower.tower_id, tower.earfcn), 0.0
+                )
+        rsrp = median + shadow
+        decoded = tunable & (rsrp >= self.sensitivity_dbm)
+        return [
+            CellMeasurement(
+                earfcn=t.earfcn,
+                freq_hz=float(freq[i]),
+                pci=t.pci if decoded[i] else None,
+                rsrp_dbm=float(rsrp[i]) if decoded[i] else None,
+                decoded=bool(decoded[i]),
+            )
+            for i, t in enumerate(towers)
+        ]
+
     def scan_all(
         self,
         database: TowerDatabase,
         rng: Optional[np.random.Generator] = None,
     ) -> List[CellMeasurement]:
-        """Scan every channel the database knows about."""
+        """Scan every channel the database knows about (batched)."""
+        towers = [
+            t
+            for earfcn in database.earfcns()
+            for t in database.by_earfcn(earfcn)
+        ]
+        return self.scan_towers_batch(towers, rng)
+
+    def scan_all_scalar(
+        self,
+        database: TowerDatabase,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[CellMeasurement]:
+        """Per-channel :meth:`scan_all`: the equivalence oracle."""
         out: List[CellMeasurement] = []
         for earfcn in database.earfcns():
             out.extend(self.scan_earfcn(earfcn, database, rng))

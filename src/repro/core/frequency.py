@@ -15,17 +15,20 @@ frequencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.cellular.cellmapper import TowerDatabase
-from repro.cellular.scanner import SrsUeScanner
-from repro.environment.links import ray_geometry
+from repro.cellular.scanner import CellMeasurement, SrsUeScanner
+from repro.environment.links import ray_geometry, ray_geometry_arrays
 from repro.fm.meter import FmPowerMeter
 from repro.fm.tower import FmTower
 from repro.node.sensor import SensorNode
-from repro.rf.pathloss import free_space_path_loss_db
+from repro.rf.pathloss import (
+    free_space_path_loss_db,
+    free_space_path_loss_db_multifreq,
+)
 from repro.sdr.antenna import WIDEBAND_700_2700, Antenna
 from repro.tv.meter import TvPowerMeter
 from repro.tv.tower import TvTower
@@ -136,6 +139,10 @@ class FrequencyEvaluator:
         fm_towers: known FM stations (§5 "additional RF sources").
         reference_antenna: the nominal healthy antenna used for the
             expected references.
+        use_batch: run the vectorized one-capture-per-band pipeline
+            (:meth:`run`); ``False`` keeps the per-tower scalar path.
+            :meth:`run_scalar` is always available as the equivalence
+            oracle regardless of this flag.
     """
 
     node: SensorNode
@@ -143,6 +150,7 @@ class FrequencyEvaluator:
     tv_towers: Sequence[TvTower] = ()
     fm_towers: Sequence[FmTower] = ()
     reference_antenna: Optional[Antenna] = None
+    use_batch: bool = True
 
     def __post_init__(self) -> None:
         if self.reference_antenna is None:
@@ -178,6 +186,11 @@ class FrequencyEvaluator:
     ) -> FrequencyProfile:
         """Measure every known signal and build the profile.
 
+        Dispatches to the vectorized one-capture-per-band pipeline
+        when ``use_batch`` is set, else to :meth:`run_scalar`. Budget
+        paths agree to float roundoff; the IQ path agrees within the
+        tolerance documented in ``docs/performance.md``.
+
         Args:
             rng: randomness for shadowing and the IQ path; None runs
                 the deterministic median-budget variant.
@@ -185,6 +198,25 @@ class FrequencyEvaluator:
                 GNU Radio-style DSP chain instead of the fast budget
                 path (requires ``rng``).
         """
+        if tv_iq_mode and rng is None:
+            raise ValueError("tv_iq_mode requires an rng")
+        if not self.use_batch:
+            return self.run_scalar(rng, tv_iq_mode)
+        profile = FrequencyProfile(node_id=self.node.node_id)
+        profile.measurements.extend(self._run_cellular_batch(rng))
+        profile.measurements.extend(
+            self._run_tv_batch(rng, tv_iq_mode)
+        )
+        profile.measurements.extend(self._run_fm_batch())
+        profile.measurements.sort(key=lambda m: m.freq_hz)
+        return profile
+
+    def run_scalar(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        tv_iq_mode: bool = False,
+    ) -> FrequencyProfile:
+        """Per-tower scalar pipeline: the equivalence oracle."""
         if tv_iq_mode and rng is None:
             raise ValueError("tv_iq_mode requires an rng")
         profile = FrequencyProfile(node_id=self.node.node_id)
@@ -202,12 +234,18 @@ class FrequencyEvaluator:
             sdr=self.node.sdr,
             antenna=self.node.antenna,
         )
+        # Each distinct EARFCN is scanned once; towers sharing a
+        # channel are joined by PCI out of the same scan, like a real
+        # srsUE pass over the channel list.
+        scans: Dict[int, List[CellMeasurement]] = {}
         out: List[BandMeasurement] = []
         for tower in self.cell_towers.towers:
             expected = self._expected_cell_rsrp_dbm(tower)
-            results = scanner.scan_earfcn(
-                tower.earfcn, self.cell_towers, rng
-            )
+            if tower.earfcn not in scans:
+                scans[tower.earfcn] = scanner.scan_earfcn(
+                    tower.earfcn, self.cell_towers, rng
+                )
+            results = scans[tower.earfcn]
             match = next(
                 (r for r in results if r.pci == tower.pci), None
             )
@@ -235,6 +273,201 @@ class FrequencyEvaluator:
                         decoded=False,
                     )
                 )
+        return out
+
+    def _expected_cell_rsrp_dbm_batch(
+        self, towers: Sequence
+    ) -> np.ndarray:
+        """Batch :meth:`_expected_cell_rsrp_dbm` (same budget terms)."""
+        geom = ray_geometry_arrays(
+            self.node.position, [t.position for t in towers]
+        )
+        freq = np.array(
+            [t.downlink_freq_hz for t in towers], dtype=np.float64
+        )
+        path = free_space_path_loss_db_multifreq(geom.slant_m, freq)
+        gain = self.reference_antenna.gain_at_multifreq(
+            freq, geom.azimuth_deg
+        )
+        eirp = np.array(
+            [t.eirp_per_re_dbm() for t in towers], dtype=np.float64
+        )
+        return eirp - path + gain
+
+    def _expected_dbfs_batch(
+        self, positions, erp_dbm: np.ndarray, freq_hz: np.ndarray
+    ) -> np.ndarray:
+        """Unobstructed-reference dBFS for broadcast transmitters."""
+        geom = ray_geometry_arrays(self.node.position, positions)
+        path = free_space_path_loss_db_multifreq(
+            geom.slant_m, freq_hz
+        )
+        gain = self.reference_antenna.gain_at_multifreq(
+            freq_hz, geom.azimuth_deg
+        )
+        return self.node.sdr.input_dbm_to_dbfs_array(
+            erp_dbm - path + gain
+        )
+
+    def _run_cellular_batch(
+        self, rng: Optional[np.random.Generator]
+    ) -> List[BandMeasurement]:
+        if not self.cell_towers.towers:
+            return []
+        scanner = SrsUeScanner(
+            env=self.node.environment,
+            sdr=self.node.sdr,
+            antenna=self.node.antenna,
+        )
+        # One array scan covering every distinct EARFCN, channels in
+        # first-encounter order and towers within a channel in
+        # database order — the scalar path's shadow-draw order.
+        ordered: List = []
+        seen_earfcns = set()
+        for tower in self.cell_towers.towers:
+            if tower.earfcn not in seen_earfcns:
+                seen_earfcns.add(tower.earfcn)
+                ordered.extend(
+                    self.cell_towers.by_earfcn(tower.earfcn)
+                )
+        results = scanner.scan_towers_batch(ordered, rng)
+        by_earfcn: Dict[int, List[CellMeasurement]] = {}
+        for tower, result in zip(ordered, results):
+            by_earfcn.setdefault(tower.earfcn, []).append(result)
+        expected = self._expected_cell_rsrp_dbm_batch(
+            self.cell_towers.towers
+        )
+        out: List[BandMeasurement] = []
+        for tower, exp in zip(self.cell_towers.towers, expected):
+            match = next(
+                (
+                    r
+                    for r in by_earfcn.get(tower.earfcn, [])
+                    if r.pci == tower.pci
+                ),
+                None,
+            )
+            decoded = match is not None and match.decoded
+            out.append(
+                BandMeasurement(
+                    source="cellular",
+                    label=tower.tower_id,
+                    freq_hz=tower.downlink_freq_hz,
+                    measured=match.rsrp_dbm if decoded else None,
+                    expected=float(exp),
+                    excess_attenuation_db=(
+                        float(exp) - match.rsrp_dbm
+                        if decoded
+                        else None
+                    ),
+                    decoded=decoded,
+                )
+            )
+        return out
+
+    def _run_tv_batch(
+        self,
+        rng: Optional[np.random.Generator],
+        iq_mode: bool,
+    ) -> List[BandMeasurement]:
+        if not self.tv_towers:
+            return []
+        meter = TvPowerMeter(
+            env=self.node.environment,
+            sdr=self.node.sdr,
+            antenna=self.node.antenna,
+        )
+        towers = list(self.tv_towers)
+        expected = self._expected_dbfs_batch(
+            [t.position for t in towers],
+            np.array([t.erp_dbm for t in towers], dtype=np.float64),
+            np.array(
+                [t.center_freq_hz for t in towers], dtype=np.float64
+            ),
+        )
+        tunable = [
+            t
+            for t in towers
+            if self.node.sdr.can_tune(t.center_freq_hz)
+        ]
+        if iq_mode:
+            measured = meter.measure_iq_batch(tunable, rng)
+        else:
+            measured = meter.measure_budget_batch(tunable)
+        by_callsign = {m.callsign: m for m in measured}
+        out: List[BandMeasurement] = []
+        for tower, exp in zip(towers, expected):
+            measurement = by_callsign.get(tower.callsign)
+            decoded = (
+                measurement is not None
+                and measurement.above_noise_db > 3.0
+            )
+            out.append(
+                BandMeasurement(
+                    source="tv",
+                    label=tower.callsign,
+                    freq_hz=tower.center_freq_hz,
+                    measured=(
+                        measurement.power_dbfs if decoded else None
+                    ),
+                    expected=float(exp),
+                    excess_attenuation_db=(
+                        float(exp) - measurement.power_dbfs
+                        if decoded
+                        else None
+                    ),
+                    decoded=decoded,
+                )
+            )
+        return out
+
+    def _run_fm_batch(self) -> List[BandMeasurement]:
+        if not self.fm_towers:
+            return []
+        meter = FmPowerMeter(
+            env=self.node.environment,
+            sdr=self.node.sdr,
+            antenna=self.node.antenna,
+        )
+        towers = list(self.fm_towers)
+        expected = self._expected_dbfs_batch(
+            [t.position for t in towers],
+            np.array([t.erp_dbm for t in towers], dtype=np.float64),
+            np.array(
+                [t.center_freq_hz for t in towers], dtype=np.float64
+            ),
+        )
+        tunable = [
+            t
+            for t in towers
+            if self.node.sdr.can_tune(t.center_freq_hz)
+        ]
+        measured = meter.measure_budget_batch(tunable)
+        by_callsign = {m.callsign: m for m in measured}
+        out: List[BandMeasurement] = []
+        for tower, exp in zip(towers, expected):
+            measurement = by_callsign.get(tower.callsign)
+            decoded = (
+                measurement is not None
+                and measurement.above_noise_db > 3.0
+            )
+            out.append(
+                BandMeasurement(
+                    source="fm",
+                    label=tower.callsign,
+                    freq_hz=tower.center_freq_hz,
+                    measured=(
+                        measurement.power_dbfs if decoded else None
+                    ),
+                    expected=float(exp),
+                    excess_attenuation_db=(
+                        float(exp) - measurement.power_dbfs
+                        if decoded
+                        else None
+                    ),
+                    decoded=decoded,
+                )
+            )
         return out
 
     def _expected_fm_dbfs(self, tower: FmTower) -> float:

@@ -16,8 +16,17 @@ from repro.dsp.iq import (
 from repro.dsp.filters import (
     design_lowpass_fir,
     design_bandpass_fir,
+    design_lowpass_fir_cached,
+    design_bandpass_fir_cached,
     fir_filter,
+    fft_fir_filter,
     moving_average,
+    scaled_num_taps,
+)
+from repro.dsp.channelizer import (
+    ChannelSpec,
+    Channelizer,
+    plan_capture_groups,
 )
 from repro.dsp.power import (
     mean_power,
@@ -35,8 +44,15 @@ __all__ = [
     "mix_signals",
     "design_lowpass_fir",
     "design_bandpass_fir",
+    "design_lowpass_fir_cached",
+    "design_bandpass_fir_cached",
     "fir_filter",
+    "fft_fir_filter",
     "moving_average",
+    "scaled_num_taps",
+    "ChannelSpec",
+    "Channelizer",
+    "plan_capture_groups",
     "mean_power",
     "mean_power_dbfs",
     "parseval_band_power",

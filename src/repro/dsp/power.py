@@ -14,7 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dsp.filters import (
-    design_bandpass_fir,
+    design_bandpass_fir_cached,
+    fft_fir_filter,
     fir_filter,
     moving_average,
 )
@@ -77,6 +78,10 @@ class ParsevalPowerMeter:
         band_high_hz: upper band edge at baseband.
         num_taps: FIR length (odd).
         average_window: moving-average length in samples.
+        filter_mode: "direct" convolves in the time domain (the
+            original GNU Radio shape); "fft" applies the same taps
+            through the overlap-save :func:`fft_fir_filter` — needed
+            when long filters meet wideband rates.
     """
 
     sample_rate_hz: float
@@ -84,9 +89,17 @@ class ParsevalPowerMeter:
     band_high_hz: float
     num_taps: int = 257
     average_window: int = 8192
+    filter_mode: str = "direct"
 
     def __post_init__(self) -> None:
-        self._taps = design_bandpass_fir(
+        if self.filter_mode not in ("direct", "fft"):
+            raise ValueError(
+                f"filter_mode must be 'direct' or 'fft': "
+                f"{self.filter_mode!r}"
+            )
+        # Tap design repeats with identical keys across towers and
+        # runs; the cached design shares one read-only array.
+        self._taps = design_bandpass_fir_cached(
             self.band_low_hz,
             self.band_high_hz,
             self.sample_rate_hz,
@@ -95,7 +108,10 @@ class ParsevalPowerMeter:
 
     def measure(self, samples: np.ndarray) -> np.ndarray:
         """Running power estimate (linear) for every input sample."""
-        filtered = fir_filter(self._taps, samples)
+        if self.filter_mode == "fft":
+            filtered = fft_fir_filter(self._taps, samples)
+        else:
+            filtered = fir_filter(self._taps, samples)
         inst_power = np.abs(filtered) ** 2
         return moving_average(inst_power, self.average_window)
 

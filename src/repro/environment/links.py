@@ -17,16 +17,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.adsb.icao import IcaoAddress
 from repro.environment.obstruction import combine_parallel_paths_db
 from repro.environment.site import SiteEnvironment
-from repro.geo.coords import GeoPoint, geo_to_enu
+from repro.geo.coords import GeoPoint, geo_to_enu, geo_to_enu_arrays
 from repro.rf.fading import rician_fading_db
-from repro.rf.pathloss import free_space_path_loss_db
+from repro.rf.pathloss import (
+    free_space_path_loss_db,
+    free_space_path_loss_db_multifreq,
+)
 from repro.sdr.antenna import Antenna
 
 
@@ -70,6 +73,66 @@ def direct_received_power_dbm(
     )
     rx_gain = rx_antenna.gain_at(freq_hz, geom.azimuth_deg)
     return tx_eirp_dbm - path - obstruction + rx_gain
+
+
+@dataclass(frozen=True)
+class RayGeometryArrays:
+    """Per-transmitter arrival geometry, one array entry each."""
+
+    azimuth_deg: np.ndarray
+    elevation_deg: np.ndarray
+    slant_m: np.ndarray
+    ground_m: np.ndarray
+
+
+def ray_geometry_arrays(
+    site: GeoPoint, targets: Sequence[GeoPoint]
+) -> RayGeometryArrays:
+    """Batch :func:`ray_geometry` over many transmitter positions.
+
+    Same projection, clamps, and angle conventions as the scalar path
+    (ulp-level libm differences at most).
+    """
+    lat = np.array([t.lat_deg for t in targets], dtype=np.float64)
+    lon = np.array([t.lon_deg for t in targets], dtype=np.float64)
+    alt = np.array([t.alt_m for t in targets], dtype=np.float64)
+    east, north, up = geo_to_enu_arrays(site, lat, lon, alt)
+    ground = np.hypot(east, north)
+    slant = np.maximum(
+        np.sqrt(east**2 + north**2 + up**2), 1.0
+    )
+    azimuth = np.degrees(np.arctan2(east, north)) % 360.0
+    elevation = np.degrees(np.arctan2(up, ground))
+    return RayGeometryArrays(azimuth, elevation, slant, ground)
+
+
+def direct_received_power_dbm_multifreq(
+    env: SiteEnvironment,
+    tx_positions: Sequence[GeoPoint],
+    tx_eirp_dbm: np.ndarray,
+    freq_hz: np.ndarray,
+    rx_antenna: Antenna,
+) -> np.ndarray:
+    """Batch :func:`direct_received_power_dbm`, one carrier per element.
+
+    The §3.2 kernel: geometry, FSPL, obstruction loss, and antenna
+    gain for every transmitter — each at its own frequency — in one
+    array pass. Same term order as the scalar budget.
+    """
+    geom = ray_geometry_arrays(
+        env.position, [p for p in tx_positions]
+    )
+    path = free_space_path_loss_db_multifreq(geom.slant_m, freq_hz)
+    obstruction = env.obstruction_map.loss_db_multifreq(
+        geom.azimuth_deg, geom.elevation_deg, freq_hz, geom.slant_m
+    )
+    rx_gain = rx_antenna.gain_at_multifreq(freq_hz, geom.azimuth_deg)
+    return (
+        np.asarray(tx_eirp_dbm, dtype=np.float64)
+        - path
+        - obstruction
+        + rx_gain
+    )
 
 
 #: ADS-B downlink carrier.

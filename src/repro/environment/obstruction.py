@@ -24,10 +24,11 @@ from repro.geo.sectors import AzimuthSector
 from repro.rf.diffraction import (
     fresnel_v,
     fresnel_v_array,
+    fresnel_v_multifreq,
     knife_edge_loss_db,
     knife_edge_loss_db_array,
 )
-from repro.rf.penetration import material_loss_db
+from repro.rf.penetration import material_loss_db, material_loss_db_array
 
 
 def combine_parallel_paths_db(losses_db: Sequence[float]) -> float:
@@ -46,6 +47,18 @@ def combine_parallel_paths_db(losses_db: Sequence[float]) -> float:
 def stack_loss_db(materials: Sequence[str], freq_hz: float) -> float:
     """Total penetration loss of a wall-material stack."""
     return sum(material_loss_db(m, freq_hz) for m in materials)
+
+
+def stack_loss_db_array(
+    materials: Sequence[str], freq_hz: np.ndarray
+) -> np.ndarray:
+    """Batch :func:`stack_loss_db` over a frequency array."""
+    total = np.zeros(
+        np.asarray(freq_hz, dtype=np.float64).shape, dtype=np.float64
+    )
+    for m in materials:
+        total += material_loss_db_array(m, freq_hz)
+    return total
 
 
 @dataclass(frozen=True)
@@ -149,6 +162,42 @@ class Obstruction:
         )
         return np.where(blocked, combined, 0.0)
 
+    def loss_db_multifreq(
+        self,
+        azimuth_deg: np.ndarray,
+        elevation_deg: np.ndarray,
+        freq_hz: np.ndarray,
+        tx_distance_m: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`loss_db_array` with a per-element carrier frequency.
+
+        The §3.2 batch kernels push every tower through the map at its
+        own carrier in one pass; the through-wall stack and the
+        diffraction wavelength become per-element.
+        """
+        el = np.asarray(elevation_deg, dtype=np.float64)
+        blocked = self.sector.contains_array(azimuth_deg) & (
+            el < self.clear_elevation_deg
+        )
+        through = (
+            stack_loss_db_array(self.materials, freq_hz)
+            + self.extra_loss_db
+        )
+        clear = math.radians(min(self.clear_elevation_deg, 89.0))
+        ray = np.radians(np.clip(el, -89.0, 89.0))
+        h = self.edge_distance_m * (math.tan(clear) - np.tan(ray))
+        d2 = np.maximum(
+            np.asarray(tx_distance_m, dtype=np.float64)
+            - self.edge_distance_m,
+            1.0,
+        )
+        v = fresnel_v_multifreq(h, self.edge_distance_m, d2, freq_hz)
+        over_top = knife_edge_loss_db_array(v)
+        combined = -10.0 * np.log10(
+            10.0 ** (-through / 10.0) + 10.0 ** (-over_top / 10.0)
+        )
+        return np.where(blocked, combined, 0.0)
+
 
 @dataclass(frozen=True)
 class AmbientLayer:
@@ -189,6 +238,20 @@ class AmbientLayer:
             el < self.max_elevation_deg
         )
         loss = stack_loss_db(self.materials, freq_hz) + self.extra_loss_db
+        return np.where(in_band, loss, 0.0)
+
+    def loss_db_multifreq(
+        self, elevation_deg: np.ndarray, freq_hz: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`loss_db_array` with a per-element carrier frequency."""
+        el = np.asarray(elevation_deg, dtype=np.float64)
+        in_band = (self.min_elevation_deg <= el) & (
+            el < self.max_elevation_deg
+        )
+        loss = (
+            stack_loss_db_array(self.materials, freq_hz)
+            + self.extra_loss_db
+        )
         return np.where(in_band, loss, 0.0)
 
 
@@ -243,6 +306,30 @@ class ObstructionMap:
             )
         for layer in self.ambient:
             total += layer.loss_db_array(elevation_deg, freq_hz)
+        return total
+
+    def loss_db_multifreq(
+        self,
+        azimuth_deg: np.ndarray,
+        elevation_deg: np.ndarray,
+        freq_hz: np.ndarray,
+        tx_distance_m: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`loss_db_array` with a per-element carrier frequency.
+
+        Accumulates in the same structure/layer order as the scalar
+        sum, so per-tower totals agree term for term.
+        """
+        total = np.zeros(
+            np.asarray(elevation_deg, dtype=np.float64).shape,
+            dtype=np.float64,
+        )
+        for obs in self.obstructions:
+            total += obs.loss_db_multifreq(
+                azimuth_deg, elevation_deg, freq_hz, tx_distance_m
+            )
+        for layer in self.ambient:
+            total += layer.loss_db_multifreq(elevation_deg, freq_hz)
         return total
 
     def is_clear(

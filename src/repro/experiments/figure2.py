@@ -49,6 +49,51 @@ def run_figure2(testbed: Optional[Testbed] = None) -> List[TowerLayoutRow]:
     return rows
 
 
+@dataclass(frozen=True)
+class ScanPlanRow:
+    """One srsUE channel-scan entry: a distinct EARFCN and its cells."""
+
+    earfcn: int
+    downlink_mhz: float
+    tower_ids: List[str]
+
+
+def run_scan_plan(testbed: Optional[Testbed] = None) -> List[ScanPlanRow]:
+    """The channel list a §3.2 scan actually tunes.
+
+    Each distinct EARFCN appears once no matter how many towers share
+    it — the evaluator scans per channel and joins towers by PCI, so
+    the scan cost is per EARFCN, not per tower.
+    """
+    testbed = testbed or standard_testbed()
+    rows = []
+    for earfcn in testbed.cell_towers.earfcns():
+        towers = testbed.cell_towers.by_earfcn(earfcn)
+        rows.append(
+            ScanPlanRow(
+                earfcn=earfcn,
+                downlink_mhz=towers[0].downlink_freq_hz / 1e6,
+                tower_ids=[t.tower_id for t in towers],
+            )
+        )
+    return rows
+
+
+def format_scan_plan(rows: List[ScanPlanRow]) -> str:
+    """Render the scan-plan table."""
+    return format_table(
+        ["earfcn", "downlink (MHz)", "cells"],
+        [
+            [
+                str(r.earfcn),
+                f"{r.downlink_mhz:.1f}",
+                ", ".join(r.tower_ids),
+            ]
+            for r in rows
+        ],
+    )
+
+
 def format_layout(rows: List[TowerLayoutRow]) -> str:
     """Render the layout table."""
     return format_table(

@@ -35,7 +35,9 @@ class Figure3Result:
         )
 
 
-def run_figure3(world: Optional[World] = None) -> Figure3Result:
+def run_figure3(
+    world: Optional[World] = None, use_batch: bool = True
+) -> Figure3Result:
     """Scan the five towers from each location (deterministic medians)."""
     world = world or build_world()
     rsrp: Dict[str, Dict[str, Optional[float]]] = {}
@@ -46,7 +48,9 @@ def run_figure3(world: Optional[World] = None) -> Figure3Result:
     for location in LOCATIONS:
         node = world.node_at(location)
         profile = FrequencyEvaluator(
-            node=node, cell_towers=world.testbed.cell_towers
+            node=node,
+            cell_towers=world.testbed.cell_towers,
+            use_batch=use_batch,
         ).run()
         rsrp[location] = {
             m.label: m.measured for m in profile.by_source("cellular")

@@ -26,9 +26,13 @@ from repro.experiments.common import (
 
 @dataclass
 class Figure4Result:
-    """dBFS per (location, channel center MHz); None = buried in noise."""
+    """dBFS per (location, channel center MHz); None = buried in noise.
 
-    power_dbfs: Dict[str, Dict[float, Optional[float]]]
+    The channel key is the rounded-MHz integer that ``run_figure4``
+    actually produces (``round()`` of the center frequency).
+    """
+
+    power_dbfs: Dict[str, Dict[int, Optional[float]]]
     iq_mode: bool
 
     def usable_channels(self, location: str) -> int:
@@ -43,22 +47,27 @@ def run_figure4(
     world: Optional[World] = None,
     iq_mode: bool = False,
     seed: int = 3,
+    use_batch: bool = True,
 ) -> Figure4Result:
     """Measure the six channels from each location.
 
     ``iq_mode=True`` routes every measurement through waveform
-    synthesis + capture + the FIR/moving-average chain (the paper's
-    actual program); the default budget mode computes the identical
-    link arithmetic directly.
+    synthesis + capture + the DSP chain; with ``use_batch`` (the
+    default) that is the wideband-channelizer path — each band is
+    captured once and every channel read out of one FFT — while
+    ``use_batch=False`` keeps the paper-literal per-channel program.
+    The default budget mode computes the identical link arithmetic
+    directly.
     """
     world = world or build_world()
-    out: Dict[str, Dict[float, Optional[float]]] = {}
+    out: Dict[str, Dict[int, Optional[float]]] = {}
     for location in LOCATIONS:
         node = world.node_at(location)
         evaluator = FrequencyEvaluator(
             node=node,
             cell_towers=world.testbed.cell_towers,
             tv_towers=world.testbed.tv_towers,
+            use_batch=use_batch,
         )
         rng = np.random.default_rng(seed) if iq_mode else None
         profile = evaluator.run(rng=rng, tv_iq_mode=iq_mode)

@@ -9,20 +9,36 @@ gain, dBFS output. Budget and full-IQ paths provided, like
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.dsp.channelizer import (
+    ChannelSpec,
+    Channelizer,
+    plan_capture_groups,
+)
+from repro.dsp.filters import scaled_num_taps
 from repro.dsp.power import ParsevalPowerMeter
-from repro.environment.links import direct_received_power_dbm
+from repro.environment.links import (
+    direct_received_power_dbm,
+    direct_received_power_dbm_multifreq,
+)
 from repro.environment.site import SiteEnvironment
 from repro.fm.tower import FmTower
 from repro.fm.waveform import FM_OCCUPIED_HZ, fm_waveform
 from repro.sdr.antenna import Antenna
-from repro.sdr.capture import CaptureSession
+from repro.sdr.capture import CaptureSession, WidebandCapture
 from repro.sdr.frontend import SdrFrontEnd
 
 #: Capture sample rate for FM measurements.
 FM_SAMPLE_RATE_HZ = 1e6
+
+#: FM broadcast channel width (FCC raster).
+FM_CHANNEL_WIDTH_HZ = 200e3
+
+#: Headroom factor between a capture group's span and its sample rate.
+CAPTURE_GUARD_FACTOR = 1.05
 
 
 @dataclass(frozen=True)
@@ -106,3 +122,128 @@ class FmPowerMeter:
             power_dbfs=power_dbfs,
             above_noise_db=power_dbfs - self.noise_dbfs(),
         )
+
+    def received_power_dbm_batch(
+        self, towers: Sequence[FmTower]
+    ) -> np.ndarray:
+        """Median received power for many stations in one array pass."""
+        return direct_received_power_dbm_multifreq(
+            self.env,
+            [t.position for t in towers],
+            np.array([t.erp_dbm for t in towers], dtype=np.float64),
+            np.array(
+                [t.center_freq_hz for t in towers], dtype=np.float64
+            ),
+            self.antenna,
+        )
+
+    def measure_budget_batch(
+        self, towers: Sequence[FmTower]
+    ) -> List[FmMeasurement]:
+        """Batch :meth:`measure_budget`: all stations in one pass."""
+        if not towers:
+            return []
+        power_dbfs = self.sdr.input_dbm_to_dbfs_array(
+            self.received_power_dbm_batch(towers)
+        )
+        noise = self.noise_dbfs()
+        return [
+            FmMeasurement(
+                callsign=t.callsign,
+                channel=t.channel,
+                freq_hz=t.center_freq_hz,
+                power_dbfs=float(p),
+                above_noise_db=float(p) - noise,
+            )
+            for t, p in zip(towers, power_dbfs)
+        ]
+
+    def measure_iq_batch(
+        self,
+        towers: Sequence[FmTower],
+        rng: np.random.Generator,
+        n_samples: int = 1 << 16,
+    ) -> List[FmMeasurement]:
+        """Channelized IQ measurement: one capture per station group.
+
+        Same structure and RNG draw-order contract as
+        :meth:`repro.tv.meter.TvPowerMeter.measure_iq_batch`: per
+        group, station waveforms are synthesized in ascending channel
+        order, then one AWGN block covers the whole capture. The whole
+        FM band fits one BladeRF capture, so the usual cost is a
+        single wideband capture for every station.
+        """
+        if not towers:
+            return []
+        for t in towers:
+            self.sdr.check_tune(t.center_freq_hz)
+        half_channel = FM_CHANNEL_WIDTH_HZ / 2.0
+        edges = [
+            (
+                t.center_freq_hz - half_channel,
+                t.center_freq_hz + half_channel,
+            )
+            for t in towers
+        ]
+        groups = plan_capture_groups(
+            edges, self.sdr.max_sample_rate_hz / CAPTURE_GUARD_FACTOR
+        )
+        power_dbm = self.received_power_dbm_batch(towers)
+        noise = self.noise_dbfs()
+        results: Dict[int, FmMeasurement] = {}
+        for group in groups:
+            low = min(edges[i][0] for i in group)
+            high = max(edges[i][1] for i in group)
+            center = 0.5 * (low + high)
+            rate = min(
+                max(
+                    (high - low) * CAPTURE_GUARD_FACTOR,
+                    FM_SAMPLE_RATE_HZ,
+                ),
+                self.sdr.max_sample_rate_hz,
+            )
+            session = WidebandCapture(
+                sdr=self.sdr,
+                antenna=self.antenna,
+                center_freq_hz=center,
+                sample_rate_hz=rate,
+            )
+            num_taps = scaled_num_taps(101, FM_SAMPLE_RATE_HZ, rate)
+            signals = []
+            for i in group:
+                waveform = fm_waveform(
+                    rng,
+                    n_samples,
+                    rate,
+                    num_taps=num_taps,
+                    filter_mode="fft",
+                )
+                signals.append(
+                    (
+                        waveform,
+                        towers[i].center_freq_hz - center,
+                        float(power_dbm[i]),
+                    )
+                )
+            buffer = session.capture_channels(signals, rng, n_samples)
+            channelizer = Channelizer(
+                rate,
+                [
+                    ChannelSpec(
+                        label=towers[i].callsign,
+                        offset_hz=towers[i].center_freq_hz - center,
+                        bandwidth_hz=FM_OCCUPIED_HZ,
+                    )
+                    for i in group
+                ],
+            )
+            dbfs = channelizer.band_powers_dbfs(buffer.samples)
+            for i, p in zip(group, dbfs):
+                results[i] = FmMeasurement(
+                    callsign=towers[i].callsign,
+                    channel=towers[i].channel,
+                    freq_hz=towers[i].center_freq_hz,
+                    power_dbfs=float(p),
+                    above_noise_db=float(p) - noise,
+                )
+        return [results[i] for i in range(len(towers))]

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dsp.filters import design_lowpass_fir, fir_filter
+from repro.dsp.filters import (
+    design_lowpass_fir_cached,
+    fft_fir_filter,
+    fir_filter,
+)
 from repro.dsp.iq import frequency_shift
 
 #: Peak frequency deviation.
@@ -28,15 +32,25 @@ def fm_waveform(
     n_samples: int,
     sample_rate_hz: float,
     channel_offset_hz: float = 0.0,
+    num_taps: int = 101,
+    filter_mode: str = "direct",
 ) -> np.ndarray:
     """Unit-power FM waveform at a baseband offset.
 
     The program material is band-limited Gaussian noise, scaled so the
     RMS deviation is ~FM_DEVIATION_HZ/3 (typical program loudness).
     Constant envelope by construction: |x| = 1 everywhere.
+
+    ``num_taps`` (101 at the original 1 Msps design) must scale with
+    the sample rate for wideband captures; ``filter_mode="fft"``
+    applies the audio filter via overlap-save for long tap counts.
     """
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive: {n_samples}")
+    if filter_mode not in ("direct", "fft"):
+        raise ValueError(
+            f"filter_mode must be 'direct' or 'fft': {filter_mode!r}"
+        )
     nyquist = sample_rate_hz / 2.0
     if abs(channel_offset_hz) + FM_OCCUPIED_HZ / 2.0 >= nyquist:
         raise ValueError(
@@ -44,10 +58,13 @@ def fm_waveform(
             f"fit in a {sample_rate_hz} Hz capture"
         )
     audio = rng.standard_normal(n_samples)
-    taps = design_lowpass_fir(
-        FM_AUDIO_BW_HZ, sample_rate_hz, 101
+    taps = design_lowpass_fir_cached(
+        FM_AUDIO_BW_HZ, sample_rate_hz, num_taps
     )
-    audio = fir_filter(taps, audio)
+    if filter_mode == "fft":
+        audio = fft_fir_filter(taps, audio)
+    else:
+        audio = fir_filter(taps, audio)
     rms = float(np.sqrt(np.mean(audio**2)))
     if rms <= 0.0:
         raise RuntimeError("degenerate audio power")

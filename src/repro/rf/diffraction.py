@@ -13,7 +13,7 @@ import math
 
 import numpy as np
 
-from repro.rf.units import wavelength_m
+from repro.rf.units import wavelength_m, wavelength_m_array
 
 
 def fresnel_v(
@@ -64,6 +64,26 @@ def fresnel_v_array(
     if dist_tx_m <= 0.0:
         raise ValueError("edge-to-endpoint distances must be positive")
     lam = wavelength_m(freq_hz)
+    return obstacle_height_m * np.sqrt(
+        2.0 * (dist_tx_m + dist_rx_m) / (lam * dist_tx_m * dist_rx_m)
+    )
+
+
+def fresnel_v_multifreq(
+    obstacle_height_m: np.ndarray,
+    dist_tx_m: float,
+    dist_rx_m: np.ndarray,
+    freq_hz: np.ndarray,
+) -> np.ndarray:
+    """:func:`fresnel_v_array` with a per-element carrier frequency.
+
+    The §3.2 batch kernels diffract every tower at its own carrier in
+    one pass; ``dist_tx_m`` (sensor-to-edge) stays scalar as in the
+    array form.
+    """
+    if dist_tx_m <= 0.0:
+        raise ValueError("edge-to-endpoint distances must be positive")
+    lam = wavelength_m_array(freq_hz)
     return obstacle_height_m * np.sqrt(
         2.0 * (dist_tx_m + dist_rx_m) / (lam * dist_tx_m * dist_rx_m)
     )

@@ -6,7 +6,7 @@ import math
 
 import numpy as np
 
-from repro.rf.units import wavelength_m
+from repro.rf.units import wavelength_m, wavelength_m_array
 
 
 def free_space_path_loss_db(distance_m: float, freq_hz: float) -> float:
@@ -36,6 +36,24 @@ def free_space_path_loss_db_array(
     if np.any(d < 0.0):
         raise ValueError("distances must be non-negative")
     lam = wavelength_m(freq_hz)
+    d = np.maximum(d, lam)
+    return 20.0 * np.log10(4.0 * math.pi * d / lam)
+
+
+def free_space_path_loss_db_multifreq(
+    distance_m: np.ndarray, freq_hz: np.ndarray
+) -> np.ndarray:
+    """Friis FSPL with a per-element carrier frequency.
+
+    Unlike :func:`free_space_path_loss_db_array` (one carrier, many
+    distances), every element gets its own wavelength — the §3.2 batch
+    kernels evaluate each tower at its own downlink frequency in one
+    pass. Same per-element operation order as the scalar function.
+    """
+    d = np.asarray(distance_m, dtype=np.float64)
+    if np.any(d < 0.0):
+        raise ValueError("distances must be non-negative")
+    lam = wavelength_m_array(freq_hz)
     d = np.maximum(d, lam)
     return 20.0 * np.log10(4.0 * math.pi * d / lam)
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Tuple
 
+import numpy as np
+
 #: Per-material one-wall loss, dB, as (loss at 1 GHz, dB per GHz slope).
 #: Values follow published measurement surveys (e.g. ITU-R P.2040):
 #: modern low-emissivity glass and concrete are strongly frequency
@@ -43,6 +45,20 @@ def material_loss_db(material: str, freq_hz: float) -> float:
     base, slope = MATERIAL_LOSS_DB[material]
     freq_ghz = freq_hz / 1e9
     return max(0.0, base + slope * (freq_ghz - 1.0))
+
+
+def material_loss_db_array(
+    material: str, freq_hz: np.ndarray
+) -> np.ndarray:
+    """Batch :func:`material_loss_db` over a frequency array."""
+    if material not in MATERIAL_LOSS_DB:
+        raise KeyError(
+            f"unknown material {material!r}; "
+            f"known: {sorted(MATERIAL_LOSS_DB)}"
+        )
+    base, slope = MATERIAL_LOSS_DB[material]
+    freq_ghz = np.asarray(freq_hz, dtype=np.float64) / 1e9
+    return np.maximum(0.0, base + slope * (freq_ghz - 1.0))
 
 
 def building_entry_loss_db(

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 #: Speed of light in vacuum, m/s.
 SPEED_OF_LIGHT_M_S = 299_792_458.0
 
@@ -57,3 +59,11 @@ def wavelength_m(freq_hz: float) -> float:
     if freq_hz <= 0.0:
         raise ValueError(f"frequency must be positive: {freq_hz}")
     return SPEED_OF_LIGHT_M_S / freq_hz
+
+
+def wavelength_m_array(freq_hz: np.ndarray) -> np.ndarray:
+    """Batch :func:`wavelength_m` over a frequency array."""
+    f = np.asarray(freq_hz, dtype=np.float64)
+    if np.any(f <= 0.0):
+        raise ValueError("frequencies must be positive")
+    return SPEED_OF_LIGHT_M_S / f

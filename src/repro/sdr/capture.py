@@ -15,7 +15,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.dsp.iq import IQBuffer, awgn
+from repro.dsp.iq import IQBuffer, awgn, frequency_shift
 from repro.sdr.antenna import Antenna
 from repro.sdr.frontend import SdrFrontEnd
 
@@ -87,4 +87,63 @@ class CaptureSession:
             amplitude = self.full_scale_amplitude_for(power_dbm)
             n = min(len(waveform), n_samples)
             out[:n] += amplitude * waveform[:n]
+        return IQBuffer(out, self.sample_rate_hz, self.center_freq_hz)
+
+
+@dataclass
+class WidebandCapture(CaptureSession):
+    """One wide capture whose band covers several channels at once.
+
+    The §3.2 channelizer path digitizes every in-band tower into one
+    IQ block instead of one :meth:`CaptureSession.capture` per
+    channel. Receiver noise is drawn **once** over the full capture
+    bandwidth, not once per channel.
+
+    RNG draw-order contract (the same discipline as ``repro.batch``):
+    callers synthesize the per-channel waveforms first, in ascending
+    channel-frequency order, then :meth:`capture_channels` consumes
+    exactly one ``awgn`` block (2 * n_samples standard normals). A
+    fixed seed therefore reproduces the capture bit for bit, and the
+    equivalence suite pins it.
+    """
+
+    def capture_channels(
+        self,
+        signals: List[Tuple[np.ndarray, float, float]],
+        rng: np.random.Generator,
+        n_samples: int,
+    ) -> IQBuffer:
+        """Digitize several channels' signals into one block.
+
+        Args:
+            signals: (unit-power baseband waveform, channel offset in
+                Hz from the capture center, power_dbm at the antenna
+                port) triples. Waveforms are synthesized at their own
+                channel's baseband; this method shifts each to its
+                offset inside the capture band.
+            rng: noise source (one draw for the whole capture).
+            n_samples: capture length.
+
+        Returns:
+            An :class:`IQBuffer` in full-scale units with receiver
+            noise over the full capture bandwidth added.
+        """
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive: {n_samples}")
+        nyquist = self.sample_rate_hz / 2.0
+        out = awgn(rng, n_samples, self.noise_power_fullscale())
+        for waveform, offset_hz, power_dbm in signals:
+            if abs(offset_hz) >= nyquist:
+                raise ValueError(
+                    f"channel offset {offset_hz} Hz outside the "
+                    f"+/-{nyquist} Hz capture band"
+                )
+            amplitude = self.full_scale_amplitude_for(power_dbm)
+            n = min(len(waveform), n_samples)
+            shifted = waveform[:n]
+            if offset_hz != 0.0:
+                shifted = frequency_shift(
+                    shifted, offset_hz, self.sample_rate_hz
+                )
+            out[:n] += amplitude * shifted
         return IQBuffer(out, self.sample_rate_hz, self.center_freq_hz)

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dsp.filters import design_lowpass_fir, fir_filter
+from repro.dsp.filters import (
+    design_lowpass_fir_cached,
+    fft_fir_filter,
+    fir_filter,
+)
 from repro.dsp.iq import complex_tone, frequency_shift
 
 #: Occupied bandwidth of the 8VSB signal.
@@ -28,6 +32,8 @@ def atsc_waveform(
     n_samples: int,
     sample_rate_hz: float,
     channel_offset_hz: float = 0.0,
+    num_taps: int = 129,
+    filter_mode: str = "direct",
 ) -> np.ndarray:
     """Unit-mean-power ATSC-like waveform at a baseband offset.
 
@@ -37,12 +43,22 @@ def atsc_waveform(
         sample_rate_hz: sample rate; must fit the occupied bandwidth
             at the requested offset.
         channel_offset_hz: channel center relative to capture center.
+        num_taps: shaping-filter length. The 129-tap default matches
+            the original 8 Msps design; wideband captures must scale
+            it with the rate (``scaled_num_taps``) or the transition
+            band leaks outside the channel mask.
+        filter_mode: "direct" time-domain shaping (the oracle) or
+            "fft" overlap-save shaping for long filters.
 
     Returns:
         Complex baseband samples with mean power 1.0.
     """
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive: {n_samples}")
+    if filter_mode not in ("direct", "fft"):
+        raise ValueError(
+            f"filter_mode must be 'direct' or 'fft': {filter_mode!r}"
+        )
     half_occupied = VSB_OCCUPIED_HZ / 2.0
     nyquist = sample_rate_hz / 2.0
     if abs(channel_offset_hz) + half_occupied >= nyquist:
@@ -54,8 +70,13 @@ def atsc_waveform(
         rng.standard_normal(n_samples)
         + 1j * rng.standard_normal(n_samples)
     ) / np.sqrt(2.0)
-    taps = design_lowpass_fir(half_occupied, sample_rate_hz, 129)
-    shaped = fir_filter(taps, noise)
+    taps = design_lowpass_fir_cached(
+        half_occupied, sample_rate_hz, num_taps
+    )
+    if filter_mode == "fft":
+        shaped = fft_fir_filter(taps, noise)
+    else:
+        shaped = fir_filter(taps, noise)
     power = np.mean(np.abs(shaped) ** 2)
     if power <= 0.0:
         raise RuntimeError("degenerate shaped-noise power")

@@ -1,0 +1,275 @@
+"""Tests for repro.dsp.channelizer and the FFT FIR path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.channelizer import (
+    ChannelSpec,
+    Channelizer,
+    plan_capture_groups,
+)
+from repro.dsp.filters import (
+    design_bandpass_fir,
+    design_bandpass_fir_cached,
+    design_lowpass_fir,
+    design_lowpass_fir_cached,
+    fft_fir_filter,
+    fir_filter,
+    scaled_num_taps,
+)
+from repro.dsp.iq import complex_tone
+from repro.dsp.power import parseval_band_power
+
+
+class TestFftFirFilter:
+    @pytest.mark.parametrize("n", [1, 7, 129, 1000, 4096, 10_000])
+    @pytest.mark.parametrize("m", [1, 5, 129, 257])
+    def test_matches_direct_convolution_complex(self, n, m):
+        rng = np.random.default_rng(n * 1000 + m)
+        taps = rng.standard_normal(m)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        direct = fir_filter(taps, x)
+        fast = fft_fir_filter(taps, x)
+        assert fast.shape == direct.shape
+        assert np.allclose(fast, direct, atol=1e-9)
+
+    def test_matches_direct_convolution_real(self):
+        rng = np.random.default_rng(7)
+        taps = design_lowpass_fir(100e3, 1e6, 129)
+        x = rng.standard_normal(5000)
+        fast = fft_fir_filter(taps, x)
+        assert not np.iscomplexobj(fast)
+        assert np.allclose(fast, fir_filter(taps, x), atol=1e-9)
+
+    def test_short_input_falls_back(self):
+        # numpy "same" semantics when the filter outruns the signal.
+        taps = np.arange(1.0, 8.0)
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(
+            fft_fir_filter(taps, x), fir_filter(taps, x)
+        )
+
+    def test_explicit_nfft(self):
+        rng = np.random.default_rng(3)
+        taps = rng.standard_normal(33)
+        x = rng.standard_normal(2000)
+        fast = fft_fir_filter(taps, x, nfft=128)
+        assert np.allclose(fast, fir_filter(taps, x), atol=1e-9)
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            fft_fir_filter(np.array([]), np.ones(10))
+
+    def test_empty_input(self):
+        assert len(fft_fir_filter(np.ones(5), np.array([]))) == 0
+
+    @given(
+        st.integers(min_value=1, max_value=600),
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_equivalence(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        taps = rng.standard_normal(m)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(
+            fft_fir_filter(taps, x), fir_filter(taps, x), atol=1e-8
+        )
+
+
+class TestScaledNumTaps:
+    def test_identity_at_base_rate(self):
+        assert scaled_num_taps(129, 8e6, 8e6) == 129
+
+    def test_scales_with_rate(self):
+        n = scaled_num_taps(129, 8e6, 61.44e6)
+        assert n % 2 == 1
+        # Transition width in Hz stays roughly constant.
+        assert n == pytest.approx(129 * 61.44 / 8.0, abs=2)
+
+    def test_never_below_base(self):
+        assert scaled_num_taps(129, 8e6, 2e6) == 129
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaled_num_taps(129, 0.0, 8e6)
+        with pytest.raises(ValueError):
+            scaled_num_taps(128, 8e6, 8e6)  # even base
+
+
+class TestTapCache:
+    def test_lowpass_cached_identical_to_fresh(self):
+        cached = design_lowpass_fir_cached(100e3, 1e6, 129)
+        fresh = design_lowpass_fir(100e3, 1e6, 129)
+        assert np.array_equal(cached, fresh)
+
+    def test_bandpass_cached_identical_to_fresh(self):
+        cached = design_bandpass_fir_cached(-1e5, 2e5, 1e6, 257)
+        fresh = design_bandpass_fir(-1e5, 2e5, 1e6, 257)
+        assert np.array_equal(cached, fresh)
+
+    def test_same_key_shares_one_array(self):
+        a = design_lowpass_fir_cached(150e3, 2e6, 65)
+        b = design_lowpass_fir_cached(150e3, 2e6, 65)
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_distinct_keys_distinct_designs(self):
+        a = design_lowpass_fir_cached(100e3, 1e6, 129)
+        b = design_lowpass_fir_cached(110e3, 1e6, 129)
+        assert not np.array_equal(a, b)
+
+
+class TestChannelSpec:
+    def test_edges(self):
+        spec = ChannelSpec("ch", 1e6, 4e5)
+        assert spec.low_hz == pytest.approx(8e5)
+        assert spec.high_hz == pytest.approx(1.2e6)
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            ChannelSpec("ch", 0.0, 0.0)
+
+
+class TestChannelizer:
+    def test_channel_must_fit_capture(self):
+        with pytest.raises(ValueError):
+            Channelizer(1e6, [ChannelSpec("ch", 4e5, 4e5)])
+
+    def test_needs_channels(self):
+        with pytest.raises(ValueError):
+            Channelizer(1e6, [])
+
+    def test_band_powers_match_parseval(self):
+        rng = np.random.default_rng(11)
+        fs = 10e6
+        x = rng.standard_normal(8192) + 1j * rng.standard_normal(8192)
+        specs = [
+            ChannelSpec("a", -3e6, 1e6),
+            ChannelSpec("b", 0.0, 2e6),
+            ChannelSpec("c", 3.5e6, 5e5),
+        ]
+        powers = Channelizer(fs, specs).band_powers(x)
+        for spec, p in zip(specs, powers):
+            assert p == pytest.approx(
+                parseval_band_power(x, fs, spec.low_hz, spec.high_hz),
+                rel=1e-12,
+            )
+
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=-0.35, max_value=0.35),
+        st.floats(min_value=0.02, max_value=0.25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_band_power_conserved(
+        self, seed, offset_frac, bw_frac
+    ):
+        """One-FFT channel readout == the Parseval reference."""
+        fs = 8e6
+        if abs(offset_frac) + bw_frac / 2.0 >= 0.5:
+            bw_frac = 2.0 * (0.49 - abs(offset_frac))
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(2048) + 1j * rng.standard_normal(2048)
+        spec = ChannelSpec("ch", offset_frac * fs, bw_frac * fs)
+        (p,) = Channelizer(fs, [spec]).band_powers(x)
+        assert p == pytest.approx(
+            parseval_band_power(x, fs, spec.low_hz, spec.high_hz),
+            rel=1e-12,
+        )
+
+    def test_band_powers_dbfs_floor(self):
+        x = np.zeros(1024, dtype=complex)
+        spec = ChannelSpec("ch", 0.0, 1e5)
+        (dbfs,) = Channelizer(1e6, [spec]).band_powers_dbfs(x)
+        assert dbfs == pytest.approx(-150.0)
+
+    def test_tone_lands_in_its_channel_only(self):
+        # 2 MHz is exactly bin 512 of a 4096-point FFT at 16 Msps, so
+        # the tone has no leakage outside its channel.
+        fs = 16e6
+        tone = complex_tone(2e6, fs, 4096)
+        specs = [
+            ChannelSpec("hit", 2e6, 5e5),
+            ChannelSpec("miss", -2e6, 5e5),
+        ]
+        hit, miss = Channelizer(fs, specs).band_powers(tone)
+        assert hit == pytest.approx(1.0, rel=1e-6)
+        assert miss < 1e-6
+
+    def test_extract_channel_recenters_tone(self):
+        fs = 16e6
+        offset = 3e6
+        tone = complex_tone(offset + 1e5, fs, 8192)
+        chan = Channelizer(
+            fs, [ChannelSpec("ch", offset, 1e6)]
+        )
+        baseband, sub_rate = chan.extract_channel(tone, 0)
+        assert sub_rate < fs
+        # The tone reappears 100 kHz above the channel center.
+        spectrum = np.abs(np.fft.fft(baseband))
+        peak_hz = np.fft.fftfreq(len(baseband), 1.0 / sub_rate)[
+            int(np.argmax(spectrum))
+        ]
+        assert peak_hz == pytest.approx(1e5, abs=sub_rate / len(baseband))
+
+    def test_extract_channel_preserves_power(self):
+        rng = np.random.default_rng(21)
+        fs = 16e6
+        x = rng.standard_normal(8192) + 1j * rng.standard_normal(8192)
+        chan = Channelizer(fs, [ChannelSpec("ch", 2e6, 1.5e6)])
+        (band_power,) = chan.band_powers(x)
+        baseband, _ = chan.extract_channel(x, 0)
+        assert float(np.mean(np.abs(baseband) ** 2)) == pytest.approx(
+            band_power, rel=0.05
+        )
+
+
+class TestPlanCaptureGroups:
+    def test_all_in_one_when_span_allows(self):
+        edges = [(0.0, 1e6), (2e6, 3e6), (4e6, 5e6)]
+        assert plan_capture_groups(edges, 10e6) == [[0, 1, 2]]
+
+    def test_splits_when_span_exceeded(self):
+        edges = [(0.0, 1e6), (2e6, 3e6), (8e6, 9e6)]
+        assert plan_capture_groups(edges, 4e6) == [[0, 1], [2]]
+
+    def test_indices_follow_input_order_not_frequency(self):
+        edges = [(8e6, 9e6), (0.0, 1e6)]
+        assert plan_capture_groups(edges, 2e6) == [[1], [0]]
+
+    def test_empty(self):
+        assert plan_capture_groups([], 1e6) == []
+
+    def test_channel_wider_than_span_rejected(self):
+        with pytest.raises(ValueError):
+            plan_capture_groups([(0.0, 5e6)], 1e6)
+
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            plan_capture_groups([(0.0, 1e6)], 0.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100e6),
+                st.floats(min_value=1e3, max_value=5e6),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=6e6, max_value=60e6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_groups_partition_and_fit(self, chans, span):
+        edges = [(low, low + width) for low, width in chans]
+        groups = plan_capture_groups(edges, span)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(len(edges)))
+        for group in groups:
+            low = min(edges[i][0] for i in group)
+            high = max(edges[i][1] for i in group)
+            assert high - low <= span + 1e-6

@@ -87,6 +87,20 @@ class TestFigure2:
         assert "Tower 1" in text
         assert "B12" in text
 
+    def test_scan_plan_one_row_per_earfcn(self):
+        rows = figure2.run_scan_plan()
+        earfcns = [r.earfcn for r in rows]
+        assert earfcns == sorted(set(earfcns))
+        covered = sorted(
+            t for r in rows for t in r.tower_ids
+        )
+        assert covered == [f"Tower {i}" for i in range(1, 6)]
+
+    def test_scan_plan_format(self):
+        text = figure2.format_scan_plan(figure2.run_scan_plan())
+        assert "earfcn" in text
+        assert "Tower 1" in text
+
 
 class TestFigure3:
     @pytest.fixture(scope="class")

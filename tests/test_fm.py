@@ -111,6 +111,31 @@ class TestFmMeter:
             budget.power_dbfs, abs=1.0
         )
 
+    def test_budget_batch_matches_scalar(self, towers):
+        meter = self._meter(make_rooftop_site())
+        batch = meter.measure_budget_batch(towers)
+        for tower, b in zip(towers, batch):
+            s = meter.measure_budget(tower)
+            assert b.callsign == s.callsign
+            assert b.power_dbfs == pytest.approx(
+                s.power_dbfs, abs=1e-9
+            )
+            assert b.above_noise_db == pytest.approx(
+                s.above_noise_db, abs=1e-9
+            )
+
+    def test_iq_batch_matches_budget(self, towers, rng):
+        """One wideband capture covers the whole FM band; each
+        station's channelized readout stays within a dB of its
+        budget."""
+        meter = self._meter(make_rooftop_site())
+        batch = meter.measure_iq_batch(towers, rng)
+        for tower, m in zip(towers, batch):
+            budget = meter.measure_budget(tower)
+            assert m.power_dbfs == pytest.approx(
+                budget.power_dbfs, abs=1.0
+            )
+
     def test_indoor_attenuated_but_usable(self, towers):
         roof = self._meter(make_rooftop_site())
         indoor = self._meter(make_indoor_site())

@@ -20,6 +20,10 @@ Commands:
   stream, with drift detection and re-calibration requests
   (``--window``, ``--drift-threshold``, ``--swap-to`` for the drift
   scenario).
+- ``serve [--source {synthetic,fleet,file}] [--port P]`` — the
+  spectrum-data query API: an asyncio HTTP/JSON gateway over a fleet
+  snapshot (node assessments, FoV maps, trust, drift, band power)
+  with ETag/TTL caching and cursor pagination.
 - ``lint [PATH ...]`` — the domain-aware static analyzer (unit
   suffixes, determinism, lock hygiene, interface hygiene); all
   arguments are forwarded to :mod:`repro.lint`.
@@ -129,6 +133,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject a crash fault into one node to exercise "
         "retry/partial-failure handling",
     )
+    fleet_cmd.add_argument(
+        "--json", metavar="FILE",
+        help="write the full network evaluation (assessments + "
+        "failures) as JSON; `repro serve --source file` loads it",
+    )
     sub.add_parser(
         "crosscheck",
         help="tracker-free peer cross-validation of five nodes",
@@ -215,6 +224,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--seed", type=int, default=11, help="simulation seed"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "serve the fleet query API (assessments, FoV, trust, "
+            "drift, band power) over HTTP"
+        ),
+    )
+    serve.add_argument(
+        "--source", choices=["synthetic", "fleet", "file"],
+        default="synthetic",
+        help="fleet to serve: a synthetic N-node fleet, the "
+        "12-node testbed fleet (calibrated first), or a "
+        "`repro fleet --json` dump",
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=1000,
+        help="synthetic fleet size",
+    )
+    serve.add_argument(
+        "--file", metavar="FILE",
+        help="network-evaluation JSON to serve (--source file)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="listen port (0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--ttl", type=float, default=5.0,
+        help="response-cache TTL in seconds",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=64,
+        help="in-flight request bound",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, metavar="N",
+        help="stop after serving N requests (smoke tests, demos)",
+    )
+    serve.add_argument(
+        "--port-file", metavar="FILE",
+        help="write the bound 'host port' to FILE once listening",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=7,
+        help="synthetic-fleet / fleet-calibration seed",
     )
 
     # The lint tool owns its own argparse; forward everything so
@@ -330,7 +387,31 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if result.campaign is not None:
         print()
         print(result.campaign.summary_text())
+    if args.json:
+        from repro.core.serialize import network_to_json
+
+        with open(args.json, "w") as f:
+            f.write(network_to_json(_fleet_network(result), indent=2))
+        print(f"wrote {args.json}")
     return 0
+
+
+def _fleet_network(result):
+    """FleetResult -> NetworkAssessments (campaign failures included)."""
+    from repro.core.network import (
+        AssessmentFailure,
+        NetworkAssessments,
+    )
+
+    network = NetworkAssessments(result.assessments)
+    if result.campaign is not None:
+        for entry in result.campaign.failed():
+            network.failures[entry.job_id] = AssessmentFailure(
+                node_id=entry.job_id,
+                error=entry.errors[-1] if entry.errors else "failed",
+                exception_type="JobFailed",
+            )
+    return network
 
 
 def _cmd_crosscheck(_args: argparse.Namespace) -> int:
@@ -523,6 +604,81 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import (
+        FleetSnapshot,
+        FleetStore,
+        ResponseCache,
+        SpectrumApp,
+        SpectrumServer,
+        store_from_json,
+        store_from_network,
+        synthetic_fleet,
+    )
+
+    if args.source == "file" and not args.file:
+        print("--source file requires --file", file=sys.stderr)
+        return 2
+    if args.nodes < 0:
+        print("--nodes must be >= 0", file=sys.stderr)
+        return 2
+    if args.ttl <= 0.0:
+        print("--ttl must be positive", file=sys.stderr)
+        return 2
+    if args.max_requests is not None and args.max_requests < 1:
+        print("--max-requests must be >= 1", file=sys.stderr)
+        return 2
+
+    if args.source == "file":
+        store = store_from_json(args.file)
+    elif args.source == "fleet":
+        result = fleet.run_fleet(world=build_world(), seed=args.seed)
+        store = store_from_network(_fleet_network(result))
+    else:
+        network, drift = synthetic_fleet(args.nodes, seed=args.seed)
+        store = FleetStore(
+            snapshot=FleetSnapshot(
+                network,
+                failures=network.failures,
+                drift=drift,
+                generation=1,
+            )
+        )
+
+    app = SpectrumApp(store, cache=ResponseCache(ttl_s=args.ttl))
+    server = SpectrumServer(
+        app,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_requests=args.max_requests,
+    )
+
+    async def _serve() -> int:
+        host, port = await server.start()
+        snapshot = store.current()
+        print(
+            f"serving {snapshot.n_nodes} nodes "
+            f"(generation {snapshot.generation}, "
+            f"{len(snapshot.failures)} failures) "
+            f"on http://{host}:{port}"
+        )
+        if args.port_file:
+            with open(args.port_file, "w") as f:
+                f.write(f"{host} {port}\n")
+        served = await server.serve_until_stopped()
+        print(f"served {served} request(s)")
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted")
+        return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -544,6 +700,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schedule": _cmd_schedule,
         "ingest": _cmd_ingest,
         "stream": _cmd_stream,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -17,6 +17,8 @@ from repro.core.classify import Classification, InstallationFeatures
 from repro.core.fov import FieldOfViewEstimate
 from repro.core.frequency import BandMeasurement, FrequencyProfile
 from repro.core.network import (
+    AssessmentFailure,
+    NetworkAssessments,
     NodeAssessment,
     TrustAssessment,
     TrustCheck,
@@ -320,3 +322,65 @@ def assessment_to_json(
 def assessment_from_json(text: str) -> NodeAssessment:
     """Parse a node assessment from its JSON string."""
     return assessment_from_dict(json.loads(text))
+
+
+def failure_to_dict(failure: AssessmentFailure) -> Dict[str, Any]:
+    """Serialize one assessment failure."""
+    return {
+        "node_id": failure.node_id,
+        "error": failure.error,
+        "exception_type": failure.exception_type,
+    }
+
+
+def failure_from_dict(data: Dict[str, Any]) -> AssessmentFailure:
+    """Inverse of :func:`failure_to_dict`."""
+    return AssessmentFailure(**data)
+
+
+def network_to_dict(
+    network: NetworkAssessments,
+) -> Dict[str, Any]:
+    """Serialize a whole network evaluation, failures included.
+
+    This is the record a finished fleet campaign hands to the serve
+    store: every successful node assessment plus every node that
+    crashed instead of completing.
+    """
+    return {
+        "assessments": {
+            node_id: assessment_to_dict(assessment)
+            for node_id, assessment in sorted(network.items())
+        },
+        "failures": {
+            node_id: failure_to_dict(failure)
+            for node_id, failure in sorted(network.failures.items())
+        },
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> NetworkAssessments:
+    """Inverse of :func:`network_to_dict`."""
+    out = NetworkAssessments(
+        {
+            node_id: assessment_from_dict(assessment)
+            for node_id, assessment in data["assessments"].items()
+        }
+    )
+    out.failures = {
+        node_id: failure_from_dict(failure)
+        for node_id, failure in data.get("failures", {}).items()
+    }
+    return out
+
+
+def network_to_json(
+    network: NetworkAssessments, **json_kwargs: Any
+) -> str:
+    """Serialize a network evaluation straight to a JSON string."""
+    return json.dumps(network_to_dict(network), **json_kwargs)
+
+
+def network_from_json(text: str) -> NetworkAssessments:
+    """Parse a network evaluation from its JSON string."""
+    return network_from_dict(json.loads(text))

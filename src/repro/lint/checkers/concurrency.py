@@ -1,6 +1,6 @@
-"""RL3 — lock hygiene in the threaded runtime and stream layers.
+"""RL3 — lock hygiene in the threaded runtime/stream/serve layers.
 
-For classes in ``runtime``/``stream`` modules that own a
+For classes in ``runtime``/``stream``/``serve`` modules that own a
 ``threading.Lock``/``RLock``:
 
 - RL301 flags mutation of ``self`` state in a *public* method
@@ -53,7 +53,9 @@ RL302 = register_rule(
 )
 
 #: Only the threaded layers are in scope.
-LOCK_SCOPES: FrozenSet[str] = frozenset({"runtime", "stream"})
+LOCK_SCOPES: FrozenSet[str] = frozenset(
+    {"runtime", "stream", "serve"}
+)
 
 _LOCK_FACTORIES = frozenset({"threading.Lock", "threading.RLock"})
 _GUARD_FACTORIES = _LOCK_FACTORIES | {"threading.Condition"}

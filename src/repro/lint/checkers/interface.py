@@ -1,8 +1,9 @@
 """RL4 — interface hygiene.
 
-- RL401: public functions and methods in the ``core``/``stream``
-  packages — the surfaces every other subsystem builds on — must be
-  fully annotated (every named parameter and the return type).
+- RL401: public functions and methods in the ``core``/``stream``/
+  ``serve`` packages — the surfaces every other subsystem (and the
+  public query API) builds on — must be fully annotated (every
+  named parameter and the return type).
 - RL402: bare ``except:`` anywhere catches ``KeyboardInterrupt``
   and ``SystemExit`` and is always wrong; name the exception.
 - RL403: an ``except Exception:`` whose body is only
@@ -29,8 +30,8 @@ RL401 = register_rule(
     "RL401",
     "missing-annotations",
     Severity.WARNING,
-    "public core/stream function missing parameter or return "
-    "annotations",
+    "public core/stream/serve function missing parameter or "
+    "return annotations",
 )
 
 RL402 = register_rule(
@@ -48,7 +49,9 @@ RL403 = register_rule(
 )
 
 #: Packages whose public surface must be annotated.
-ANNOTATION_SCOPES: FrozenSet[str] = frozenset({"core", "stream"})
+ANNOTATION_SCOPES: FrozenSet[str] = frozenset(
+    {"core", "stream", "serve"}
+)
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 

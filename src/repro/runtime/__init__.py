@@ -17,9 +17,10 @@ in a for-loop" toward that fleet:
 - :mod:`repro.runtime.cache` — content-addressed result cache
   (memory + JSON-on-disk) so unchanged nodes skip recomputation;
 - :mod:`repro.runtime.campaign` — whole-fleet orchestration with
-  checkpoint/resume, partial-failure tolerance, and a summary ledger;
-- :mod:`repro.runtime.metrics` — counters and latency percentiles
-  surfaced in the campaign summary.
+  checkpoint/resume, partial-failure tolerance, and a summary ledger.
+
+Counters and latency percentiles come from
+:mod:`repro.core.metrics`, shared with the stream and serve layers.
 
 Entry points: ``python -m repro fleet --workers 4`` on the command
 line, or :func:`repro.runtime.campaign.run_fleet_campaign` from code.

@@ -1,0 +1,133 @@
+"""ETag/TTL response caching for the query service.
+
+Fleet data changes only when a snapshot swap lands, yet list queries
+repeat constantly — the perfect shape for a small response cache:
+
+- **ETag revalidation**: every cached body carries a strong ETag
+  (a digest of the body itself). A client replaying the tag via
+  ``If-None-Match`` gets a body-less ``304 Not Modified``; after a
+  TTL expiry the entry is recomputed, and if the body is unchanged
+  the *same* tag falls out, so the stale-ETag revalidation still
+  collapses to a 304.
+- **TTL + generation freshness**: an entry is served only while its
+  TTL holds *and* the snapshot generation it was computed from is
+  still current — a swap invalidates the whole cache at once without
+  walking it.
+- **Bounded LRU**: at most ``max_entries`` distinct (path, query)
+  keys are retained.
+
+The clock is injected (defaults to ``time.monotonic``) so tests can
+drive TTL expiry without sleeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.metrics import MetricsRegistry
+
+
+def body_etag(body: bytes) -> str:
+    """Strong ETag for a response body (quoted, per RFC 9110)."""
+    return '"' + hashlib.blake2b(body, digest_size=10).hexdigest() + '"'
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached response body and its identity/freshness data."""
+
+    key: str
+    etag: str
+    body: bytes
+    content_type: str
+    generation: int
+    expires_at: float
+
+
+class ResponseCache:
+    """Thread-safe LRU of rendered responses keyed by path + query."""
+
+    def __init__(
+        self,
+        ttl_s: float = 5.0,
+        max_entries: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if ttl_s <= 0.0:
+            raise ValueError(f"ttl must be positive: {ttl_s}")
+        if max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive: {max_entries}"
+            )
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self.clock = clock
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    def lookup(
+        self, key: str, generation: int
+    ) -> Optional[CacheEntry]:
+        """The fresh entry for ``key``, or None (miss/expired/stale)."""
+        now = self.clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if (
+                    entry.generation == generation
+                    and now < entry.expires_at
+                ):
+                    self._entries.move_to_end(key)
+                else:
+                    del self._entries[key]
+                    entry = None
+        if entry is None:
+            self.metrics.incr("serve_cache_misses")
+        else:
+            self.metrics.incr("serve_cache_hits")
+        return entry
+
+    def store(
+        self,
+        key: str,
+        body: bytes,
+        content_type: str,
+        generation: int,
+    ) -> CacheEntry:
+        """Cache a rendered body; returns the entry (with its ETag)."""
+        entry = CacheEntry(
+            key=key,
+            etag=body_etag(body),
+            body=body,
+            content_type=content_type,
+            generation=generation,
+            expires_at=self.clock() + self.ttl_s,
+        )
+        evicted = 0
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.metrics.incr("serve_cache_evictions", evicted)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (tests and forced refreshes)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

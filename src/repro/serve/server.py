@@ -1,0 +1,151 @@
+"""The asyncio front door: sockets in, :class:`SpectrumApp` out.
+
+One `asyncio.start_server` accept loop; each connection is a
+keep-alive request loop with a read timeout, and actual request
+handling is gated by a semaphore so a burst of clients degrades to
+queueing instead of unbounded concurrency. The app itself is
+synchronous CPU work over in-memory columns (microseconds), so
+running it on the loop thread is the fast path, not a compromise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Tuple
+
+from repro.core.metrics import MetricsRegistry
+from repro.serve.app import SpectrumApp
+from repro.serve.http import (
+    BadRequest,
+    encode_response,
+    json_error,
+    read_request,
+)
+
+
+class SpectrumServer:
+    """Serves a :class:`SpectrumApp` over HTTP/1.1 on asyncio."""
+
+    def __init__(
+        self,
+        app: SpectrumApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrency: int = 64,
+        request_timeout_s: float = 30.0,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1: {max_concurrency}"
+            )
+        self.app = app
+        self.host = host
+        self.port = port
+        self.max_concurrency = max_concurrency
+        self.request_timeout_s = request_timeout_s
+        #: Stop after this many requests (None = run until stopped);
+        #: lets the CLI and tests run a bounded serve loop.
+        self.max_requests = max_requests
+        self.metrics: MetricsRegistry = app.metrics
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._served = 0
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._stopped = asyncio.Event()
+        self._served = 0
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_until_stopped(self) -> int:
+        """Block until :meth:`stop` (or the request budget runs out)."""
+        if self._stopped is None:
+            raise RuntimeError("server not started")
+        await self._stopped.wait()
+        await self._close()
+        return self._served
+
+    def stop(self) -> None:
+        """Ask the serve loop to shut down (idempotent)."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        assert self._semaphore is not None and self._stopped is not None
+        self.metrics.incr("serve_connections")
+        try:
+            while not self._stopped.is_set():
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(reader),
+                        timeout=self.request_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    break
+                except BadRequest as exc:
+                    writer.write(
+                        encode_response(
+                            json_error(400, str(exc)), keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                async with self._semaphore:
+                    response = self.app.handle(request)
+                keep_alive = not request.wants_close
+                writer.write(encode_response(response, keep_alive))
+                await writer.drain()
+                self._served += 1
+                if (
+                    self.max_requests is not None
+                    and self._served >= self.max_requests
+                ):
+                    self._stopped.set()
+                    break
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            self.metrics.incr("serve_connection_resets")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def run_server(
+    server: SpectrumServer,
+    ready: Optional["asyncio.Future[Tuple[str, int]]"] = None,
+) -> int:
+    """Start, announce readiness, and serve until stopped.
+
+    Returns the number of requests served; ``ready`` (if given)
+    receives the bound address as soon as the socket listens.
+    """
+    address = await server.start()
+    if ready is not None and not ready.done():
+        ready.set_result(address)
+    return await server.serve_until_stopped()

@@ -1,0 +1,442 @@
+"""The serve-side fleet store: append-only snapshots, atomic swap.
+
+Writers (the stream gateway's export hook, a finished campaign, a
+batch loader) build a complete :class:`FleetSnapshot` off to the side
+and :meth:`FleetStore.swap` it in; readers take a reference to the
+current snapshot once per request and keep querying it even while a
+swap lands — a snapshot is never mutated after construction, so an
+in-flight paginated read stays internally consistent and simply sees
+the older generation. This is the classic read-optimized
+big-spectrum-data shape (Electrosense's sensors → ingest → storage →
+API pipeline): ingestion appends snapshots, queries never block.
+
+Every query helper here returns plain JSON-ready dicts; HTTP concerns
+(caching, ETags, status codes) live in :mod:`repro.serve.app`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.metrics import MetricsRegistry
+from repro.core.network import AssessmentFailure, NodeAssessment
+from repro.core.serialize import assessment_to_dict
+from repro.serve.columns import FleetColumns
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """Condensed drift state for one node (from the stream engine)."""
+
+    node_id: str
+    events: int
+    last_detected_at_s: Optional[float] = None
+    last_divergence: Optional[float] = None
+    recalibration_hours: Tuple[float, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "events": self.events,
+            "last_detected_at_s": self.last_detected_at_s,
+            "last_divergence": self.last_divergence,
+            "recalibration_hours": list(self.recalibration_hours),
+        }
+
+
+@dataclass(frozen=True)
+class Page:
+    """One page of a cursor-paginated query."""
+
+    items: List[Dict[str, Any]]
+    next_cursor: Optional[int]
+    total: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "items": self.items,
+            "next_cursor": self.next_cursor,
+            "total": self.total,
+        }
+
+
+class FleetSnapshot:
+    """One immutable, queryable picture of the whole fleet."""
+
+    def __init__(
+        self,
+        assessments: Mapping[str, NodeAssessment],
+        failures: Optional[Mapping[str, AssessmentFailure]] = None,
+        drift: Optional[Mapping[str, DriftStatus]] = None,
+        generation: int = 0,
+    ) -> None:
+        self.assessments: Dict[str, NodeAssessment] = dict(assessments)
+        self.failures: Dict[str, AssessmentFailure] = dict(
+            failures or {}
+        )
+        self.drift: Dict[str, DriftStatus] = dict(drift or {})
+        self.generation = generation
+        self.columns = FleetColumns.build(self.assessments)
+        #: Content identity: same fleet data -> same etag, regardless
+        #: of generation counter, so unchanged re-publishes revalidate.
+        self.etag = self.columns.content_hash()
+
+    @property
+    def n_nodes(self) -> int:
+        return self.columns.n_nodes
+
+    # ------------------------------------------------------------------
+    # row shaping
+
+    def node_row(self, i: int) -> Dict[str, Any]:
+        """The list-endpoint summary row for node at column row ``i``."""
+        cols = self.columns
+        row = cols.summary[i]
+        node_id = cols.node_ids[i]
+        abs_power = float(row["abs_power_dbm"])
+        drift = self.drift.get(node_id)
+        return {
+            "node_id": node_id,
+            "trust": float(row["trust"]),
+            "scores": {
+                "overall": float(row["overall"]),
+                "directional": float(row["directional"]),
+                "frequency": float(row["frequency"]),
+            },
+            "open_fraction": float(row["open_fraction"]),
+            "installation": str(cols.installations[i]),
+            "outdoor": bool(row["outdoor"]),
+            "outdoor_probability": float(row["outdoor_probability"]),
+            "violations": int(row["n_violations"]),
+            "ghosts": int(row["n_ghosts"]),
+            "observations": int(row["n_observations"]),
+            "received": int(row["n_received"]),
+            "decoded_messages": int(row["decoded_messages"]),
+            "abs_power_dbm": (
+                abs_power if not np.isnan(abs_power) else None
+            ),
+            "drift_events": drift.events if drift is not None else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def page_nodes(
+        self,
+        cursor: int = 0,
+        limit: int = 100,
+        min_trust: Optional[float] = None,
+        max_trust: Optional[float] = None,
+        min_overall: Optional[float] = None,
+        installation: Optional[str] = None,
+        outdoor: Optional[bool] = None,
+        sort: str = "node_id",
+        descending: bool = False,
+    ) -> Page:
+        """Filter + order + cursor-paginate the summary columns.
+
+        The cursor is a position into the *filtered, ordered* row
+        sequence of this snapshot; a cursor past the end yields an
+        empty page with ``next_cursor = None`` (cursors are finite,
+        not an error).
+        """
+        cols = self.columns
+        s = cols.summary
+        mask = np.ones(cols.n_nodes, dtype=bool)
+        if min_trust is not None:
+            mask &= s["trust"] >= min_trust
+        if max_trust is not None:
+            mask &= s["trust"] <= max_trust
+        if min_overall is not None:
+            mask &= s["overall"] >= min_overall
+        if installation is not None:
+            mask &= cols.installations == installation
+        if outdoor is not None:
+            mask &= s["outdoor"] == outdoor
+        selected = np.nonzero(mask)[0]
+        if sort != "node_id":
+            order = np.argsort(s[sort][selected], kind="stable")
+            selected = selected[order]
+        if descending:
+            selected = selected[::-1]
+        return self._paginate(selected, cursor, limit, self.node_row)
+
+    def node_detail(self, node_id: str) -> Optional[Dict[str, Any]]:
+        """Full serialized assessment for one node (None if unknown)."""
+        assessment = self.assessments.get(node_id)
+        if assessment is None:
+            return None
+        detail = assessment_to_dict(assessment)
+        drift = self.drift.get(node_id)
+        detail["drift"] = drift.to_dict() if drift is not None else None
+        return detail
+
+    def fov_map(self, node_id: str) -> Optional[Dict[str, Any]]:
+        """One node's field-of-view sector map (None if unknown)."""
+        assessment = self.assessments.get(node_id)
+        if assessment is None:
+            return None
+        fov = assessment.report.fov
+        return {
+            "node_id": node_id,
+            "bin_deg": fov.bin_deg,
+            "open_flags": [bool(f) for f in fov.open_flags],
+            "max_range_km": [float(r) for r in fov.max_range_km],
+            "open_fraction": fov.open_fraction(),
+            "open_sectors": [
+                {"start_deg": s.start_deg, "end_deg": s.end_deg}
+                for s in fov.open_sectors()
+            ],
+        }
+
+    def page_trust(
+        self,
+        cursor: int = 0,
+        limit: int = 100,
+        untrustworthy_only: bool = False,
+        threshold: float = 0.5,
+    ) -> Page:
+        """Trust scores with per-check detail, worst node first."""
+        cols = self.columns
+        order = np.argsort(cols.summary["trust"], kind="stable")
+        if untrustworthy_only:
+            order = order[
+                cols.summary["trust"][order] < threshold
+            ]
+
+        def row(i: int) -> Dict[str, Any]:
+            node_id = cols.node_ids[i]
+            trust = self.assessments[node_id].trust
+            return {
+                "node_id": node_id,
+                "trust": trust.trust_score(),
+                "trustworthy": trust.is_trustworthy(threshold),
+                "checks": [
+                    {
+                        "name": c.name,
+                        "passed": c.passed,
+                        "score": c.score,
+                        "detail": c.detail,
+                    }
+                    for c in trust.checks
+                ],
+            }
+
+        return self._paginate(order, cursor, limit, row)
+
+    def drift_rows(self) -> List[Dict[str, Any]]:
+        """Every node with drift state, most recent event first."""
+        rows = sorted(
+            self.drift.values(),
+            key=lambda d: (
+                d.last_detected_at_s is not None,
+                d.last_detected_at_s or 0.0,
+            ),
+            reverse=True,
+        )
+        return [d.to_dict() for d in rows]
+
+    def band_summary(self) -> List[Dict[str, Any]]:
+        """Fleet-wide per-band statistics (the spectrum overview)."""
+        cols = self.columns
+        out: List[Dict[str, Any]] = []
+        for j, label in enumerate(cols.band_labels):
+            measured = cols.band_measured_dbm[:, j]
+            present = ~np.isnan(measured)
+            n_present = int(present.sum())
+            entry: Dict[str, Any] = {
+                "label": label,
+                "freq_hz": float(cols.band_freq_hz[j]),
+                "nodes_measured": n_present,
+                "nodes_decoded": int(cols.band_decoded[:, j].sum()),
+                "decode_fraction": (
+                    float(cols.band_decoded[:, j].sum() / n_present)
+                    if n_present
+                    else 0.0
+                ),
+            }
+            if n_present:
+                values = measured[present]
+                entry["measured_dbm"] = {
+                    "mean": float(values.mean()),
+                    "min": float(values.min()),
+                    "max": float(values.max()),
+                    "p50": float(np.percentile(values, 50.0)),
+                }
+            else:
+                entry["measured_dbm"] = None
+            out.append(entry)
+        return out
+
+    def page_band_power(
+        self,
+        label: str,
+        cursor: int = 0,
+        limit: int = 100,
+        min_dbm: Optional[float] = None,
+        decoded_only: bool = False,
+    ) -> Optional[Page]:
+        """Per-node power in one band, strongest first.
+
+        Returns None for an unknown band label. Nodes that never
+        measured the band are excluded.
+        """
+        cols = self.columns
+        try:
+            j = cols.band_labels.index(label)
+        except ValueError:
+            return None
+        measured = cols.band_measured_dbm[:, j]
+        mask = ~np.isnan(measured)
+        if min_dbm is not None:
+            mask &= measured >= min_dbm
+        if decoded_only:
+            mask &= cols.band_decoded[:, j]
+        selected = np.nonzero(mask)[0]
+        order = np.argsort(measured[selected], kind="stable")[::-1]
+        selected = selected[order]
+
+        def row(i: int) -> Dict[str, Any]:
+            excess = float(cols.band_excess_db[i, j])
+            return {
+                "node_id": cols.node_ids[i],
+                "measured_dbm": float(measured[i]),
+                "expected_dbm": float(cols.band_expected_dbm[i, j]),
+                "excess_db": (
+                    excess if not np.isnan(excess) else None
+                ),
+                "decoded": bool(cols.band_decoded[i, j]),
+            }
+
+        return self._paginate(selected, cursor, limit, row)
+
+    def fleet_summary(self) -> Dict[str, Any]:
+        """The one-look fleet overview (the `/v1/fleet` body)."""
+        cols = self.columns
+        s = cols.summary
+        summary: Dict[str, Any] = {
+            "generation": self.generation,
+            "etag": self.etag,
+            "nodes": cols.n_nodes,
+            "failures": len(self.failures),
+            "failed_nodes": sorted(self.failures),
+            "bands": list(cols.band_labels),
+            "drifting_nodes": sum(
+                1 for d in self.drift.values() if d.events > 0
+            ),
+        }
+        if cols.n_nodes:
+            summary["trust"] = {
+                "mean": float(s["trust"].mean()),
+                "min": float(s["trust"].min()),
+                "trustworthy": int((s["trust"] >= 0.5).sum()),
+            }
+            summary["quality"] = {
+                "mean": float(s["overall"].mean()),
+                "p50": float(np.percentile(s["overall"], 50.0)),
+                "outdoor": int(s["outdoor"].sum()),
+            }
+        else:
+            summary["trust"] = None
+            summary["quality"] = None
+        return summary
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _paginate(
+        selected: Sequence[int],
+        cursor: int,
+        limit: int,
+        row: Any,
+    ) -> Page:
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0: {cursor}")
+        if limit <= 0:
+            raise ValueError(f"limit must be positive: {limit}")
+        total = len(selected)
+        window = selected[cursor : cursor + limit]
+        next_cursor = cursor + limit
+        return Page(
+            items=[row(int(i)) for i in window],
+            next_cursor=next_cursor if next_cursor < total else None,
+            total=total,
+        )
+
+
+class FleetStore:
+    """Holds the current snapshot; swaps are atomic, reads lock-free.
+
+    The store starts at an empty generation-0 snapshot so a gateway
+    brought up before its first ingest answers every query with empty
+    pages instead of errors. Swapped-out snapshots are kept on a
+    bounded history deque — in-flight readers hold their own
+    references anyway; the history exists for diffing/debugging.
+    """
+
+    def __init__(
+        self,
+        snapshot: Optional[FleetSnapshot] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        history: int = 4,
+    ) -> None:
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self._lock = threading.Lock()
+        self._history: Deque[FleetSnapshot] = deque(maxlen=history)
+        self._current = (
+            snapshot
+            if snapshot is not None
+            else FleetSnapshot({}, generation=0)
+        )
+        self._history.append(self._current)
+
+    def current(self) -> FleetSnapshot:
+        """The live snapshot (grab once per request, then query it)."""
+        with self._lock:
+            return self._current
+
+    def swap(self, snapshot: FleetSnapshot) -> FleetSnapshot:
+        """Atomically replace the current snapshot; returns the old."""
+        with self._lock:
+            old = self._current
+            self._current = snapshot
+            self._history.append(snapshot)
+        self.metrics.incr("store_swaps")
+        return old
+
+    def publish(
+        self,
+        assessments: Mapping[str, NodeAssessment],
+        failures: Optional[Mapping[str, AssessmentFailure]] = None,
+        drift: Optional[Mapping[str, DriftStatus]] = None,
+    ) -> FleetSnapshot:
+        """Build the next-generation snapshot and swap it in."""
+        snapshot = FleetSnapshot(
+            assessments,
+            failures=failures,
+            drift=drift,
+            generation=self.current().generation + 1,
+        )
+        self.swap(snapshot)
+        return snapshot
+
+    def history(self) -> List[FleetSnapshot]:
+        """Retained snapshots, oldest first (current snapshot last)."""
+        with self._lock:
+            return list(self._history)

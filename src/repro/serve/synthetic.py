@@ -1,0 +1,205 @@
+"""Synthetic fleets at serve scale.
+
+The load benchmark (and any capacity test) needs a 10 000-node fleet
+snapshot *now*, not after ten thousand full calibration runs. This
+generator fabricates statistically plausible
+:class:`~repro.core.network.NodeAssessment` records directly —
+mixed rooftop/window/indoor population, per-band excess attenuation
+that worsens indoors, a few untrustworthy and drifting nodes, a
+fraction of outright assessment failures — all from one seeded RNG,
+so a given ``(n_nodes, seed)`` pair always builds the identical
+fleet (and therefore the identical snapshot ETag).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.adsb.icao import IcaoAddress
+from repro.core.classify import Classification, extract_features
+from repro.core.fov import FieldOfViewEstimate
+from repro.core.frequency import BandMeasurement, FrequencyProfile
+from repro.core.network import (
+    AssessmentFailure,
+    NetworkAssessments,
+    NodeAssessment,
+    TrustAssessment,
+    TrustCheck,
+)
+from repro.core.observations import AircraftObservation, DirectionalScan
+from repro.core.report import CalibrationReport
+from repro.geo.coords import GeoPoint
+from repro.serve.store import DriftStatus
+
+#: (label, freq_hz, clear-sky expected dBm) for the synthetic sweep.
+BANDS: Tuple[Tuple[str, float, float], ...] = (
+    ("fm-98.5", 98.5e6, -37.0),
+    ("tv-566", 566.0e6, -51.0),
+    ("adsb-1090", 1090.0e6, -62.0),
+    ("lte-1850", 1850.0e6, -74.0),
+)
+
+_INSTALLATIONS = ("rooftop", "window", "indoor")
+_N_BINS = 36
+_BIN_DEG = 360.0 / _N_BINS
+
+
+def synthetic_fleet(
+    n_nodes: int,
+    seed: int = 0,
+    n_observations: int = 6,
+    failure_fraction: float = 0.005,
+    cheater_fraction: float = 0.02,
+    drift_fraction: float = 0.01,
+) -> Tuple[NetworkAssessments, Dict[str, DriftStatus]]:
+    """Fabricate a fleet: assessments (with failures) + drift states."""
+    if n_nodes < 0:
+        raise ValueError(f"n_nodes must be >= 0: {n_nodes}")
+    rng = np.random.default_rng(seed)
+    out = NetworkAssessments()
+    drift: Dict[str, DriftStatus] = {}
+    width = len(str(max(n_nodes - 1, 0)))
+
+    # One vectorized draw per quantity, consumed row by row: building
+    # 10k python objects dominates; the RNG should not add to it.
+    kinds = rng.integers(0, 3, size=n_nodes)
+    open_starts = rng.integers(0, _N_BINS, size=n_nodes)
+    kind_centers = np.asarray([30, 18, 8])
+    open_counts = np.clip(
+        (
+            kind_centers[kinds]
+            + rng.normal(0.0, 3.0, size=n_nodes)
+        ).astype(int),
+        2,
+        _N_BINS,
+    )
+    excess_base = np.asarray([1.0, 7.0, 18.0])[kinds] + rng.normal(
+        0.0, 1.5, size=(len(BANDS), n_nodes)
+    )
+    failures = rng.random(n_nodes) < failure_fraction
+    cheaters = rng.random(n_nodes) < cheater_fraction
+    drifting = rng.random(n_nodes) < drift_fraction
+    bearings = rng.uniform(0.0, 360.0, size=(n_nodes, n_observations))
+    ranges_m = rng.uniform(
+        5e3, 120e3, size=(n_nodes, n_observations)
+    )
+    rssi = rng.uniform(-32.0, -8.0, size=(n_nodes, n_observations))
+    icaos = rng.integers(
+        0, 1 << 24, size=(n_nodes, n_observations)
+    )
+    abs_powered = rng.random(n_nodes) < 0.3
+
+    for i in range(n_nodes):
+        node_id = f"sn-{i:0{width}d}"
+        if failures[i]:
+            out.failures[node_id] = AssessmentFailure(
+                node_id=node_id,
+                error="sensor crashed mid-measurement",
+                exception_type="RuntimeError",
+            )
+            continue
+        start, count = int(open_starts[i]), int(open_counts[i])
+        open_flags = [
+            (j - start) % _N_BINS < count for j in range(_N_BINS)
+        ]
+        fov = FieldOfViewEstimate(
+            bin_deg=_BIN_DEG,
+            open_flags=open_flags,
+            max_range_km=[
+                90.0 if flag else 15.0 for flag in open_flags
+            ],
+        )
+        observations = []
+        for k in range(n_observations):
+            bearing = float(bearings[i, k])
+            received = open_flags[int(bearing / _BIN_DEG) % _N_BINS]
+            observations.append(
+                AircraftObservation(
+                    icao=IcaoAddress(int(icaos[i, k])),
+                    callsign=f"SYN{k:03d}",
+                    bearing_deg=bearing,
+                    ground_range_m=float(ranges_m[i, k]),
+                    elevation_deg=2.0,
+                    position=GeoPoint(46.0, 7.0, 10000.0),
+                    received=received,
+                    n_messages=12 if received else 0,
+                    mean_rssi_dbfs=(
+                        float(rssi[i, k]) if received else None
+                    ),
+                )
+            )
+        n_received = sum(1 for o in observations if o.received)
+        scan = DirectionalScan(
+            node_id=node_id,
+            duration_s=30.0,
+            radius_m=150e3,
+            observations=observations,
+            decoded_message_count=n_received * 12,
+            ghost_icaos=(
+                [IcaoAddress(0xFAB000 + (i & 0xFFF))]
+                if cheaters[i]
+                else []
+            ),
+        )
+        measurements = []
+        for b, (label, freq_hz, expected) in enumerate(BANDS):
+            excess = max(0.0, float(excess_base[b, i]))
+            decoded = excess < 25.0
+            measurements.append(
+                BandMeasurement(
+                    source="synthetic",
+                    label=label,
+                    freq_hz=freq_hz,
+                    measured=expected - excess,
+                    expected=expected,
+                    excess_attenuation_db=(
+                        excess if decoded else None
+                    ),
+                    decoded=decoded,
+                )
+            )
+        profile = FrequencyProfile(
+            node_id=node_id, measurements=measurements
+        )
+        kind = _INSTALLATIONS[int(kinds[i])]
+        classification = Classification(
+            installation=kind,
+            outdoor=kind == "rooftop",
+            outdoor_probability=(0.95, 0.55, 0.05)[int(kinds[i])],
+        )
+        report = CalibrationReport(
+            node_id=node_id,
+            scan=scan,
+            fov=fov,
+            profile=profile,
+            features=extract_features(scan, fov, profile),
+            classification=classification,
+        )
+        trust = TrustAssessment(
+            node_id=node_id,
+            checks=[
+                TrustCheck(
+                    "ghost",
+                    not cheaters[i],
+                    0.1 if cheaters[i] else 1.0,
+                    "ghost fraction "
+                    + ("0.14" if cheaters[i] else "0.00"),
+                ),
+                TrustCheck("too_perfect", True, 1.0, "plausible"),
+                TrustCheck("rssi", True, 1.0, "log-distance trend ok"),
+            ],
+        )
+        out[node_id] = NodeAssessment(
+            node_id=node_id, report=report, trust=trust
+        )
+        if drifting[i]:
+            drift[node_id] = DriftStatus(
+                node_id=node_id,
+                events=1 + (i % 3),
+                last_detected_at_s=120.0 + float(i % 7) * 30.0,
+                last_divergence=0.35 + (i % 5) * 0.05,
+                recalibration_hours=(9.0, 13.0, 17.0),
+            )
+    return out, drift

@@ -16,7 +16,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.metrics import MetricsRegistry
 from repro.core.network import NodeAssessment
@@ -82,6 +82,11 @@ class StreamGateway:
         # single-consumer; concurrent drains of the *same* node must
         # serialize even though different nodes drain in parallel.
         self._drain_locks: Dict[str, threading.Lock] = {}
+        # Downstream consumers of finished snapshots (e.g. the serve
+        # store); invoked by export_snapshots, never under the lock.
+        self._export_hooks: List[
+            Callable[[Dict[str, NodeAssessment]], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # publish side
@@ -187,6 +192,32 @@ class StreamGateway:
             node_id: session.engine.snapshot()
             for node_id, session in sessions
         }
+
+    def add_export_hook(
+        self, hook: Callable[[Dict[str, NodeAssessment]], None]
+    ) -> None:
+        """Register a consumer of exported snapshot batches.
+
+        The serve layer uses this to publish the gateway's state into
+        a query store without the stream package importing it.
+        """
+        with self._lock:
+            self._export_hooks.append(hook)
+
+    def export_snapshots(self) -> Dict[str, NodeAssessment]:
+        """Flush, snapshot every live session, and fan out to hooks.
+
+        Returns the exported batch. Hooks run outside the gateway
+        lock — a slow downstream store must not stall ingestion.
+        """
+        self.flush()
+        batch = self.snapshots()
+        with self._lock:
+            hooks = list(self._export_hooks)
+        for hook in hooks:
+            hook(batch)
+        self.metrics.incr("stream_snapshot_exports")
+        return batch
 
     def drift_events(self) -> List[DriftEvent]:
         """All drift events across sessions, in detection order."""

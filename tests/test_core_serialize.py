@@ -213,3 +213,81 @@ class TestAssessmentRoundtrip:
         back = assessment_from_json(assessment_to_json(synthetic))
         assert back.abs_power is None
         assert back.node_id == "bare"
+
+
+class TestNetworkRoundtrip:
+    """Whole-network round trips (the `repro fleet --json` format)."""
+
+    @pytest.fixture()
+    def network(self, make_assessment):
+        from repro.core.network import (
+            AssessmentFailure,
+            NetworkAssessments,
+        )
+
+        out = NetworkAssessments(
+            {
+                node_id: make_assessment(node_id)
+                for node_id in ("alpha", "beta", "gamma")
+            }
+        )
+        out.failures["delta"] = AssessmentFailure(
+            node_id="delta",
+            error="antenna unplugged mid-scan",
+            exception_type="RuntimeError",
+        )
+        return out
+
+    def test_failure_round_trips_exactly(self):
+        from repro.core.network import AssessmentFailure
+        from repro.core.serialize import (
+            failure_from_dict,
+            failure_to_dict,
+        )
+
+        failure = AssessmentFailure(
+            node_id="x", error="boom", exception_type="ValueError"
+        )
+        assert failure_from_dict(failure_to_dict(failure)) == failure
+
+    def test_json_round_trip_keeps_assessments_and_failures(
+        self, network
+    ):
+        from repro.core.serialize import (
+            network_from_json,
+            network_to_json,
+        )
+
+        text = network_to_json(network)
+        back = network_from_json(text)
+        assert sorted(back) == sorted(network)
+        assert back.failures == network.failures
+        for node_id, assessment in network.items():
+            restored = back[node_id]
+            assert restored.node_id == assessment.node_id
+            assert restored.trust.checks == assessment.trust.checks
+            assert restored.report.overall_score() == pytest.approx(
+                assessment.report.overall_score()
+            )
+        # Fixed point: a second round trip is byte-identical.
+        assert network_to_json(back) == text
+
+    def test_missing_failures_key_is_tolerated(self, network):
+        from repro.core.serialize import (
+            network_from_dict,
+            network_to_dict,
+        )
+
+        data = network_to_dict(network)
+        del data["failures"]
+        back = network_from_dict(data)
+        assert sorted(back) == sorted(network)
+        assert back.failures == {}
+
+    def test_json_shape_is_stable(self, network):
+        from repro.core.serialize import network_to_json
+
+        data = json.loads(network_to_json(network, indent=2))
+        assert set(data) == {"assessments", "failures"}
+        assert sorted(data["assessments"]) == ["alpha", "beta", "gamma"]
+        assert list(data["failures"]) == ["delta"]

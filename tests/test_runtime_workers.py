@@ -10,7 +10,7 @@ import time
 import pytest
 
 from repro.runtime.jobs import CalibrationJob, NodeSpec
-from repro.runtime.metrics import MetricsRegistry
+from repro.core.metrics import MetricsRegistry
 from repro.runtime.queue import JobQueue, JobState
 from repro.runtime.workers import (
     RetryPolicy,

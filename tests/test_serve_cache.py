@@ -1,0 +1,110 @@
+"""Response cache: TTL, generation invalidation, LRU, ETags."""
+
+import pytest
+
+from repro.core.metrics import MetricsRegistry
+from repro.serve.cache import ResponseCache, body_etag
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def cache(clock):
+    return ResponseCache(
+        ttl_s=5.0,
+        max_entries=3,
+        clock=clock,
+        metrics=MetricsRegistry(),
+    )
+
+
+class TestFreshness:
+    def test_hit_within_ttl(self, cache):
+        cache.store("/k?", b"body", "application/json", generation=1)
+        entry = cache.lookup("/k?", generation=1)
+        assert entry is not None
+        assert entry.body == b"body"
+        assert cache.metrics.count("serve_cache_hits") == 1
+
+    def test_miss_after_ttl(self, cache, clock):
+        cache.store("/k?", b"body", "application/json", generation=1)
+        clock.now += 5.1
+        assert cache.lookup("/k?", generation=1) is None
+        assert cache.metrics.count("serve_cache_misses") == 1
+
+    def test_generation_swap_invalidates(self, cache):
+        cache.store("/k?", b"body", "application/json", generation=1)
+        assert cache.lookup("/k?", generation=2) is None
+
+    def test_expired_entry_is_dropped(self, cache, clock):
+        cache.store("/k?", b"body", "application/json", generation=1)
+        clock.now += 10.0
+        cache.lookup("/k?", generation=1)
+        assert len(cache) == 0
+
+
+class TestEtag:
+    def test_same_body_same_etag(self, cache):
+        first = cache.store("/a?", b"payload", "t", generation=1)
+        second = cache.store("/b?", b"payload", "t", generation=1)
+        assert first.etag == second.etag == body_etag(b"payload")
+
+    def test_different_body_different_etag(self):
+        assert body_etag(b"a") != body_etag(b"b")
+
+    def test_etag_is_quoted(self):
+        tag = body_etag(b"x")
+        assert tag.startswith('"') and tag.endswith('"')
+
+    def test_recompute_after_expiry_restores_same_etag(
+        self, cache, clock
+    ):
+        """The stale-ETag revalidation contract: unchanged body ->
+        unchanged tag, even through a TTL expiry + recompute."""
+        first = cache.store("/k?", b"stable", "t", generation=1)
+        clock.now += 99.0
+        assert cache.lookup("/k?", generation=1) is None
+        second = cache.store("/k?", b"stable", "t", generation=1)
+        assert second.etag == first.etag
+
+
+class TestLru:
+    def test_bounded(self, cache):
+        for i in range(5):
+            cache.store(f"/k{i}?", b"x", "t", generation=1)
+        assert len(cache) == 3
+        assert cache.metrics.count("serve_cache_evictions") == 2
+
+    def test_lookup_refreshes_recency(self, cache):
+        for i in range(3):
+            cache.store(f"/k{i}?", b"x", "t", generation=1)
+        cache.lookup("/k0?", generation=1)  # /k0 is now most recent
+        cache.store("/k3?", b"x", "t", generation=1)
+        assert cache.lookup("/k0?", generation=1) is not None
+        assert cache.lookup("/k1?", generation=1) is None
+
+
+class TestValidation:
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(ValueError):
+            ResponseCache(ttl_s=0.0)
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            ResponseCache(max_entries=0)
+
+    def test_clear(self, cache):
+        cache.store("/k?", b"x", "t", generation=1)
+        cache.clear()
+        assert len(cache) == 0

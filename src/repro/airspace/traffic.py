@@ -19,6 +19,14 @@ _AIRLINE_CODES = (
     "QXE", "NKS", "FFT", "HAL", "ACA", "WJA",
 )
 
+#: Named traffic densities: aircraft within the 100 km disk. The
+#: paper's Bay Area captures sit around the default; "dense-urban"
+#: triples it to the level where 1090 MHz collisions start to matter.
+TRAFFIC_PRESETS = {
+    "default": 80,
+    "dense-urban": 240,
+}
+
 
 @dataclass
 class TrafficConfig:
@@ -50,6 +58,21 @@ class TrafficConfig:
             return self.n_aircraft
         scale = max(0.0, self.density_profile(hour % 24.0))
         return int(round(self.n_aircraft * scale))
+
+    @classmethod
+    def from_preset(cls, name: str, **overrides) -> "TrafficConfig":
+        """Build a config from a named density preset.
+
+        ``name`` is a :data:`TRAFFIC_PRESETS` key; keyword overrides
+        are passed through to the constructor.
+        """
+        if name not in TRAFFIC_PRESETS:
+            known = ", ".join(sorted(TRAFFIC_PRESETS))
+            raise ValueError(
+                f"unknown traffic preset {name!r} (known: {known})"
+            )
+        overrides.setdefault("n_aircraft", TRAFFIC_PRESETS[name])
+        return cls(**overrides)
 
 
 @dataclass

@@ -45,6 +45,10 @@ from repro.batch.schedule import (
 )
 from repro.core.observations import DirectionalScan
 from repro.environment.links import ADSB_FREQ_HZ, AdsbLinkModel
+from repro.interference.collisions import (
+    frame_durations_s,
+    resolve_collisions,
+)
 
 if TYPE_CHECKING:
     from repro.core.directional import DirectionalEvaluator
@@ -99,7 +103,20 @@ def run_directional_scan_batch(
     per_aircraft: Dict[IcaoAddress, _AircraftTally] = {}
     decoded_count = 0
 
-    sel = np.flatnonzero(rx_dbm >= threshold)
+    collision_stats = None
+    if evaluator.interference_enabled():
+        assert evaluator.interference is not None
+        decodable, collision_stats = resolve_collisions(
+            squitters.time_s,
+            frame_durations_s(squitters.kind_idx),
+            rx_dbm,
+            threshold,
+            evaluator.noise_floor_dbm(),
+            evaluator.interference.capture_margin_db,
+        )
+        sel = np.flatnonzero(decodable)
+    else:
+        sel = np.flatnonzero(rx_dbm >= threshold)
     if sel.size:
         ai = squitters.aircraft_idx[sel]
         kind = squitters.kind_idx[sel]
@@ -169,4 +186,9 @@ def run_directional_scan_batch(
             int(n_pos[a]) % 2 == 1
         )
 
-    return evaluator._finalize(per_aircraft, decoded_count, rng)
+    return evaluator._finalize(
+        per_aircraft,
+        decoded_count,
+        rng,
+        collision_stats=collision_stats,
+    )

@@ -5,7 +5,12 @@ Commands:
 - ``calibrate --location {rooftop,window,indoor}`` — run the full
   automatic-calibration pipeline on a node at one of the testbed
   locations and print the report (``--json FILE`` writes the full
-  machine-readable report).
+  machine-readable report; ``--traffic dense-urban`` runs it under a
+  congested airspace).
+- ``interference [--densities N,N,...]`` — sweep traffic density
+  through the shared-medium collision model and print how collision
+  rate degrades decodes, FoV agreement and trust (§3.1 under
+  congestion).
 - ``figure {1,2,3,4,fm}`` — regenerate one of the paper's figures as
   a terminal table.
 - ``trust`` — run the fabrication-detection experiment.
@@ -48,6 +53,7 @@ from repro.experiments import (
     scheduling,
     trust,
 )
+from repro.airspace.traffic import TRAFFIC_PRESETS
 from repro.experiments.common import LOCATIONS, build_world
 from repro.node.sensor import SensorNode
 
@@ -78,6 +84,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="FILE",
         help="also write the machine-readable report to FILE",
+    )
+    calibrate.add_argument(
+        "--traffic",
+        choices=sorted(TRAFFIC_PRESETS),
+        default="default",
+        help="traffic-density preset the airspace is populated with",
+    )
+
+    interference = sub.add_parser(
+        "interference",
+        help=(
+            "sweep traffic density through the 1090 MHz collision "
+            "model (SINR + capture effect)"
+        ),
+    )
+    interference.add_argument(
+        "--location", choices=LOCATIONS, default="rooftop",
+        help="testbed installation to evaluate",
+    )
+    interference.add_argument(
+        "--seed", type=int, default=1, help="simulation seed"
+    )
+    interference.add_argument(
+        "--densities", metavar="N,N,...",
+        help="comma-separated aircraft counts to sweep "
+        "(default: 60,120,240,480)",
+    )
+    interference.add_argument(
+        "--duration", type=float, default=30.0,
+        help="capture length per run in seconds",
     )
 
     figure = sub.add_parser(
@@ -289,7 +325,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
-    world = build_world()
+    world = build_world(traffic_preset=args.traffic)
     service = CalibrationService(
         traffic=world.traffic,
         ground_truth=world.ground_truth,
@@ -318,6 +354,41 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         with open(args.json, "w") as f:
             f.write(report_to_json(assessment.report, indent=2))
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_interference(args: argparse.Namespace) -> int:
+    from repro.experiments import interference_exp
+
+    if args.duration <= 0.0:
+        print("--duration must be positive", file=sys.stderr)
+        return 2
+    if args.densities is not None:
+        try:
+            densities = [
+                int(part) for part in args.densities.split(",") if part
+            ]
+        except ValueError:
+            print(
+                "--densities must be comma-separated integers",
+                file=sys.stderr,
+            )
+            return 2
+        if not densities or any(d <= 0 for d in densities):
+            print(
+                "--densities needs at least one positive count",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        densities = list(interference_exp.DEFAULT_DENSITIES)
+    points = interference_exp.run_density_sweep(
+        densities=densities,
+        location=args.location,
+        seed=args.seed,
+        duration_s=args.duration,
+    )
+    print(interference_exp.format_rows(points))
     return 0
 
 
@@ -693,6 +764,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "calibrate": _cmd_calibrate,
+        "interference": _cmd_interference,
         "figure": _cmd_figure,
         "trust": _cmd_trust,
         "fleet": _cmd_fleet,

@@ -29,6 +29,13 @@ from repro.airspace.traffic import TrafficSimulator
 from repro.core.observations import AircraftObservation, DirectionalScan
 from repro.environment.links import AdsbLinkModel, ray_geometry
 from repro.geo.coords import GeoPoint
+from repro.interference.collisions import (
+    LONG_FRAME_DURATION_S,
+    SHORT_FRAME_DURATION_S,
+    CollisionStats,
+    resolve_collisions_scalar,
+)
+from repro.interference.config import InterferenceConfig
 from repro.node.sensor import SensorNode
 
 #: Effective noise bandwidth of the 2 Msps ADS-B receive chain.
@@ -58,6 +65,10 @@ class DirectionalEvaluator:
             before its ray geometry/obstruction is recomputed (batch
             path only). 0 disables the cache — exact per-event
             geometry.
+        interference: shared-medium collision model
+            (:class:`repro.interference.InterferenceConfig`). ``None``
+            or disabled keeps the single-transmitter pipeline
+            bit-identical.
     """
 
     node: SensorNode
@@ -68,6 +79,7 @@ class DirectionalEvaluator:
     radius_m: float = 100_000.0
     use_batch: bool = True
     geometry_epsilon_m: float = 0.0
+    interference: Optional[InterferenceConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0.0:
@@ -85,6 +97,14 @@ class DirectionalEvaluator:
         """Minimum received power for a squitter to decode."""
         floor = self.node.sdr.noise_floor_dbm(ADSB_BANDWIDTH_HZ)
         return floor + DECODE_SNR_DB
+
+    def noise_floor_dbm(self) -> float:
+        """Receiver noise over the ADS-B bandwidth (SINR denominator)."""
+        return self.node.sdr.noise_floor_dbm(ADSB_BANDWIDTH_HZ)
+
+    def interference_enabled(self) -> bool:
+        """Whether the shared-medium collision model is active."""
+        return self.interference is not None and self.interference.enabled
 
     def run(self, rng: np.random.Generator) -> DirectionalScan:
         """Execute one full evaluation and return the scan.
@@ -114,22 +134,62 @@ class DirectionalEvaluator:
 
         per_aircraft: Dict[IcaoAddress, _AircraftTally] = {}
         decoded_count = 0
+        collision_stats: Optional[CollisionStats] = None
         squitters = self.traffic.squitters_between(
             0.0, self.duration_s, rng
         )
-        for event in squitters:
-            tx_position = GeoPoint(
-                event.lat_deg, event.lon_deg, event.alt_m
+        shared_medium = self.interference_enabled()
+        decodable: Optional[List[bool]] = None
+        powers_dbm: List[float] = []
+        if shared_medium:
+            # Two passes: the link draws happen first, in event order
+            # (identical RNG consumption to the single-pass loop),
+            # then the shared medium decides who survives.
+            for event in squitters:
+                powers_dbm.append(
+                    link.message_received_power_dbm(
+                        event.frame.icao,
+                        GeoPoint(
+                            event.lat_deg, event.lon_deg, event.alt_m
+                        ),
+                        event.tx_power_w,
+                        rng,
+                        time_s=event.time_s,
+                    )
+                )
+            assert self.interference is not None
+            decodable, collision_stats = resolve_collisions_scalar(
+                [event.time_s for event in squitters],
+                [
+                    SHORT_FRAME_DURATION_S
+                    if len(event.frame.data) == 7
+                    else LONG_FRAME_DURATION_S
+                    for event in squitters
+                ],
+                powers_dbm,
+                threshold,
+                self.noise_floor_dbm(),
+                self.interference.capture_margin_db,
             )
-            rx_dbm = link.message_received_power_dbm(
-                event.frame.icao,
-                tx_position,
-                event.tx_power_w,
-                rng,
-                time_s=event.time_s,
-            )
-            if rx_dbm < threshold:
-                continue
+        for i, event in enumerate(squitters):
+            if shared_medium:
+                assert decodable is not None
+                if not decodable[i]:
+                    continue
+                rx_dbm = powers_dbm[i]
+            else:
+                tx_position = GeoPoint(
+                    event.lat_deg, event.lon_deg, event.alt_m
+                )
+                rx_dbm = link.message_received_power_dbm(
+                    event.frame.icao,
+                    tx_position,
+                    event.tx_power_w,
+                    rng,
+                    time_s=event.time_s,
+                )
+                if rx_dbm < threshold:
+                    continue
             rssi_dbfs = self.node.sdr.input_dbm_to_dbfs(rx_dbm)
             message = decoder.decode_frame_bytes(
                 event.frame.data, event.time_s, rssi_dbfs
@@ -143,13 +203,19 @@ class DirectionalEvaluator:
             tally.n_messages += 1
             tally.rssi_sum_dbfs += rssi_dbfs
 
-        return self._finalize(per_aircraft, decoded_count, rng)
+        return self._finalize(
+            per_aircraft,
+            decoded_count,
+            rng,
+            collision_stats=collision_stats,
+        )
 
     def _finalize(
         self,
         per_aircraft: Dict[IcaoAddress, "_AircraftTally"],
         decoded_count: int,
         rng: np.random.Generator,
+        collision_stats: Optional[CollisionStats] = None,
     ) -> DirectionalScan:
         """Join decode tallies against ground truth into a scan.
 
@@ -195,6 +261,7 @@ class DirectionalEvaluator:
             observations=observations,
             decoded_message_count=decoded_count,
             ghost_icaos=sorted(ghosts),
+            collision_stats=collision_stats,
         )
 
     def run_repeated(

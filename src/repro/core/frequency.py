@@ -14,7 +14,7 @@ frequencies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -24,6 +24,17 @@ from repro.cellular.scanner import CellMeasurement, SrsUeScanner
 from repro.environment.links import ray_geometry, ray_geometry_arrays
 from repro.fm.meter import FmPowerMeter
 from repro.fm.tower import FmTower
+from repro.interference.aggregate import (
+    dbfs_to_linear,
+    dbm_to_mw,
+    linear_to_dbfs,
+    mw_to_dbm,
+)
+from repro.interference.config import InterferenceConfig
+from repro.interference.sources import (
+    cell_cochannel_interference_mw,
+    tv_adjacent_interference_mw,
+)
 from repro.node.sensor import SensorNode
 from repro.rf.pathloss import (
     free_space_path_loss_db,
@@ -32,6 +43,11 @@ from repro.rf.pathloss import (
 from repro.sdr.antenna import WIDEBAND_700_2700, Antenna
 from repro.tv.meter import TvPowerMeter
 from repro.tv.tower import TvTower
+from repro.tv.waveform import VSB_OCCUPIED_HZ
+
+#: LTE resource-element bandwidth — one OFDM subcarrier. RSRP and the
+#: co-channel interference it competes with are both per-RE figures.
+LTE_RE_BANDWIDTH_HZ = 15e3
 
 
 @dataclass(frozen=True)
@@ -49,6 +65,10 @@ class BandMeasurement:
         excess_attenuation_db: expected - measured; None when not
             decodable (the attenuation exceeded the measurable range).
         decoded: whether the signal was received at all.
+        interference_dbm: co-channel/adjacent-channel interferer power
+            at the SDR input competing with this signal, when the run
+            modelled interference and any interferer was present;
+            ``None`` otherwise.
     """
 
     source: str
@@ -58,6 +78,7 @@ class BandMeasurement:
     expected: float
     excess_attenuation_db: Optional[float]
     decoded: bool
+    interference_dbm: Optional[float] = None
 
 
 @dataclass
@@ -143,6 +164,10 @@ class FrequencyEvaluator:
             (:meth:`run`); ``False`` keeps the per-tower scalar path.
             :meth:`run_scalar` is always available as the equivalence
             oracle regardless of this flag.
+        interference: co-channel interference model
+            (:class:`repro.interference.InterferenceConfig`). ``None``
+            or disabled keeps the interference-free profile
+            bit-identical.
     """
 
     node: SensorNode
@@ -151,10 +176,15 @@ class FrequencyEvaluator:
     fm_towers: Sequence[FmTower] = ()
     reference_antenna: Optional[Antenna] = None
     use_batch: bool = True
+    interference: Optional[InterferenceConfig] = None
 
     def __post_init__(self) -> None:
         if self.reference_antenna is None:
             self.reference_antenna = WIDEBAND_700_2700
+
+    def interference_enabled(self) -> bool:
+        """Whether the co-channel interference model is active."""
+        return self.interference is not None and self.interference.enabled
 
     def _expected_cell_rsrp_dbm(self, tower) -> float:
         """Reference RSRP for a healthy unobstructed install here."""
@@ -203,10 +233,13 @@ class FrequencyEvaluator:
         if not self.use_batch:
             return self.run_scalar(rng, tv_iq_mode)
         profile = FrequencyProfile(node_id=self.node.node_id)
-        profile.measurements.extend(self._run_cellular_batch(rng))
-        profile.measurements.extend(
-            self._run_tv_batch(rng, tv_iq_mode)
-        )
+        cellular = self._run_cellular_batch(rng)
+        tv = self._run_tv_batch(rng, tv_iq_mode)
+        if self.interference_enabled():
+            cellular = self._apply_cell_interference(cellular)
+            tv = self._apply_tv_interference(tv)
+        profile.measurements.extend(cellular)
+        profile.measurements.extend(tv)
         profile.measurements.extend(self._run_fm_batch())
         profile.measurements.sort(key=lambda m: m.freq_hz)
         return profile
@@ -220,11 +253,130 @@ class FrequencyEvaluator:
         if tv_iq_mode and rng is None:
             raise ValueError("tv_iq_mode requires an rng")
         profile = FrequencyProfile(node_id=self.node.node_id)
-        profile.measurements.extend(self._run_cellular(rng))
-        profile.measurements.extend(self._run_tv(rng, tv_iq_mode))
+        cellular = self._run_cellular(rng)
+        tv = self._run_tv(rng, tv_iq_mode)
+        if self.interference_enabled():
+            # The interference terms are deterministic verifier-side
+            # budgets; both paths call the identical vectorized
+            # sources so run()/run_scalar() stay bit-equal.
+            cellular = self._apply_cell_interference(cellular)
+            tv = self._apply_tv_interference(tv)
+        profile.measurements.extend(cellular)
+        profile.measurements.extend(tv)
         profile.measurements.extend(self._run_fm())
         profile.measurements.sort(key=lambda m: m.freq_hz)
         return profile
+
+    def _apply_tv_interference(
+        self, measurements: List[BandMeasurement]
+    ) -> List[BandMeasurement]:
+        """Fold adjacent-channel bleed into the TV measurements.
+
+        ``measurements`` is ordered like ``self.tv_towers`` (both
+        pipelines produce one entry per tower, in tower order). A
+        victim with bleed sees its channel power biased up by the
+        leaked energy — the power meter integrates everything in the
+        band — and only counts as decoded if the wanted signal clears
+        noise *plus* bleed by ``tv_min_sinr_db``.
+        """
+        assert self.interference is not None
+        towers = list(self.tv_towers)
+        interference_mw = tv_adjacent_interference_mw(
+            self.node.environment,
+            self.node.antenna,
+            towers,
+            self.interference.tv_adjacent_rejection_db,
+        )
+        noise_dbfs = self.node.sdr.input_dbm_to_dbfs(
+            self.node.sdr.noise_floor_dbm(VSB_OCCUPIED_HZ)
+        )
+        noise_linear = dbfs_to_linear(noise_dbfs)
+        out: List[BandMeasurement] = []
+        for m, int_mw in zip(measurements, interference_mw):
+            if int_mw <= 0.0:
+                out.append(m)
+                continue
+            int_dbm = mw_to_dbm(float(int_mw))
+            if not m.decoded:
+                out.append(replace(m, interference_dbm=int_dbm))
+                continue
+            # TV powers are reported in dBFS; dBm -> dBFS is an
+            # affine offset so full-scale fractions preserve every
+            # power ratio the SINR needs.
+            int_linear = dbfs_to_linear(
+                self.node.sdr.input_dbm_to_dbfs(int_dbm)
+            )
+            signal_linear = dbfs_to_linear(m.measured)
+            sinr_db = 10.0 * np.log10(
+                signal_linear / (noise_linear + int_linear)
+            )
+            if sinr_db <= self.interference.tv_min_sinr_db:
+                out.append(
+                    replace(
+                        m,
+                        measured=None,
+                        excess_attenuation_db=None,
+                        decoded=False,
+                        interference_dbm=int_dbm,
+                    )
+                )
+                continue
+            measured = linear_to_dbfs(signal_linear + int_linear)
+            out.append(
+                replace(
+                    m,
+                    measured=measured,
+                    excess_attenuation_db=m.expected - measured,
+                    interference_dbm=int_dbm,
+                )
+            )
+        return out
+
+    def _apply_cell_interference(
+        self, measurements: List[BandMeasurement]
+    ) -> List[BandMeasurement]:
+        """Fold same-EARFCN neighbour power into the cellular scans.
+
+        ``measurements`` is ordered like ``self.cell_towers.towers``.
+        RSRP itself stays unbiased (reference-signal sequences are
+        near-orthogonal across PCIs); what co-channel power destroys
+        is synchronization, so a cell whose per-RE SINR falls below
+        ``cell_min_sinr_db`` drops out of the scan entirely.
+        """
+        assert self.interference is not None
+        interference_mw = cell_cochannel_interference_mw(
+            self.node.environment,
+            self.node.antenna,
+            self.cell_towers.towers,
+        )
+        noise_mw = dbm_to_mw(
+            self.node.sdr.noise_floor_dbm(LTE_RE_BANDWIDTH_HZ)
+        )
+        out: List[BandMeasurement] = []
+        for m, int_mw in zip(measurements, interference_mw):
+            if int_mw <= 0.0:
+                out.append(m)
+                continue
+            int_dbm = mw_to_dbm(float(int_mw))
+            if not m.decoded:
+                out.append(replace(m, interference_dbm=int_dbm))
+                continue
+            sinr_db = 10.0 * np.log10(
+                dbm_to_mw(m.measured) / (noise_mw + float(int_mw))
+            )
+            if sinr_db < self.interference.cell_min_sinr_db:
+                out.append(
+                    replace(
+                        m,
+                        measured=None,
+                        excess_attenuation_db=None,
+                        decoded=False,
+                        interference_dbm=int_dbm,
+                    )
+                )
+                continue
+            out.append(replace(m, interference_dbm=int_dbm))
+        return out
 
     def _run_cellular(
         self, rng: Optional[np.random.Generator]

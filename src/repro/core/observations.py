@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from repro.adsb.icao import IcaoAddress
 from repro.geo.coords import GeoPoint
+from repro.interference.collisions import CollisionStats
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,9 @@ class DirectionalScan:
         ghost_icaos: addresses decoded locally but absent from ground
             truth — essentially zero for honest nodes, and the key
             fabrication tell for the trust checks.
+        collision_stats: shared-medium outcome when the run modelled
+            1090 MHz collisions (:mod:`repro.interference`); ``None``
+            for interference-free runs.
     """
 
     node_id: str
@@ -79,6 +83,7 @@ class DirectionalScan:
     observations: List[AircraftObservation] = field(default_factory=list)
     decoded_message_count: int = 0
     ghost_icaos: List[IcaoAddress] = field(default_factory=list)
+    collision_stats: Optional[CollisionStats] = None
 
     @property
     def received(self) -> List[AircraftObservation]:

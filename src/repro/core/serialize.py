@@ -26,6 +26,7 @@ from repro.core.network import (
 from repro.core.observations import AircraftObservation, DirectionalScan
 from repro.core.report import BandGrade, CalibrationReport, ClaimViolation
 from repro.geo.coords import GeoPoint
+from repro.interference.collisions import CollisionStats
 
 
 def observation_to_dict(obs: AircraftObservation) -> Dict[str, Any]:
@@ -76,11 +77,21 @@ def scan_to_dict(scan: DirectionalScan) -> Dict[str, Any]:
         ],
         "decoded_message_count": scan.decoded_message_count,
         "ghost_icaos": [str(g) for g in scan.ghost_icaos],
+        "collision_stats": (
+            scan.collision_stats.to_dict()
+            if scan.collision_stats is not None
+            else None
+        ),
     }
 
 
 def scan_from_dict(data: Dict[str, Any]) -> DirectionalScan:
-    """Inverse of :func:`scan_to_dict`."""
+    """Inverse of :func:`scan_to_dict`.
+
+    ``collision_stats`` is optional so scans written before the
+    interference layer still parse.
+    """
+    stats = data.get("collision_stats")
     return DirectionalScan(
         node_id=data["node_id"],
         duration_s=data["duration_s"],
@@ -92,6 +103,11 @@ def scan_from_dict(data: Dict[str, Any]) -> DirectionalScan:
         ghost_icaos=[
             IcaoAddress.from_hex(g) for g in data["ghost_icaos"]
         ],
+        collision_stats=(
+            CollisionStats.from_dict(stats)
+            if stats is not None
+            else None
+        ),
     )
 
 
@@ -123,12 +139,24 @@ def measurement_to_dict(m: BandMeasurement) -> Dict[str, Any]:
         "expected": m.expected,
         "excess_attenuation_db": m.excess_attenuation_db,
         "decoded": m.decoded,
+        "interference_dbm": m.interference_dbm,
     }
 
 
 def measurement_from_dict(data: Dict[str, Any]) -> BandMeasurement:
-    """Inverse of :func:`measurement_to_dict`."""
-    return BandMeasurement(**data)
+    """Inverse of :func:`measurement_to_dict`.
+
+    ``interference_dbm`` is optional so profiles written before the
+    interference layer still parse.
+    """
+    return BandMeasurement(
+        interference_dbm=data.get("interference_dbm"),
+        **{
+            k: v
+            for k, v in data.items()
+            if k != "interference_dbm"
+        },
+    )
 
 
 def profile_to_dict(profile: FrequencyProfile) -> Dict[str, Any]:

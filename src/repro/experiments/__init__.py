@@ -18,6 +18,7 @@ wraps these, and ``EXPERIMENTS.md`` records paper-vs-measured for each.
 | trust | §2/§5: fabricated-data detection |
 | cbrs | §3.3: CBRS-style installation-claim verification |
 | ablations | sensitivity of the §3.1 pipeline to design choices |
+| interference_exp | §3.1 under 1090 MHz congestion (collisions) |
 """
 
 from repro.experiments import (  # noqa: F401
@@ -35,6 +36,7 @@ from repro.experiments import (  # noqa: F401
     fov_estimators,
     fov_pooling,
     hardware_faults,
+    interference_exp,
     monitoring,
     repeatability,
     scheduling,
@@ -60,4 +62,5 @@ __all__ = [
     "crosscheck_exp",
     "fleet",
     "abs_power_exp",
+    "interference_exp",
 ]

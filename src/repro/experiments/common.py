@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.airspace.flightradar import FlightRadarService
 from repro.airspace.traffic import TrafficConfig, TrafficSimulator
@@ -36,12 +36,22 @@ def build_world(
     traffic_seed: int = 42,
     n_aircraft: int = DEFAULT_N_AIRCRAFT,
     fr24_latency_s: float = 10.0,
+    traffic_preset: Optional[str] = None,
 ) -> World:
-    """The standard experiment world."""
+    """The standard experiment world.
+
+    ``traffic_preset`` selects a named density from
+    :data:`repro.airspace.traffic.TRAFFIC_PRESETS` ("dense-urban" for
+    congestion scenarios); it overrides ``n_aircraft``.
+    """
     testbed = standard_testbed()
+    if traffic_preset is not None:
+        config = TrafficConfig.from_preset(traffic_preset)
+    else:
+        config = TrafficConfig(n_aircraft=n_aircraft)
     traffic = TrafficSimulator(
         center=testbed.center,
-        config=TrafficConfig(n_aircraft=n_aircraft),
+        config=config,
         rng_seed=traffic_seed,
     )
     ground_truth = FlightRadarService(

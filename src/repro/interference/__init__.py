@@ -1,0 +1,62 @@
+"""Shared-medium interference: SINR instead of SNR.
+
+Every earlier scenario assumed one transmitter per capture. Real
+spectrum is shared: 1090 MHz squitters from a dense airspace overlap
+and garble each other, broadcast-TV receivers see adjacent-channel
+bleed, and cellular channels carry co-channel neighbours. This package
+adds the missing layer:
+
+- :mod:`repro.interference.aggregate` — the aggregation core: sum
+  interferer powers in the linear (mW) domain per group/time-slot and
+  form SINR.
+- :mod:`repro.interference.collisions` — ADS-B message collisions
+  with capture-effect decoding, vectorized with a scalar oracle.
+- :mod:`repro.interference.sources` — co-channel interferer sources
+  for the §3.2 frequency path (adjacent-channel TV bleed,
+  neighbouring-cell EARFCN overlap).
+- :mod:`repro.interference.config` — :class:`InterferenceConfig`,
+  the switch both evaluators accept. Default off: bit-identical to
+  the interference-free pipeline.
+"""
+
+from repro.interference.aggregate import (  # noqa: F401
+    dbfs_to_linear,
+    dbm_to_mw,
+    dbm_to_mw_array,
+    group_power_mw,
+    linear_to_dbfs,
+    mw_to_dbm,
+    power_sum_dbm,
+    sinr_db,
+    slot_power_mw,
+)
+from repro.interference.collisions import (  # noqa: F401
+    CollisionStats,
+    frame_durations_s,
+    resolve_collisions,
+    resolve_collisions_scalar,
+)
+from repro.interference.config import InterferenceConfig  # noqa: F401
+from repro.interference.sources import (  # noqa: F401
+    cell_cochannel_interference_mw,
+    tv_adjacent_interference_mw,
+)
+
+__all__ = [
+    "InterferenceConfig",
+    "CollisionStats",
+    "frame_durations_s",
+    "resolve_collisions",
+    "resolve_collisions_scalar",
+    "dbm_to_mw",
+    "dbm_to_mw_array",
+    "dbfs_to_linear",
+    "linear_to_dbfs",
+    "mw_to_dbm",
+    "power_sum_dbm",
+    "group_power_mw",
+    "slot_power_mw",
+    "sinr_db",
+    "tv_adjacent_interference_mw",
+    "cell_cochannel_interference_mw",
+]

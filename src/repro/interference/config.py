@@ -1,0 +1,54 @@
+"""Configuration switch for the interference layer.
+
+Both evaluators accept an :class:`InterferenceConfig`; ``None`` or
+``enabled=False`` keeps the legacy single-transmitter pipeline
+bit-identical (no code path diverges, no RNG draw is added).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default capture margin. Equal to the single-transmitter decode SNR
+#: (:data:`repro.core.directional.DECODE_SNR_DB`) so the zero-
+#: interferer limit of the SINR rule converges to the legacy SNR rule.
+DEFAULT_CAPTURE_MARGIN_DB = 10.0
+
+
+@dataclass(frozen=True)
+class InterferenceConfig:
+    """Shared-medium interference knobs for both evaluators.
+
+    Attributes:
+        enabled: master switch. Off (the default) is bit-identical to
+            the interference-free pipeline.
+        capture_margin_db: SINR a squitter needs over the linear sum
+            of its overlap group's other frames plus noise to survive
+            a collision (the capture effect). At the default 10 dB —
+            the same figure as the single-transmitter decode SNR —
+            an isolated frame decodes under exactly the legacy rule.
+        tv_adjacent_rejection_db: how much the TV channel filter
+            suppresses an adjacent (N±1) channel's energy before it
+            leaks into the measured band. Typical first-adjacent
+            selectivity of a consumer front end is 30-40 dB.
+        tv_min_sinr_db: margin the TV signal needs over receiver
+            noise plus adjacent-channel bleed to count as decoded;
+            matches the legacy 3 dB above-noise criterion.
+        cell_min_sinr_db: per-resource-element SINR below which the
+            srsUE-style scanner loses synchronization to a cell. LTE
+            PSS/SSS correlation works a few dB below the co-channel
+            floor, hence the negative default.
+    """
+
+    enabled: bool = False
+    capture_margin_db: float = DEFAULT_CAPTURE_MARGIN_DB
+    tv_adjacent_rejection_db: float = 30.0
+    tv_min_sinr_db: float = 3.0
+    cell_min_sinr_db: float = -6.0
+
+    def __post_init__(self) -> None:
+        if self.tv_adjacent_rejection_db < 0.0:
+            raise ValueError(
+                "adjacent-channel rejection must be >= 0 dB: "
+                f"{self.tv_adjacent_rejection_db}"
+            )

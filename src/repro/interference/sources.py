@@ -1,0 +1,149 @@
+"""Co-channel interferer sources for the §3.2 frequency path.
+
+Two effects a crowd-sourced receiver actually sees:
+
+- **Adjacent-channel TV bleed.** A strong ATSC transmitter one RF
+  channel away (N±1) leaks energy past the channel filter into the
+  measured band, suppressed by the front end's adjacent-channel
+  rejection. The measured channel power is biased upward and the
+  effective noise floor rises.
+- **Neighbouring-cell EARFCN overlap.** LTE reuses the same carrier
+  across cells: every other tower on the victim's EARFCN radiates
+  straight into the scan, degrading the per-resource-element SINR
+  srsUE needs to synchronize.
+
+Interferer powers are computed with the deterministic median link
+budget (the verifier-side model — tower locations and powers are
+public knowledge), so enabling interference consumes no extra RNG
+draws and the scalar/batch evaluator paths stay in lockstep. Results
+are returned in linear mW so empty interferer sets are an honest 0.0
+rather than a -inf dBm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cellular.tower import CellTower
+from repro.environment.links import (
+    direct_received_power_dbm,
+    direct_received_power_dbm_multifreq,
+)
+from repro.environment.site import SiteEnvironment
+from repro.interference.aggregate import dbm_to_mw, dbm_to_mw_array
+from repro.sdr.antenna import Antenna
+from repro.tv.tower import TvTower
+
+
+def tv_adjacent_interference_mw(
+    env: SiteEnvironment,
+    antenna: Antenna,
+    towers: Sequence[TvTower],
+    rejection_db: float,
+) -> np.ndarray:
+    """Adjacent-channel bleed into each tower's band, in mW.
+
+    Per victim tower: the linear sum of every other tower's received
+    power (median budget through the node's antenna and obstruction
+    map) whose RF channel is exactly one away, suppressed by
+    ``rejection_db``.
+    """
+    if not towers:
+        return np.zeros(0, dtype=np.float64)
+    rx_dbm = direct_received_power_dbm_multifreq(
+        env,
+        [t.position for t in towers],
+        np.array([t.erp_dbm for t in towers], dtype=np.float64),
+        np.array(
+            [t.center_freq_hz for t in towers], dtype=np.float64
+        ),
+        antenna,
+    )
+    leaked_mw = dbm_to_mw_array(rx_dbm - rejection_db)
+    channels = np.array([t.channel for t in towers], dtype=np.int64)
+    adjacent = (
+        np.abs(channels[:, None] - channels[None, :]) == 1
+    )
+    return adjacent @ leaked_mw
+
+
+def tv_adjacent_interference_mw_scalar(
+    env: SiteEnvironment,
+    antenna: Antenna,
+    towers: Sequence[TvTower],
+    rejection_db: float,
+) -> List[float]:
+    """Per-tower oracle for :func:`tv_adjacent_interference_mw`."""
+    out: List[float] = []
+    for victim in towers:
+        total_mw = 0.0
+        for other in towers:
+            if abs(other.channel - victim.channel) != 1:
+                continue
+            rx_dbm = direct_received_power_dbm(
+                env,
+                other.position,
+                other.erp_dbm,
+                other.center_freq_hz,
+                antenna,
+            )
+            total_mw += dbm_to_mw(rx_dbm - rejection_db)
+        out.append(total_mw)
+    return out
+
+
+def cell_cochannel_interference_mw(
+    env: SiteEnvironment,
+    antenna: Antenna,
+    towers: Sequence[CellTower],
+) -> np.ndarray:
+    """Same-EARFCN neighbour power per tower, per resource element, mW.
+
+    Per victim tower: the linear sum of every *other* tower sharing
+    its EARFCN, at the victim's reference-signal granularity (EIRP
+    per resource element, like RSRP itself).
+    """
+    if not towers:
+        return np.zeros(0, dtype=np.float64)
+    rx_dbm = direct_received_power_dbm_multifreq(
+        env,
+        [t.position for t in towers],
+        np.array(
+            [t.eirp_per_re_dbm() for t in towers], dtype=np.float64
+        ),
+        np.array(
+            [t.downlink_freq_hz for t in towers], dtype=np.float64
+        ),
+        antenna,
+    )
+    rx_mw = dbm_to_mw_array(rx_dbm)
+    earfcns = np.array([t.earfcn for t in towers], dtype=np.int64)
+    cochannel = earfcns[:, None] == earfcns[None, :]
+    np.fill_diagonal(cochannel, False)
+    return cochannel @ rx_mw
+
+
+def cell_cochannel_interference_mw_scalar(
+    env: SiteEnvironment,
+    antenna: Antenna,
+    towers: Sequence[CellTower],
+) -> List[float]:
+    """Per-tower oracle for :func:`cell_cochannel_interference_mw`."""
+    out: List[float] = []
+    for victim in towers:
+        total_mw = 0.0
+        for other in towers:
+            if other is victim or other.earfcn != victim.earfcn:
+                continue
+            rx_dbm = direct_received_power_dbm(
+                env,
+                other.position,
+                other.eirp_per_re_dbm(),
+                other.downlink_freq_hz,
+                antenna,
+            )
+            total_mw += dbm_to_mw(rx_dbm)
+        out.append(total_mw)
+    return out

@@ -60,6 +60,7 @@ SIM_SCOPES: FrozenSet[str] = frozenset(
         "adsb",
         "stream",
         "experiments",
+        "interference",
     }
 )
 

@@ -50,7 +50,7 @@ RL403 = register_rule(
 
 #: Packages whose public surface must be annotated.
 ANNOTATION_SCOPES: FrozenSet[str] = frozenset(
-    {"core", "stream", "serve"}
+    {"core", "stream", "serve", "interference"}
 )
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]

@@ -1,19 +1,33 @@
 """Domain-aware static analysis for the repro codebase.
 
-Four rule families, grounded in what actually corrupts calibration
+Six rule families, grounded in what actually corrupts calibration
 results in this repo:
 
 - **RL1 unit discipline** — a ``freq_mhz`` bound to a ``freq_hz``
   parameter, or ``x_dbm + y_dbm`` arithmetic, is a silent factor of
-  a million (or a nonsense power) in the RF math.
+  a million (or a nonsense power) in the RF math. RL101/RL102 read
+  units off suffixes statement by statement; RL103–RL105 propagate
+  them through assignments and returns over the CFG, catching units
+  laundered through unsuffixed temporaries.
 - **RL2 determinism** — wall-clock reads and global/unseeded RNGs
   inside the simulation and stream packages break the
   reproducibility the whole evaluation rests on.
-- **RL3 concurrency hygiene** — shared state mutated outside the
-  owning lock, or callbacks/logging invoked while holding it, in
-  the threaded runtime/stream layers.
+- **RL3 concurrency hygiene** — path-sensitive lock regions: shared
+  state mutated on any path where the owning lock is not definitely
+  held, and callbacks/logging invoked while holding it.
 - **RL4 interface hygiene** — unannotated public ``core``/
   ``stream`` surfaces and swallowed exceptions.
+- **RL5 RNG lockstep** — in scalar/batch paired kernels, RNG draws
+  whose count can diverge across data-dependent branches, breaking
+  the draw-order contract behind bit-exact equivalence.
+- **RL6 oracle coverage** — every vectorized ``*_batch`` kernel
+  must have a scalar oracle and an equivalence test calling both.
+
+The flow-sensitive families run on a shared CFG +
+abstract-interpretation core (:mod:`repro.lint.cfg`,
+:mod:`repro.lint.dataflow`). Output formats include SARIF for CI
+annotation, and a committed ``lint-baseline.json`` ratchet gates on
+"no new findings" (:mod:`repro.lint.baseline`).
 
 Run it as ``repro lint`` or ``python -m repro.lint``; see
 ``docs/linting.md`` for the rule catalogue and suppression syntax
@@ -22,8 +36,19 @@ Run it as ``repro lint`` or ``python -m repro.lint``; see
 
 from __future__ import annotations
 
+from repro.lint.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.cli import main
-from repro.lint.engine import LintResult, collect_files, run_lint
+from repro.lint.engine import (
+    LintResult,
+    changed_files,
+    collect_files,
+    run_lint,
+)
 from repro.lint.findings import (
     REGISTRY,
     Finding,
@@ -31,6 +56,7 @@ from repro.lint.findings import (
     Severity,
 )
 from repro.lint.report import render_json, render_text
+from repro.lint.sarif import render_sarif
 
 __all__ = [
     "Finding",
@@ -38,9 +64,15 @@ __all__ = [
     "REGISTRY",
     "Rule",
     "Severity",
+    "apply_baseline",
+    "changed_files",
     "collect_files",
+    "fingerprint",
+    "load_baseline",
     "main",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
+    "write_baseline",
 ]

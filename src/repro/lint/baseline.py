@@ -1,0 +1,81 @@
+"""Baseline ratchet: accepted findings live in a committed file.
+
+``lint-baseline.json`` records the findings the team has explicitly
+accepted as debt. CI lints with ``--baseline lint-baseline.json`` and
+fails on any finding *not* in the file, so new violations are blocked
+while existing debt is burned down by shrinking the baseline — the
+ratchet only turns one way.
+
+Fingerprints deliberately ignore line and column: moving code around
+must not resurrect accepted findings. A fingerprint is
+``rule::path::message``, and the file stores a count per fingerprint
+so two identical violations in one file are distinguished from one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Location-insensitive identity of a finding."""
+    path = finding.path.replace("\\", "/")
+    return f"{finding.rule_id}::{path}::{finding.message}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint counts from a baseline file; empty if absent."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"malformed baseline file: {path}")
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline file: {path}")
+    return {
+        str(key): int(value) for key, value in entries.items()
+    }
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write the baseline capturing ``findings`` as accepted debt."""
+    entries: Dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        entries[key] = entries.get(key, 0) + 1
+    payload = {
+        "version": _VERSION,
+        "entries": dict(sorted(entries.items())),
+    }
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, number suppressed by baseline).
+
+    Each baseline entry absorbs up to its recorded count of matching
+    findings; anything beyond that — a new violation, even if
+    textually identical to accepted debt — stays in the result.
+    """
+    budget = dict(baseline)
+    fresh: List[Finding] = []
+    absorbed = 0
+    for finding in findings:
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            absorbed += 1
+        else:
+            fresh.append(finding)
+    return fresh, absorbed

@@ -8,7 +8,9 @@ from typing import List, Protocol
 from repro.lint.checkers.concurrency import ConcurrencyChecker
 from repro.lint.checkers.determinism import DeterminismChecker
 from repro.lint.checkers.interface import InterfaceChecker
-from repro.lint.checkers.units import UnitsChecker
+from repro.lint.checkers.oracle import OracleCoverageChecker
+from repro.lint.checkers.rng_lockstep import RngLockstepChecker
+from repro.lint.checkers.units import UnitFlowChecker, UnitsChecker
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding
 from repro.lint.signatures import SignatureIndex
@@ -26,8 +28,11 @@ def all_checkers() -> List[Checker]:
     """Fresh instances of every rule family, in rule-id order."""
     return [
         UnitsChecker(),
+        UnitFlowChecker(),
         DeterminismChecker(),
         ConcurrencyChecker(),
+        RngLockstepChecker(),
+        OracleCoverageChecker(),
         InterfaceChecker(),
     ]
 
@@ -37,6 +42,9 @@ __all__ = [
     "ConcurrencyChecker",
     "DeterminismChecker",
     "InterfaceChecker",
+    "OracleCoverageChecker",
+    "RngLockstepChecker",
+    "UnitFlowChecker",
     "UnitsChecker",
     "all_checkers",
 ]

@@ -1,16 +1,24 @@
-"""RL3 — lock hygiene in the threaded runtime/stream/serve layers.
+"""RL3 — path-sensitive lock regions in the threaded layers.
 
 For classes in ``runtime``/``stream``/``serve`` modules that own a
-``threading.Lock``/``RLock``:
+``threading.Lock``/``RLock``, the checker runs a *definitely-held*
+lock-set lattice over each method's CFG: ``with self._lock:`` and
+explicit ``acquire()`` grow the set, block exit and ``release()``
+shrink it, and joins intersect — a lock is held at a point only when
+it is held on **every** path reaching it.
 
-- RL301 flags mutation of ``self`` state in a *public* method
-  outside a ``with self._lock:`` block — direct assignment,
-  augmented assignment, subscript stores, and mutating container
-  calls (``self._items.append(...)``). Private helpers (leading
-  underscore) are exempt by repo convention: they document that the
-  caller already holds the lock (e.g. ``BoundedQueue._append``).
-- RL302 flags calls that run user code or I/O while the lock is
-  held — ``print``, ``logging``/``logger`` calls, and
+- RL301 flags mutation of ``self`` state in a *public* method at any
+  point where no owned guard is definitely held — direct assignment,
+  augmented assignment, subscript stores, deletes, and mutating
+  container calls (``self._items.append(...)``). Because the lattice
+  is path-sensitive, a conditional ``acquire()`` or a mutation after
+  the ``with`` block closes is caught, and a mutation on the one
+  unlocked path through a diamond is not masked by the locked path.
+  Private helpers (leading underscore) are exempt by repo
+  convention: they document that the caller already holds the lock
+  (e.g. ``BoundedQueue._append``).
+- RL302 flags calls that run user code or I/O while any guard is
+  definitely held — ``print``, ``logging``/``logger`` calls, and
   callback/hook/listener invocations — a classic deadlock and
   latency trap. Condition-variable ``notify``/``notify_all`` are of
   course legal under the lock.
@@ -20,9 +28,17 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import FrozenSet, List, Optional, Sequence, Set
+from typing import FrozenSet, Iterator, List, Optional, Set
 
+from repro.lint.cfg import (
+    WITH_ENTER,
+    WITH_EXIT,
+    Block,
+    Event,
+    build_cfg,
+)
 from repro.lint.context import FileContext
+from repro.lint.dataflow import ForwardAnalysis, replay, run_forward
 from repro.lint.findings import (
     Finding,
     Severity,
@@ -41,8 +57,8 @@ RL301 = register_rule(
     "RL301",
     "unlocked-shared-mutation",
     Severity.ERROR,
-    "shared state mutated outside the owning lock in a "
-    "lock-owning class",
+    "shared state mutated on a path where the owning lock is not "
+    "held",
 )
 
 RL302 = register_rule(
@@ -88,6 +104,8 @@ _CALLBACK_RE = re.compile(
 _LOGGING_BASES = frozenset({"logging", "logger", "log"})
 _INIT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
 
+LockState = FrozenSet[str]
+
 
 def _root_is_self(node: ast.expr) -> bool:
     """Whether an attribute/subscript chain is rooted at ``self``."""
@@ -100,6 +118,59 @@ def _is_private(name: str) -> bool:
     return name.startswith("_") and not (
         name.startswith("__") and name.endswith("__")
     )
+
+
+def _guard_attr(node: ast.expr, guards: Set[str]) -> Optional[str]:
+    """The guard attribute named by ``self.<attr>``, if any."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in guards
+    ):
+        return node.attr
+    return None
+
+
+class _LockSetAnalysis(ForwardAnalysis[LockState]):
+    """Definitely-held guard attributes; join is intersection."""
+
+    def __init__(self, guards: Set[str]):
+        self.guards = guards
+
+    def initial(self) -> LockState:
+        return frozenset()
+
+    def join(self, left: LockState, right: LockState) -> LockState:
+        return left & right
+
+    def transfer(self, state: LockState, event: Event) -> LockState:
+        node = event.node
+        if event.kind == WITH_ENTER and isinstance(node, ast.expr):
+            attr = _guard_attr(node, self.guards)
+            if attr is not None:
+                return state | {attr}
+            return state
+        if event.kind == WITH_EXIT and isinstance(node, ast.expr):
+            attr = _guard_attr(node, self.guards)
+            if attr is not None:
+                return state - {attr}
+            return state
+        # Explicit self._lock.acquire() / .release() calls.
+        if isinstance(node, ast.Expr) and isinstance(
+            node.value, ast.Call
+        ):
+            func = node.value.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "acquire",
+                "release",
+            ):
+                attr = _guard_attr(func.value, self.guards)
+                if attr is not None:
+                    if func.attr == "acquire":
+                        return state | {attr}
+                    return state - {attr}
+        return state
 
 
 class ConcurrencyChecker:
@@ -136,15 +207,12 @@ class ConcurrencyChecker:
                 continue
             if stmt.name in _INIT_METHODS:
                 continue
-            check_mutations = not _is_private(stmt.name)
-            self._walk_method(
+            self._check_method(
                 ctx,
                 cls.name,
-                stmt.name,
-                stmt.body,
+                stmt,
                 guards,
-                locked=False,
-                check_mutations=check_mutations,
+                check_mutations=not _is_private(stmt.name),
                 findings=findings,
             )
 
@@ -173,109 +241,41 @@ class ConcurrencyChecker:
                         locks.add(target.attr)
         return locks, guards
 
-    # -- per-method traversal ----------------------------------------
+    # -- per-method dataflow -----------------------------------------
 
-    def _walk_method(
+    def _check_method(
         self,
         ctx: FileContext,
         class_name: str,
-        method: str,
-        body: Sequence[ast.stmt],
+        method: "ast.FunctionDef | ast.AsyncFunctionDef",
         guards: Set[str],
-        locked: bool,
         check_mutations: bool,
         findings: List[Finding],
     ) -> None:
-        for stmt in body:
-            self._visit_stmt(
-                ctx,
-                class_name,
-                method,
-                stmt,
-                guards,
-                locked,
-                check_mutations,
-                findings,
-            )
+        cfg = build_cfg(method)
+        analysis = _LockSetAnalysis(guards)
+        entry_states = run_forward(cfg, analysis)
 
-    def _visit_stmt(
-        self,
-        ctx: FileContext,
-        class_name: str,
-        method: str,
-        stmt: ast.stmt,
-        guards: Set[str],
-        locked: bool,
-        check_mutations: bool,
-        findings: List[Finding],
-    ) -> None:
-        if isinstance(
-            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
-        ):
-            return  # nested defs run later, under unknown locking
-        if isinstance(stmt, (ast.With, ast.AsyncWith)):
-            takes_lock = any(
-                self._is_guard_expr(item.context_expr, guards)
-                for item in stmt.items
-            )
-            self._walk_method(
-                ctx,
-                class_name,
-                method,
-                stmt.body,
-                guards,
-                locked or takes_lock,
-                check_mutations,
-                findings,
-            )
-            return
-        if not locked and check_mutations:
-            self._check_mutation(
-                ctx, class_name, method, stmt, findings
-            )
-        if locked:
-            for node in ast.walk(stmt):
-                if isinstance(node, ast.Call):
-                    self._check_locked_call(
-                        ctx, class_name, method, node, findings
-                    )
-        for child_body in self._nested_bodies(stmt):
-            self._walk_method(
-                ctx,
-                class_name,
-                method,
-                child_body,
-                guards,
-                locked,
-                check_mutations,
-                findings,
-            )
-
-    @staticmethod
-    def _nested_bodies(
-        stmt: ast.stmt,
-    ) -> List[Sequence[ast.stmt]]:
-        bodies: List[Sequence[ast.stmt]] = []
-        for attr in ("body", "orelse", "finalbody"):
-            block = getattr(stmt, attr, None)
-            if block and not isinstance(
-                stmt, (ast.With, ast.AsyncWith)
+        def visit(
+            held: LockState, event: Event, _block: Block
+        ) -> None:
+            node = event.node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
             ):
-                bodies.append(block)
-        for handler in getattr(stmt, "handlers", []) or []:
-            bodies.append(handler.body)
-        return bodies
+                return  # nested defs run later, under unknown locking
+            if not held and check_mutations and event.kind == "stmt":
+                if isinstance(node, ast.stmt):
+                    self._check_mutation(
+                        ctx, class_name, method.name, node, findings
+                    )
+            if held:
+                for call in _calls_in_event(node):
+                    self._check_locked_call(
+                        ctx, class_name, method.name, call, findings
+                    )
 
-    @staticmethod
-    def _is_guard_expr(
-        node: ast.expr, guards: Set[str]
-    ) -> bool:
-        return (
-            isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == "self"
-            and node.attr in guards
-        )
+        replay(cfg, analysis, entry_states, visit)
 
     # -- RL301 --------------------------------------------------------
 
@@ -307,8 +307,8 @@ class ConcurrencyChecker:
                         stmt.lineno,
                         stmt.col_offset + 1,
                         f"{class_name}.{method} mutates "
-                        f"`{ast.unparse(target)}` outside "
-                        "`with self._lock:` in a lock-owning "
+                        f"`{ast.unparse(target)}` on a path where "
+                        "`self._lock` is not held in a lock-owning "
                         "class",
                     )
                 )
@@ -328,9 +328,9 @@ class ConcurrencyChecker:
                         stmt.lineno,
                         stmt.col_offset + 1,
                         f"{class_name}.{method} calls "
-                        f"`{ast.unparse(func)}(...)` outside "
-                        "`with self._lock:` in a lock-owning "
-                        "class",
+                        f"`{ast.unparse(func)}(...)` on a path "
+                        "where `self._lock` is not held in a "
+                        "lock-owning class",
                     )
                 )
 
@@ -381,3 +381,18 @@ class ConcurrencyChecker:
             if _CALLBACK_RE.search(func.attr):
                 return f"callback `{func.attr}`"
         return None
+
+
+def _calls_in_event(node: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes within one event, not descending nested scopes."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+        ):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))

@@ -10,9 +10,10 @@ filters the results through suppressions and ``--select``/
 
 from __future__ import annotations
 
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.lint.checkers import all_checkers
 from repro.lint.context import FileContext, parse_file
@@ -39,6 +40,8 @@ class LintResult:
     findings: List[Finding]
     files: List[str]
     suppressed: int = 0
+    #: Findings absorbed by a committed baseline (ratchet debt).
+    baselined: int = 0
     per_rule: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -99,18 +102,89 @@ def _matches(rule_id: str, prefixes: Sequence[str]) -> bool:
     return any(rule_id.startswith(p.upper()) for p in prefixes)
 
 
+def _discover_tests_root(targets: Sequence[Path]) -> Optional[Path]:
+    """The repo's ``tests/`` tree, found from the lint targets.
+
+    Walks up from the first target to the directory holding
+    ``pyproject.toml``; its ``tests/`` subdirectory — if present —
+    is the tree whose name references feed the RL6 coverage rule.
+    """
+    start = (
+        targets[0].resolve() if targets else Path.cwd().resolve()
+    )
+    for parent in [start, *start.parents]:
+        if (parent / "pyproject.toml").is_file():
+            tests = parent / "tests"
+            return tests if tests.is_dir() else None
+    return None
+
+
+def changed_files(
+    ref: str = "HEAD", cwd: Optional[Path] = None
+) -> Set[Path]:
+    """Files modified vs ``ref`` plus untracked files, resolved.
+
+    Backs ``repro lint --changed``. Raises ``RuntimeError`` when git
+    is unavailable or the ref does not resolve.
+    """
+    root = cwd or Path.cwd()
+    commands = [
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    out: Set[Path] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=str(root),
+                capture_output=True,
+                text=True,
+                check=False,
+            )
+        except OSError as exc:  # pragma: no cover - git missing
+            raise RuntimeError(f"git unavailable: {exc}") from exc
+        if proc.returncode != 0:
+            message = proc.stderr.strip() or "git failed"
+            raise RuntimeError(
+                f"`{' '.join(command)}`: {message}"
+            )
+        # Paths are reported relative to the repo root, which need
+        # not be the working directory; resolve via git's toplevel.
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=str(root),
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        base = (
+            Path(top.stdout.strip())
+            if top.returncode == 0 and top.stdout.strip()
+            else root
+        )
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line:
+                out.add((base / line).resolve())
+    return out
+
+
 def run_lint(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     index_package: bool = True,
+    tests_root: Optional[str] = None,
 ) -> LintResult:
     """Lint ``paths`` and return the filtered findings.
 
     ``select``/``ignore`` are rule-id prefixes (``RL1`` covers the
     whole unit family). ``index_package=False`` restricts signature
     resolution to the target files themselves — used by fixture
-    tests to stay hermetic.
+    tests to stay hermetic; it also disables tests-tree discovery,
+    so the RL602 coverage rule only runs in hermetic mode when
+    ``tests_root`` is passed explicitly.
     """
     targets = collect_files(paths)
 
@@ -141,6 +215,18 @@ def run_lint(
             except (SyntaxError, UnicodeDecodeError):
                 continue  # target files already reported above
     index: SignatureIndex = build_index(index_contexts)
+
+    tests_dir: Optional[Path] = None
+    if tests_root is not None:
+        tests_dir = Path(tests_root)
+    elif index_package:
+        tests_dir = _discover_tests_root(targets)
+    if tests_dir is not None and tests_dir.is_dir():
+        for path in sorted(tests_dir.rglob("*.py")):
+            try:
+                index.add_test_module(parse_file(path))
+            except (SyntaxError, UnicodeDecodeError):
+                continue  # broken test files are pytest's problem
 
     raw: List[Finding] = list(parse_failures)
     suppressed = 0

@@ -17,8 +17,13 @@ def summary_line(result: LintResult) -> str:
         _plural(result.warning_count, "warning"),
     ]
     text = ", ".join(parts)
+    notes = []
     if result.suppressed:
-        text += f" ({result.suppressed} suppressed)"
+        notes.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        notes.append(f"{result.baselined} baselined")
+    if notes:
+        text += f" ({', '.join(notes)})"
     return f"{text} across {_plural(len(result.files), 'file')}"
 
 
@@ -43,6 +48,7 @@ def render_json(result: LintResult) -> str:
             "errors": result.error_count,
             "warnings": result.warning_count,
             "suppressed": result.suppressed,
+            "baselined": result.baselined,
             "files": len(result.files),
             "per_rule": dict(sorted(result.per_rule.items())),
         },

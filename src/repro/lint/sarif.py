@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 rendering of a lint run.
+
+SARIF is what code-scanning UIs ingest: uploading the log from CI
+makes findings annotate pull requests inline. The renderer emits one
+run with the full rule catalogue (so rule metadata renders even for
+rules with no findings) and one result per finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import REGISTRY, Finding, Severity
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://example.invalid/repro/docs/linting.md"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_ids() -> List[str]:
+    return sorted(REGISTRY)
+
+
+def _rules() -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    for rule_id in _rule_ids():
+        rule = REGISTRY[rule_id]
+        out.append(
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {
+                    "level": _level(rule.severity)
+                },
+            }
+        )
+    return out
+
+
+def _result(
+    finding: Finding, rule_index: Dict[str, int]
+) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index.get(finding.rule_id, -1),
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """The SARIF 2.1.0 document for one lint run, as JSON text."""
+    rule_index = {
+        rule_id: i for i, rule_id in enumerate(_rule_ids())
+    }
+    payload: Dict[str, Any] = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _INFO_URI,
+                        "rules": _rules(),
+                    }
+                },
+                "results": [
+                    _result(f, rule_index)
+                    for f in result.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -12,9 +12,71 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.lint.context import FileContext
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def function_scopes(tree: ast.AST) -> List[List[FunctionNode]]:
+    """Functions grouped by their defining scope (module or class).
+
+    Scalar/batch pairing is a *scope-local* convention — ``run`` and
+    ``run_scalar`` are twins only when they live in the same class or
+    module body.
+    """
+    scopes: List[List[FunctionNode]] = []
+
+    def collect(body: List[ast.stmt]) -> None:
+        here: List[FunctionNode] = []
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                here.append(stmt)
+            elif isinstance(stmt, ast.ClassDef):
+                collect(stmt.body)
+        if here:
+            scopes.append(here)
+
+    if isinstance(tree, ast.Module):
+        collect(tree.body)
+    return scopes
+
+
+def scalar_partner(
+    name: str, siblings: Set[str]
+) -> Optional[str]:
+    """The scalar/batch twin of ``name`` among ``siblings``, if any.
+
+    Recognizes the repo's pairing conventions: ``X_batch`` twins
+    ``X`` or ``X_scalar``; ``X_scalar`` twins ``X`` or ``X_batch``;
+    a bare ``X`` twins ``X_scalar`` or ``X_batch``.
+    """
+    if name.endswith("_batch"):
+        base = name[: -len("_batch")]
+        candidates = (base, base + "_scalar")
+    elif name.endswith("_scalar"):
+        base = name[: -len("_scalar")]
+        candidates = (base, base + "_batch")
+    else:
+        candidates = (name + "_scalar", name + "_batch")
+    for candidate in candidates:
+        if candidate in siblings:
+            return candidate
+    return None
+
+
+def referenced_names(tree: ast.AST) -> Set[str]:
+    """Every identifier a module mentions, by name or attribute."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
 
 
 @dataclass(frozen=True)
@@ -113,6 +175,20 @@ class SignatureIndex:
     by_method_name: Dict[str, List[FunctionSig]] = field(
         default_factory=dict
     )
+    #: callee name -> (dispatcher name, its scalar twin) for every
+    #: function that has a scalar twin in its own scope and calls the
+    #: callee — the cross-file resolution step of the RL6
+    #: oracle-coverage rule (a batch kernel is covered when a
+    #: dispatcher with a scalar twin delegates to it).
+    scalar_dispatchers: Dict[str, List[Tuple[str, str]]] = field(
+        default_factory=dict
+    )
+    #: test file path -> every name it references. Only populated
+    #: when the engine was pointed at (or discovered) a tests tree;
+    #: ``has_test_index`` distinguishes "no tests indexed" from "no
+    #: tests reference this name".
+    test_refs: Dict[str, Set[str]] = field(default_factory=dict)
+    has_test_index: bool = False
 
     def add_module(self, ctx: FileContext) -> None:
         module = ctx.module
@@ -125,6 +201,35 @@ class SignatureIndex:
                 )
             elif isinstance(node, ast.ClassDef):
                 self._add_class(module, node)
+        self._add_dispatchers(ctx)
+
+    def add_test_module(self, ctx: FileContext) -> None:
+        self.test_refs[str(ctx.path)] = referenced_names(ctx.tree)
+        self.has_test_index = True
+
+    def _add_dispatchers(self, ctx: FileContext) -> None:
+        for scope_functions in function_scopes(ctx.tree):
+            names = {fn.name for fn in scope_functions}
+            for fn in scope_functions:
+                partner = scalar_partner(fn.name, names)
+                if partner is None:
+                    continue
+                for node in ast.walk(fn):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee: Optional[str] = None
+                    if isinstance(node.func, ast.Name):
+                        callee = node.func.id
+                    elif isinstance(node.func, ast.Attribute):
+                        callee = node.func.attr
+                    if callee is None or callee == fn.name:
+                        continue
+                    entry = (fn.name, partner)
+                    bucket = self.scalar_dispatchers.setdefault(
+                        callee, []
+                    )
+                    if entry not in bucket:
+                        bucket.append(entry)
 
     def _add_class(self, module: str, node: ast.ClassDef) -> None:
         saw_init = False

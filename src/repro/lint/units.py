@@ -17,6 +17,8 @@ UNIT_DIMENSIONS: Dict[str, str] = {
     "db": "level",
     "dbm": "level",
     "dbfs": "level",
+    "dbi": "level",
+    "mw": "power",
     "hz": "frequency",
     "khz": "frequency",
     "mhz": "frequency",
@@ -27,6 +29,7 @@ UNIT_DIMENSIONS: Dict[str, str] = {
     "rad": "angle",
     "s": "time",
     "ms": "time",
+    "us": "time",
 }
 
 #: Pretty names for messages.
@@ -34,6 +37,8 @@ UNIT_LABELS: Dict[str, str] = {
     "db": "dB",
     "dbm": "dBm",
     "dbfs": "dBFS",
+    "dbi": "dBi",
+    "mw": "mW",
     "hz": "Hz",
     "khz": "kHz",
     "mhz": "MHz",
@@ -44,7 +49,18 @@ UNIT_LABELS: Dict[str, str] = {
     "rad": "rad",
     "s": "s",
     "ms": "ms",
+    "us": "µs",
 }
+
+#: Log-domain units that are *relative* (ratios/gains): they add and
+#: subtract freely against the absolute log-domain units below.
+RELATIVE_LEVEL_UNITS = frozenset({"db", "dbi"})
+
+#: Log-domain units referenced to an absolute quantity (a milliwatt,
+#: the converter full scale). Two of the *same* absolute unit do not
+#: add — power sums in the linear domain — and two *different* ones
+#: only meet through an explicit conversion.
+ABSOLUTE_LEVEL_UNITS = frozenset({"dbm", "dbfs"})
 
 
 def unit_suffix(name: Optional[str]) -> Optional[str]:
@@ -67,6 +83,100 @@ def dimension(unit: str) -> str:
 def label(unit: str) -> str:
     """Human-readable unit name for messages."""
     return UNIT_LABELS.get(unit, unit)
+
+
+#: Builtins that pass a value through without changing its unit.
+_PASSTHROUGH_CALLS = frozenset({"float", "int", "abs", "round"})
+
+#: Violation kinds returned by :func:`combine_add_sub`.
+VIOLATION_ABSOLUTE_ADD = "absolute-add"
+VIOLATION_SCALE_MIX = "scale-mix"
+VIOLATION_DIMENSION_MIX = "dimension-mix"
+
+
+def combine_add_sub(
+    left: str, right: str, is_add: bool
+) -> "tuple[Optional[str], Optional[str]]":
+    """Unit algebra for ``+``/``-`` between two known units.
+
+    Returns ``(result_unit, violation)``. ``result_unit`` is the
+    inferred unit of the expression (``None`` when unknown), and
+    ``violation`` is one of the ``VIOLATION_*`` kinds when the
+    operation is dimensionally wrong by construction.
+    """
+    if left == right:
+        if left == "dbm" and is_add:
+            # Absolute powers sum in watts, not in the log domain.
+            return None, VIOLATION_ABSOLUTE_ADD
+        if left in ABSOLUTE_LEVEL_UNITS and not is_add:
+            # dBm - dBm (or dBFS - dBFS) is a ratio: relative dB.
+            return "db", None
+        return left, None
+    left_dim = dimension(left)
+    right_dim = dimension(right)
+    if left_dim != right_dim:
+        return None, VIOLATION_DIMENSION_MIX
+    if left_dim == "level":
+        # Gain math: absolute +/- relative keeps the absolute unit;
+        # relative +/- relative stays relative. Two *different*
+        # absolute units (dBm with dBFS) are the full-scale
+        # conversion idiom — opaque, but not flagged (matching the
+        # statement-level RL102 exemption).
+        if left in RELATIVE_LEVEL_UNITS and right in RELATIVE_LEVEL_UNITS:
+            return "db", None
+        if left in RELATIVE_LEVEL_UNITS:
+            return right, None
+        if right in RELATIVE_LEVEL_UNITS:
+            return left, None
+        return None, None
+    return None, VIOLATION_SCALE_MIX
+
+
+def infer_expr(
+    node: ast.expr, env: "Dict[str, str]"
+) -> Optional[str]:
+    """The unit an expression carries, reading through dataflow.
+
+    Extends :func:`expr_unit` with an environment of inferred units
+    for unsuffixed local names, passthrough builtins (``float(x)``),
+    conditional expressions, and the :func:`combine_add_sub` unit
+    algebra over ``+``/``-``. Anything it cannot prove is ``None`` —
+    the flow rules only ever act on definite units.
+    """
+    direct = expr_unit(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp):
+        return infer_expr(node.operand, env)
+    if isinstance(node, ast.Subscript):
+        return infer_expr(node.value, env)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _PASSTHROUGH_CALLS
+            and len(node.args) >= 1
+        ):
+            return infer_expr(node.args[0], env)
+        return None
+    if isinstance(node, ast.IfExp):
+        body = infer_expr(node.body, env)
+        orelse = infer_expr(node.orelse, env)
+        return body if body == orelse else None
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        left = infer_expr(node.left, env)
+        right = infer_expr(node.right, env)
+        if left is None or right is None:
+            return None
+        result, violation = combine_add_sub(
+            left, right, isinstance(node.op, ast.Add)
+        )
+        return result if violation is None else None
+    return None
 
 
 def expr_unit(node: ast.expr) -> Optional[str]:

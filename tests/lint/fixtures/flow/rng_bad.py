@@ -1,0 +1,38 @@
+"""Seeded RL5 violations: scalar/batch pairs whose draw counts can
+diverge across data-dependent branches."""
+
+
+def sample(events, rng):
+    out = []
+    for event in events:
+        out.append(event + rng.normal())
+    return out
+
+
+def sample_batch(events, rng):
+    threshold = rng.uniform()
+    out = []
+    for event in events:
+        if threshold > event:
+            # RL501: a draw under a condition tainted by an earlier
+            # draw (`threshold`).
+            out.append(rng.normal())
+        else:
+            out.append(0.0)
+    return out
+
+
+def jitter(value, rng):
+    return value + rng.normal()
+
+
+def jitter_batch(values, rng):
+    out = []
+    for value in values:
+        # RL502: one draw in one arm, zero in the other, under a
+        # data-dependent condition.
+        if value > 0.0:
+            out.append(value + rng.normal())
+        else:
+            out.append(value)
+    return out

@@ -1,0 +1,53 @@
+"""Sanctioned RNG patterns in scalar/batch pairs: the lockstep rules
+must stay quiet on all of these."""
+
+MAX_DRAWS = 64
+
+
+class Dispatcher:
+    def __init__(self, use_batch):
+        self.use_batch = use_batch
+
+    def draw(self, rng):
+        return rng.normal()
+
+    def draw_batch(self, rng, n=None):
+        # `x is None` defaulting and `self.*` flags are mode-like:
+        # scalar and batch kernels take the same path.
+        if n is None:
+            n = 8
+        if self.use_batch:
+            return [rng.normal() for _ in range(n)]
+        return [self.draw(rng) for _ in range(n)]
+
+
+def lookup(key, rng):
+    return rng.normal()
+
+
+def lookup_batch(keys, rng):
+    # Memoization: the key sequence is deterministic, so the draw
+    # order stays in lockstep even though a draw sits under an `if`.
+    cache = {}
+    out = []
+    for key in keys:
+        if key not in cache:
+            cache[key] = rng.normal()
+        out.append(cache[key])
+    return out
+
+
+def weights(count, rng):
+    return [rng.uniform() for _ in range(count)]
+
+
+def weights_batch(count, rng):
+    # Early return on a parameter is a dispatch mode, not data
+    # dependence; the two-pass loop draws unconditionally.
+    if not count:
+        return []
+    raw = []
+    for _ in range(count):
+        raw.append(rng.uniform())
+    total = sum(raw)
+    return [value / total for value in raw]

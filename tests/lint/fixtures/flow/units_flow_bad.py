@@ -1,0 +1,36 @@
+"""Seeded violations for the flow-sensitive unit rules.
+
+Every bug here is invisible to the statement-level RL101/RL102
+checks: the unit is laundered through an unsuffixed temporary and
+only the CFG dataflow can see it.
+"""
+
+
+def laundered_absolute_add(tx_dbm, rx_dbm):
+    uplink = tx_dbm
+    downlink = rx_dbm
+    # RL103: dBm + dBm through unsuffixed temporaries.
+    return uplink + downlink
+
+
+def mixed_dimension_sum(span_hz, dwell_us):
+    width = span_hz
+    pause = dwell_us
+    # RL103: frequency + time through unsuffixed temporaries.
+    return width + pause
+
+
+def tune(center_hz):
+    return center_hz * 2.0
+
+
+def retune(center_mhz):
+    freq = center_mhz
+    # RL104: an inferred-MHz value bound to the `center_hz` param.
+    return tune(freq)
+
+
+def offset_khz(delta_hz):
+    shift = delta_hz
+    # RL105: a *_khz function returning an inferred-Hz value.
+    return shift

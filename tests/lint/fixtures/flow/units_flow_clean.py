@@ -1,0 +1,30 @@
+"""Idiomatic unit flow the flow-sensitive rules must stay quiet on."""
+
+
+def rx_power_dbm(tx_dbm, path_loss_db, gain_dbi):
+    # Gain math: absolute +/- relative keeps the absolute unit.
+    level = tx_dbm
+    level = level - path_loss_db
+    level = level + gain_dbi
+    return level
+
+
+def span_mhz(start_hz, stop_hz):
+    # Explicit scale conversion: the division makes the unit opaque,
+    # which is the sanctioned conversion idiom.
+    width_hz = stop_hz - start_hz
+    return width_hz / 1e6
+
+
+def total_power_mw(levels_mw):
+    # Loop join: `total` never acquires a definite unit, so the
+    # return check has nothing definite to contradict.
+    total = 0.0
+    for level in levels_mw:
+        total = total + level
+    return total
+
+
+def snr_db(signal_dbm, noise_dbm):
+    # dBm - dBm is a ratio: relative dB, matching the suffix.
+    return signal_dbm - noise_dbm

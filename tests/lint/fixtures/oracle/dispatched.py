@@ -1,0 +1,14 @@
+"""A batch kernel whose oracle lives one hop out: a dispatcher with
+a scalar twin in its own scope delegates to the kernel."""
+
+
+def evaluate_scan_batch(rows, window):
+    return [row * window for row in rows]
+
+
+class ScanEvaluator:
+    def run(self, rows, window):
+        return evaluate_scan_batch(rows, window)
+
+    def run_scalar(self, row, window):
+        return row * window

@@ -1,0 +1,12 @@
+"""RL601 positive: a public batch kernel with no scalar oracle."""
+
+
+def fold_spectra_batch(rows):
+    # No `fold_spectra`/`fold_spectra_scalar` sibling and no
+    # dispatcher with a scalar twin calls this.
+    return [sum(row) for row in rows]
+
+
+def _fold_private_batch(rows):
+    # Private kernels are internals of a public one; exempt.
+    return rows

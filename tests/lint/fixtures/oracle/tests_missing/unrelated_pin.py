@@ -1,0 +1,6 @@
+"""A tests-tree module that never mentions the kernel/oracle pair:
+with this as the tests root, RL602 must fire."""
+
+
+def check_something_else():
+    assert sum([1, 2]) == 3

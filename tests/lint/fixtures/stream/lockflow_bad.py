@@ -1,0 +1,33 @@
+"""RL3 flow positives: lock bugs only a path-sensitive analysis sees."""
+
+import threading
+
+
+class RatchetRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self._on_change = None
+
+    def put_if_keyed(self, key, value):
+        # The lock is acquired on one path only; the store below runs
+        # on both, so the else-path mutates the dict unlocked.
+        if key:
+            self._lock.acquire()
+        # RL301: unheld on the `not key` path.
+        self._items[key] = value
+        if key:
+            self._lock.release()
+
+    def put_after_release(self, key, value):
+        with self._lock:
+            staged = key
+        # RL301: the `with` block already closed.
+        self._items[staged] = value
+
+    def notify_locked(self, key):
+        self._lock.acquire()
+        # RL302: user callback invoked while the lock is held via
+        # manual acquire/release.
+        self._on_change(key)
+        self._lock.release()

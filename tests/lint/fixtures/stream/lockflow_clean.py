@@ -1,0 +1,31 @@
+"""Disciplined lock flow the path-sensitive RL3 rules accept."""
+
+import threading
+
+
+class SteadyRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def drain(self):
+        # Manual acquire with a finally-release: the mutation happens
+        # with the lock definitely held on every path.
+        self._lock.acquire()
+        try:
+            out = dict(self._items)
+            self._items.clear()
+        finally:
+            self._lock.release()
+        return out
+
+    def snapshot_then_log(self):
+        with self._lock:
+            out = dict(self._items)
+        # I/O after the critical section closed: fine.
+        print("snapshot", len(out))
+        return out

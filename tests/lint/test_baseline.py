@@ -1,0 +1,68 @@
+"""The baseline ratchet: fingerprints, persistence, absorption."""
+
+import pytest
+
+from repro.lint.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import REGISTRY, finding
+
+
+def make(rule_id="RL101", path="src/a.py", line=3, message="msg"):
+    return finding(REGISTRY[rule_id], path, line, 1, message)
+
+
+class TestFingerprint:
+    def test_line_insensitive(self):
+        # Inserting code above a known finding must not make it
+        # "new": the fingerprint ignores line and column.
+        assert fingerprint(make(line=3)) == fingerprint(
+            make(line=300)
+        )
+
+    def test_discriminates_rule_path_and_message(self):
+        base = fingerprint(make())
+        assert fingerprint(make(rule_id="RL102")) != base
+        assert fingerprint(make(path="src/b.py")) != base
+        assert fingerprint(make(message="other")) != base
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [make(), make(line=9), make(message="other")]
+        write_baseline(path, findings)
+        entries = load_baseline(path)
+        assert entries[fingerprint(make())] == 2
+        assert entries[fingerprint(make(message="other"))] == 1
+
+    def test_missing_file_is_empty_debt(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestApply:
+    def test_absorbs_up_to_the_recorded_count(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [make()])
+        accepted = load_baseline(path)
+        # Two identical findings, one budgeted: one is absorbed,
+        # the duplicate is fresh — the ratchet only tightens.
+        fresh, absorbed = apply_baseline(
+            [make(line=3), make(line=40)], accepted
+        )
+        assert absorbed == 1
+        assert len(fresh) == 1
+
+    def test_unrecorded_findings_stay_fresh(self):
+        fresh, absorbed = apply_baseline([make()], {})
+        assert absorbed == 0
+        assert len(fresh) == 1

@@ -83,3 +83,125 @@ class TestMainCliDispatch:
     def test_repro_lint_forwards_leading_options(self, capsys):
         assert repro_main(["lint", "--list-rules"]) == 0
         assert "RL101" in capsys.readouterr().out
+
+
+class TestSarifFormat:
+    def test_sarif_output_is_valid_json(self, capsys):
+        assert lint_main([BAD, "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert len(payload["runs"][0]["results"]) == 7
+
+
+class TestChangedScope:
+    @staticmethod
+    def _git(cwd, *args):
+        import subprocess
+
+        subprocess.run(
+            [
+                "git",
+                "-c",
+                "user.name=t",
+                "-c",
+                "user.email=t@example.com",
+                *args,
+            ],
+            cwd=str(cwd),
+            check=True,
+            capture_output=True,
+        )
+
+    def _seed_repo(self, repo):
+        self._git(repo, "init", "-q")
+        (repo / "clean.py").write_text("x = 1\n")
+        (repo / "bad.py").write_text("def f():\n    return 0\n")
+        self._git(repo, "add", ".")
+        self._git(repo, "commit", "-qm", "seed")
+
+    def test_nothing_changed_exits_zero_without_linting(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main([".", "--changed"]) == 0
+        assert "no files changed" in capsys.readouterr().out
+
+    def test_changed_lints_only_modified_files(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        # Introduce a violation in one tracked file; the clean file
+        # stays untouched and must not appear in the run.
+        (tmp_path / "bad.py").write_text(
+            "def f(a_hz, b_ms):\n    return a_hz + b_ms\n"
+        )
+        assert lint_main([".", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py" in out
+        assert "1 file" in out  # only the modified file was linted
+
+    def test_untracked_files_are_in_scope(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "fresh.py").write_text(
+            "def f(a_hz, b_ms):\n    return a_hz + b_ms\n"
+        )
+        assert lint_main([".", "--changed"]) == 1
+        assert "fresh.py" in capsys.readouterr().out
+
+    def test_unknown_ref_is_usage_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._seed_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main([".", "--changed", "nosuchref"]) == 2
+        assert "nosuchref" in capsys.readouterr().err
+
+
+class TestBaselineRatchet:
+    def test_update_then_absorb_then_ratchet(
+        self, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        # Record today's debt: exit 0 and write the file.
+        assert (
+            lint_main([BAD, "--update-baseline", str(baseline)])
+            == 0
+        )
+        assert baseline.exists()
+        capsys.readouterr()
+        # With the baseline applied, the same findings are absorbed
+        # and the gate stays green.
+        assert lint_main([BAD, "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+        assert "0 errors" in out
+        # Reintroduction: with an empty baseline every finding is
+        # fresh again and the exact same tree flips the gate to 1.
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"version": 1, "entries": {}}\n')
+        assert lint_main([BAD, "--baseline", str(empty)]) == 1
+
+    def test_baselined_counts_surface_in_json(
+        self, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        lint_main([BAD, "--update-baseline", str(baseline)])
+        capsys.readouterr()
+        lint_main(
+            [BAD, "--baseline", str(baseline), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+        assert payload["summary"]["baselined"] == 7
+
+    def test_malformed_baseline_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        bad_file = tmp_path / "b.json"
+        bad_file.write_text("not json")
+        assert lint_main([BAD, "--baseline", str(bad_file)]) == 2

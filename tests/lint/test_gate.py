@@ -104,3 +104,54 @@ class TestReintroducedViolation:
         result = run_lint([str(target)])
         assert [f.rule_id for f in result.findings] == ["RL101"]
         assert lint_main([str(target), "--fail-on", "error"]) == 1
+
+
+class TestBaselineGate:
+    """The CI ratchet step: committed debt only ever shrinks."""
+
+    BASELINE = REPO / "lint-baseline.json"
+
+    def test_committed_baseline_is_empty_debt(self):
+        import json
+
+        payload = json.loads(self.BASELINE.read_text())
+        assert payload == {"version": 1, "entries": {}}
+
+    def test_ratchet_step_passes_on_the_shipped_tree(
+        self, capsys
+    ):
+        assert (
+            lint_main(
+                [
+                    str(SRC),
+                    "--baseline",
+                    str(self.BASELINE),
+                    "--fail-on",
+                    "error",
+                ]
+            )
+            == 0
+        )
+
+    def test_reintroduced_violation_defeats_the_baseline(
+        self, tmp_path, capsys
+    ):
+        # A finding not recorded in the committed baseline stays
+        # fresh: the ratchet absorbs recorded debt only, so the
+        # reintroduced violation flips the exit code to 1.
+        target = tmp_path / "consumer.py"
+        target.write_text(
+            "def f(a_hz, b_ms):\n    return a_hz + b_ms\n"
+        )
+        assert (
+            lint_main(
+                [
+                    str(target),
+                    "--baseline",
+                    str(self.BASELINE),
+                    "--fail-on",
+                    "error",
+                ]
+            )
+            == 1
+        )

@@ -149,3 +149,92 @@ class TestEngineBehaviour:
             pass
         else:
             raise AssertionError("expected FileNotFoundError")
+
+
+class TestUnitFlowFamily:
+    def test_positive_fixture_fires_every_case(self):
+        result = lint("flow/units_flow_bad.py", select=["RL1"])
+        ids = rule_ids(result)
+        # Laundered dBm+dBm add; Hz + µs dimension mix.
+        assert ids.count("RL103") == 2
+        # Inferred-MHz value bound to the `center_hz` parameter.
+        assert ids.count("RL104") == 1
+        # *_khz function returning an inferred-Hz value.
+        assert ids.count("RL105") == 1
+        assert len(ids) == 4
+        messages = [f.message for f in result.findings]
+        assert all(
+            "dataflow" in m or "promises" in m for m in messages
+        )
+
+    def test_negative_fixture_is_silent(self):
+        result = lint("flow/units_flow_clean.py", select=["RL1"])
+        assert result.findings == []
+
+
+class TestLockFlowFamily:
+    def test_positive_fixture_fires_every_case(self):
+        result = lint("stream/lockflow_bad.py", select=["RL3"])
+        ids = rule_ids(result)
+        # Conditional acquire; mutation after the with closed.
+        assert ids.count("RL301") == 2
+        # Callback under a manual acquire/release region.
+        assert ids.count("RL302") == 1
+        messages = [f.message for f in result.findings]
+        assert any("on a path where" in m for m in messages)
+
+    def test_negative_fixture_is_silent(self):
+        # Includes the acquire/try/finally/release idiom, which the
+        # pre-CFG heuristic checker could not prove safe.
+        result = lint("stream/lockflow_clean.py", select=["RL3"])
+        assert result.findings == []
+
+
+class TestRngLockstepFamily:
+    def test_positive_fixture_fires_every_case(self):
+        result = lint("flow/rng_bad.py", select=["RL5"])
+        ids = rule_ids(result)
+        # A draw under an RNG-tainted condition.
+        assert ids.count("RL501") == 1
+        # Unbalanced draw counts across a data-dependent branch.
+        assert ids.count("RL502") == 1
+
+    def test_negative_fixture_is_silent(self):
+        # Mode-like guards, memoized draws, early-return dispatch
+        # and two-pass loops are all sanctioned patterns.
+        result = lint("flow/rng_clean.py", select=["RL5"])
+        assert result.findings == []
+
+
+class TestOracleFamily:
+    def test_kernel_without_oracle_fires(self):
+        result = lint("oracle/missing_oracle.py", select=["RL6"])
+        assert rule_ids(result) == ["RL601"]
+
+    def test_scalar_twin_dispatcher_counts_as_oracle(self):
+        result = lint("oracle/dispatched.py", select=["RL6"])
+        assert result.findings == []
+
+    def test_untested_pair_fires_with_a_test_index(self):
+        result = run_lint(
+            [str(FIXTURES / "oracle" / "paired.py")],
+            select=["RL6"],
+            index_package=False,
+            tests_root=str(
+                FIXTURES / "oracle" / "tests_missing"
+            ),
+        )
+        assert rule_ids(result) == ["RL602"]
+
+    def test_tested_pair_is_silent(self):
+        result = run_lint(
+            [str(FIXTURES / "oracle" / "paired.py")],
+            select=["RL6"],
+            index_package=False,
+            tests_root=str(FIXTURES / "oracle" / "tests_ok"),
+        )
+        assert result.findings == []
+
+    def test_without_a_test_index_coverage_is_not_judged(self):
+        result = lint("oracle/paired.py", select=["RL6"])
+        assert result.findings == []

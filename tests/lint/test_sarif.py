@@ -1,0 +1,65 @@
+"""SARIF output: structural invariants plus a golden snapshot.
+
+The snapshot pins the full document for the ``units_bad.py``
+fixture. Adding a rule to the registry legitimately changes the
+rule catalogue; regenerate with::
+
+    cd tests/lint/fixtures && python - <<'PY'
+    from repro.lint import render_sarif, run_lint
+    result = run_lint(["units_bad.py"], index_package=False)
+    open("../golden/units_bad.sarif.json", "w").write(
+        render_sarif(result) + "\n"
+    )
+    PY
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint import REGISTRY, render_sarif, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN = (
+    Path(__file__).parent / "golden" / "units_bad.sarif.json"
+)
+
+
+def sarif_payload(monkeypatch):
+    # Lint with a relative path so artifact URIs are portable.
+    monkeypatch.chdir(FIXTURES)
+    result = run_lint(["units_bad.py"], index_package=False)
+    return json.loads(render_sarif(result))
+
+
+class TestStructure:
+    def test_document_shape(self, monkeypatch):
+        payload = sarif_payload(monkeypatch)
+        assert payload["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_rule_catalogue_is_complete_and_sorted(
+        self, monkeypatch
+    ):
+        (run,) = sarif_payload(monkeypatch)["runs"]
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert ids == sorted(REGISTRY)
+
+    def test_results_reference_the_catalogue(self, monkeypatch):
+        (run,) = sarif_payload(monkeypatch)["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert len(run["results"]) == 7
+        for res in run["results"]:
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+            location = res["locations"][0]["physicalLocation"]
+            uri = location["artifactLocation"]["uri"]
+            assert uri == "units_bad.py"
+            assert location["region"]["startLine"] >= 1
+
+
+class TestGoldenSnapshot:
+    def test_matches_committed_golden(self, monkeypatch):
+        payload = sarif_payload(monkeypatch)
+        expected = json.loads(GOLDEN.read_text())
+        assert payload == expected

@@ -1,0 +1,130 @@
+"""The unit vocabulary and algebra behind the RL1 family."""
+
+import ast
+
+from repro.lint.units import (
+    ABSOLUTE_LEVEL_UNITS,
+    RELATIVE_LEVEL_UNITS,
+    UNIT_DIMENSIONS,
+    UNIT_LABELS,
+    VIOLATION_ABSOLUTE_ADD,
+    VIOLATION_DIMENSION_MIX,
+    VIOLATION_SCALE_MIX,
+    combine_add_sub,
+    dimension,
+    infer_expr,
+    label,
+    unit_suffix,
+)
+
+
+class TestVocabulary:
+    def test_every_unit_has_a_label(self):
+        assert set(UNIT_LABELS) == set(UNIT_DIMENSIONS)
+
+    def test_extended_vocabulary_entries(self):
+        assert dimension("mw") == "power"
+        assert dimension("us") == "time"
+        assert dimension("dbi") == "level"
+        assert label("mw") == "mW"
+        assert label("us") == "µs"
+        assert label("dbi") == "dBi"
+
+    def test_dbi_is_relative_and_mw_is_linear(self):
+        assert "dbi" in RELATIVE_LEVEL_UNITS
+        assert "dbi" not in ABSOLUTE_LEVEL_UNITS
+        assert "mw" not in RELATIVE_LEVEL_UNITS
+        assert dimension("mw") != "level"
+
+    def test_suffix_extraction(self):
+        assert unit_suffix("noise_mw") == "mw"
+        assert unit_suffix("dwell_us") == "us"
+        assert unit_suffix("gain_dbi") == "dbi"
+        # Only a trailing `_`-separated token counts.
+        assert unit_suffix("mw") is None
+        assert unit_suffix("firmware") is None
+        assert unit_suffix("delta_t") is None
+        assert unit_suffix(None) is None
+
+
+class TestAlgebra:
+    def test_dbm_plus_dbm_is_flagged(self):
+        assert combine_add_sub("dbm", "dbm", True) == (
+            None,
+            VIOLATION_ABSOLUTE_ADD,
+        )
+
+    def test_dbm_minus_dbm_is_relative_db(self):
+        assert combine_add_sub("dbm", "dbm", False) == (
+            "db",
+            None,
+        )
+
+    def test_gain_math_keeps_the_absolute_unit(self):
+        assert combine_add_sub("dbm", "dbi", True) == (
+            "dbm",
+            None,
+        )
+        assert combine_add_sub("db", "dbm", True) == (
+            "dbm",
+            None,
+        )
+        assert combine_add_sub("db", "dbi", False) == (
+            "db",
+            None,
+        )
+
+    def test_full_scale_conversion_is_opaque_not_flagged(self):
+        assert combine_add_sub("dbm", "dbfs", True) == (
+            None,
+            None,
+        )
+
+    def test_same_dimension_different_scale(self):
+        assert combine_add_sub("hz", "mhz", True) == (
+            None,
+            VIOLATION_SCALE_MIX,
+        )
+        assert combine_add_sub("us", "ms", False) == (
+            None,
+            VIOLATION_SCALE_MIX,
+        )
+
+    def test_cross_dimension(self):
+        assert combine_add_sub("mw", "hz", True) == (
+            None,
+            VIOLATION_DIMENSION_MIX,
+        )
+
+
+class TestInference:
+    def infer(self, source, env=None):
+        node = ast.parse(source, mode="eval").body
+        return infer_expr(node, env or {})
+
+    def test_reads_the_environment(self):
+        assert self.infer("level", {"level": "dbm"}) == "dbm"
+        assert self.infer("level") is None
+
+    def test_suffix_beats_the_environment(self):
+        assert (
+            self.infer("power_dbm", {"power_dbm": "hz"}) == "dbm"
+        )
+
+    def test_passthrough_builtins(self):
+        env = {"level": "dbm"}
+        assert self.infer("float(level)", env) == "dbm"
+        assert self.infer("abs(level)", env) == "dbm"
+        # Non-passthrough calls are opaque.
+        assert self.infer("min(level, 0)", env) is None
+
+    def test_conditional_needs_agreement(self):
+        env = {"a": "hz", "b": "hz", "c": "ms"}
+        assert self.infer("a if flag else b", env) == "hz"
+        assert self.infer("a if flag else c", env) is None
+
+    def test_arithmetic_folds_units(self):
+        env = {"p": "dbm", "loss": "db"}
+        assert self.infer("p - loss", env) == "dbm"
+        # A flagged combination yields no unit, not a wrong one.
+        assert self.infer("p + p", env) is None

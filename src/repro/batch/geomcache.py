@@ -18,11 +18,14 @@ via ``DirectionalEvaluator.geometry_epsilon_m``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Tuple
 
 import numpy as np
 
 from repro.batch.schedule import BatchSquitters
+from repro.engines import kernels_numpy as _default_kernels
+from repro.engines.pathcache import get_path_cache
+from repro.engines.registry import resolve_engine
 from repro.environment.obstruction import ObstructionMap
 from repro.geo.coords import GeoPoint, geo_to_enu_arrays
 
@@ -51,19 +54,19 @@ def ray_arrays(
     lat_deg: np.ndarray,
     lon_deg: np.ndarray,
     alt_m: np.ndarray,
+    kernels: Any = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Batch ``ray_geometry``: (azimuth, elevation, clamped slant).
 
     Mirrors the scalar ENU property chain, including
     ``atan2(0, 0) = 0`` for the degenerate straight-up ray.
+    ``kernels`` is an engine kernel namespace; the numpy baseline
+    runs when none is given.
     """
     east, north, up = geo_to_enu_arrays(origin, lat_deg, lon_deg, alt_m)
-    azimuth = np.degrees(np.arctan2(east, north)) % 360.0
-    horiz = np.hypot(east, north)
-    elevation = np.degrees(np.arctan2(up, horiz))
-    slant = np.sqrt(east**2 + north**2 + up**2)
-    slant = np.maximum(slant, 1.0)
-    return azimuth, elevation, slant
+    if kernels is None:
+        kernels = _default_kernels
+    return kernels.rays_from_enu(east, north, up)
 
 
 def batch_rays(
@@ -73,23 +76,66 @@ def batch_rays(
     squitters: BatchSquitters,
     speeds_ms: np.ndarray,
     epsilon_m: float = 0.0,
+    engine: Any = None,
 ) -> BatchRays:
     """Geometry + obstruction for every event, cached per segment.
 
     ``speeds_ms`` is the per-aircraft ground speed (indexable by
     ``squitters.aircraft_idx``), used to convert elapsed time into
-    along-track displacement for segment bucketing.
+    along-track displacement for segment bucketing. The whole result
+    is content-keyed in the path cache: a second capture with the
+    same node position, obstruction map, frequency, and event set
+    replays these arrays without recomputing a single ray.
     """
     n = squitters.n
     if n == 0:
         empty = np.empty(0, dtype=np.float64)
         return BatchRays(empty, empty, empty, empty, 0)
+    eng = resolve_engine(engine)
+    return get_path_cache().get_or_compute(
+        (
+            "batch_rays",
+            eng.kernel_token,
+            origin,
+            obstruction_map,
+            freq_hz,
+            squitters.lat_deg,
+            squitters.lon_deg,
+            squitters.alt_m,
+            squitters.time_s,
+            squitters.aircraft_idx,
+            speeds_ms,
+            epsilon_m,
+        ),
+        lambda: _batch_rays_compute(
+            origin,
+            obstruction_map,
+            freq_hz,
+            squitters,
+            speeds_ms,
+            epsilon_m,
+            eng.kernels,
+        ),
+    )
+
+
+def _batch_rays_compute(
+    origin: GeoPoint,
+    obstruction_map: ObstructionMap,
+    freq_hz: float,
+    squitters: BatchSquitters,
+    speeds_ms: np.ndarray,
+    epsilon_m: float,
+    kernels: Any,
+) -> BatchRays:
+    n = squitters.n
     if epsilon_m <= 0.0:
         az, el, slant = ray_arrays(
             origin,
             squitters.lat_deg,
             squitters.lon_deg,
             squitters.alt_m,
+            kernels=kernels,
         )
         obstruction = obstruction_map.loss_db_array(
             az, el, freq_hz, slant
@@ -116,6 +162,7 @@ def batch_rays(
         squitters.lat_deg[anchor_idx],
         squitters.lon_deg[anchor_idx],
         squitters.alt_m[anchor_idx],
+        kernels=kernels,
     )
     obstruction_a = obstruction_map.loss_db_array(
         az_a, el_a, freq_hz, slant_a

@@ -21,14 +21,17 @@ path.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.batch.geomcache import BatchRays
 from repro.batch.schedule import BatchSquitters
+from repro.engines.pathcache import get_path_cache
+from repro.engines.registry import resolve_engine
 from repro.environment.links import ADSB_FREQ_HZ
 from repro.environment.site import SiteEnvironment
 from repro.rf.fading import rician_fading_db_from_normals
-from repro.rf.pathloss import free_space_path_loss_db_array
 from repro.sdr.antenna import Antenna
 
 
@@ -40,19 +43,66 @@ def batch_received_power_dbm(
     rng: np.random.Generator,
     rician_k_db: float,
     coherence_time_s: float,
+    engine: Any = None,
 ) -> np.ndarray:
     """Received power at the SDR input for every event, in dBm.
 
     Events must be time-sorted (as :func:`build_batch_squitters`
     returns them); the RNG is advanced exactly as the scalar model
-    would advance it over the same events.
+    would advance it over the same events. The stage consumes
+    randomness, so its path-cache entry keys on the generator's
+    bit-stream position alongside the static content — a hit replays
+    the stored powers and fast-forwards the RNG to the saved
+    post-stage state.
     """
     n = squitters.n
     if n == 0:
         return np.empty(0, dtype=np.float64)
+    eng = resolve_engine(engine)
+    return get_path_cache().get_or_compute_rng(
+        (
+            "batch_rx_power",
+            eng.kernel_token,
+            env.shadowing_sigma_db,
+            env.leakage_sigma_db,
+            env.leakage_base_db,
+            rx_antenna,
+            squitters.time_s,
+            squitters.aircraft_idx,
+            squitters.tx_power_w,
+            rays.slant_m,
+            rays.azimuth_deg,
+            rays.obstruction_db,
+            rician_k_db,
+            coherence_time_s,
+        ),
+        rng,
+        lambda: _received_power_compute(
+            env,
+            rx_antenna,
+            squitters,
+            rays,
+            rng,
+            rician_k_db,
+            coherence_time_s,
+            eng.kernels,
+        ),
+    )
 
+
+def _received_power_compute(
+    env: SiteEnvironment,
+    rx_antenna: Antenna,
+    squitters: BatchSquitters,
+    rays: BatchRays,
+    rng: np.random.Generator,
+    rician_k_db: float,
+    coherence_time_s: float,
+    kernels: Any,
+) -> np.ndarray:
+    n = squitters.n
     tx_dbm = 10.0 * np.log10(squitters.tx_power_w * 1000.0)
-    path = free_space_path_loss_db_array(rays.slant_m, ADSB_FREQ_HZ)
+    path = kernels.fspl_db(rays.slant_m, ADSB_FREQ_HZ)
     rx_gain = rx_antenna.gain_at_array(ADSB_FREQ_HZ, rays.azimuth_deg)
     unobstructed_dbm = tx_dbm - path + rx_gain
 
@@ -86,14 +136,11 @@ def batch_received_power_dbm(
         rician_k_db,
     )[fade_inverse]
 
-    obstruction = rays.obstruction_db
-    direct_extra = obstruction - shadow
-    leakage_extra = env.leakage_base_db + leak
-    combined = -10.0 * np.log10(
-        10.0 ** (-np.maximum(direct_extra, 0.0) / 10.0)
-        + 10.0 ** (-np.maximum(leakage_extra, 0.0) / 10.0)
+    return kernels.received_power_dbm(
+        unobstructed_dbm,
+        rays.obstruction_db,
+        shadow,
+        leak,
+        env.leakage_base_db,
+        fade,
     )
-    effective_extra = np.where(
-        obstruction <= 0.5, direct_extra, combined
-    )
-    return unobstructed_dbm - effective_extra + fade

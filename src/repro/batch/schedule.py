@@ -34,6 +34,7 @@ from repro.adsb.transponder import (
 )
 from repro.airspace.aircraft import MS_TO_KT
 from repro.airspace.traffic import TrafficSimulator
+from repro.engines.pathcache import get_path_cache
 
 #: Kind indices into :data:`KIND_INTERVALS`.
 KIND_POSITION = 0
@@ -83,6 +84,43 @@ class BatchSquitters:
         return int(self.time_s.size)
 
 
+def traffic_content_token(traffic: TrafficSimulator) -> tuple:
+    """The content that determines a population's squitter schedule.
+
+    Compact arrays (fast to hash) covering everything the schedule
+    and the sampled trajectories depend on — deliberately EXCLUDING
+    the transponder's mutable CPR parity state, which affects frame
+    bits but never the schedule. Computed fresh on every call
+    (sub-ms for a fleet-sized population) so in-place mutations of
+    the traffic are always observed; memoizing by object identity
+    would hide them.
+    """
+    aircraft = traffic.aircraft
+    return (
+        np.array(
+            [ac.transponder.icao.value for ac in aircraft],
+            dtype=np.int64,
+        ),
+        "\0".join(ac.transponder.callsign for ac in aircraft),
+        np.array(
+            [
+                (
+                    ac.transponder.tx_power_w,
+                    ac.transponder.jitter_s,
+                    ac.route.start.lat_deg,
+                    ac.route.start.lon_deg,
+                    ac.route.start.alt_m,
+                    ac.route.track_deg,
+                    ac.route.speed_ms,
+                    ac.route.start_time_s,
+                )
+                for ac in aircraft
+            ],
+            dtype=np.float64,
+        ),
+    )
+
+
 def build_batch_squitters(
     traffic: TrafficSimulator,
     t0_s: float,
@@ -93,8 +131,28 @@ def build_batch_squitters(
 
     Consumes exactly the jitter draws ``traffic.squitters_between``
     would, in the same order, and returns events in the same sorted
-    order (ties included).
+    order (ties included). The stage draws jitter, so its path-cache
+    entry keys on the RNG bit-stream position; a hit replays the
+    arrays and fast-forwards the generator past the jitter draws.
     """
+    return get_path_cache().get_or_compute_rng(
+        (
+            "batch_schedule",
+            traffic_content_token(traffic),
+            t0_s,
+            t1_s,
+        ),
+        rng,
+        lambda: _build_batch_squitters_compute(traffic, t0_s, t1_s, rng),
+    )
+
+
+def _build_batch_squitters_compute(
+    traffic: TrafficSimulator,
+    t0_s: float,
+    t1_s: float,
+    rng: np.random.Generator,
+) -> BatchSquitters:
     times_parts = []
     aidx_parts = []
     kind_parts = []

@@ -58,6 +58,26 @@ from repro.experiments.common import LOCATIONS, build_world
 from repro.node.sensor import SensorNode
 
 
+def _add_engine_args(sub: argparse.ArgumentParser) -> None:
+    """The compute-backend flags shared by calibrate and fleet."""
+    from repro.engines import engine_names
+
+    sub.add_argument(
+        "--engine",
+        choices=engine_names(),
+        help="compute backend (default: $REPRO_ENGINE or numpy); "
+        "accelerated backends fall back to numpy when their "
+        "dependency is missing",
+    )
+    sub.add_argument(
+        "--path-cache",
+        choices=["on", "off"],
+        default="on",
+        help="reuse content-keyed stage results across captures and "
+        "runs (bit-identical; default: on)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -91,6 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="default",
         help="traffic-density preset the airspace is populated with",
     )
+    _add_engine_args(calibrate)
 
     interference = sub.add_parser(
         "interference",
@@ -172,7 +193,14 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_cmd.add_argument(
         "--json", metavar="FILE",
         help="write the full network evaluation (assessments + "
-        "failures) as JSON; `repro serve --source file` loads it",
+        "failures + campaign metrics) as JSON; `repro serve "
+        "--source file` loads it",
+    )
+    _add_engine_args(fleet_cmd)
+    fleet_cmd.add_argument(
+        "--path-cache-dir", metavar="DIR",
+        help="persist path-cache entries under DIR so later "
+        "campaigns (and process workers) start warm",
     )
     sub.add_parser(
         "crosscheck",
@@ -325,6 +353,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.engines import configure_path_cache
+
+    configure_path_cache(enabled=args.path_cache == "on")
     world = build_world(traffic_preset=args.traffic)
     service = CalibrationService(
         traffic=world.traffic,
@@ -332,6 +363,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         cell_towers=world.testbed.cell_towers,
         tv_towers=world.testbed.tv_towers,
         fm_towers=world.testbed.fm_towers,
+        engine=args.engine,
     )
     node = SensorNode(
         f"{args.location}-node", world.testbed.site(args.location)
@@ -453,6 +485,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         resume=args.resume,
         max_jobs=args.max_jobs,
         fail_node=args.fail_node,
+        engine=args.engine,
+        path_cache=args.path_cache == "on",
+        path_cache_dir=args.path_cache_dir,
     )
     print(fleet.format_marketplace(result))
     if result.campaign is not None:
@@ -482,6 +517,7 @@ def _fleet_network(result):
                 error=entry.errors[-1] if entry.errors else "failed",
                 exception_type="JobFailed",
             )
+        network.metrics = dict(result.campaign.metrics)
     return network
 
 

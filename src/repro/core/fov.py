@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.observations import AircraftObservation, DirectionalScan
+from repro.engines.pathcache import get_path_cache
 from repro.environment.obstruction import ObstructionMap, flags_to_sectors
 from repro.geo.sectors import AzimuthSector, bearing_difference
 
@@ -244,6 +245,39 @@ class KnnFovEstimator:
             return FieldOfViewEstimate(
                 self.bin_deg, [False] * n, [0.0] * n
             )
+        # The verdict depends only on (bearing, range, received) of
+        # the informative observations plus the estimator parameters,
+        # so repeat evaluations of an unchanged scan replay from the
+        # path cache; a fresh estimate object is built per call.
+        flags, ranges = get_path_cache().get_or_compute(
+            (
+                "knn_fov",
+                self.bin_deg,
+                self.k,
+                self.probe_range_km,
+                self.min_range_km,
+                self.km_per_degree,
+                np.array(
+                    [
+                        (
+                            o.bearing_deg,
+                            o.ground_range_m,
+                            1.0 if o.received else 0.0,
+                        )
+                        for o in data
+                    ],
+                    dtype=np.float64,
+                ),
+            ),
+            lambda: self._estimate_bins(data, n),
+        )
+        return FieldOfViewEstimate(
+            self.bin_deg, list(flags), list(ranges)
+        )
+
+    def _estimate_bins(
+        self, data: Sequence[AircraftObservation], n: int
+    ) -> tuple:
         flags: List[bool] = []
         ranges: List[float] = []
         for i in range(n):
@@ -252,7 +286,7 @@ class KnnFovEstimator:
                 self._predict(data, bearing, self.probe_range_km)
             )
             ranges.append(self._max_open_range(data, bearing))
-        return FieldOfViewEstimate(self.bin_deg, flags, ranges)
+        return tuple(flags), tuple(ranges)
 
     def _predict(
         self,

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.cellular.cellmapper import TowerDatabase
 from repro.cellular.scanner import CellMeasurement, SrsUeScanner
+from repro.engines.pathcache import get_path_cache
+from repro.engines.registry import resolve_engine
 from repro.environment.links import ray_geometry, ray_geometry_arrays
 from repro.fm.meter import FmPowerMeter
 from repro.fm.tower import FmTower
@@ -36,10 +38,7 @@ from repro.interference.sources import (
     tv_adjacent_interference_mw,
 )
 from repro.node.sensor import SensorNode
-from repro.rf.pathloss import (
-    free_space_path_loss_db,
-    free_space_path_loss_db_multifreq,
-)
+from repro.rf.pathloss import free_space_path_loss_db
 from repro.sdr.antenna import WIDEBAND_700_2700, Antenna
 from repro.tv.meter import TvPowerMeter
 from repro.tv.tower import TvTower
@@ -168,6 +167,9 @@ class FrequencyEvaluator:
             (:class:`repro.interference.InterferenceConfig`). ``None``
             or disabled keeps the interference-free profile
             bit-identical.
+        engine: compute-backend name (``repro.engines``); ``None``
+            resolves through ``$REPRO_ENGINE`` to the registry
+            default. The ``scalar`` engine forces :meth:`run_scalar`.
     """
 
     node: SensorNode
@@ -177,6 +179,7 @@ class FrequencyEvaluator:
     reference_antenna: Optional[Antenna] = None
     use_batch: bool = True
     interference: Optional[InterferenceConfig] = None
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.reference_antenna is None:
@@ -230,19 +233,55 @@ class FrequencyEvaluator:
         """
         if tv_iq_mode and rng is None:
             raise ValueError("tv_iq_mode requires an rng")
-        if not self.use_batch:
+        eng = resolve_engine(self.engine)
+        if not self.use_batch or not eng.use_batch:
             return self.run_scalar(rng, tv_iq_mode)
+        # The whole profile is a function of static content (site,
+        # hardware, emitter layouts, interference config) plus the RNG
+        # bit-stream position, so warm runs replay it from the path
+        # cache; BandMeasurement is frozen, so entries are shareable.
+        key_parts = (
+            "frequency_profile",
+            eng.kernel_token,
+            self.node.environment,
+            self.node.sdr,
+            self.node.antenna,
+            self.reference_antenna,
+            tuple(self.cell_towers.towers),
+            tuple(self.tv_towers),
+            tuple(self.fm_towers),
+            self.interference,
+            tv_iq_mode,
+        )
+        cache = get_path_cache()
+        if rng is None:
+            measurements = cache.get_or_compute(
+                key_parts, lambda: self._run_batch(rng, tv_iq_mode)
+            )
+        else:
+            measurements = cache.get_or_compute_rng(
+                key_parts,
+                rng,
+                lambda: self._run_batch(rng, tv_iq_mode),
+            )
         profile = FrequencyProfile(node_id=self.node.node_id)
+        profile.measurements.extend(measurements)
+        return profile
+
+    def _run_batch(
+        self,
+        rng: Optional[np.random.Generator],
+        tv_iq_mode: bool,
+    ) -> tuple:
+        """One uncached pass of the vectorized pipeline."""
         cellular = self._run_cellular_batch(rng)
         tv = self._run_tv_batch(rng, tv_iq_mode)
         if self.interference_enabled():
             cellular = self._apply_cell_interference(cellular)
             tv = self._apply_tv_interference(tv)
-        profile.measurements.extend(cellular)
-        profile.measurements.extend(tv)
-        profile.measurements.extend(self._run_fm_batch())
-        profile.measurements.sort(key=lambda m: m.freq_hz)
-        return profile
+        measurements = cellular + tv + self._run_fm_batch()
+        measurements.sort(key=lambda m: m.freq_hz)
+        return tuple(measurements)
 
     def run_scalar(
         self,
@@ -437,7 +476,8 @@ class FrequencyEvaluator:
         freq = np.array(
             [t.downlink_freq_hz for t in towers], dtype=np.float64
         )
-        path = free_space_path_loss_db_multifreq(geom.slant_m, freq)
+        kernels = resolve_engine(self.engine).kernels
+        path = kernels.fspl_db_multifreq(geom.slant_m, freq)
         gain = self.reference_antenna.gain_at_multifreq(
             freq, geom.azimuth_deg
         )
@@ -451,9 +491,8 @@ class FrequencyEvaluator:
     ) -> np.ndarray:
         """Unobstructed-reference dBFS for broadcast transmitters."""
         geom = ray_geometry_arrays(self.node.position, positions)
-        path = free_space_path_loss_db_multifreq(
-            geom.slant_m, freq_hz
-        )
+        kernels = resolve_engine(self.engine).kernels
+        path = kernels.fspl_db_multifreq(geom.slant_m, freq_hz)
         gain = self.reference_antenna.gain_at_multifreq(
             freq_hz, geom.azimuth_deg
         )

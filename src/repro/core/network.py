@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -253,6 +253,9 @@ class NetworkAssessments(Dict[str, "NodeAssessment"]):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.failures: Dict[str, AssessmentFailure] = {}
+        #: Campaign-level counters (path-cache hits, retries, ...)
+        #: attached by the producer; empty for plain batch runs.
+        self.metrics: Dict[str, Union[int, float]] = {}
 
 
 @dataclass
@@ -264,6 +267,9 @@ class CalibrationService:
         ground_truth: the flight ground-truth service.
         cell_towers: regional tower database.
         tv_towers: regional TV transmitters.
+        engine: compute-backend name threaded into both evaluators
+            (``repro.engines``); ``None`` resolves through
+            ``$REPRO_ENGINE`` to the registry default.
     """
 
     traffic: TrafficSimulator
@@ -275,6 +281,7 @@ class CalibrationService:
     classifier: IndoorOutdoorClassifier = field(
         default_factory=IndoorOutdoorClassifier
     )
+    engine: Optional[str] = None
 
     def evaluate_node(
         self,
@@ -292,6 +299,7 @@ class CalibrationService:
             node=node,
             traffic=self.traffic,
             ground_truth=self.ground_truth,
+            engine=self.engine,
         )
         scan = evaluator.run(rng)
         if fabrication is not None:
@@ -303,6 +311,7 @@ class CalibrationService:
             cell_towers=self.cell_towers,
             tv_towers=self.tv_towers,
             fm_towers=self.fm_towers,
+            engine=self.engine,
         )
         profile = freq_eval.run(rng)
         features = extract_features(scan, fov, profile)

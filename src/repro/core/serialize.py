@@ -375,7 +375,7 @@ def network_to_dict(
     store: every successful node assessment plus every node that
     crashed instead of completing.
     """
-    return {
+    out: Dict[str, Any] = {
         "assessments": {
             node_id: assessment_to_dict(assessment)
             for node_id, assessment in sorted(network.items())
@@ -385,6 +385,12 @@ def network_to_dict(
             for node_id, failure in sorted(network.failures.items())
         },
     }
+    if network.metrics:
+        # Campaign counters (path-cache effectiveness, retries, job
+        # latencies) ride along so `repro serve --source file` can
+        # surface them; plain batch evaluations omit the key.
+        out["metrics"] = dict(network.metrics)
+    return out
 
 
 def network_from_dict(data: Dict[str, Any]) -> NetworkAssessments:
@@ -399,6 +405,7 @@ def network_from_dict(data: Dict[str, Any]) -> NetworkAssessments:
         node_id: failure_from_dict(failure)
         for node_id, failure in data.get("failures", {}).items()
     }
+    out.metrics = dict(data.get("metrics", {}))
     return out
 
 

@@ -1,0 +1,167 @@
+"""Numba-jitted kernels for the geometry -> pathloss chain.
+
+When numba is importable, the hot per-element loops compile to native
+code with IEEE semantics (``fastmath`` stays off, so operation order
+— and therefore rounding — matches the numpy baseline). When numba is
+absent the module still imports cleanly and every name falls back to
+the numpy baseline kernels; :data:`NUMBA_AVAILABLE` records which
+world we are in so the registry can report the engine as running in
+fallback mode. The CI matrix runs both legs.
+
+Numba's own elementwise libm calls can differ from numpy's vectorized
+ones by an ulp on some platforms, so the cross-backend equivalence
+contract is: bit-identical in fallback mode, agreement to 1e-9
+relative tolerance when jitted (the path cache's bit-identity claim
+is about cache hits, which replay stored arrays and are exact under
+every backend).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.engines import kernels_numpy as _baseline
+
+try:  # pragma: no cover - exercised by the CI with-numba leg
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default container path
+    _njit = None
+    NUMBA_AVAILABLE = False
+
+#: Mirrors :data:`repro.engines.kernels_numpy.ACCELERATED`.
+ACCELERATED = NUMBA_AVAILABLE
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - compiled only with numba
+
+    @_njit(cache=True)
+    def _rays_from_enu_jit(east, north, up):
+        n = east.shape[0]
+        azimuth = np.empty(n, dtype=np.float64)
+        elevation = np.empty(n, dtype=np.float64)
+        slant = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            azimuth[i] = math.degrees(
+                math.atan2(east[i], north[i])
+            ) % 360.0
+            horiz = math.hypot(east[i], north[i])
+            elevation[i] = math.degrees(math.atan2(up[i], horiz))
+            s = math.sqrt(
+                east[i] * east[i]
+                + north[i] * north[i]
+                + up[i] * up[i]
+            )
+            slant[i] = s if s > 1.0 else 1.0
+        return azimuth, elevation, slant
+
+    @_njit(cache=True)
+    def _fspl_db_jit(distance_m, lam):
+        n = distance_m.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        four_pi = 4.0 * math.pi
+        for i in range(n):
+            d = distance_m[i]
+            if d < lam:
+                d = lam
+            out[i] = 20.0 * math.log10(four_pi * d / lam)
+        return out
+
+    @_njit(cache=True)
+    def _fspl_db_multifreq_jit(distance_m, lam):
+        n = distance_m.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        four_pi = 4.0 * math.pi
+        for i in range(n):
+            d = distance_m[i]
+            if d < lam[i]:
+                d = lam[i]
+            out[i] = 20.0 * math.log10(four_pi * d / lam[i])
+        return out
+
+    @_njit(cache=True)
+    def _received_power_dbm_jit(
+        unobstructed_dbm,
+        obstruction_db,
+        shadow_db,
+        leak_db,
+        leakage_base_db,
+        fade_db,
+    ):
+        n = unobstructed_dbm.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            direct_extra = obstruction_db[i] - shadow_db[i]
+            if obstruction_db[i] <= 0.5:
+                effective = direct_extra
+            else:
+                leakage_extra = leakage_base_db + leak_db[i]
+                d = direct_extra if direct_extra > 0.0 else 0.0
+                k = leakage_extra if leakage_extra > 0.0 else 0.0
+                effective = -10.0 * math.log10(
+                    10.0 ** (-d / 10.0) + 10.0 ** (-k / 10.0)
+                )
+            out[i] = unobstructed_dbm[i] - effective + fade_db[i]
+        return out
+
+    def rays_from_enu(
+        east: np.ndarray, north: np.ndarray, up: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return _rays_from_enu_jit(
+            np.ascontiguousarray(east, dtype=np.float64),
+            np.ascontiguousarray(north, dtype=np.float64),
+            np.ascontiguousarray(up, dtype=np.float64),
+        )
+
+    def fspl_db(
+        distance_m: np.ndarray, freq_hz: float
+    ) -> np.ndarray:
+        from repro.rf.units import wavelength_m
+
+        d = np.ascontiguousarray(distance_m, dtype=np.float64)
+        if np.any(d < 0.0):
+            raise ValueError("distances must be non-negative")
+        return _fspl_db_jit(d, wavelength_m(freq_hz))
+
+    def fspl_db_multifreq(
+        distance_m: np.ndarray, freq_hz: np.ndarray
+    ) -> np.ndarray:
+        from repro.rf.units import wavelength_m_array
+
+        d = np.ascontiguousarray(distance_m, dtype=np.float64)
+        if np.any(d < 0.0):
+            raise ValueError("distances must be non-negative")
+        lam = np.ascontiguousarray(
+            wavelength_m_array(freq_hz), dtype=np.float64
+        )
+        return _fspl_db_multifreq_jit(d, lam)
+
+    def received_power_dbm(
+        unobstructed_dbm: np.ndarray,
+        obstruction_db: np.ndarray,
+        shadow_db: np.ndarray,
+        leak_db: np.ndarray,
+        leakage_base_db: float,
+        fade_db: np.ndarray,
+    ) -> np.ndarray:
+        return _received_power_dbm_jit(
+            np.ascontiguousarray(unobstructed_dbm, dtype=np.float64),
+            np.ascontiguousarray(obstruction_db, dtype=np.float64),
+            np.ascontiguousarray(shadow_db, dtype=np.float64),
+            np.ascontiguousarray(leak_db, dtype=np.float64),
+            float(leakage_base_db),
+            np.ascontiguousarray(fade_db, dtype=np.float64),
+        )
+
+else:
+    # Fallback: identical signatures, numpy execution. The engine
+    # registry reports the "numba" engine as available-with-fallback
+    # so `--engine numba` stays green on hosts without the package.
+    rays_from_enu = _baseline.rays_from_enu
+    fspl_db = _baseline.fspl_db
+    fspl_db_multifreq = _baseline.fspl_db_multifreq
+    received_power_dbm = _baseline.received_power_dbm

@@ -1,0 +1,85 @@
+"""The numpy baseline kernels: the reference compute backend.
+
+These are the exact array expressions the batch pipeline has always
+run — extracted behind the engine interface so accelerated backends
+(:mod:`repro.engines.kernels_numba`) can substitute jitted versions
+of the geometry → obstruction → pathloss chain while this module
+remains the oracle every backend is equivalence-tested against.
+
+Every kernel keeps the per-element operation order of its scalar
+counterpart (``ray_geometry``, ``free_space_path_loss_db``,
+``AdsbLinkModel``), so results agree with the scalar path to the last
+ulp of the platform libm — the bit-identity contract the equivalence
+suites pin.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.rf.pathloss import (
+    free_space_path_loss_db_array,
+    free_space_path_loss_db_multifreq,
+)
+
+#: Whether this module's kernels are jit-compiled (the numpy baseline
+#: never is; the flag exists so every kernel namespace looks alike).
+ACCELERATED = False
+
+
+def rays_from_enu(
+    east: np.ndarray, north: np.ndarray, up: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ENU offsets -> (azimuth deg, elevation deg, clamped slant m).
+
+    Mirrors the scalar ENU property chain, including
+    ``atan2(0, 0) = 0`` for the degenerate straight-up ray and the
+    >= 1 m slant clamp of ``ray_geometry``.
+    """
+    azimuth = np.degrees(np.arctan2(east, north)) % 360.0
+    horiz = np.hypot(east, north)
+    elevation = np.degrees(np.arctan2(up, horiz))
+    slant = np.sqrt(east**2 + north**2 + up**2)
+    slant = np.maximum(slant, 1.0)
+    return azimuth, elevation, slant
+
+
+def fspl_db(distance_m: np.ndarray, freq_hz: float) -> np.ndarray:
+    """Friis free-space path loss, one carrier for the whole batch."""
+    return free_space_path_loss_db_array(distance_m, freq_hz)
+
+
+def fspl_db_multifreq(
+    distance_m: np.ndarray, freq_hz: np.ndarray
+) -> np.ndarray:
+    """Friis free-space path loss, per-element carrier."""
+    return free_space_path_loss_db_multifreq(distance_m, freq_hz)
+
+
+def received_power_dbm(
+    unobstructed_dbm: np.ndarray,
+    obstruction_db: np.ndarray,
+    shadow_db: np.ndarray,
+    leak_db: np.ndarray,
+    leakage_base_db: float,
+    fade_db: np.ndarray,
+) -> np.ndarray:
+    """Combine direct and leakage paths into per-event power (dBm).
+
+    The :class:`~repro.environment.links.AdsbLinkModel` combination:
+    the obstructed direct path (shadowing applied) in parallel with
+    the urban leakage path, leakage ignored on clear rays, Rician
+    fading added last.
+    """
+    direct_extra = obstruction_db - shadow_db
+    leakage_extra = leakage_base_db + leak_db
+    combined = -10.0 * np.log10(
+        10.0 ** (-np.maximum(direct_extra, 0.0) / 10.0)
+        + 10.0 ** (-np.maximum(leakage_extra, 0.0) / 10.0)
+    )
+    effective_extra = np.where(
+        obstruction_db <= 0.5, direct_extra, combined
+    )
+    return unobstructed_dbm - effective_extra + fade_db

@@ -1,0 +1,295 @@
+"""Campaign-scoped, content-keyed path cache.
+
+Node/tower/material layouts are static across a calibration campaign,
+but the batch engines used to recompute ray geometry, obstruction
+stacks, and penetration losses for every capture. This cache computes
+each (sensor, emitter) chain exactly once per campaign and replays it
+across captures, windows, repeated fleet runs, and — with a persist
+directory — across processes alongside the disk result cache in
+:mod:`repro.runtime`.
+
+Keys are blake2b content digests (:mod:`repro.engines.contentkey`)
+over every input that determines the stage's output, including the
+RNG bit-stream position for stages that consume randomness. A hit is
+therefore bit-identical to the recompute by construction: if anything
+that could change the answer changed, the key changed. Stages that
+draw from the generator store their post-stage RNG state next to the
+value and restore it on hit, so downstream draws stay in lockstep
+with an uncached run (the draw-order discipline of
+docs/performance.md).
+
+The cache is process-global and thread-safe: campaign workers running
+in a thread pool share entries. Campaigns scope their *stats* by
+snapshotting the counters before and after a run; the entries
+themselves survive, which is exactly the warm-run win.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.engines.contentkey import (
+    UncacheableValue,
+    capture_rng_state,
+    content_key,
+    restore_rng_state,
+    rng_state_token,
+)
+
+#: Default bound on in-memory entries; oldest-used entries evict first.
+DEFAULT_MAX_ENTRIES = 16384
+
+#: Sentinel distinguishing "missing" from a cached ``None``.
+_MISS = object()
+
+
+class PathCache:
+    """Thread-safe LRU of content-keyed stage results.
+
+    Attributes are read through :meth:`stats`; entries are opaque to
+    the cache (each call site stores whatever arrays/tuples its stage
+    replays from).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        persist_dir: Optional[str] = None,
+        enabled: bool = True,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1: {max_entries}"
+            )
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.max_entries = max_entries
+        self.enabled = enabled
+        self.persist_dir = persist_dir
+        self._hits = 0
+        self._misses = 0
+        self._skips = 0
+        self._evictions = 0
+        self._disk_hits = 0
+
+    # -- raw access -------------------------------------------------------
+
+    def lookup(self, key: str) -> Any:
+        """The entry for ``key``, or the module-private miss sentinel."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is not _MISS:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value
+        value = self._load_persisted(key)
+        if value is _MISS:
+            with self._lock:
+                self._misses += 1
+            return _MISS
+        with self._lock:
+            self._hits += 1
+            self._disk_hits += 1
+            self._insert(key, value)
+        return value
+
+    def store(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._insert(key, value)
+        self._persist(key, value)
+
+    def _insert(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    # -- the main call-site API -------------------------------------------
+
+    def get_or_compute(
+        self,
+        key_parts: Tuple,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """The cached value for ``key_parts``, computing on miss.
+
+        Content that cannot be hashed (:class:`UncacheableValue`)
+        silently bypasses the cache — correctness first. When the
+        cache is disabled every call computes and only the skip
+        counter moves.
+        """
+        if not self.enabled:
+            with self._lock:
+                self._skips += 1
+            return compute()
+        try:
+            key = content_key(*key_parts)
+        except UncacheableValue:
+            with self._lock:
+                self._skips += 1
+            return compute()
+        value = self.lookup(key)
+        if value is not _MISS:
+            return value
+        value = compute()
+        self.store(key, value)
+        return value
+
+    def get_or_compute_rng(
+        self,
+        key_parts: Tuple,
+        rng,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Like :meth:`get_or_compute` for RNG-consuming stages.
+
+        The generator's exact bit-stream position joins the key, and
+        the post-stage state is stored next to the value; a hit
+        replays the value AND advances ``rng`` to that state, so
+        downstream draws stay in lockstep with an uncached run.
+        """
+        if not self.enabled:
+            with self._lock:
+                self._skips += 1
+            return compute()
+        try:
+            key = content_key(rng_state_token(rng), *key_parts)
+        except UncacheableValue:
+            with self._lock:
+                self._skips += 1
+            return compute()
+        entry = self.lookup(key)
+        if entry is not _MISS:
+            value, post_state = entry
+            restore_rng_state(rng, post_state)
+            return value
+        value = compute()
+        self.store(key, (value, capture_rng_state(rng)))
+        return value
+
+    # -- disk persistence --------------------------------------------------
+
+    def _path_for(self, key: str) -> Optional[Path]:
+        if self.persist_dir is None:
+            return None
+        return Path(self.persist_dir) / f"{key}.pathcache"
+
+    def _persist(self, key: str, value: Any) -> None:
+        path = self._path_for(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(path.name + ".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            pass  # persistence is best-effort; memory entry stands
+
+    def _load_persisted(self, key: str) -> Any:
+        path = self._path_for(key)
+        if path is None or not path.exists():
+            return _MISS
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError):
+            return _MISS
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: hits/misses/entries and friends."""
+        with self._lock:
+            return {
+                "path_cache_hits": self._hits,
+                "path_cache_misses": self._misses,
+                "path_cache_entries": len(self._entries),
+                "path_cache_evictions": self._evictions,
+                "path_cache_skips": self._skips,
+                "path_cache_disk_hits": self._disk_hits,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._skips = 0
+            self._evictions = 0
+            self._disk_hits = 0
+
+
+# ---------------------------------------------------------------------------
+# The process-global cache instance and its configuration surface.
+
+_GLOBAL = PathCache()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_path_cache() -> PathCache:
+    """The process-global path cache every pipeline stage consults."""
+    return _GLOBAL
+
+
+def configure_path_cache(
+    enabled: Optional[bool] = None,
+    max_entries: Optional[int] = None,
+    persist_dir: Optional[str] = None,
+    clear: bool = False,
+) -> PathCache:
+    """Adjust the global cache; ``None`` leaves a setting unchanged.
+
+    ``clear=True`` drops entries and counters first — what a test or
+    a cold-start benchmark round uses to re-establish a cold cache.
+    """
+    with _GLOBAL_LOCK:
+        if clear:
+            _GLOBAL.clear()
+        if enabled is not None:
+            _GLOBAL.enabled = enabled
+        if max_entries is not None:
+            if max_entries < 1:
+                raise ValueError(
+                    f"max_entries must be >= 1: {max_entries}"
+                )
+            _GLOBAL.max_entries = max_entries
+        if persist_dir is not None:
+            _GLOBAL.persist_dir = persist_dir or None
+        return _GLOBAL
+
+
+def path_cache_stats() -> Dict[str, int]:
+    """Stats of the global cache (convenience for metrics surfaces)."""
+    return _GLOBAL.stats()
+
+
+def record_path_cache_metrics(metrics, before: Dict[str, int]) -> None:
+    """Fold the per-campaign stats delta into a MetricsRegistry.
+
+    ``before`` is a :meth:`PathCache.stats` snapshot taken when the
+    campaign started; the entry count is recorded absolute, the
+    counters as deltas, so each campaign reports its own cache
+    effectiveness even though the cache itself is process-global.
+    """
+    after = _GLOBAL.stats()
+    for name in (
+        "path_cache_hits",
+        "path_cache_misses",
+        "path_cache_skips",
+        "path_cache_disk_hits",
+    ):
+        # Always emit, even when zero, so fleet --json and the serve
+        # snapshots carry the keys on every run.
+        metrics.incr(name, after[name] - before.get(name, 0))
+    metrics.incr(
+        "path_cache_entries", after["path_cache_entries"]
+    )

@@ -1,0 +1,204 @@
+"""The compute-backend registry.
+
+Every batch pipeline stage that has more than one implementation —
+the numpy baseline, the numba-jitted chain, the per-event scalar
+reference — asks the registry for its kernels instead of importing
+one directly. Backends are selected by name at runtime:
+
+1. an explicit name (CLI ``--engine``, ``CampaignConfig.engine``,
+   an evaluator's ``engine`` field) wins;
+2. else the ``REPRO_ENGINE`` environment variable;
+3. else the process default (``numpy``, changeable with
+   :func:`set_default_engine`).
+
+Three engines register at import:
+
+- ``numpy`` — the vectorized baseline; the oracle every other
+  backend is equivalence-tested against.
+- ``numba`` — jitted geometry/pathloss kernels when numba is
+  importable; otherwise the same engine name resolves to the numpy
+  kernels with ``fallback`` set, so selecting it is always safe.
+- ``scalar`` — the per-event reference pipeline (evaluators run
+  their ``run_scalar`` paths). Slow by design; exists for
+  equivalence work and bisection.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engines import kernels_numba, kernels_numpy
+
+#: Environment variable consulted when no explicit engine is given.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: The shipped default backend.
+DEFAULT_ENGINE = "numpy"
+
+
+@dataclass(frozen=True)
+class Engine:
+    """One registered compute backend.
+
+    Attributes:
+        name: registry key (``--engine`` value).
+        description: one-line summary for ``--help``/docs.
+        kernels: namespace providing the kernel functions
+            (``rays_from_enu``, ``fspl_db``, ``fspl_db_multifreq``,
+            ``received_power_dbm``).
+        use_batch: whether evaluators should dispatch to their batch
+            paths (the ``scalar`` engine turns this off).
+        accelerated: whether the kernels are actually compiled (the
+            ``numba`` engine reports False when running its numpy
+            fallback).
+        fallback: name of the backend the kernels actually came from
+            when the native ones are unavailable; ``None`` otherwise.
+    """
+
+    name: str
+    description: str
+    kernels: Any = field(repr=False)
+    use_batch: bool = True
+    accelerated: bool = False
+    fallback: Optional[str] = None
+
+    @property
+    def kernel_token(self) -> str:
+        """Which kernel implementation actually runs — the string the
+        path cache folds into its keys. A backend running in fallback
+        mode reports the fallback's token, so e.g. ``numba`` without
+        numba shares cache entries with ``numpy`` (they execute the
+        same code), while jitted kernels get their own entries.
+        """
+        if self.accelerated:
+            return self.name
+        return self.fallback or self.name
+
+
+_REGISTRY: Dict[str, Engine] = {}
+_LOCK = threading.Lock()
+_DEFAULT_OVERRIDE: Optional[str] = None
+
+
+def register_engine(engine: Engine, replace: bool = False) -> Engine:
+    """Add a backend to the registry.
+
+    Re-registering an existing name requires ``replace=True`` so a
+    typo cannot silently shadow a shipped backend.
+    """
+    with _LOCK:
+        if engine.name in _REGISTRY and not replace:
+            raise ValueError(
+                f"engine {engine.name!r} is already registered"
+            )
+        _REGISTRY[engine.name] = engine
+        return engine
+
+
+def get_engine(name: Optional[str] = None) -> Engine:
+    """Resolve a backend: explicit name > $REPRO_ENGINE > default."""
+    resolved = (
+        name
+        or os.environ.get(ENGINE_ENV_VAR)
+        or _DEFAULT_OVERRIDE
+        or DEFAULT_ENGINE
+    )
+    with _LOCK:
+        engine = _REGISTRY.get(resolved)
+    if engine is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown engine {resolved!r} (registered: {known})"
+        )
+    return engine
+
+
+def resolve_engine(engine: Any = None) -> Engine:
+    """Accept an :class:`Engine`, a name, or ``None`` (default)."""
+    if isinstance(engine, Engine):
+        return engine
+    return get_engine(engine)
+
+
+def list_engines() -> List[Engine]:
+    """Registered backends, sorted by name."""
+    with _LOCK:
+        return sorted(_REGISTRY.values(), key=lambda e: e.name)
+
+
+def engine_names() -> List[str]:
+    """Just the registered names (CLI ``choices=``)."""
+    return [e.name for e in list_engines()]
+
+
+def set_default_engine(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process default backend.
+
+    Campaigns use this to scope an engine choice to a run without
+    threading the name through every evaluator constructor. An
+    explicit ``get_engine(name)`` and the environment variable both
+    still win over this default.
+    """
+    global _DEFAULT_OVERRIDE
+    if name is not None:
+        get_engine(name)  # validate eagerly
+    with _LOCK:
+        _DEFAULT_OVERRIDE = name
+
+
+def default_engine_name() -> str:
+    """The name ``get_engine(None)`` would resolve to right now."""
+    return (
+        os.environ.get(ENGINE_ENV_VAR)
+        or _DEFAULT_OVERRIDE
+        or DEFAULT_ENGINE
+    )
+
+
+# ---------------------------------------------------------------------------
+# The shipped backends.
+
+register_engine(
+    Engine(
+        name="numpy",
+        description=(
+            "vectorized numpy pipeline (baseline + equivalence oracle)"
+        ),
+        kernels=kernels_numpy,
+        use_batch=True,
+        accelerated=False,
+    )
+)
+
+register_engine(
+    Engine(
+        name="numba",
+        description=(
+            "numba-jitted geometry/pathloss kernels"
+            if kernels_numba.NUMBA_AVAILABLE
+            else "numba unavailable - running numpy fallback kernels"
+        ),
+        kernels=kernels_numba,
+        use_batch=True,
+        accelerated=kernels_numba.NUMBA_AVAILABLE,
+        fallback=(
+            None if kernels_numba.NUMBA_AVAILABLE else "numpy"
+        ),
+    )
+)
+
+register_engine(
+    Engine(
+        name="scalar",
+        description=(
+            "per-event scalar reference pipeline (slow; for"
+            " equivalence and bisection)"
+        ),
+        kernels=kernels_numpy,
+        use_batch=False,
+        accelerated=False,
+    )
+)

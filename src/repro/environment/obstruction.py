@@ -362,6 +362,33 @@ class ObstructionMap:
             raise ValueError(
                 f"resolution must be positive: {resolution_deg}"
             )
+        from repro.engines.pathcache import get_path_cache
+
+        # A pure function of the map's content and the probe — and
+        # shared by every node installed at the same site — so the
+        # 360-bin sweep runs once per distinct map per campaign.
+        sectors = get_path_cache().get_or_compute(
+            (
+                "clear_sectors",
+                self,
+                elevation_deg,
+                resolution_deg,
+                threshold_db,
+            ),
+            lambda: tuple(
+                self._clear_sectors_compute(
+                    elevation_deg, resolution_deg, threshold_db
+                )
+            ),
+        )
+        return list(sectors)
+
+    def _clear_sectors_compute(
+        self,
+        elevation_deg: float,
+        resolution_deg: float,
+        threshold_db: float,
+    ) -> List[AzimuthSector]:
         n = int(round(360.0 / resolution_deg))
         flags = [
             self.is_clear(i * resolution_deg, elevation_deg, threshold_db)

@@ -20,6 +20,7 @@ percentiles) make partial runs auditable.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 from dataclasses import dataclass, field, replace
@@ -39,6 +40,12 @@ from repro.core.network import NodeAssessment
 from repro.core.serialize import (
     assessment_from_dict,
     assessment_to_dict,
+)
+from repro.engines import (
+    get_path_cache,
+    path_cache_stats,
+    record_path_cache_metrics,
+    resolve_engine,
 )
 from repro.runtime.cache import ResultCache
 from repro.runtime.jobs import (
@@ -128,7 +135,14 @@ def fleet_jobs(
 
 @dataclass
 class CampaignConfig:
-    """Execution policy for one campaign run."""
+    """Execution policy for one campaign run.
+
+    ``engine``, ``path_cache``, and ``path_cache_dir`` are execution
+    policy like ``workers``: they choose *how* assessments are
+    computed (compute backend, stage-result reuse) and deliberately
+    never join :meth:`CalibrationJob.content_key` — a cached result
+    is valid under any backend.
+    """
 
     workers: int = 1
     executor: str = "thread"
@@ -136,12 +150,16 @@ class CampaignConfig:
     checkpoint_path: Optional[str] = None
     resume: bool = False
     stop_after: Optional[int] = None  # run at most N jobs, then stop
+    engine: Optional[str] = None  # compute backend (repro.engines)
+    path_cache: bool = True
+    path_cache_dir: Optional[str] = None  # persist entries on disk
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1: {self.workers}")
         if self.resume and self.checkpoint_path is None:
             raise ValueError("resume requires a checkpoint path")
+        resolve_engine(self.engine)  # validate the name eagerly
 
 
 @dataclass
@@ -241,7 +259,16 @@ class FleetCampaign:
             if cache is not None
             else ResultCache(self.config.cache_dir)
         )
-        self.runner = runner or execute_job
+        if runner is not None:
+            self.runner = runner
+        elif self.config.engine is not None:
+            # partial of a module-level function stays picklable, so
+            # process-pool workers receive the backend choice too.
+            self.runner = functools.partial(
+                execute_job, engine=self.config.engine
+            )
+        else:
+            self.runner = execute_job
         self.clock = clock
         self.retry_policy = retry_policy
         if world is not None:
@@ -314,6 +341,28 @@ class FleetCampaign:
     # -- the run ----------------------------------------------------------
 
     def run(self) -> CampaignResult:
+        """Drive every job to a terminal state; see the module doc.
+
+        The campaign scopes the process-global path cache for its
+        duration: enabled/persist settings follow the config, and the
+        stats delta over the run lands in the result metrics — so
+        each campaign reports its own cache effectiveness even though
+        entries survive across campaigns (the warm-run win).
+        """
+        path_cache = get_path_cache()
+        prev_enabled = path_cache.enabled
+        prev_persist = path_cache.persist_dir
+        path_cache.enabled = self.config.path_cache
+        if self.config.path_cache_dir is not None:
+            path_cache.persist_dir = self.config.path_cache_dir
+        before = path_cache_stats()
+        try:
+            return self._run(before)
+        finally:
+            path_cache.enabled = prev_enabled
+            path_cache.persist_dir = prev_persist
+
+    def _run(self, path_cache_before: Dict[str, int]) -> CampaignResult:
         config = self.config
         metrics = MetricsRegistry()
         ledger: Dict[str, JobLedgerEntry] = {}
@@ -401,6 +450,7 @@ class FleetCampaign:
             )
         self._write_manifest(ledger, assessments)
 
+        record_path_cache_metrics(metrics, path_cache_before)
         summary = metrics.summary()
         summary["cache_hits"] = self.cache.hits
         summary["cache_misses"] = self.cache.misses

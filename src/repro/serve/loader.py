@@ -36,12 +36,18 @@ def snapshot_from_network(
     drift: Optional[Mapping[str, DriftStatus]] = None,
     generation: int = 1,
 ) -> FleetSnapshot:
-    """One snapshot from a batch network evaluation."""
+    """One snapshot from a batch network evaluation.
+
+    Campaign counters attached to the network (``network.metrics`` —
+    path-cache effectiveness, retries) carry over to the snapshot, so
+    a served `repro fleet --json` dump keeps its observability.
+    """
     return FleetSnapshot(
         network,
         failures=network.failures,
         drift=drift,
         generation=generation,
+        metrics=getattr(network, "metrics", None),
     )
 
 
@@ -72,7 +78,10 @@ def store_from_campaign(result: CampaignResult) -> FleetStore:
             exception_type="JobFailed",
         )
     snapshot = FleetSnapshot(
-        result.assessments, failures=failures, generation=1
+        result.assessments,
+        failures=failures,
+        generation=1,
+        metrics=result.metrics,
     )
     return FleetStore(snapshot=snapshot)
 

@@ -83,6 +83,7 @@ class FleetSnapshot:
         failures: Optional[Mapping[str, AssessmentFailure]] = None,
         drift: Optional[Mapping[str, DriftStatus]] = None,
         generation: int = 0,
+        metrics: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.assessments: Dict[str, NodeAssessment] = dict(assessments)
         self.failures: Dict[str, AssessmentFailure] = dict(
@@ -90,6 +91,10 @@ class FleetSnapshot:
         )
         self.drift: Dict[str, DriftStatus] = dict(drift or {})
         self.generation = generation
+        #: Counters from the campaign that produced this snapshot
+        #: (path-cache hits/misses, retries, latencies); empty when
+        #: the producer was not a campaign.
+        self.metrics: Dict[str, Any] = dict(metrics or {})
         self.columns = FleetColumns.build(self.assessments)
         #: Content identity: same fleet data -> same etag, regardless
         #: of generation counter, so unchanged re-publishes revalidate.
@@ -339,6 +344,8 @@ class FleetSnapshot:
                 1 for d in self.drift.values() if d.events > 0
             ),
         }
+        if self.metrics:
+            summary["campaign_metrics"] = dict(self.metrics)
         if cols.n_nodes:
             summary["trust"] = {
                 "mean": float(s["trust"].mean()),

@@ -1,0 +1,16 @@
+"""An accelerated backend whose kernel mirrors the baseline.
+
+The kernel is defined under an availability guard, the way real
+accelerated backends gate on their optional dependency — the engine
+leg of RL6 must still see it.
+"""
+
+HAVE_JIT = False
+
+if HAVE_JIT:
+
+    def fspl_db(distance_m, freq_hz):
+        return [d * freq_hz for d in distance_m]
+
+else:
+    from engines.kernels_numpy import fspl_db  # noqa: F401

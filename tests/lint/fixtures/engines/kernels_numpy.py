@@ -1,0 +1,5 @@
+"""Baseline kernel namespace for the engine-leg oracle fixtures."""
+
+
+def fspl_db(distance_m, freq_hz):
+    return [d * freq_hz for d in distance_m]

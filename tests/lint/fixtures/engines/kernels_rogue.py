@@ -1,0 +1,6 @@
+"""An accelerated backend with a kernel the baseline never defines:
+RL601 must fire on ``warp_db``."""
+
+
+def warp_db(distance_m):
+    return distance_m

@@ -1,0 +1,6 @@
+"""A tests-tree module that never mentions the backend pair: with
+this as the tests root, the engine leg of RL602 must fire."""
+
+
+def check_something_else():
+    assert sum([1, 2]) == 3

@@ -1,0 +1,112 @@
+"""Content keys: stable hashing of the pipeline's static inputs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    UncacheableValue,
+    capture_rng_state,
+    content_key,
+    restore_rng_state,
+    rng_state_token,
+)
+from repro.geo.coords import GeoPoint
+
+
+def test_equal_content_equal_key():
+    a = content_key("x", 1, 2.5, (3, 4), GeoPoint(47.0, 8.0, 400.0))
+    b = content_key("x", 1, 2.5, (3, 4), GeoPoint(47.0, 8.0, 400.0))
+    assert a == b
+    assert len(a) == 32  # blake2b-16 hex
+
+
+def test_type_tags_prevent_cross_type_collisions():
+    keys = {
+        content_key(1),
+        content_key(1.0),
+        content_key("1"),
+        content_key(True),
+        content_key(b"1"),
+        content_key((1,)),
+        content_key(np.int64(1)),
+    }
+    assert len(keys) == 7
+
+
+def test_none_and_bools_distinct():
+    assert len({content_key(None), content_key(False), content_key(0)}) == 3
+
+
+def test_ndarray_sensitivity():
+    base = np.arange(6, dtype=np.float64)
+    assert content_key(base) == content_key(base.copy())
+    assert content_key(base) != content_key(base.astype(np.float32))
+    assert content_key(base) != content_key(base.reshape(2, 3))
+    changed = base.copy()
+    changed[3] += 1e-12
+    assert content_key(base) != content_key(changed)
+
+
+def test_non_contiguous_array_hashes_by_content():
+    arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+    view = arr[:, ::2]
+    assert content_key(view) == content_key(view.copy())
+
+
+def test_dict_and_set_order_invariance():
+    assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+    assert content_key({3, 1, 2}) == content_key({1, 2, 3})
+    assert content_key({"a": 1}) != content_key({"a": 2})
+
+
+def test_dataclass_field_changes_change_key():
+    p = GeoPoint(47.0, 8.0, 400.0)
+    assert content_key(p) != content_key(GeoPoint(47.0, 8.0, 401.0))
+    # Distinct dataclass types never collide even with equal fields.
+
+    @dataclasses.dataclass(frozen=True)
+    class Impostor:
+        lat_deg: float
+        lon_deg: float
+        alt_m: float
+
+    assert content_key(p) != content_key(Impostor(47.0, 8.0, 400.0))
+
+
+def test_callables_are_uncacheable():
+    with pytest.raises(UncacheableValue):
+        content_key(lambda: None)
+    with pytest.raises(UncacheableValue):
+        content_key(("nested", [1, {"f": print}]))
+
+
+def test_content_token_protocol_wins_over_dataclass_walk():
+    class Tokened:
+        def __init__(self, payload, noise):
+            self.payload = payload
+            self.noise = noise  # runtime state, excluded from identity
+
+        def content_token(self):
+            return self.payload
+
+    assert content_key(Tokened(1, "a")) == content_key(Tokened(1, "b"))
+    assert content_key(Tokened(1, "a")) != content_key(Tokened(2, "a"))
+
+
+def test_rng_state_token_tracks_stream_position():
+    rng = np.random.default_rng(7)
+    t0 = rng_state_token(rng)
+    assert t0 == rng_state_token(np.random.default_rng(7))
+    rng.standard_normal(4)
+    assert rng_state_token(rng) != t0
+
+
+def test_capture_restore_rng_round_trip():
+    rng = np.random.default_rng(11)
+    rng.uniform(size=3)
+    state = capture_rng_state(rng)
+    expected = rng.standard_normal(5)
+    restore_rng_state(rng, state)
+    np.testing.assert_array_equal(rng.standard_normal(5), expected)

@@ -1,0 +1,157 @@
+"""The compute-backend registry: selection, fallback, kernel contract."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    Engine,
+    default_engine_name,
+    engine_names,
+    get_engine,
+    list_engines,
+    register_engine,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.engines import kernels_numba, kernels_numpy
+from repro.engines import registry as registry_module
+
+
+@pytest.fixture()
+def clean_registry():
+    """Remove test-registered engines and restore the default after."""
+    before = set(registry_module._REGISTRY)
+    yield
+    set_default_engine(None)
+    for name in set(registry_module._REGISTRY) - before:
+        del registry_module._REGISTRY[name]
+
+
+def test_shipped_engines_present():
+    assert engine_names() == ["numba", "numpy", "scalar"]
+    assert get_engine().name == DEFAULT_ENGINE == "numpy"
+
+
+def test_selection_precedence(monkeypatch, clean_registry):
+    # Explicit name beats everything.
+    monkeypatch.setenv(ENGINE_ENV_VAR, "numba")
+    set_default_engine("scalar")
+    assert get_engine("numpy").name == "numpy"
+    # Env var beats the process default override.
+    assert get_engine().name == "numba"
+    assert default_engine_name() == "numba"
+    # Override applies once the env var is gone.
+    monkeypatch.delenv(ENGINE_ENV_VAR)
+    assert get_engine().name == "scalar"
+    # Clearing the override restores the shipped default.
+    set_default_engine(None)
+    assert get_engine().name == "numpy"
+
+
+def test_unknown_engine_lists_known_names():
+    with pytest.raises(KeyError, match="numba, numpy, scalar"):
+        get_engine("fortran")
+    with pytest.raises(KeyError):
+        set_default_engine("fortran")
+
+
+def test_register_requires_replace(clean_registry):
+    probe = Engine(
+        name="probe", description="test", kernels=kernels_numpy
+    )
+    register_engine(probe)
+    with pytest.raises(ValueError, match="already registered"):
+        register_engine(probe)
+    replacement = Engine(
+        name="probe", description="test v2", kernels=kernels_numpy
+    )
+    register_engine(replacement, replace=True)
+    assert get_engine("probe").description == "test v2"
+
+
+def test_resolve_engine_accepts_instances_names_none():
+    numpy_engine = get_engine("numpy")
+    assert resolve_engine(numpy_engine) is numpy_engine
+    assert resolve_engine("scalar").name == "scalar"
+    assert resolve_engine(None).name == default_engine_name()
+
+
+def test_scalar_engine_disables_batch_dispatch():
+    assert get_engine("numpy").use_batch
+    assert not get_engine("scalar").use_batch
+
+
+def test_kernel_token_shares_cache_across_fallback():
+    # numpy always tokens as itself.
+    assert get_engine("numpy").kernel_token == "numpy"
+    numba_engine = get_engine("numba")
+    if numba_engine.accelerated:
+        # Jitted kernels get their own cache entries.
+        assert numba_engine.kernel_token == "numba"
+        assert numba_engine.fallback is None
+    else:
+        # In fallback mode numba runs the numpy kernels, so it must
+        # share their path-cache entries.
+        assert numba_engine.kernel_token == "numpy"
+        assert numba_engine.fallback == "numpy"
+
+
+def test_engines_sorted_and_described():
+    engines = list_engines()
+    assert [e.name for e in engines] == sorted(e.name for e in engines)
+    assert all(e.description for e in engines)
+
+
+def test_numba_kernels_match_numpy(rng):
+    """The accelerated chain agrees with the baseline kernels.
+
+    Exact in fallback mode (same code); 1e-9 relative when jitted.
+    """
+    n = 256
+    east = rng.uniform(-5e4, 5e4, n)
+    north = rng.uniform(-5e4, 5e4, n)
+    up = rng.uniform(-500.0, 1e4, n)
+
+    ref = kernels_numpy.rays_from_enu(east, north, up)
+    out = kernels_numba.rays_from_enu(east, north, up)
+    for a, b in zip(ref, out):
+        np.testing.assert_allclose(b, a, rtol=1e-9, atol=0.0)
+
+    slant = rng.uniform(1.0, 2e5, n)
+    np.testing.assert_allclose(
+        kernels_numba.fspl_db(slant, 1090e6),
+        kernels_numpy.fspl_db(slant, 1090e6),
+        rtol=1e-9,
+    )
+    # Per-tower frequencies: one frequency per distance.
+    freqs = np.array([98.1e6, 617e6, 1090e6, 2.11e9])
+    np.testing.assert_allclose(
+        kernels_numba.fspl_db_multifreq(slant[:4], freqs),
+        kernels_numpy.fspl_db_multifreq(slant[:4], freqs),
+        rtol=1e-9,
+    )
+
+    unobstructed = rng.uniform(-120.0, -40.0, n)
+    obstruction = rng.uniform(0.0, 60.0, n)
+    shadow = rng.normal(0.0, 4.0, n)
+    leak = rng.normal(0.0, 3.0, n)
+    fade = rng.normal(0.0, 2.0, n)
+    np.testing.assert_allclose(
+        kernels_numba.received_power_dbm(
+            unobstructed, obstruction, shadow, leak, 25.0, fade
+        ),
+        kernels_numpy.received_power_dbm(
+            unobstructed, obstruction, shadow, leak, 25.0, fade
+        ),
+        rtol=1e-9,
+    )
+
+
+def test_numba_kernels_reject_negative_distance():
+    bad = np.array([-1.0, 100.0])
+    with pytest.raises(ValueError):
+        kernels_numpy.fspl_db(bad, 1090e6)
+    with pytest.raises(ValueError):
+        kernels_numba.fspl_db(bad, 1090e6)
